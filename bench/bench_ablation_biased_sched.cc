@@ -1,0 +1,70 @@
+/**
+ * @file
+ * E9 — ablation of the paper's first future-work proposal (Sec. IV):
+ * biased scheduling that staggers worker-thread execution phases to
+ * reduce lifetime interference. Sweeps the number of phase groups at 48
+ * threads on xalan and reports the trade-off between lifespan/GC
+ * improvement and lost mutator parallelism.
+ */
+
+#include "bench_common.hh"
+
+#include "base/output.hh"
+
+int
+main(int argc, char **argv)
+{
+    using namespace jscale;
+    const auto opts = bench::BenchOptions::parse(argc, argv);
+
+    std::cerr << "E9: biased-scheduling ablation (scale " << opts.scale
+              << ")\n";
+    const std::uint32_t threads = 48;
+
+    TextTable t;
+    t.header({"scheduler", "wall", "mutator", "gc", "survival",
+              "lifespan<1KiB", "promoted"});
+    CsvWriter csv(std::cout);
+
+    std::vector<std::pair<std::string, jvm::RunResult>> rows;
+    {
+        core::ExperimentRunner runner(opts.experimentConfig());
+        rows.emplace_back("default", runner.runApp("xalan", threads));
+    }
+    for (const std::uint32_t groups : {2u, 4u, 8u}) {
+        auto cfg = opts.experimentConfig();
+        cfg.biased_scheduling = true;
+        cfg.bias_groups = groups;
+        core::ExperimentRunner runner(cfg);
+        rows.emplace_back("biased/" + std::to_string(groups) + "g",
+                          runner.runApp("xalan", threads));
+    }
+
+    for (const auto &[name, r] : rows) {
+        t.row({name, formatTicks(r.wall_time),
+               formatTicks(r.mutatorTime()), formatTicks(r.gc_time),
+               formatPercent(r.gc.nursery_survival.mean()),
+               formatPercent(r.heap.lifespan.fractionBelow(1024)),
+               formatBytes(r.gc.promoted_bytes)});
+    }
+    std::cout << "E9: biased scheduling on xalan @ " << threads
+              << " threads (paper Sec. IV proposal (i))\n";
+    t.print(std::cout);
+    std::cout << "\nBias restores short lifespans (less lifetime "
+                 "interference) and trims GC work, at the cost of gated "
+                 "mutator parallelism on a CPU-bound balanced workload.\n";
+
+    if (opts.csv) {
+        csv.row({"scheduler", "wall_ns", "mutator_ns", "gc_ns",
+                 "survival", "lifespan_lt_1k", "promoted_bytes"});
+        for (const auto &[name, r] : rows) {
+            csv.row({name, std::to_string(r.wall_time),
+                     std::to_string(r.mutatorTime()),
+                     std::to_string(r.gc_time),
+                     formatFixed(r.gc.nursery_survival.mean(), 4),
+                     formatFixed(r.heap.lifespan.fractionBelow(1024), 4),
+                     std::to_string(r.gc.promoted_bytes)});
+        }
+    }
+    return 0;
+}

@@ -1,0 +1,72 @@
+/**
+ * @file
+ * E15 — NUMA sensitivity ablation. The paper's testbed is a four-socket
+ * NUMA machine; this bench quantifies how much of the measured GC
+ * overhead is NUMA-induced by sweeping the remote-access penalty (1.0 =
+ * a hypothetical uniform-memory 48-core part) and the cross-socket
+ * migration cost.
+ */
+
+#include "bench_common.hh"
+
+#include "base/output.hh"
+#include "core/analyze.hh"
+
+int
+main(int argc, char **argv)
+{
+    using namespace jscale;
+    const auto opts = bench::BenchOptions::parse(argc, argv);
+
+    std::cerr << "E15: NUMA-sensitivity ablation (scale " << opts.scale
+              << ")\n";
+
+    TextTable t;
+    t.header({"numa-factor", "migration", "wall", "gc-time", "gc-share",
+              "migrations"});
+    for (const double numa : {1.0, 1.6, 2.5}) {
+        for (const Ticks migration :
+             {Ticks{0}, Ticks{12 * units::US}, Ticks{40 * units::US}}) {
+            auto cfg = opts.experimentConfig();
+            cfg.machine.numa_remote_factor = numa;
+            cfg.machine.migration_cost = migration;
+            core::ExperimentRunner runner(cfg);
+            const jvm::RunResult r = runner.runApp("xalan", 48);
+            t.row({formatFixed(numa, 1), formatTicks(migration),
+                   formatTicks(r.wall_time), formatTicks(r.gc_time),
+                   formatPercent(core::ScalabilityAnalyzer::gcShare(r)),
+                   std::to_string(r.sched.migrations)});
+        }
+    }
+    std::cout << "E15: xalan @ 48 threads under varying NUMA costs "
+                 "(paper machine: factor 1.6)\n";
+    t.print(std::cout);
+
+    // Placement ablation: compact socket fill vs. scatter at partial
+    // occupancy, where the policies actually differ.
+    TextTable pt;
+    pt.header({"threads", "placement", "sockets-used", "wall",
+               "gc-time"});
+    for (const std::uint32_t threads : {12u, 24u}) {
+        for (const bool scatter : {false, true}) {
+            auto cfg = opts.experimentConfig();
+            cfg.placement = scatter
+                                ? machine::Machine::EnablePolicy::Scatter
+                                : machine::Machine::EnablePolicy::Compact;
+            core::ExperimentRunner runner(cfg);
+            const jvm::RunResult r = runner.runApp("xalan", threads);
+            machine::Machine probe(cfg.machine);
+            probe.enableCores(threads, cfg.placement);
+            pt.row({std::to_string(threads),
+                    scatter ? "scatter" : "compact",
+                    std::to_string(probe.enabledSockets()),
+                    formatTicks(r.wall_time), formatTicks(r.gc_time)});
+        }
+    }
+    std::cout << "\ncompact vs scatter core placement:\n";
+    pt.print(std::cout);
+    std::cout << "\nThe NUMA factor scales the GC copy phase (remote "
+                 "traffic), while migration cost prices cross-socket "
+                 "thread movement in the scheduler.\n";
+    return 0;
+}

@@ -1,0 +1,89 @@
+/**
+ * @file
+ * Shared plumbing for the experiment benches: flag parsing (--scale,
+ * --seed, --csv), the standard sweep driver, and CSV emission next to
+ * the console tables so every figure/table is regenerated in both
+ * human- and machine-readable form.
+ */
+
+#ifndef JSCALE_BENCH_BENCH_COMMON_HH
+#define JSCALE_BENCH_BENCH_COMMON_HH
+
+#include <cstdint>
+#include <cstdlib>
+#include <cstring>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "core/experiment.hh"
+#include "core/report.hh"
+#include "workload/dacapo.hh"
+
+namespace jscale::bench {
+
+/** Common bench options. */
+struct BenchOptions
+{
+    double scale = 1.0;
+    std::uint64_t seed = 42;
+    bool csv = false;
+
+    /** Parse argv; unknown flags are fatal. */
+    static BenchOptions
+    parse(int argc, char **argv)
+    {
+        BenchOptions o;
+        for (int i = 1; i < argc; ++i) {
+            const std::string arg = argv[i];
+            auto value = [&](const char *flag) -> const char * {
+                if (i + 1 >= argc) {
+                    std::cerr << "missing value for " << flag << "\n";
+                    std::exit(2);
+                }
+                return argv[++i];
+            };
+            if (arg == "--scale") {
+                o.scale = std::atof(value("--scale"));
+            } else if (arg == "--seed") {
+                o.seed = static_cast<std::uint64_t>(
+                    std::atoll(value("--seed")));
+            } else if (arg == "--csv") {
+                o.csv = true;
+            } else if (arg == "--help" || arg == "-h") {
+                std::cout << "flags: --scale <f> --seed <n> --csv\n";
+                std::exit(0);
+            } else {
+                std::cerr << "unknown flag '" << arg << "'\n";
+                std::exit(2);
+            }
+        }
+        return o;
+    }
+
+    core::ExperimentConfig
+    experimentConfig() const
+    {
+        core::ExperimentConfig cfg;
+        cfg.seed = seed;
+        cfg.workload_scale = scale;
+        return cfg;
+    }
+};
+
+/** Sweep every DaCapo app over the paper's thread counts. */
+inline core::SweepSet
+sweepAllApps(core::ExperimentRunner &runner)
+{
+    core::SweepSet sweeps;
+    const auto threads = runner.paperThreadCounts();
+    for (const auto &app : workload::dacapoAppNames()) {
+        std::cerr << "  sweeping " << app << "...\n";
+        sweeps[app] = runner.sweep(app, threads);
+    }
+    return sweeps;
+}
+
+} // namespace jscale::bench
+
+#endif // JSCALE_BENCH_BENCH_COMMON_HH

@@ -1,0 +1,44 @@
+/**
+ * @file
+ * E11 — the Sec. II-B methodology: heap sized at a multiple of the
+ * application's minimum heap requirement. Sweeps the factor from 1.5x
+ * to 5x and reports GC count/time, validating the paper's choice of 3x
+ * as a point where GC overhead is stable without wasting memory.
+ */
+
+#include "bench_common.hh"
+
+#include "base/output.hh"
+#include "core/analyze.hh"
+
+int
+main(int argc, char **argv)
+{
+    using namespace jscale;
+    const auto opts = bench::BenchOptions::parse(argc, argv);
+
+    std::cerr << "E11: heap-size sensitivity (scale " << opts.scale
+              << ")\n";
+
+    TextTable t;
+    t.header({"app", "heap-factor", "heap", "wall", "gc-time",
+              "gc-share", "minor", "full"});
+    for (const std::string app : {"xalan", "h2"}) {
+        for (const double factor : {1.5, 2.0, 3.0, 4.0, 5.0}) {
+            auto cfg = opts.experimentConfig();
+            cfg.heap_factor = factor;
+            core::ExperimentRunner runner(cfg);
+            const jvm::RunResult r = runner.runApp(app, 16);
+            t.row({app, formatFixed(factor, 1),
+                   formatBytes(r.heap_capacity), formatTicks(r.wall_time),
+                   formatTicks(r.gc_time),
+                   formatPercent(core::ScalabilityAnalyzer::gcShare(r)),
+                   std::to_string(r.gc.minor_count),
+                   std::to_string(r.gc.full_count)});
+        }
+    }
+    std::cout << "E11: heap sizing sweep @ 16 threads (paper uses 3x "
+                 "the minimum heap requirement)\n";
+    t.print(std::cout);
+    return 0;
+}

@@ -1,0 +1,133 @@
+/**
+ * @file
+ * E12 — simulator micro-benchmarks (google-benchmark): throughput of
+ * the event queue, the allocation/death path, the monitor fast path and
+ * a full simulated application run. These bound the cost of every
+ * experiment above and guard against performance regressions in the
+ * simulation kernel itself.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "base/random.hh"
+#include "core/experiment.hh"
+#include "jvm/heap/heap.hh"
+#include "machine/machine.hh"
+#include "sim/simulation.hh"
+#include "stats/stats.hh"
+
+namespace {
+
+using namespace jscale;
+
+void
+BM_EventQueueScheduleDispatch(benchmark::State &state)
+{
+    sim::Simulation sim(1);
+    std::uint64_t fired = 0;
+    for (auto _ : state) {
+        sim.scheduleAfter(1, [&fired] { ++fired; }, "bench");
+        sim.step();
+    }
+    benchmark::DoNotOptimize(fired);
+    state.SetItemsProcessed(static_cast<std::int64_t>(fired));
+}
+BENCHMARK(BM_EventQueueScheduleDispatch);
+
+void
+BM_EventQueueDeepHeap(benchmark::State &state)
+{
+    const std::int64_t depth = state.range(0);
+    for (auto _ : state) {
+        state.PauseTiming();
+        sim::Simulation sim(1);
+        Rng rng(7);
+        std::uint64_t fired = 0;
+        for (std::int64_t i = 0; i < depth; ++i) {
+            sim.scheduleAfter(
+                static_cast<TickDelta>(rng.below(1000000) + 1),
+                [&fired] { ++fired; }, "bench");
+        }
+        state.ResumeTiming();
+        sim.run();
+        benchmark::DoNotOptimize(fired);
+    }
+    state.SetItemsProcessed(state.iterations() * depth);
+}
+BENCHMARK(BM_EventQueueDeepHeap)->Arg(1024)->Arg(65536);
+
+void
+BM_HeapAllocateDeath(benchmark::State &state)
+{
+    jvm::HeapConfig cfg;
+    cfg.capacity = 1024 * units::MiB;
+    jvm::Heap heap(cfg, 4, nullptr);
+    Rng rng(11);
+    std::uint64_t allocs = 0;
+    for (auto _ : state) {
+        const Bytes size = 16 + rng.below(512);
+        const Bytes ttl = rng.below(4096);
+        const auto status = heap.allocate(
+            static_cast<jvm::MutatorIndex>(allocs % 4), size, ttl, 0, 0);
+        if (status != jvm::AllocStatus::Ok) {
+            heap.collectMinor(0);
+            continue;
+        }
+        ++allocs;
+    }
+    state.SetItemsProcessed(static_cast<std::int64_t>(allocs));
+}
+BENCHMARK(BM_HeapAllocateDeath);
+
+void
+BM_MinorCollection(benchmark::State &state)
+{
+    const std::int64_t objects = state.range(0);
+    jvm::HeapConfig cfg;
+    cfg.capacity = 1024 * units::MiB;
+    for (auto _ : state) {
+        state.PauseTiming();
+        jvm::Heap heap(cfg, 1, nullptr);
+        Rng rng(13);
+        for (std::int64_t i = 0; i < objects; ++i)
+            heap.allocate(0, 64 + rng.below(256), rng.below(2048), 0, 0);
+        state.ResumeTiming();
+        const auto work = heap.collectMinor(0);
+        benchmark::DoNotOptimize(work.scanned_objects);
+    }
+    state.SetItemsProcessed(state.iterations() * objects);
+}
+BENCHMARK(BM_MinorCollection)->Arg(10000)->Arg(100000);
+
+void
+BM_LogHistogramAdd(benchmark::State &state)
+{
+    stats::LogHistogram hist;
+    Rng rng(17);
+    for (auto _ : state)
+        hist.add(rng.next() >> (rng.next() % 40));
+    benchmark::DoNotOptimize(hist.totalWeight());
+    state.SetItemsProcessed(
+        static_cast<std::int64_t>(hist.totalWeight()));
+}
+BENCHMARK(BM_LogHistogramAdd);
+
+void
+BM_FullApplicationRun(benchmark::State &state)
+{
+    // End-to-end: one xalan run at 8 threads, small scale.
+    core::ExperimentConfig cfg;
+    cfg.workload_scale = 0.1;
+    for (auto _ : state) {
+        core::ExperimentRunner runner(cfg);
+        const jvm::RunResult r = runner.runApp("xalan", 8);
+        benchmark::DoNotOptimize(r.wall_time);
+        state.counters["sim_events"] =
+            static_cast<double>(r.sim_events);
+    }
+}
+BENCHMARK(BM_FullApplicationRun)->Unit(benchmark::kMillisecond);
+
+} // namespace
+
+BENCHMARK_MAIN();

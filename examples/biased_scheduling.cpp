@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Ablation of the paper's first future-work proposal (Sec. IV): biased
+ * scheduling that staggers worker-thread phases to reduce lifetime
+ * interference. Runs xalan at high thread count with the default and
+ * the biased scheduler and compares lifespans and GC time.
+ *
+ * Usage: biased_scheduling [app] [threads] [groups]
+ */
+
+#include <cstdlib>
+#include <iostream>
+#include <string>
+
+#include "base/output.hh"
+#include "core/analyze.hh"
+#include "core/experiment.hh"
+
+int
+main(int argc, char **argv)
+{
+    const std::string app = argc > 1 ? argv[1] : "xalan";
+    const std::uint32_t threads =
+        argc > 2 ? static_cast<std::uint32_t>(std::atoi(argv[2])) : 48;
+    const std::uint32_t groups =
+        argc > 3 ? static_cast<std::uint32_t>(std::atoi(argv[3])) : 4;
+
+    using namespace jscale;
+
+    core::ExperimentConfig base;
+    core::ExperimentRunner base_runner(base);
+    const jvm::RunResult def = base_runner.runApp(app, threads);
+
+    core::ExperimentConfig biased_cfg;
+    biased_cfg.biased_scheduling = true;
+    biased_cfg.bias_groups = groups;
+    core::ExperimentRunner biased_runner(biased_cfg);
+    const jvm::RunResult biased = biased_runner.runApp(app, threads);
+
+    std::cout << "Biased-scheduling ablation: " << app << " @ " << threads
+              << " threads, " << groups << " phase groups\n\n";
+    TextTable t;
+    t.header({"metric", "default", "biased"});
+    auto row = [&](const std::string &name, const std::string &a,
+                   const std::string &b) { t.row({name, a, b}); };
+    row("wall time", formatTicks(def.wall_time),
+        formatTicks(biased.wall_time));
+    row("mutator time", formatTicks(def.mutatorTime()),
+        formatTicks(biased.mutatorTime()));
+    row("gc time", formatTicks(def.gc_time), formatTicks(biased.gc_time));
+    row("nursery survival",
+        formatPercent(def.gc.nursery_survival.mean()),
+        formatPercent(biased.gc.nursery_survival.mean()));
+    row("lifespan < 1 KiB",
+        formatPercent(def.heap.lifespan.fractionBelow(1024)),
+        formatPercent(biased.heap.lifespan.fractionBelow(1024)));
+    row("lifespan < 16 KiB",
+        formatPercent(def.heap.lifespan.fractionBelow(16 * 1024)),
+        formatPercent(biased.heap.lifespan.fractionBelow(16 * 1024)));
+    row("promoted bytes", formatBytes(def.gc.promoted_bytes),
+        formatBytes(biased.gc.promoted_bytes));
+    t.print(std::cout);
+    return 0;
+}

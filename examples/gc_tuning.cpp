@@ -1,0 +1,69 @@
+/**
+ * @file
+ * GC tuning example: explores heap sizing (the paper's 3x-min-heap
+ * methodology, Sec. II-B) and the compartmentalized-heap future-work
+ * proposal (Sec. IV) on one application.
+ *
+ * Usage: gc_tuning [app] [threads]
+ */
+
+#include <cstdlib>
+#include <iostream>
+#include <string>
+
+#include "base/output.hh"
+#include "core/analyze.hh"
+#include "core/experiment.hh"
+
+int
+main(int argc, char **argv)
+{
+    const std::string app = argc > 1 ? argv[1] : "xalan";
+    const std::uint32_t threads =
+        argc > 2 ? static_cast<std::uint32_t>(std::atoi(argv[2])) : 16;
+
+    using namespace jscale;
+
+    std::cout << "Heap-size sensitivity for " << app << " @ " << threads
+              << " threads (heap = factor x minimum requirement)\n\n";
+    TextTable t;
+    t.header({"heap-factor", "heap", "wall", "gc-time", "gc-share",
+              "minor", "full", "mean-pause"});
+    for (const double factor : {1.5, 2.0, 3.0, 4.0, 5.0}) {
+        core::ExperimentConfig cfg;
+        cfg.heap_factor = factor;
+        core::ExperimentRunner runner(cfg);
+        const jvm::RunResult r = runner.runApp(app, threads);
+        t.row({formatFixed(factor, 1), formatBytes(r.heap_capacity),
+               formatTicks(r.wall_time), formatTicks(r.gc_time),
+               formatPercent(core::ScalabilityAnalyzer::gcShare(r)),
+               std::to_string(r.gc.minor_count),
+               std::to_string(r.gc.full_count),
+               formatTicks(
+                   static_cast<Ticks>(r.gc.minor_pauses.mean()))});
+    }
+    t.print(std::cout);
+
+    std::cout << "\nCompartmentalized heap (future work, Sec. IV) vs. "
+                 "shared eden @ "
+              << threads << " threads\n\n";
+    TextTable c;
+    c.header({"heap-mode", "wall", "stw-gc-time", "stw-gcs", "full-gcs",
+              "local-gcs", "local-pause"});
+    for (const bool compartmentalized : {false, true}) {
+        core::ExperimentConfig cfg;
+        cfg.vm.heap.compartmentalized = compartmentalized;
+        core::ExperimentRunner runner(cfg);
+        const jvm::RunResult r = runner.runApp(app, threads);
+        c.row({compartmentalized ? "compartmentalized" : "shared",
+               formatTicks(r.wall_time), formatTicks(r.gc_time),
+               std::to_string(r.gc.minor_count + (compartmentalized
+                                                      ? r.gc.full_count
+                                                      : 0)),
+               std::to_string(r.gc.full_count),
+               std::to_string(r.gc.local_count),
+               formatTicks(r.gc.local_pause)});
+    }
+    c.print(std::cout);
+    return 0;
+}

@@ -1,0 +1,37 @@
+/**
+ * @file
+ * Quickstart: run one DaCapo-like application on the simulated 48-core
+ * NUMA machine and print the run summary.
+ *
+ * Usage: quickstart [app] [threads]
+ *   app     one of sunflow, lusearch, xalan, h2, eclipse, jython
+ *           (default: xalan)
+ *   threads application threads == enabled cores (default: 8)
+ */
+
+#include <cstdlib>
+#include <iostream>
+#include <string>
+
+#include "core/analyze.hh"
+#include "core/experiment.hh"
+#include "core/report.hh"
+
+int
+main(int argc, char **argv)
+{
+    const std::string app = argc > 1 ? argv[1] : "xalan";
+    const std::uint32_t threads =
+        argc > 2 ? static_cast<std::uint32_t>(std::atoi(argv[2])) : 8;
+
+    jscale::core::ExperimentConfig cfg;
+    jscale::core::ExperimentRunner runner(cfg);
+
+    std::cout << "jscale quickstart: running '" << app << "' with "
+              << threads << " threads on a simulated "
+              << cfg.machine.name << " machine\n\n";
+
+    const jscale::jvm::RunResult r = runner.runApp(app, threads);
+    jscale::core::printRunSummary(std::cout, r);
+    return 0;
+}

@@ -1,0 +1,45 @@
+/**
+ * @file
+ * The complete study: sweep all six DaCapo-like applications over the
+ * paper's thread/core settings and print every table — scalability
+ * classification (E1), workload distribution (E2), lock usage (E3/E4),
+ * and mutator/GC time split (E7).
+ *
+ * Usage: scalability_study [scale]
+ *   scale  work-volume multiplier (default 1.0; smaller = faster)
+ */
+
+#include <cstdlib>
+#include <iostream>
+
+#include "core/experiment.hh"
+#include "core/report.hh"
+#include "workload/dacapo.hh"
+
+int
+main(int argc, char **argv)
+{
+    jscale::core::ExperimentConfig cfg;
+    if (argc > 1)
+        cfg.workload_scale = std::atof(argv[1]);
+
+    jscale::core::ExperimentRunner runner(cfg);
+    const auto threads = runner.paperThreadCounts();
+
+    jscale::core::SweepSet sweeps;
+    for (const auto &app : jscale::workload::dacapoAppNames()) {
+        std::cerr << "sweeping " << app << "...\n";
+        sweeps[app] = runner.sweep(app, threads);
+    }
+
+    jscale::core::printScalabilityTable(std::cout, sweeps);
+    std::cout << '\n';
+    jscale::core::printWorkloadDistributionTable(std::cout, sweeps);
+    std::cout << '\n';
+    jscale::core::printLockAcquisitionTable(std::cout, sweeps);
+    std::cout << '\n';
+    jscale::core::printLockContentionTable(std::cout, sweeps);
+    std::cout << '\n';
+    jscale::core::printMutatorGcTable(std::cout, sweeps);
+    return 0;
+}

@@ -1,0 +1,19 @@
+#!/bin/sh
+# Regenerate every experiment artifact (the data behind EXPERIMENTS.md)
+# into ./experiment-output. Usage: scripts/regenerate_experiments.sh
+# [build-dir] [scale]
+set -e
+BUILD=${1:-build}
+SCALE=${2:-1.0}
+OUT=experiment-output
+mkdir -p "$OUT"
+for b in "$BUILD"/bench/bench_*; do
+    name=$(basename "$b")
+    if [ "$name" = "bench_micro_kernel" ]; then
+        "$b" --benchmark_min_time=0.1 > "$OUT/$name.txt" 2>/dev/null
+    else
+        "$b" --scale "$SCALE" --csv > "$OUT/$name.txt" 2>/dev/null ||
+        "$b" > "$OUT/$name.txt" 2>/dev/null
+    fi
+    echo "wrote $OUT/$name.txt"
+done

@@ -1,0 +1,68 @@
+#include "base/logging.hh"
+
+#include <cstdlib>
+
+namespace jscale {
+namespace detail {
+
+LogLevel &
+logLevel()
+{
+    static LogLevel level = LogLevel::Warn;
+    return level;
+}
+
+std::ostream *&
+logStream()
+{
+    static std::ostream *os = &std::cerr;
+    return os;
+}
+
+[[noreturn]] void
+panicImpl(const char *file, int line, const std::string &msg)
+{
+    std::cerr << "panic: " << msg << "\n  at " << file << ":" << line
+              << std::endl;
+    std::abort();
+}
+
+[[noreturn]] void
+fatalImpl(const char *file, int line, const std::string &msg)
+{
+    std::cerr << "fatal: " << msg << "\n  at " << file << ":" << line
+              << std::endl;
+    std::exit(1);
+}
+
+void
+logImpl(LogLevel level, const char *tag, const std::string &msg)
+{
+    if (static_cast<int>(level) > static_cast<int>(logLevel()))
+        return;
+    (*logStream()) << tag << ": " << msg << std::endl;
+}
+
+} // namespace detail
+
+void
+setLogLevel(LogLevel level)
+{
+    detail::logLevel() = level;
+}
+
+LogLevel
+logLevel()
+{
+    return detail::logLevel();
+}
+
+std::ostream *
+setLogStream(std::ostream *os)
+{
+    std::ostream *prev = detail::logStream();
+    detail::logStream() = os;
+    return prev;
+}
+
+} // namespace jscale

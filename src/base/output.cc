@@ -1,0 +1,117 @@
+#include "base/output.hh"
+
+#include <algorithm>
+#include <sstream>
+
+#include "base/logging.hh"
+
+namespace jscale {
+
+void
+TextTable::header(std::vector<std::string> cells)
+{
+    header_ = std::move(cells);
+    aligns_.assign(header_.size(), Align::Right);
+    if (!aligns_.empty())
+        aligns_[0] = Align::Left;
+}
+
+void
+TextTable::row(std::vector<std::string> cells)
+{
+    if (!header_.empty()) {
+        jscale_assert(cells.size() == header_.size(),
+                      "row width ", cells.size(), " != header width ",
+                      header_.size());
+    }
+    rows_.push_back(std::move(cells));
+}
+
+void
+TextTable::align(std::size_t col, Align a)
+{
+    if (aligns_.size() <= col)
+        aligns_.resize(col + 1, Align::Right);
+    aligns_[col] = a;
+}
+
+void
+TextTable::print(std::ostream &os) const
+{
+    std::size_t n_cols = header_.size();
+    for (const auto &r : rows_)
+        n_cols = std::max(n_cols, r.size());
+    if (n_cols == 0)
+        return;
+
+    std::vector<std::size_t> widths(n_cols, 0);
+    auto measure = [&](const std::vector<std::string> &cells) {
+        for (std::size_t c = 0; c < cells.size(); ++c)
+            widths[c] = std::max(widths[c], cells[c].size());
+    };
+    measure(header_);
+    for (const auto &r : rows_)
+        measure(r);
+
+    auto emit = [&](const std::vector<std::string> &cells) {
+        for (std::size_t c = 0; c < n_cols; ++c) {
+            const std::string &cell = c < cells.size() ? cells[c]
+                                                       : std::string();
+            const Align a = c < aligns_.size() ? aligns_[c] : Align::Right;
+            const std::size_t pad = widths[c] - cell.size();
+            if (a == Align::Right)
+                os << std::string(pad, ' ') << cell;
+            else
+                os << cell << std::string(pad, ' ');
+            os << (c + 1 < n_cols ? "  " : "");
+        }
+        os << '\n';
+    };
+
+    if (!header_.empty()) {
+        emit(header_);
+        std::size_t total = 0;
+        for (std::size_t c = 0; c < n_cols; ++c)
+            total += widths[c] + (c + 1 < n_cols ? 2 : 0);
+        os << std::string(total, '-') << '\n';
+    }
+    for (const auto &r : rows_)
+        emit(r);
+}
+
+std::string
+TextTable::str() const
+{
+    std::ostringstream oss;
+    print(oss);
+    return oss.str();
+}
+
+void
+CsvWriter::row(const std::vector<std::string> &cells)
+{
+    for (std::size_t i = 0; i < cells.size(); ++i) {
+        if (i)
+            os_ << ',';
+        os_ << quote(cells[i]);
+    }
+    os_ << '\n';
+}
+
+std::string
+CsvWriter::quote(const std::string &cell)
+{
+    const bool needs = cell.find_first_of(",\"\n\r") != std::string::npos;
+    if (!needs)
+        return cell;
+    std::string out = "\"";
+    for (char ch : cell) {
+        if (ch == '"')
+            out += '"';
+        out += ch;
+    }
+    out += '"';
+    return out;
+}
+
+} // namespace jscale

@@ -1,0 +1,95 @@
+/**
+ * @file
+ * Tabular output helpers: an aligned plain-text table renderer for
+ * console reports and an RFC-4180-style CSV writer for machine-readable
+ * experiment output. Every bench emits both forms.
+ */
+
+#ifndef JSCALE_BASE_OUTPUT_HH
+#define JSCALE_BASE_OUTPUT_HH
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace jscale {
+
+/**
+ * Aligned text table. Columns are sized to their widest cell; the first
+ * row added is rendered as a header with an underline.
+ */
+class TextTable
+{
+  public:
+    /** Column alignment. */
+    enum class Align { Left, Right };
+
+    /** Create a table with one alignment entry per column (default right,
+     *  first column left). */
+    TextTable() = default;
+
+    /** Set the header row; resets alignment defaults. */
+    void header(std::vector<std::string> cells);
+
+    /** Append a data row; must match the header width if one was set. */
+    void row(std::vector<std::string> cells);
+
+    /** Override the alignment of column @p col. */
+    void align(std::size_t col, Align a);
+
+    /** Render to a stream with two-space column separation. */
+    void print(std::ostream &os) const;
+
+    /** Render to a string. */
+    std::string str() const;
+
+    /** Number of data rows. */
+    std::size_t rows() const { return rows_.size(); }
+
+  private:
+    std::vector<std::string> header_;
+    std::vector<std::vector<std::string>> rows_;
+    std::vector<Align> aligns_;
+};
+
+/**
+ * Minimal CSV writer. Quotes cells containing separators/quotes/newlines
+ * and doubles embedded quotes, per RFC 4180.
+ */
+class CsvWriter
+{
+  public:
+    /** Write rows to @p os. */
+    explicit CsvWriter(std::ostream &os) : os_(os) {}
+
+    /** Write one row. */
+    void row(const std::vector<std::string> &cells);
+
+    /** Convenience: write a row of stringified values. */
+    template <typename... Args>
+    void
+    rowOf(Args &&...args)
+    {
+        row({toCell(std::forward<Args>(args))...});
+    }
+
+  private:
+    static std::string quote(const std::string &cell);
+
+    template <typename T>
+    static std::string
+    toCell(T &&v)
+    {
+        if constexpr (std::is_convertible_v<T, std::string>) {
+            return std::string(std::forward<T>(v));
+        } else {
+            return std::to_string(v);
+        }
+    }
+
+    std::ostream &os_;
+};
+
+} // namespace jscale
+
+#endif // JSCALE_BASE_OUTPUT_HH

@@ -1,0 +1,56 @@
+#include "base/units.hh"
+
+#include <array>
+#include <cstdio>
+
+namespace jscale {
+
+namespace {
+
+std::string
+scaled(double value, const char *const *suffixes, std::size_t n_suffixes,
+       double base)
+{
+    std::size_t idx = 0;
+    while (value >= base && idx + 1 < n_suffixes) {
+        value /= base;
+        ++idx;
+    }
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.2f %s", value, suffixes[idx]);
+    return buf;
+}
+
+} // namespace
+
+std::string
+formatTicks(Ticks t)
+{
+    static const char *suffixes[] = {"ns", "us", "ms", "s"};
+    return scaled(static_cast<double>(t), suffixes, 4, 1000.0);
+}
+
+std::string
+formatBytes(Bytes b)
+{
+    static const char *suffixes[] = {"B", "KiB", "MiB", "GiB", "TiB"};
+    return scaled(static_cast<double>(b), suffixes, 5, 1024.0);
+}
+
+std::string
+formatPercent(double fraction)
+{
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.1f%%", fraction * 100.0);
+    return buf;
+}
+
+std::string
+formatFixed(double value, int decimals)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.*f", decimals, value);
+    return buf;
+}
+
+} // namespace jscale

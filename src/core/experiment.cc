@@ -1,0 +1,199 @@
+#include "core/experiment.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "base/logging.hh"
+#include "os/policy.hh"
+#include "sim/simulation.hh"
+#include "workload/dacapo.hh"
+
+namespace jscale::core {
+
+ExperimentRunner::ExperimentRunner(ExperimentConfig config)
+    : config_(std::move(config))
+{
+    jscale_assert(config_.heap_factor >= 1.0,
+                  "heap factor below the minimum heap requirement");
+}
+
+std::uint64_t
+ExperimentRunner::runSeed(const std::string &app, std::uint32_t threads,
+                          bool calibration) const
+{
+    std::uint64_t s = config_.seed;
+    for (const char c : app)
+        s = s * 0x100000001b3ULL + static_cast<unsigned char>(c);
+    s ^= static_cast<std::uint64_t>(threads) << 32;
+    s ^= calibration ? 0xca11'b8a7e5ULL : 0;
+    std::uint64_t state = s;
+    return splitMix64(state);
+}
+
+std::vector<std::uint32_t>
+ExperimentRunner::paperThreadCounts() const
+{
+    const std::vector<std::uint32_t> paper = {1, 2, 4, 8, 16, 24, 32, 48};
+    std::vector<std::uint32_t> out;
+    for (const auto t : paper) {
+        if (t <= config_.machine.totalCores())
+            out.push_back(t);
+    }
+    return out;
+}
+
+jvm::RunResult
+ExperimentRunner::runOnce(jvm::ApplicationModel &app, std::uint32_t threads,
+                          Bytes heap_capacity, const VmAttachHook &attach)
+{
+    jscale_assert(threads >= 1 &&
+                      threads <= config_.machine.totalCores(),
+                  "thread count ", threads, " exceeds machine cores");
+
+    sim::Simulation sim(runSeed(app.appName(), threads,
+                                /*calibration=*/false));
+    machine::Machine mach(config_.machine);
+    mach.enableCores(threads, config_.placement);
+    os::Scheduler sched(sim, mach, config_.sched);
+    if (config_.biased_scheduling) {
+        sched.setPolicy(std::make_unique<os::BiasedPolicy>(
+            config_.bias_groups, config_.bias_quantum));
+        // Phase rotations must re-kick idle cores: a self-rescheduling
+        // event fires at every phase edge for the whole run. Each
+        // pending event holds the shared_ptr, keeping the rotator alive
+        // until the simulation tears the last event down.
+        struct Rotator
+        {
+            sim::Simulation &sim;
+            os::Scheduler &sched;
+            Ticks quantum;
+
+            static void
+            arm(const std::shared_ptr<Rotator> &self)
+            {
+                self->sim.scheduleAfter(
+                    static_cast<TickDelta>(self->quantum),
+                    [self] {
+                        self->sched.kickAll();
+                        arm(self);
+                    },
+                    "bias-phase-rotate");
+            }
+        };
+        Rotator::arm(std::make_shared<Rotator>(
+            Rotator{sim, sched, config_.bias_quantum}));
+    }
+
+    jvm::VmConfig vm_cfg = config_.vm;
+    vm_cfg.heap.capacity = heap_capacity;
+    jvm::JavaVm vm(sim, mach, sched, vm_cfg);
+    if (attach)
+        attach(vm);
+    return vm.run(app, threads);
+}
+
+Bytes
+ExperimentRunner::minHeapFor(const AppFactory &factory,
+                             const std::string &cache_key)
+{
+    auto it = min_heap_cache_.find(cache_key);
+    if (it != min_heap_cache_.end())
+        return it->second;
+
+    // Calibration: generous heap, reference thread count, helpers off
+    // for speed. The minimum requirement is the smallest heap whose old
+    // generation holds the peak live footprint.
+    const std::uint32_t threads = std::min(
+        config_.calibration_threads, config_.machine.totalCores());
+
+    sim::Simulation sim(runSeed(cache_key, threads, /*calibration=*/true));
+    machine::Machine mach(config_.machine);
+    mach.enableCores(threads);
+    os::Scheduler sched(sim, mach, config_.sched);
+
+    jvm::VmConfig vm_cfg = config_.vm;
+    vm_cfg.heap.capacity = 512 * units::MiB;
+    vm_cfg.heap.compartmentalized = false;
+    jvm::JavaVm vm(sim, mach, sched, vm_cfg);
+    auto app = factory();
+    const jvm::RunResult r = vm.run(*app, threads);
+
+    const double old_fraction = 1.0 - config_.vm.heap.young_fraction;
+    Bytes min_heap = static_cast<Bytes>(
+        static_cast<double>(r.heap.peak_live_bytes) / old_fraction * 1.10);
+    min_heap = std::max<Bytes>(min_heap, 1 * units::MiB);
+    min_heap_cache_[cache_key] = min_heap;
+    inform("min heap for ", cache_key, ": ", formatBytes(min_heap),
+           " (peak live ", formatBytes(r.heap.peak_live_bytes), ")");
+    return min_heap;
+}
+
+Bytes
+ExperimentRunner::minHeapRequirement(const std::string &app_name)
+{
+    const double scale = config_.workload_scale;
+    return minHeapFor(
+        [&app_name, scale] {
+            return workload::makeDacapoApp(app_name, scale);
+        },
+        app_name);
+}
+
+jvm::RunResult
+ExperimentRunner::runApp(const std::string &app_name,
+                         std::uint32_t threads, const VmAttachHook &attach)
+{
+    const double scale = config_.workload_scale;
+    return runCustom(
+        [&app_name, scale] {
+            return workload::makeDacapoApp(app_name, scale);
+        },
+        app_name, threads, attach);
+}
+
+jvm::RunResult
+ExperimentRunner::runCustom(const AppFactory &factory,
+                            const std::string &cache_key,
+                            std::uint32_t threads,
+                            const VmAttachHook &attach)
+{
+    const Bytes heap = config_.heap_override != 0
+                           ? config_.heap_override
+                           : static_cast<Bytes>(
+                                 config_.heap_factor *
+                                 static_cast<double>(
+                                     minHeapFor(factory, cache_key)));
+    auto app = factory();
+    return runOnce(*app, threads, heap, attach);
+}
+
+std::vector<jvm::RunResult>
+ExperimentRunner::sweep(const std::string &app_name,
+                        const std::vector<std::uint32_t> &threads)
+{
+    std::vector<jvm::RunResult> results;
+    results.reserve(threads.size());
+    for (const auto t : threads)
+        results.push_back(runApp(app_name, t));
+    return results;
+}
+
+std::vector<jvm::RunResult>
+ExperimentRunner::runReplicated(const std::string &app_name,
+                                std::uint32_t threads,
+                                std::uint32_t replicas)
+{
+    jscale_assert(replicas >= 1, "need at least one replica");
+    std::vector<jvm::RunResult> results;
+    results.reserve(replicas);
+    const std::uint64_t base_seed = config_.seed;
+    for (std::uint32_t i = 0; i < replicas; ++i) {
+        // Derive a distinct campaign seed per replica; restore after.
+        config_.seed = base_seed + 0x9e3779b97f4a7c15ULL * (i + 1);
+        results.push_back(runApp(app_name, threads));
+    }
+    config_.seed = base_seed;
+    return results;
+}
+
+} // namespace jscale::core

@@ -1,0 +1,126 @@
+/**
+ * @file
+ * ExperimentRunner: reproduces the paper's methodology end to end.
+ *
+ * For each run it builds a fresh simulated machine (paper preset:
+ * 4 x AMD 6168, 48 cores), enables exactly as many cores as application
+ * threads, sizes the heap at heap_factor (default 3x) times the
+ * application's measured minimum heap requirement (found by a
+ * calibration run, cached per app), configures the throughput collector
+ * with one GC worker per enabled core, and executes the application to
+ * completion, returning the full RunResult.
+ */
+
+#ifndef JSCALE_CORE_EXPERIMENT_HH
+#define JSCALE_CORE_EXPERIMENT_HH
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "base/units.hh"
+#include "jvm/runtime/app.hh"
+#include "jvm/runtime/vm.hh"
+#include "machine/machine.hh"
+#include "os/scheduler.hh"
+
+namespace jscale::core {
+
+/** Configuration of one experiment campaign. */
+struct ExperimentConfig
+{
+    /** Master seed; per-run streams are derived from (seed, app, T). */
+    std::uint64_t seed = 42;
+    machine::MachineConfig machine = machine::Machine::amd6168_4p48c();
+    jvm::VmConfig vm;
+    os::SchedulerConfig sched;
+    /** Heap = heap_factor x minimum heap requirement (paper: 3x). */
+    double heap_factor = 3.0;
+    /** Non-zero overrides automatic heap sizing. */
+    Bytes heap_override = 0;
+    /** Thread count of the min-heap calibration run. */
+    std::uint32_t calibration_threads = 4;
+    /** Core-enabling placement (paper: compact socket fill). */
+    machine::Machine::EnablePolicy placement =
+        machine::Machine::EnablePolicy::Compact;
+    /** Work-volume multiplier passed to the DaCapo factory. */
+    double workload_scale = 1.0;
+    /** Enable the paper's future-work biased (phase-staggered)
+     *  scheduling. */
+    bool biased_scheduling = false;
+    std::uint32_t bias_groups = 4;
+    Ticks bias_quantum = 2 * units::MS;
+};
+
+/** Hook to attach observation tools to the VM before a run starts. */
+using VmAttachHook = std::function<void(jvm::JavaVm &)>;
+
+/** Factory producing a fresh ApplicationModel for each run. */
+using AppFactory =
+    std::function<std::unique_ptr<jvm::ApplicationModel>()>;
+
+/** Drives single runs and thread sweeps per the paper's methodology. */
+class ExperimentRunner
+{
+  public:
+    explicit ExperimentRunner(ExperimentConfig config = {});
+
+    const ExperimentConfig &config() const { return config_; }
+
+    /**
+     * Minimum heap requirement of @p app_name (smallest heap in which
+     * the live data fits the old generation), measured by a calibration
+     * run and cached.
+     */
+    Bytes minHeapRequirement(const std::string &app_name);
+
+    /** Run a DaCapo app with threads == enabled cores (paper setup). */
+    jvm::RunResult runApp(const std::string &app_name,
+                          std::uint32_t threads,
+                          const VmAttachHook &attach = {});
+
+    /** Run a custom application model (heap sized like runApp). */
+    jvm::RunResult runCustom(const AppFactory &factory,
+                             const std::string &cache_key,
+                             std::uint32_t threads,
+                             const VmAttachHook &attach = {});
+
+    /** Sweep an app over thread counts. */
+    std::vector<jvm::RunResult>
+    sweep(const std::string &app_name,
+          const std::vector<std::uint32_t> &threads);
+
+    /**
+     * Run @p replicas independent repetitions (distinct derived seeds)
+     * of one configuration, for confidence intervals over the
+     * simulator's stochastic components.
+     */
+    std::vector<jvm::RunResult>
+    runReplicated(const std::string &app_name, std::uint32_t threads,
+                  std::uint32_t replicas);
+
+    /** The paper's thread/core settings, clipped to this machine. */
+    std::vector<std::uint32_t> paperThreadCounts() const;
+
+  private:
+    jvm::RunResult runOnce(jvm::ApplicationModel &app,
+                           std::uint32_t threads, Bytes heap_capacity,
+                           const VmAttachHook &attach);
+
+    /** Per-run seed derived from campaign seed, app and thread count. */
+    std::uint64_t runSeed(const std::string &app, std::uint32_t threads,
+                          bool calibration) const;
+
+    Bytes minHeapFor(const AppFactory &factory,
+                     const std::string &cache_key);
+
+    ExperimentConfig config_;
+    std::map<std::string, Bytes> min_heap_cache_;
+};
+
+} // namespace jscale::core
+
+#endif // JSCALE_CORE_EXPERIMENT_HH

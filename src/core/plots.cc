@@ -1,0 +1,185 @@
+#include "core/plots.hh"
+
+#include <fstream>
+
+#include "base/logging.hh"
+#include "trace/trace.hh"
+
+namespace jscale::core {
+
+namespace {
+
+std::ofstream
+openOut(const std::string &path)
+{
+    std::ofstream os(path);
+    if (!os)
+        jscale_fatal("cannot write '", path, "'");
+    return os;
+}
+
+/** Common gnuplot prologue. */
+void
+prologue(std::ofstream &gp, const std::string &out_png,
+         const std::string &title, const std::string &xlabel,
+         const std::string &ylabel)
+{
+    gp << "set terminal pngcairo size 900,600\n"
+       << "set output '" << out_png << "'\n"
+       << "set title '" << title << "'\n"
+       << "set xlabel '" << xlabel << "'\n"
+       << "set ylabel '" << ylabel << "'\n"
+       << "set key outside right\n"
+       << "set grid\n";
+}
+
+} // namespace
+
+std::vector<std::string>
+writeLockFigure(const std::string &dir, const SweepSet &sweeps,
+                bool contentions)
+{
+    const std::string stem =
+        dir + (contentions ? "/fig1b_contentions" : "/fig1a_acquisitions");
+    const std::string dat = stem + ".dat";
+    const std::string gp = stem + ".gp";
+
+    std::ofstream d = openOut(dat);
+    d << "# threads";
+    for (const auto &[app, sweep] : sweeps)
+        d << ' ' << app;
+    d << '\n';
+    // All sweeps share the thread axis of the first app.
+    jscale_assert(!sweeps.empty(), "no sweeps to plot");
+    const std::size_t points = sweeps.begin()->second.size();
+    for (std::size_t i = 0; i < points; ++i) {
+        d << sweeps.begin()->second[i].threads;
+        for (const auto &[app, sweep] : sweeps) {
+            jscale_assert(sweep.size() == points,
+                          "inconsistent sweep lengths");
+            d << ' '
+              << (contentions ? sweep[i].locks.contentions
+                              : sweep[i].locks.acquisitions);
+        }
+        d << '\n';
+    }
+
+    std::ofstream g = openOut(gp);
+    prologue(g, stem + ".png",
+             contentions ? "Fig. 1b: lock contentions vs. threads"
+                         : "Fig. 1a: lock acquisitions vs. threads",
+             "threads (= enabled cores)",
+             contentions ? "contention instances" : "acquisitions");
+    g << "plot";
+    int col = 2;
+    for (const auto &[app, sweep] : sweeps) {
+        g << (col == 2 ? " " : ", ") << "'" << dat << "' using 1:" << col
+          << " with linespoints title '" << app << "'";
+        ++col;
+    }
+    g << '\n';
+    return {dat, gp};
+}
+
+std::vector<std::string>
+writeLifespanFigure(const std::string &dir, const std::string &app,
+                    const std::vector<jvm::RunResult> &sweep)
+{
+    const std::string stem = dir + "/lifespan_" + app;
+    const std::string dat = stem + ".dat";
+    const std::string gp = stem + ".gp";
+
+    std::ofstream d = openOut(dat);
+    d << "# threshold_bytes";
+    for (const auto &r : sweep)
+        d << " t" << r.threads;
+    d << '\n';
+    for (const auto thr : trace::paperLifespanThresholds()) {
+        d << thr;
+        for (const auto &r : sweep)
+            d << ' ' << r.heap.lifespan.fractionBelow(thr);
+        d << '\n';
+    }
+
+    std::ofstream g = openOut(gp);
+    prologue(g, stem + ".png",
+             "Object lifespan CDF: " + app +
+                 " (Fig. 1c/1d style)",
+             "lifespan threshold (bytes allocated between birth and "
+             "death)",
+             "fraction of objects below");
+    g << "set logscale x 2\n";
+    g << "plot";
+    int col = 2;
+    for (const auto &r : sweep) {
+        g << (col == 2 ? " " : ", ") << "'" << dat << "' using 1:" << col
+          << " with linespoints title '" << r.threads << " threads'";
+        ++col;
+    }
+    g << '\n';
+    return {dat, gp};
+}
+
+std::vector<std::string>
+writeMutatorGcFigure(const std::string &dir, const SweepSet &sweeps)
+{
+    const std::string stem = dir + "/fig2_mutator_gc";
+    const std::string dat = stem + ".dat";
+    const std::string gp = stem + ".gp";
+
+    std::ofstream d = openOut(dat);
+    d << "# app threads mutator_ms gc_ms\n";
+    for (const auto &[app, sweep] : sweeps) {
+        for (const auto &r : sweep) {
+            d << app << ' ' << r.threads << ' '
+              << static_cast<double>(r.mutatorTime()) / 1e6 << ' '
+              << static_cast<double>(r.gc_time) / 1e6 << '\n';
+        }
+        d << "\n\n"; // gnuplot dataset separator
+    }
+
+    std::ofstream g = openOut(gp);
+    prologue(g, stem + ".png",
+             "Fig. 2: distribution of mutator and GC times",
+             "threads (= enabled cores)", "time (ms)");
+    g << "set style data histograms\n"
+      << "set style histogram rowstacked\n"
+      << "set style fill solid 0.8 border -1\n"
+      << "set logscale y\n";
+    g << "plot";
+    int index = 0;
+    for (const auto &[app, sweep] : sweeps) {
+        g << (index == 0 ? " " : ", ") << "'" << dat << "' index "
+          << index << " using 3:xtic(2) title '" << app
+          << " mutator', '' index " << index << " using 4 title '" << app
+          << " gc'";
+        ++index;
+    }
+    g << '\n';
+    return {dat, gp};
+}
+
+std::vector<std::string>
+writeAllFigures(const std::string &dir, const SweepSet &sweeps)
+{
+    std::vector<std::string> files;
+    auto append = [&files](std::vector<std::string> more) {
+        files.insert(files.end(), more.begin(), more.end());
+    };
+    append(writeLockFigure(dir, sweeps, false));
+    append(writeLockFigure(dir, sweeps, true));
+    for (const auto &[app, sweep] : sweeps) {
+        if (app == "eclipse" || app == "xalan")
+            append(writeLifespanFigure(dir, app, sweep));
+    }
+    SweepSet scalable;
+    for (const auto &[app, sweep] : sweeps) {
+        if (app == "sunflow" || app == "lusearch" || app == "xalan")
+            scalable[app] = sweep;
+    }
+    if (!scalable.empty())
+        append(writeMutatorGcFigure(dir, scalable));
+    return files;
+}
+
+} // namespace jscale::core

@@ -1,0 +1,48 @@
+/**
+ * @file
+ * Figure emission: writes gnuplot-ready data (.dat) and plot scripts
+ * (.gp) for each paper figure, so `gnuplot fig*.gp` regenerates the
+ * graphics from any sweep. The build has no plotting dependency — the
+ * files are plain text artifacts.
+ */
+
+#ifndef JSCALE_CORE_PLOTS_HH
+#define JSCALE_CORE_PLOTS_HH
+
+#include <string>
+#include <vector>
+
+#include "core/report.hh"
+
+namespace jscale::core {
+
+/**
+ * Write Fig. 1a (acquisitions) or Fig. 1b (contentions): one column per
+ * app over the thread sweep. @return paths written.
+ */
+std::vector<std::string>
+writeLockFigure(const std::string &dir, const SweepSet &sweeps,
+                bool contentions);
+
+/**
+ * Write a Fig. 1c/1d-style lifespan CDF figure for one app: one curve
+ * per thread count over the paper thresholds.
+ */
+std::vector<std::string>
+writeLifespanFigure(const std::string &dir, const std::string &app,
+                    const std::vector<jvm::RunResult> &sweep);
+
+/**
+ * Write Fig. 2: stacked mutator/GC time per thread count, one pair of
+ * columns per app.
+ */
+std::vector<std::string>
+writeMutatorGcFigure(const std::string &dir, const SweepSet &sweeps);
+
+/** Write every paper figure for a full six-app sweep set. */
+std::vector<std::string>
+writeAllFigures(const std::string &dir, const SweepSet &sweeps);
+
+} // namespace jscale::core
+
+#endif // JSCALE_CORE_PLOTS_HH

@@ -1,0 +1,457 @@
+#include "core/report.hh"
+
+#include <algorithm>
+
+#include "base/logging.hh"
+#include "base/output.hh"
+#include "core/analyze.hh"
+#include "trace/trace.hh"
+
+namespace jscale::core {
+
+namespace {
+
+std::string
+threadsLabel(const jvm::RunResult &r)
+{
+    return std::to_string(r.threads) + "T/" + std::to_string(r.cores) +
+           "C";
+}
+
+} // namespace
+
+void
+printScalabilityTable(std::ostream &os, const SweepSet &sweeps)
+{
+    os << "E1: execution time and speedup vs. threads "
+          "(threads == enabled cores, heap = 3x min)\n";
+    TextTable t;
+    t.header({"app", "threads", "wall", "speedup", "mutator", "gc",
+              "gc-share", "class"});
+    for (const auto &[app, sweep] : sweeps) {
+        jscale_assert(!sweep.empty(), "empty sweep for ", app);
+        const bool scalable = ScalabilityAnalyzer::isScalable(sweep);
+        for (const auto &r : sweep) {
+            t.row({app, std::to_string(r.threads),
+                   formatTicks(r.wall_time),
+                   formatFixed(
+                       ScalabilityAnalyzer::speedup(sweep.front(), r), 2),
+                   formatTicks(r.mutatorTime()), formatTicks(r.gc_time),
+                   formatPercent(ScalabilityAnalyzer::gcShare(r)),
+                   scalable ? "scalable" : "non-scalable"});
+        }
+    }
+    t.print(os);
+}
+
+void
+writeScalabilityCsv(std::ostream &os, const SweepSet &sweeps)
+{
+    CsvWriter csv(os);
+    csv.row({"app", "threads", "wall_ns", "speedup", "mutator_ns",
+             "gc_ns", "gc_share", "scalable"});
+    for (const auto &[app, sweep] : sweeps) {
+        const bool scalable = ScalabilityAnalyzer::isScalable(sweep);
+        for (const auto &r : sweep) {
+            csv.row({app, std::to_string(r.threads),
+                     std::to_string(r.wall_time),
+                     formatFixed(ScalabilityAnalyzer::speedup(
+                                     sweep.front(), r),
+                                 4),
+                     std::to_string(r.mutatorTime()),
+                     std::to_string(r.gc_time),
+                     formatFixed(ScalabilityAnalyzer::gcShare(r), 4),
+                     scalable ? "1" : "0"});
+        }
+    }
+}
+
+void
+printWorkloadDistributionTable(std::ostream &os, const SweepSet &sweeps)
+{
+    os << "E2: workload distribution across threads "
+          "(effective workers cover 90% of tasks)\n";
+    TextTable t;
+    t.header({"app", "threads", "tasks", "eff-workers", "top-share",
+              "task-cv"});
+    for (const auto &[app, sweep] : sweeps) {
+        for (const auto &r : sweep) {
+            t.row({app, std::to_string(r.threads),
+                   std::to_string(r.total_tasks),
+                   std::to_string(
+                       ScalabilityAnalyzer::effectiveWorkers(r)),
+                   formatPercent(ScalabilityAnalyzer::topThreadShare(r)),
+                   formatFixed(
+                       ScalabilityAnalyzer::taskDistributionCv(r), 2)});
+        }
+    }
+    t.print(os);
+}
+
+void
+writeWorkloadDistributionCsv(std::ostream &os, const SweepSet &sweeps)
+{
+    CsvWriter csv(os);
+    csv.row({"app", "threads", "tasks", "effective_workers", "top_share",
+             "task_cv"});
+    for (const auto &[app, sweep] : sweeps) {
+        for (const auto &r : sweep) {
+            csv.row({app, std::to_string(r.threads),
+                     std::to_string(r.total_tasks),
+                     std::to_string(
+                         ScalabilityAnalyzer::effectiveWorkers(r)),
+                     formatFixed(
+                         ScalabilityAnalyzer::topThreadShare(r), 4),
+                     formatFixed(
+                         ScalabilityAnalyzer::taskDistributionCv(r),
+                         4)});
+        }
+    }
+}
+
+namespace {
+
+void
+printLockSeries(std::ostream &os, const SweepSet &sweeps,
+                bool contentions, const char *title)
+{
+    os << title << '\n';
+    TextTable t;
+    t.header({"app", "threads", contentions ? "contentions"
+                                            : "acquisitions",
+              "vs-min-threads"});
+    for (const auto &[app, sweep] : sweeps) {
+        jscale_assert(!sweep.empty(), "empty sweep for ", app);
+        const double base = std::max<double>(
+            1.0, static_cast<double>(
+                     contentions ? sweep.front().locks.contentions
+                                 : sweep.front().locks.acquisitions));
+        for (const auto &r : sweep) {
+            const std::uint64_t v = contentions ? r.locks.contentions
+                                                : r.locks.acquisitions;
+            t.row({app, std::to_string(r.threads), std::to_string(v),
+                   formatFixed(static_cast<double>(v) / base, 2) + "x"});
+        }
+    }
+    t.print(os);
+}
+
+void
+writeLockSeriesCsv(std::ostream &os, const SweepSet &sweeps,
+                   bool contentions)
+{
+    CsvWriter csv(os);
+    csv.row({"app", "threads",
+             contentions ? "contentions" : "acquisitions"});
+    for (const auto &[app, sweep] : sweeps) {
+        for (const auto &r : sweep) {
+            csv.row({app, std::to_string(r.threads),
+                     std::to_string(contentions ? r.locks.contentions
+                                                : r.locks.acquisitions)});
+        }
+    }
+}
+
+} // namespace
+
+void
+printLockAcquisitionTable(std::ostream &os, const SweepSet &sweeps)
+{
+    printLockSeries(os, sweeps, false,
+                    "E3 (Fig. 1a): lock acquisitions vs. threads");
+}
+
+void
+writeLockAcquisitionCsv(std::ostream &os, const SweepSet &sweeps)
+{
+    writeLockSeriesCsv(os, sweeps, false);
+}
+
+void
+printLockContentionTable(std::ostream &os, const SweepSet &sweeps)
+{
+    printLockSeries(os, sweeps, true,
+                    "E4 (Fig. 1b): lock contention instances vs. threads");
+}
+
+void
+writeLockContentionCsv(std::ostream &os, const SweepSet &sweeps)
+{
+    writeLockSeriesCsv(os, sweeps, true);
+}
+
+void
+printLifespanCdfTable(std::ostream &os, const std::string &app,
+                      const std::vector<jvm::RunResult> &sweep)
+{
+    os << "Object-lifespan CDF for " << app
+       << " (fraction of objects with lifespan < threshold; lifespan = "
+          "bytes allocated between birth and death)\n";
+    TextTable t;
+    std::vector<std::string> header = {"lifespan <"};
+    for (const auto &r : sweep)
+        header.push_back(threadsLabel(r));
+    t.header(header);
+    for (const auto threshold : trace::paperLifespanThresholds()) {
+        std::vector<std::string> row = {formatBytes(threshold)};
+        for (const auto &r : sweep) {
+            row.push_back(
+                formatPercent(r.heap.lifespan.fractionBelow(threshold)));
+        }
+        t.row(row);
+    }
+    t.print(os);
+}
+
+void
+writeLifespanCdfCsv(std::ostream &os, const std::string &app,
+                    const std::vector<jvm::RunResult> &sweep)
+{
+    CsvWriter csv(os);
+    csv.row({"app", "threads", "threshold_bytes", "fraction_below"});
+    for (const auto &r : sweep) {
+        for (const auto threshold : trace::paperLifespanThresholds()) {
+            csv.row({app, std::to_string(r.threads),
+                     std::to_string(threshold),
+                     formatFixed(
+                         r.heap.lifespan.fractionBelow(threshold), 4)});
+        }
+    }
+}
+
+void
+printMutatorGcTable(std::ostream &os, const SweepSet &sweeps)
+{
+    os << "E7 (Fig. 2): distribution of mutator and GC times\n";
+    TextTable t;
+    t.header({"app", "threads", "wall", "mutator", "gc", "gc-share",
+              "mutator-speedup", "minor-gcs", "full-gcs"});
+    for (const auto &[app, sweep] : sweeps) {
+        for (const auto &r : sweep) {
+            t.row({app, std::to_string(r.threads),
+                   formatTicks(r.wall_time), formatTicks(r.mutatorTime()),
+                   formatTicks(r.gc_time),
+                   formatPercent(ScalabilityAnalyzer::gcShare(r)),
+                   formatFixed(ScalabilityAnalyzer::mutatorSpeedup(
+                                   sweep.front(), r),
+                               2),
+                   std::to_string(r.gc.minor_count),
+                   std::to_string(r.gc.full_count)});
+        }
+    }
+    t.print(os);
+}
+
+void
+writeMutatorGcCsv(std::ostream &os, const SweepSet &sweeps)
+{
+    CsvWriter csv(os);
+    csv.row({"app", "threads", "wall_ns", "mutator_ns", "gc_ns",
+             "gc_share", "minor_gcs", "full_gcs"});
+    for (const auto &[app, sweep] : sweeps) {
+        for (const auto &r : sweep) {
+            csv.row({app, std::to_string(r.threads),
+                     std::to_string(r.wall_time),
+                     std::to_string(r.mutatorTime()),
+                     std::to_string(r.gc_time),
+                     formatFixed(ScalabilityAnalyzer::gcShare(r), 4),
+                     std::to_string(r.gc.minor_count),
+                     std::to_string(r.gc.full_count)});
+        }
+    }
+}
+
+void
+printGcSurvivalTable(std::ostream &os, const SweepSet &sweeps)
+{
+    os << "E8: GC effectiveness vs. threads (nursery survival drives "
+          "copy cost and promotions)\n";
+    TextTable t;
+    t.header({"app", "threads", "survival", "copied", "promoted",
+              "minor-gcs", "full-gcs", "mean-pause", "ttsp"});
+    for (const auto &[app, sweep] : sweeps) {
+        for (const auto &r : sweep) {
+            t.row({app, std::to_string(r.threads),
+                   formatPercent(r.gc.nursery_survival.mean()),
+                   formatBytes(r.gc.copied_bytes),
+                   formatBytes(r.gc.promoted_bytes),
+                   std::to_string(r.gc.minor_count),
+                   std::to_string(r.gc.full_count),
+                   formatTicks(static_cast<Ticks>(
+                       r.gc.minor_pauses.mean())),
+                   formatTicks(r.gc.total_ttsp)});
+        }
+    }
+    t.print(os);
+    os << "(p50/p99 pauses per app at the largest setting: ";
+    bool first = true;
+    for (const auto &[app, sweep] : sweeps) {
+        const auto &hist = sweep.back().gc.pause_hist;
+        if (hist.totalWeight() == 0)
+            continue;
+        os << (first ? "" : "; ") << app << " "
+           << formatTicks(hist.percentile(0.5)) << "/"
+           << formatTicks(hist.percentile(0.99));
+        first = false;
+    }
+    os << ")\n";
+}
+
+void
+writeGcSurvivalCsv(std::ostream &os, const SweepSet &sweeps)
+{
+    CsvWriter csv(os);
+    csv.row({"app", "threads", "survival", "copied_bytes",
+             "promoted_bytes", "minor_gcs", "full_gcs", "mean_pause_ns",
+             "ttsp_ns"});
+    for (const auto &[app, sweep] : sweeps) {
+        for (const auto &r : sweep) {
+            csv.row({app, std::to_string(r.threads),
+                     formatFixed(r.gc.nursery_survival.mean(), 4),
+                     std::to_string(r.gc.copied_bytes),
+                     std::to_string(r.gc.promoted_bytes),
+                     std::to_string(r.gc.minor_count),
+                     std::to_string(r.gc.full_count),
+                     formatFixed(r.gc.minor_pauses.mean(), 0),
+                     std::to_string(r.gc.total_ttsp)});
+        }
+    }
+}
+
+namespace {
+
+/** Mean per-mutator suspend components of one run. */
+struct SuspendMeans
+{
+    double ready = 0.0;
+    double blocked = 0.0;
+    double cpu = 0.0;
+};
+
+SuspendMeans
+suspendMeans(const jvm::RunResult &r)
+{
+    SuspendMeans m;
+    std::size_t n = 0;
+    for (const auto &ts : r.thread_summaries) {
+        if (ts.kind != os::ThreadKind::Mutator)
+            continue;
+        m.ready += static_cast<double>(ts.ready_time);
+        m.blocked += static_cast<double>(ts.blocked_time);
+        m.cpu += static_cast<double>(ts.cpu_time);
+        ++n;
+    }
+    if (n > 0) {
+        m.ready /= static_cast<double>(n);
+        m.blocked /= static_cast<double>(n);
+        m.cpu /= static_cast<double>(n);
+    }
+    return m;
+}
+
+} // namespace
+
+void
+printSuspendWaitTable(std::ostream &os, const SweepSet &sweeps)
+{
+    os << "E14: per-mutator suspend wait vs. threads (the Sec. III-B "
+          "interference mechanism)\n";
+    TextTable t;
+    t.header({"app", "threads", "mean-ready-wait", "mean-lock-block",
+              "suspend/cpu", "lifespan<1KiB"});
+    for (const auto &[app, sweep] : sweeps) {
+        for (const auto &r : sweep) {
+            const SuspendMeans m = suspendMeans(r);
+            const double suspend = m.ready + m.blocked;
+            t.row({app, std::to_string(r.threads),
+                   formatTicks(static_cast<Ticks>(m.ready)),
+                   formatTicks(static_cast<Ticks>(m.blocked)),
+                   formatFixed(m.cpu > 0 ? suspend / m.cpu : 0.0, 3),
+                   formatPercent(
+                       r.heap.lifespan.fractionBelow(1024))});
+        }
+    }
+    t.print(os);
+}
+
+void
+writeSuspendWaitCsv(std::ostream &os, const SweepSet &sweeps)
+{
+    CsvWriter csv(os);
+    csv.row({"app", "threads", "mean_ready_ns", "mean_blocked_ns",
+             "suspend_over_cpu", "lifespan_lt_1k"});
+    for (const auto &[app, sweep] : sweeps) {
+        for (const auto &r : sweep) {
+            const SuspendMeans m = suspendMeans(r);
+            csv.row({app, std::to_string(r.threads),
+                     formatFixed(m.ready, 0), formatFixed(m.blocked, 0),
+                     formatFixed(m.cpu > 0 ? (m.ready + m.blocked) / m.cpu
+                                           : 0.0,
+                                 4),
+                     formatFixed(r.heap.lifespan.fractionBelow(1024),
+                                 4)});
+        }
+    }
+}
+
+void
+printThreadTable(std::ostream &os, const jvm::RunResult &r)
+{
+    TextTable t;
+    t.header({"thread", "kind", "tasks", "cpu", "ready-wait",
+              "lock-block", "sleep", "allocs", "alloc-bytes",
+              "dispatches"});
+    for (const auto &ts : r.thread_summaries) {
+        const char *kind = ts.kind == os::ThreadKind::Mutator
+                               ? "mutator"
+                               : ts.kind == os::ThreadKind::Helper
+                                     ? "helper"
+                                     : "daemon";
+        t.row({ts.name, kind, std::to_string(ts.tasks_completed),
+               formatTicks(ts.cpu_time), formatTicks(ts.ready_time),
+               formatTicks(ts.blocked_time), formatTicks(ts.sleep_time),
+               std::to_string(ts.allocations),
+               formatBytes(ts.bytes_allocated),
+               std::to_string(ts.dispatches)});
+    }
+    t.print(os);
+}
+
+void
+printRunSummary(std::ostream &os, const jvm::RunResult &r)
+{
+    os << "== " << r.app_name << " @ " << r.threads << " threads / "
+       << r.cores << " cores, heap " << formatBytes(r.heap_capacity)
+       << " ==\n";
+    TextTable t;
+    t.header({"metric", "value"});
+    t.align(1, TextTable::Align::Right);
+    t.row({"wall time", formatTicks(r.wall_time)});
+    t.row({"mutator time", formatTicks(r.mutatorTime())});
+    t.row({"gc time", formatTicks(r.gc_time)});
+    t.row({"gc share", formatPercent(ScalabilityAnalyzer::gcShare(r))});
+    t.row({"minor / full GCs", std::to_string(r.gc.minor_count) + " / " +
+                                   std::to_string(r.gc.full_count)});
+    t.row({"objects allocated", std::to_string(r.heap.objects_allocated)});
+    t.row({"bytes allocated", formatBytes(r.heap.bytes_allocated)});
+    t.row({"peak live", formatBytes(r.heap.peak_live_bytes)});
+    t.row({"nursery survival",
+           formatPercent(r.gc.nursery_survival.mean())});
+    t.row({"lock acquisitions", std::to_string(r.locks.acquisitions)});
+    t.row({"lock contentions", std::to_string(r.locks.contentions)});
+    t.row({"tasks completed", std::to_string(r.total_tasks)});
+    t.row({"effective workers",
+           std::to_string(ScalabilityAnalyzer::effectiveWorkers(r))});
+    t.row({"lifespan < 1 KiB",
+           formatPercent(r.heap.lifespan.fractionBelow(1024))});
+    t.row({"lock block time", formatTicks(r.locks.block_time)});
+    t.row({"ttsp total", formatTicks(r.gc.total_ttsp)});
+    t.row({"ctx switches", std::to_string(r.sched.context_switches)});
+    t.row({"migrations", std::to_string(r.sched.migrations)});
+    t.row({"preemptions", std::to_string(r.sched.preemptions)});
+    t.row({"sched overhead", formatTicks(r.sched.overhead_ticks)});
+    t.row({"sim events", std::to_string(r.sim_events)});
+    t.print(os);
+}
+
+} // namespace jscale::core

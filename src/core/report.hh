@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Report writers: render the paper's tables and figures from RunResults,
+ * as aligned text (console) and CSV (machine-readable). One function per
+ * experiment artifact; the bench binaries are thin wrappers around
+ * these.
+ */
+
+#ifndef JSCALE_CORE_REPORT_HH
+#define JSCALE_CORE_REPORT_HH
+
+#include <map>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "jvm/runtime/vm.hh"
+
+namespace jscale::core {
+
+/** A sweep per app: app name -> results ordered by ascending threads. */
+using SweepSet = std::map<std::string, std::vector<jvm::RunResult>>;
+
+/**
+ * E1 — execution time, speedup and classification per app and thread
+ * count (the Sec. II-C scalable/non-scalable characterization).
+ */
+void printScalabilityTable(std::ostream &os, const SweepSet &sweeps);
+void writeScalabilityCsv(std::ostream &os, const SweepSet &sweeps);
+
+/**
+ * E2 — workload distribution: effective worker count, top-thread share
+ * and task-count CV per app at selected thread counts.
+ */
+void printWorkloadDistributionTable(std::ostream &os,
+                                    const SweepSet &sweeps);
+void writeWorkloadDistributionCsv(std::ostream &os, const SweepSet &sweeps);
+
+/** E3 — Fig. 1a: lock acquisitions vs. threads per app. */
+void printLockAcquisitionTable(std::ostream &os, const SweepSet &sweeps);
+void writeLockAcquisitionCsv(std::ostream &os, const SweepSet &sweeps);
+
+/** E4 — Fig. 1b: lock contention instances vs. threads per app. */
+void printLockContentionTable(std::ostream &os, const SweepSet &sweeps);
+void writeLockContentionCsv(std::ostream &os, const SweepSet &sweeps);
+
+/**
+ * E5/E6 — Fig. 1c/1d: object-lifespan CDF of one app across thread
+ * counts: rows are lifespan thresholds, columns thread counts.
+ */
+void printLifespanCdfTable(std::ostream &os, const std::string &app,
+                           const std::vector<jvm::RunResult> &sweep);
+void writeLifespanCdfCsv(std::ostream &os, const std::string &app,
+                         const std::vector<jvm::RunResult> &sweep);
+
+/**
+ * E7 — Fig. 2: mutator time vs. GC time per app and thread count (the
+ * stacked distribution of the paper).
+ */
+void printMutatorGcTable(std::ostream &os, const SweepSet &sweeps);
+void writeMutatorGcCsv(std::ostream &os, const SweepSet &sweeps);
+
+/**
+ * E8 — GC effectiveness detail: nursery survival rate, promoted bytes,
+ * minor/full GC counts and mean pauses vs. threads.
+ */
+void printGcSurvivalTable(std::ostream &os, const SweepSet &sweeps);
+void writeGcSurvivalCsv(std::ostream &os, const SweepSet &sweeps);
+
+/**
+ * E14 — the Sec. III-B mechanism: per-mutator suspend wait (time
+ * runnable-but-not-running plus time blocked on locks) vs. thread
+ * count, next to the lifespan CDF it inflates.
+ */
+void printSuspendWaitTable(std::ostream &os, const SweepSet &sweeps);
+void writeSuspendWaitCsv(std::ostream &os, const SweepSet &sweeps);
+
+/** Free-form one-run summary (quickstart/example output). */
+void printRunSummary(std::ostream &os, const jvm::RunResult &r);
+
+/** Per-thread breakdown of one run (tasks, CPU, waits, allocation). */
+void printThreadTable(std::ostream &os, const jvm::RunResult &r);
+
+} // namespace jscale::core
+
+#endif // JSCALE_CORE_REPORT_HH

@@ -1,0 +1,58 @@
+#include "jvm/gc/adaptive.hh"
+
+#include <algorithm>
+
+#include "base/logging.hh"
+
+namespace jscale::jvm {
+
+AdaptiveSizePolicy::AdaptiveSizePolicy(const AdaptiveSizeConfig &config,
+                                       double initial_young_fraction)
+    : config_(config), young_fraction_(initial_young_fraction)
+{
+    jscale_assert(config.min_young_fraction > 0.0 &&
+                      config.max_young_fraction < 1.0 &&
+                      config.min_young_fraction <=
+                          config.max_young_fraction,
+                  "bad young-fraction bounds");
+    jscale_assert(config.step > 1.0, "resize step must exceed 1");
+    stats_.final_young_fraction = young_fraction_;
+}
+
+double
+AdaptiveSizePolicy::decide(Ticks mutator_interval, Ticks pause,
+                           Bytes old_live, Bytes heap_capacity)
+{
+    const double total =
+        static_cast<double>(mutator_interval) + static_cast<double>(pause);
+    if (total <= 0.0)
+        return young_fraction_;
+    const double share = static_cast<double>(pause) / total;
+
+    double proposed = young_fraction_;
+    if (share > config_.gc_time_ratio_target) {
+        proposed = std::min(young_fraction_ * config_.step,
+                            config_.max_young_fraction);
+    } else if (share < 0.5 * config_.gc_time_ratio_target) {
+        proposed = std::max(young_fraction_ / config_.step,
+                            config_.min_young_fraction);
+    }
+
+    // The old generation must keep headroom over its live data.
+    const double max_young_for_old =
+        1.0 - config_.old_headroom * static_cast<double>(old_live) /
+                  static_cast<double>(heap_capacity);
+    proposed = std::min(proposed, max_young_for_old);
+    proposed = std::clamp(proposed, config_.min_young_fraction,
+                          config_.max_young_fraction);
+
+    if (proposed > young_fraction_)
+        ++stats_.grows;
+    else if (proposed < young_fraction_)
+        ++stats_.shrinks;
+    young_fraction_ = proposed;
+    stats_.final_young_fraction = proposed;
+    return proposed;
+}
+
+} // namespace jscale::jvm

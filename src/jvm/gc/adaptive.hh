@@ -1,0 +1,77 @@
+/**
+ * @file
+ * AdaptiveSizePolicy: HotSpot-style ergonomic resizing of the young
+ * generation for the throughput collector (-XX:+UseAdaptiveSizePolicy).
+ *
+ * After each stop-the-world minor collection the policy compares the
+ * observed GC overhead (pause time relative to the preceding mutator
+ * interval) against a target ratio: when GC overhead is too high it
+ * grows the young generation (fewer, larger collections), and when
+ * overhead is comfortably low it shrinks the young generation to return
+ * headroom to the old generation — bounded so the old generation always
+ * keeps room for the live data.
+ */
+
+#ifndef JSCALE_JVM_GC_ADAPTIVE_HH
+#define JSCALE_JVM_GC_ADAPTIVE_HH
+
+#include <cstdint>
+
+#include "base/units.hh"
+
+namespace jscale::jvm {
+
+/** Tunables for adaptive young-generation sizing. */
+struct AdaptiveSizeConfig
+{
+    bool enabled = false;
+    /** Target GC share of execution time (HotSpot GCTimeRatio-like). */
+    double gc_time_ratio_target = 0.05;
+    /** Bounds on the young generation's share of the heap. */
+    double min_young_fraction = 0.15;
+    double max_young_fraction = 0.60;
+    /** Multiplicative resize step per decision. */
+    double step = 1.15;
+    /** Old gen must retain this headroom factor over live data. */
+    double old_headroom = 1.5;
+};
+
+/** Statistics of adaptive-sizing decisions over one run. */
+struct AdaptiveSizeStats
+{
+    std::uint64_t grows = 0;
+    std::uint64_t shrinks = 0;
+    double final_young_fraction = 0.0;
+};
+
+/** The decision engine; the VM applies its output to the heap. */
+class AdaptiveSizePolicy
+{
+  public:
+    AdaptiveSizePolicy(const AdaptiveSizeConfig &config,
+                       double initial_young_fraction);
+
+    /**
+     * Decide a new young fraction after a minor collection.
+     *
+     * @param mutator_interval mutator time since the previous collection
+     * @param pause this collection's pause
+     * @param old_live live bytes in the old generation
+     * @param heap_capacity total heap size
+     * @return the (possibly unchanged) young fraction to apply
+     */
+    double decide(Ticks mutator_interval, Ticks pause, Bytes old_live,
+                  Bytes heap_capacity);
+
+    double youngFraction() const { return young_fraction_; }
+    const AdaptiveSizeStats &adaptiveStats() const { return stats_; }
+
+  private:
+    AdaptiveSizeConfig config_;
+    double young_fraction_;
+    AdaptiveSizeStats stats_;
+};
+
+} // namespace jscale::jvm
+
+#endif // JSCALE_JVM_GC_ADAPTIVE_HH

@@ -1,0 +1,111 @@
+/**
+ * @file
+ * ConcurrentMarker: the marking thread of the concurrent old-generation
+ * collector (CMS-style alternative to the paper's throughput collector).
+ *
+ * When the VM starts a cycle, the marker burns CPU proportional to the
+ * live old-generation data — competing with mutators for cores exactly
+ * like the paper's helper threads — and reports completion, after which
+ * the VM runs a short stop-the-world remark+sweep. If the old
+ * generation fills before the cycle finishes, the VM falls back to a
+ * stop-the-world full collection (concurrent mode failure).
+ */
+
+#ifndef JSCALE_JVM_GC_CONCURRENT_HH
+#define JSCALE_JVM_GC_CONCURRENT_HH
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+#include "base/units.hh"
+#include "os/scheduler.hh"
+#include "os/thread.hh"
+
+namespace jscale::jvm {
+
+/** The background marking thread. One per VM in concurrent mode. */
+class ConcurrentMarker : public os::SchedClient
+{
+  public:
+    /**
+     * @param sched owning scheduler
+     * @param chunk CPU burst granularity while marking
+     * @param on_cycle_done invoked (from the marker's burst context)
+     *        when the current cycle's budget is exhausted
+     */
+    ConcurrentMarker(os::Scheduler &sched, Ticks chunk,
+                     std::function<void()> on_cycle_done)
+        : sched_(sched), chunk_(chunk),
+          on_cycle_done_(std::move(on_cycle_done))
+    {}
+
+    /** @name SchedClient */
+    /** @{ */
+    Ticks
+    planBurst(Ticks, Ticks limit) override
+    {
+        if (remaining_ == 0)
+            return std::min<Ticks>(1 * units::US, limit); // idle tick
+        return std::min({remaining_, chunk_, limit});
+    }
+
+    os::BurstOutcome
+    finishBurst(Ticks, Ticks elapsed) override
+    {
+        if (remaining_ == 0)
+            return os::BurstOutcome::Blocked; // parked until a cycle
+        remaining_ = elapsed >= remaining_ ? 0 : remaining_ - elapsed;
+        if (remaining_ > 0)
+            return os::BurstOutcome::Ready;
+        // Cycle finished — unless it was aborted meanwhile.
+        const std::uint64_t done_cycle = cycle_id_;
+        if (!aborted_ && on_cycle_done_)
+            on_cycle_done_();
+        (void)done_cycle;
+        return os::BurstOutcome::Blocked;
+    }
+
+    std::string clientName() const override { return "concurrent-mark"; }
+    /** @} */
+
+    /** Bind the scheduler-side record (done once by the VM). */
+    void bindOsThread(os::OsThread *t) { os_thread_ = t; }
+
+    os::OsThread *osThread() const { return os_thread_; }
+
+    /** Begin a marking cycle of @p budget CPU ticks; wakes the thread. */
+    void
+    beginCycle(Ticks budget)
+    {
+        remaining_ = std::max<Ticks>(budget, 1);
+        aborted_ = false;
+        ++cycle_id_;
+        if (os_thread_->state() == os::ThreadState::Blocked)
+            sched_.wake(os_thread_);
+    }
+
+    /** Abort the in-flight cycle (concurrent mode failure). */
+    void
+    abortCycle()
+    {
+        aborted_ = true;
+        remaining_ = 0;
+    }
+
+    /** Whether a cycle is currently marking. */
+    bool marking() const { return remaining_ > 0 && !aborted_; }
+
+  private:
+    os::Scheduler &sched_;
+    Ticks chunk_;
+    std::function<void()> on_cycle_done_;
+    os::OsThread *os_thread_ = nullptr;
+    Ticks remaining_ = 0;
+    bool aborted_ = false;
+    std::uint64_t cycle_id_ = 0;
+};
+
+} // namespace jscale::jvm
+
+#endif // JSCALE_JVM_GC_CONCURRENT_HH

@@ -1,0 +1,77 @@
+#include "jvm/gc/cost_model.hh"
+
+#include <cmath>
+
+#include "base/logging.hh"
+
+namespace jscale::jvm {
+
+GcCostModel::GcCostModel(const GcCostParams &params,
+                         const machine::Machine &mach,
+                         std::uint32_t gc_threads,
+                         std::uint32_t mutator_threads)
+    : params_(params), mach_(mach), gc_threads_(gc_threads),
+      mutator_threads_(mutator_threads)
+{
+    jscale_assert(gc_threads_ >= 1, "need at least one GC worker");
+}
+
+double
+GcCostModel::bandwidth(double per_thread) const
+{
+    const double n = static_cast<double>(gc_threads_);
+    return per_thread * n / (1.0 + params_.parallel_alpha * (n - 1.0));
+}
+
+double
+GcCostModel::numaFactor() const
+{
+    const double sockets = static_cast<double>(mach_.enabledSockets());
+    if (sockets <= 1.0)
+        return 1.0;
+    const double remote_fraction = 1.0 - 1.0 / sockets;
+    return 1.0 +
+           remote_fraction * (mach_.config().numa_remote_factor - 1.0);
+}
+
+Ticks
+GcCostModel::minorPause(const MinorWork &w) const
+{
+    double cost = static_cast<double>(params_.minor_base);
+    cost += static_cast<double>(params_.root_scan_per_thread) *
+            static_cast<double>(mutator_threads_);
+    cost += params_.scan_cost_per_object *
+            static_cast<double>(w.scanned_objects);
+    const double moved = static_cast<double>(w.copied_bytes) +
+                         static_cast<double>(w.promoted_bytes);
+    cost += moved * numaFactor() / bandwidth(params_.copy_bw_per_thread);
+    return static_cast<Ticks>(std::llround(cost));
+}
+
+Ticks
+GcCostModel::fullPause(const FullWork &w) const
+{
+    double cost = static_cast<double>(params_.full_base);
+    cost += static_cast<double>(params_.root_scan_per_thread) *
+            static_cast<double>(mutator_threads_);
+    cost += params_.scan_cost_per_object *
+            static_cast<double>(w.scanned_objects);
+    const double live = static_cast<double>(w.live_bytes);
+    cost += live / bandwidth(params_.mark_bw_per_thread);
+    cost += live * numaFactor() / bandwidth(params_.compact_bw_per_thread);
+    return static_cast<Ticks>(std::llround(cost));
+}
+
+Ticks
+GcCostModel::localPause(const MinorWork &w) const
+{
+    double cost = static_cast<double>(params_.local_base);
+    cost += params_.scan_cost_per_object *
+            static_cast<double>(w.scanned_objects);
+    cost += (static_cast<double>(w.copied_bytes) +
+             static_cast<double>(w.promoted_bytes)) /
+            params_.copy_bw_per_thread;
+    return static_cast<Ticks>(std::llround(cost));
+}
+
+} // namespace jscale::jvm

@@ -1,0 +1,68 @@
+/**
+ * @file
+ * GcCostModel: converts the object/byte work of a collection into a
+ * simulated pause duration.
+ *
+ * The model follows the structure of HotSpot's throughput collector:
+ * a serial setup part, per-mutator root-scanning/TLAB-retirement work,
+ * per-record scanning, and copy/mark/compact phases whose bandwidth
+ * scales with the GC worker count through an Amdahl-style parallel
+ * efficiency curve. Copy traffic additionally pays the machine's NUMA
+ * factor in proportion to the fraction of remote-socket traffic.
+ */
+
+#ifndef JSCALE_JVM_GC_COST_MODEL_HH
+#define JSCALE_JVM_GC_COST_MODEL_HH
+
+#include <cstdint>
+
+#include "base/units.hh"
+#include "jvm/gc/gc_types.hh"
+#include "jvm/runtime/vm_config.hh"
+#include "machine/machine.hh"
+
+namespace jscale::jvm {
+
+/** Pause-duration model of the stop-the-world parallel collector. */
+class GcCostModel
+{
+  public:
+    /**
+     * @param params cost constants
+     * @param mach machine (NUMA factor, enabled sockets)
+     * @param gc_threads number of GC worker threads
+     * @param mutator_threads registered mutators (root-scan work)
+     */
+    GcCostModel(const GcCostParams &params, const machine::Machine &mach,
+                std::uint32_t gc_threads, std::uint32_t mutator_threads);
+
+    /** Pause of a minor (scavenge) collection doing @p work. */
+    Ticks minorPause(const MinorWork &work) const;
+
+    /** Pause of a full (mark-compact) collection doing @p work. */
+    Ticks fullPause(const FullWork &work) const;
+
+    /**
+     * Single-thread pause of a thread-local compartment collection
+     * (no safepoint, no parallel workers, node-local traffic).
+     */
+    Ticks localPause(const MinorWork &work) const;
+
+    /** Effective parallel bandwidth for @p per_thread bytes/ns/worker. */
+    double bandwidth(double per_thread) const;
+
+    /** NUMA multiplier applied to cross-socket copy traffic. */
+    double numaFactor() const;
+
+    std::uint32_t gcThreads() const { return gc_threads_; }
+
+  private:
+    GcCostParams params_;
+    const machine::Machine &mach_;
+    std::uint32_t gc_threads_;
+    std::uint32_t mutator_threads_;
+};
+
+} // namespace jscale::jvm
+
+#endif // JSCALE_JVM_GC_COST_MODEL_HH

@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Shared GC type definitions: collection kinds and per-collection work
+ * summaries, used by the heap (which does the object bookkeeping), the
+ * GC coordinator (which turns work into simulated pause time) and the
+ * runtime listener interface.
+ */
+
+#ifndef JSCALE_JVM_GC_GC_TYPES_HH
+#define JSCALE_JVM_GC_GC_TYPES_HH
+
+#include <cstdint>
+
+#include "base/units.hh"
+
+namespace jscale::jvm {
+
+/** Collection kinds (throughput collector + concurrent-old remark). */
+enum class GcKind : std::uint8_t { Minor, Full, Remark };
+
+/** Render a GcKind name. */
+const char *gcKindName(GcKind k);
+
+/** Object/byte work performed by one minor (nursery) collection. */
+struct MinorWork
+{
+    std::uint64_t scanned_objects = 0;
+    Bytes scanned_bytes = 0;
+    /** Bytes of dead nursery objects reclaimed for free. */
+    Bytes reclaimed_bytes = 0;
+    /** Live bytes copied into the survivor space. */
+    Bytes copied_bytes = 0;
+    /** Live bytes promoted into the old generation. */
+    Bytes promoted_bytes = 0;
+    /** Survivor space overflowed (forced promotion happened). */
+    bool survivor_overflow = false;
+    /** Old-gen pressure demands a full collection right after. */
+    bool needs_full = false;
+};
+
+/** Object/byte work performed by one full (whole-heap) collection. */
+struct FullWork
+{
+    std::uint64_t scanned_objects = 0;
+    Bytes reclaimed_bytes = 0;
+    /** Live bytes marked and compacted. */
+    Bytes live_bytes = 0;
+};
+
+/** Completed-collection summary delivered to listeners and stats. */
+struct GcEvent
+{
+    GcKind kind = GcKind::Minor;
+    std::uint64_t sequence = 0;
+    /** Time the triggering allocation failed (request time). */
+    Ticks requested_at = 0;
+    /** Time all threads were parked (safepoint reached). */
+    Ticks safepoint_at = 0;
+    /** Time the collection finished and the world resumed. */
+    Ticks finished_at = 0;
+    /** Bytes copied or compacted. */
+    Bytes moved_bytes = 0;
+    /** Bytes promoted (minor only). */
+    Bytes promoted_bytes = 0;
+    /** Bytes reclaimed. */
+    Bytes reclaimed_bytes = 0;
+
+    /** Total stop-the-world pause including time-to-safepoint. */
+    Ticks pause() const { return finished_at - requested_at; }
+
+    /** Time-to-safepoint component of the pause. */
+    Ticks timeToSafepoint() const { return safepoint_at - requested_at; }
+};
+
+} // namespace jscale::jvm
+
+#endif // JSCALE_JVM_GC_GC_TYPES_HH

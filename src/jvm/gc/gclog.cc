@@ -1,0 +1,137 @@
+#include "jvm/gc/gclog.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <istream>
+#include <ostream>
+
+#include "jvm/heap/heap.hh"
+#include "jvm/runtime/vm.hh"
+
+namespace jscale::jvm {
+
+namespace {
+
+/** Heap occupancy = everything currently residing in the regions. */
+Bytes
+occupancy(const Heap &heap)
+{
+    return heap.edenUsed() + heap.survivorUsed() + heap.oldUsed();
+}
+
+} // namespace
+
+GcLogWriter::GcLogWriter(std::ostream &os, const Heap &heap)
+    : os_(os), heap_(&heap)
+{
+}
+
+GcLogWriter::GcLogWriter(std::ostream &os, JavaVm &vm)
+    : os_(os), vm_(&vm)
+{
+}
+
+const Heap &
+GcLogWriter::theHeap()
+{
+    if (!heap_)
+        heap_ = &vm_->heap();
+    return *heap_;
+}
+
+void
+GcLogWriter::onGcStart(GcKind kind, std::uint64_t seq, Ticks now)
+{
+    (void)kind;
+    (void)seq;
+    (void)now;
+    // Note: collections mutate the heap at the safepoint, before this
+    // callback can observe it, so "before" is reconstructed at the end
+    // event from reclaimed bytes; here we only mark the start.
+    occupancy_before_ = occupancy(theHeap());
+}
+
+void
+GcLogWriter::onGcEnd(const GcEvent &event, Ticks now)
+{
+    (void)now;
+    const Bytes after = occupancy(theHeap());
+    const Bytes before = after + event.reclaimed_bytes;
+    const double secs = static_cast<double>(event.pause()) /
+                        static_cast<double>(units::SEC);
+    char buf[160];
+    const char *cause = event.kind == GcKind::Remark
+                            ? "Remark"
+                            : "Allocation Failure";
+    std::snprintf(buf, sizeof(buf),
+                  "[%s (%s)  %lluK->%lluK(%lluK), %.7f secs]",
+                  event.kind == GcKind::Full ? "Full GC" : "GC", cause,
+                  static_cast<unsigned long long>(before / units::KiB),
+                  static_cast<unsigned long long>(after / units::KiB),
+                  static_cast<unsigned long long>(
+                      theHeap().config().capacity / units::KiB),
+                  secs);
+    os_ << buf << '\n';
+    ++lines_;
+}
+
+bool
+parseGcLogLine(const std::string &line, GcLogRecord &out)
+{
+    unsigned long long before_k = 0;
+    unsigned long long after_k = 0;
+    unsigned long long cap_k = 0;
+    double secs = 0.0;
+    GcLogRecord rec;
+    if (std::sscanf(line.c_str(),
+                    "[Full GC (%*[^)])  %lluK->%lluK(%lluK), %lf secs]",
+                    &before_k, &after_k, &cap_k, &secs) == 4) {
+        rec.full = true;
+    } else if (std::sscanf(line.c_str(),
+                           "[GC (%*[^)])  %lluK->%lluK(%lluK), %lf secs]",
+                           &before_k, &after_k, &cap_k, &secs) == 4) {
+        rec.full = false;
+    } else {
+        return false;
+    }
+    rec.before = before_k * units::KiB;
+    rec.after = after_k * units::KiB;
+    rec.capacity = cap_k * units::KiB;
+    rec.pause = static_cast<Ticks>(
+        std::llround(secs * static_cast<double>(units::SEC)));
+    out = rec;
+    return true;
+}
+
+std::vector<GcLogRecord>
+parseGcLog(std::istream &is)
+{
+    std::vector<GcLogRecord> records;
+    std::string line;
+    while (std::getline(is, line)) {
+        GcLogRecord rec;
+        if (parseGcLogLine(line, rec))
+            records.push_back(rec);
+    }
+    return records;
+}
+
+GcLogSummary
+summarizeGcLog(const std::vector<GcLogRecord> &records)
+{
+    GcLogSummary s;
+    for (const auto &r : records) {
+        if (r.full)
+            ++s.full_count;
+        else
+            ++s.minor_count;
+        s.total_pause += r.pause;
+        s.max_pause = std::max(s.max_pause, r.pause);
+        if (r.before > r.after)
+            s.total_reclaimed += r.before - r.after;
+    }
+    return s;
+}
+
+} // namespace jscale::jvm

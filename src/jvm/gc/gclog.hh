@@ -1,0 +1,103 @@
+/**
+ * @file
+ * GcLogWriter: HotSpot-style GC logging (-verbose:gc / -XX:+PrintGC).
+ *
+ * Subscribes to the runtime probe chain and writes one log line per
+ * collection in the classic format operators know how to read:
+ *
+ *   [GC (Allocation Failure)  412K->67K(1024K), 0.0003120 secs]
+ *   [Full GC (Ergonomics)  897K->411K(1024K), 0.0041230 secs]
+ *
+ * A companion parser turns a log back into structured records, so logs
+ * written by the simulator round-trip (tested) and external HotSpot-ish
+ * logs can be summarized with the same tooling.
+ */
+
+#ifndef JSCALE_JVM_GC_GCLOG_HH
+#define JSCALE_JVM_GC_GCLOG_HH
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "base/units.hh"
+#include "jvm/runtime/listener.hh"
+
+namespace jscale::jvm {
+
+class Heap;
+class JavaVm;
+
+/** One parsed GC log record. */
+struct GcLogRecord
+{
+    bool full = false;
+    /** Heap occupancy before/after, and capacity, in bytes. */
+    Bytes before = 0;
+    Bytes after = 0;
+    Bytes capacity = 0;
+    /** Pause in ticks (ns). */
+    Ticks pause = 0;
+
+    bool operator==(const GcLogRecord &) const = default;
+};
+
+/**
+ * The logging agent. Needs the heap to report occupancy; subscribe via
+ * JavaVm::listeners() before run().
+ */
+class GcLogWriter : public RuntimeListener
+{
+  public:
+    /** @param os destination stream; @param heap occupancy source. */
+    GcLogWriter(std::ostream &os, const Heap &heap);
+
+    /**
+     * Deferred-binding variant: the heap is resolved from @p vm at the
+     * first GC event, so the writer can be subscribed before run()
+     * creates the heap.
+     */
+    GcLogWriter(std::ostream &os, JavaVm &vm);
+
+    void onGcStart(GcKind kind, std::uint64_t seq, Ticks now) override;
+    void onGcEnd(const GcEvent &event, Ticks now) override;
+
+    /** Number of lines written. */
+    std::uint64_t lines() const { return lines_; }
+
+  private:
+    const Heap &theHeap();
+
+    std::ostream &os_;
+    const Heap *heap_ = nullptr;
+    JavaVm *vm_ = nullptr;
+    Bytes occupancy_before_ = 0;
+    std::uint64_t lines_ = 0;
+};
+
+/**
+ * Parse one GC log line. @return true and fill @p out on success;
+ * false for non-GC lines.
+ */
+bool parseGcLogLine(const std::string &line, GcLogRecord &out);
+
+/** Parse a whole log stream, skipping non-GC lines. */
+std::vector<GcLogRecord> parseGcLog(std::istream &is);
+
+/** Summary statistics over parsed records. */
+struct GcLogSummary
+{
+    std::uint64_t minor_count = 0;
+    std::uint64_t full_count = 0;
+    Ticks total_pause = 0;
+    Ticks max_pause = 0;
+    Bytes total_reclaimed = 0;
+};
+
+/** Compute the summary of a parsed log. */
+GcLogSummary summarizeGcLog(const std::vector<GcLogRecord> &records);
+
+} // namespace jscale::jvm
+
+#endif // JSCALE_JVM_GC_GCLOG_HH

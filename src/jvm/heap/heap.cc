@@ -1,0 +1,570 @@
+#include "jvm/heap/heap.hh"
+
+#include <algorithm>
+
+#include "base/logging.hh"
+
+namespace jscale::jvm {
+
+const char *
+regionName(Region r)
+{
+    switch (r) {
+      case Region::Eden: return "eden";
+      case Region::Survivor: return "survivor";
+      case Region::Old: return "old";
+    }
+    return "?";
+}
+
+const char *
+gcKindName(GcKind k)
+{
+    switch (k) {
+      case GcKind::Minor: return "minor";
+      case GcKind::Full: return "full";
+      case GcKind::Remark: return "remark";
+    }
+    return "?";
+}
+
+Heap::Heap(const HeapConfig &config, std::uint32_t n_mutators,
+           const ListenerChain *listeners)
+    : config_(config), n_mutators_(n_mutators), listeners_(listeners)
+{
+    jscale_assert(n_mutators >= 1, "heap requires at least one mutator");
+    jscale_assert(config.capacity >= 1 * units::MiB,
+                  "heap capacity unreasonably small");
+    jscale_assert(config.young_fraction > 0.0 &&
+                      config.young_fraction < 1.0,
+                  "young_fraction must be in (0,1)");
+    jscale_assert(config.survivor_fraction > 0.0 &&
+                      config.survivor_fraction < 0.5,
+                  "survivor_fraction must be in (0,0.5)");
+
+    const Bytes young = static_cast<Bytes>(
+        static_cast<double>(config.capacity) * config.young_fraction);
+    survivor_capacity_ = static_cast<Bytes>(
+        static_cast<double>(young) * config.survivor_fraction);
+    eden_capacity_ = young - 2 * survivor_capacity_;
+    old_capacity_ = config.capacity - young;
+
+    const std::size_t compartments =
+        config.compartmentalized ? n_mutators : 1;
+    eden_used_.assign(compartments, 0);
+    eden_objects_.resize(compartments);
+
+    tlab_remaining_.assign(n_mutators, 0);
+    owner_alloc_bytes_.assign(n_mutators, 0);
+    owner_prev_clock_.assign(n_mutators, 0);
+    owner_prev_global_.assign(n_mutators, 0);
+    death_queues_.resize(n_mutators);
+}
+
+std::size_t
+Heap::compartmentOf(MutatorIndex owner) const
+{
+    return config_.compartmentalized ? owner : 0;
+}
+
+Bytes
+Heap::compartmentCapacity() const
+{
+    return eden_capacity_ / eden_used_.size();
+}
+
+Bytes
+Heap::compartmentUsed(MutatorIndex owner) const
+{
+    return eden_used_[compartmentOf(owner)];
+}
+
+Bytes
+Heap::ownerAllocatedBytes(MutatorIndex owner) const
+{
+    jscale_assert(owner < n_mutators_, "owner index out of range");
+    return owner_alloc_bytes_[owner];
+}
+
+std::uint64_t
+Heap::liveObjects() const
+{
+    return live_objects_;
+}
+
+ObjectHandle
+Heap::newRecord()
+{
+    if (!free_list_.empty()) {
+        const ObjectHandle h = free_list_.back();
+        free_list_.pop_back();
+        return h;
+    }
+    pool_.emplace_back();
+    return static_cast<ObjectHandle>(pool_.size() - 1);
+}
+
+void
+Heap::freeRecord(ObjectHandle h)
+{
+    rec(h) = ObjectRecord{}; // id 0 marks the slot invalid
+    free_list_.push_back(h);
+}
+
+AllocStatus
+Heap::allocate(MutatorIndex owner, Bytes size, Bytes ttl_owner_bytes,
+               AllocSiteId site, Ticks now)
+{
+    jscale_assert(owner < n_mutators_, "owner index out of range");
+    jscale_assert(size > 0, "zero-sized allocation");
+
+    const std::size_t comp = compartmentOf(owner);
+    if (config_.tlab_size > 0 && !config_.compartmentalized) {
+        // TLAB fast path: bump inside the thread's buffer; refill from
+        // eden when exhausted, wasting the remainder (HotSpot retires
+        // the old TLAB).
+        if (size > tlab_remaining_[owner]) {
+            const Bytes reserve = std::max(config_.tlab_size, size);
+            if (eden_used_[comp] + reserve > compartmentCapacity())
+                return AllocStatus::NeedsGc;
+            stats_.tlab_waste += tlab_remaining_[owner];
+            ++stats_.tlab_refills;
+            eden_used_[comp] += reserve;
+            eden_used_total_ += reserve;
+            tlab_remaining_[owner] = reserve;
+        }
+        tlab_remaining_[owner] -= size;
+    } else {
+        if (eden_used_[comp] + size > compartmentCapacity())
+            return AllocStatus::NeedsGc;
+        eden_used_[comp] += size;
+        eden_used_total_ += size;
+    }
+
+    // Commit the allocation.
+    owner_alloc_bytes_[owner] += size;
+    global_alloc_bytes_ += size;
+    live_bytes_ += size;
+    ++live_objects_;
+    stats_.peak_live_bytes = std::max(stats_.peak_live_bytes, live_bytes_);
+    ++stats_.objects_allocated;
+    stats_.bytes_allocated += size;
+
+    const ObjectHandle h = newRecord();
+    ObjectRecord &r = rec(h);
+    r.id = next_object_id_++;
+    r.owner = owner;
+    r.site = site;
+    r.size = size;
+    r.birth_global_bytes = global_alloc_bytes_;
+    r.birth_time = now;
+    r.age = 0;
+    r.region = Region::Eden;
+    r.dead = false;
+    r.pinned = ttl_owner_bytes == kImmortalTtl;
+    r.death_owner_bytes =
+        r.pinned ? kImmortalTtl : owner_alloc_bytes_[owner] + ttl_owner_bytes;
+
+    eden_objects_[comp].push_back(h);
+    if (!r.pinned)
+        death_queues_[owner].push(DeathEntry{r.death_owner_bytes, h, r.id});
+
+    if (listeners_) {
+        listeners_->dispatch(
+            [&](RuntimeListener &l) { l.onObjectAlloc(r, now); });
+    }
+
+    // The new allocation advances the owner's clock; settle any deaths
+    // it triggers (including TTL-0 temporaries dying immediately).
+    processDeaths(owner, now);
+    return AllocStatus::Ok;
+}
+
+void
+Heap::killObject(ObjectHandle h, Bytes global_at_death, Ticks now)
+{
+    ObjectRecord &r = rec(h);
+    jscale_assert(!r.dead, "double death of object ", r.id);
+    r.dead = true;
+    const Bytes lifespan = global_at_death > r.birth_global_bytes
+                               ? global_at_death - r.birth_global_bytes
+                               : 0;
+    live_bytes_ -= r.size;
+    --live_objects_;
+    ++stats_.objects_died;
+    stats_.bytes_died += r.size;
+    stats_.lifespan.add(lifespan);
+    if (listeners_) {
+        listeners_->dispatch(
+            [&](RuntimeListener &l) { l.onObjectDeath(r, lifespan, now); });
+    }
+}
+
+void
+Heap::processDeaths(MutatorIndex owner, Ticks now)
+{
+    DeathQueue &q = death_queues_[owner];
+    const Bytes clock = owner_alloc_bytes_[owner];
+    // The owner's clock advanced from owner_prev_clock_ to clock since
+    // the last pass, while the global clock advanced from
+    // owner_prev_global_ to the current value. A death threshold crossed
+    // somewhere inside that window is assigned a linearly interpolated
+    // global clock, so lifespans are not quantized to the owner's
+    // inter-allocation granularity (which would put a T-dependent floor
+    // under every lifespan).
+    const Bytes prev_clock = owner_prev_clock_[owner];
+    const Bytes prev_global = owner_prev_global_[owner];
+    const Bytes owner_span = clock - prev_clock;
+    const Bytes global_span = global_alloc_bytes_ - prev_global;
+    while (!q.empty() && q.top().threshold <= clock) {
+        const DeathEntry e = q.top();
+        q.pop();
+        ObjectRecord &r = rec(e.handle);
+        // Stale entries: the object was already killed out-of-band
+        // (thread exit) and possibly reclaimed/reused; the id check
+        // rejects both cases.
+        if (r.id != e.id || r.dead)
+            continue;
+        Bytes global_at_death = global_alloc_bytes_;
+        if (owner_span > 0 && e.threshold >= prev_clock) {
+            const double f =
+                static_cast<double>(e.threshold - prev_clock) /
+                static_cast<double>(owner_span);
+            global_at_death =
+                prev_global + static_cast<Bytes>(
+                                  f * static_cast<double>(global_span));
+        }
+        killObject(e.handle, global_at_death, now);
+    }
+    owner_prev_clock_[owner] = clock;
+    owner_prev_global_[owner] = global_alloc_bytes_;
+}
+
+void
+Heap::killThreadObjects(MutatorIndex owner, Ticks now)
+{
+    auto kill_matching = [&](std::vector<ObjectHandle> &list) {
+        for (const ObjectHandle h : list) {
+            ObjectRecord &r = rec(h);
+            if (r.id != 0 && !r.dead && !r.pinned && r.owner == owner)
+                killObject(h, global_alloc_bytes_, now);
+        }
+    };
+    for (auto &list : eden_objects_)
+        kill_matching(list);
+    kill_matching(survivor_objects_);
+    kill_matching(old_objects_);
+}
+
+void
+Heap::killAllRemaining(Ticks now)
+{
+    auto kill_all = [&](std::vector<ObjectHandle> &list) {
+        for (const ObjectHandle h : list) {
+            ObjectRecord &r = rec(h);
+            if (r.id != 0 && !r.dead)
+                killObject(h, global_alloc_bytes_, now);
+        }
+    };
+    for (auto &list : eden_objects_)
+        kill_all(list);
+    kill_all(survivor_objects_);
+    kill_all(old_objects_);
+}
+
+MinorWork
+Heap::collectMinor(Ticks now, std::int32_t compartment)
+{
+    (void)now;
+    MinorWork w;
+    std::vector<ObjectHandle> new_survivor;
+    Bytes new_survivor_bytes = 0;
+
+    auto scan = [&](std::vector<ObjectHandle> &list) {
+        for (const ObjectHandle h : list) {
+            ObjectRecord &r = rec(h);
+            ++w.scanned_objects;
+            w.scanned_bytes += r.size;
+            if (r.dead) {
+                w.reclaimed_bytes += r.size;
+                freeRecord(h);
+                continue;
+            }
+            ++r.age;
+            const bool overflow =
+                new_survivor_bytes + r.size > survivor_capacity_;
+            const bool promote = r.pinned ||
+                                 r.age >= config_.tenure_threshold ||
+                                 overflow;
+            if (promote) {
+                if (overflow && !r.pinned &&
+                    r.age < config_.tenure_threshold) {
+                    w.survivor_overflow = true;
+                }
+                r.region = Region::Old;
+                old_objects_.push_back(h);
+                old_used_ += r.size;
+                w.promoted_bytes += r.size;
+            } else {
+                r.region = Region::Survivor;
+                new_survivor.push_back(h);
+                new_survivor_bytes += r.size;
+                w.copied_bytes += r.size;
+            }
+        }
+        list.clear();
+    };
+
+    scan(survivor_objects_);
+    if (compartment >= 0) {
+        jscale_assert(config_.compartmentalized,
+                      "compartment GC on a non-compartmentalized heap");
+        jscale_assert(static_cast<std::size_t>(compartment) <
+                          eden_objects_.size(),
+                      "compartment index out of range");
+        scan(eden_objects_[compartment]);
+        eden_used_total_ -= eden_used_[compartment];
+        eden_used_[compartment] = 0;
+    } else {
+        for (std::size_t c = 0; c < eden_objects_.size(); ++c) {
+            scan(eden_objects_[c]);
+            eden_used_[c] = 0;
+        }
+        eden_used_total_ = 0;
+    }
+
+    survivor_objects_ = std::move(new_survivor);
+    survivor_used_ = new_survivor_bytes;
+    // Minor collections retire all outstanding TLABs.
+    if (compartment < 0) {
+        for (auto &t : tlab_remaining_)
+            t = 0;
+    }
+    w.needs_full = oldGenPressure();
+    return w;
+}
+
+FullWork
+Heap::collectFull(Ticks now)
+{
+    (void)now;
+    FullWork w;
+
+    // Sweep and compact the old generation.
+    std::vector<ObjectHandle> new_old;
+    new_old.reserve(old_objects_.size());
+    Bytes live = 0;
+    for (const ObjectHandle h : old_objects_) {
+        ObjectRecord &r = rec(h);
+        ++w.scanned_objects;
+        if (r.dead) {
+            w.reclaimed_bytes += r.size;
+            freeRecord(h);
+            continue;
+        }
+        new_old.push_back(h);
+        live += r.size;
+    }
+
+    // Evacuate the entire nursery into the old generation.
+    auto evacuate = [&](std::vector<ObjectHandle> &list) {
+        for (const ObjectHandle h : list) {
+            ObjectRecord &r = rec(h);
+            ++w.scanned_objects;
+            if (r.dead) {
+                w.reclaimed_bytes += r.size;
+                freeRecord(h);
+                continue;
+            }
+            r.region = Region::Old;
+            new_old.push_back(h);
+            live += r.size;
+        }
+        list.clear();
+    };
+    evacuate(survivor_objects_);
+    for (std::size_t c = 0; c < eden_objects_.size(); ++c) {
+        evacuate(eden_objects_[c]);
+        eden_used_[c] = 0;
+    }
+    eden_used_total_ = 0;
+    survivor_used_ = 0;
+
+    old_objects_ = std::move(new_old);
+    old_used_ = live;
+    for (auto &t : tlab_remaining_)
+        t = 0;
+    w.live_bytes = live;
+    return w;
+}
+
+MinorWork
+Heap::collectCompartment(MutatorIndex owner, Ticks now)
+{
+    (void)now;
+    jscale_assert(config_.compartmentalized,
+                  "collectCompartment on a shared heap");
+    MinorWork w;
+    const std::size_t comp = compartmentOf(owner);
+    std::vector<ObjectHandle> retained;
+    Bytes retained_bytes = 0;
+    for (const ObjectHandle h : eden_objects_[comp]) {
+        ObjectRecord &r = rec(h);
+        ++w.scanned_objects;
+        w.scanned_bytes += r.size;
+        if (r.dead) {
+            w.reclaimed_bytes += r.size;
+            freeRecord(h);
+            continue;
+        }
+        ++r.age;
+        if (r.pinned || r.age >= config_.tenure_threshold) {
+            r.region = Region::Old;
+            old_objects_.push_back(h);
+            old_used_ += r.size;
+            w.promoted_bytes += r.size;
+        } else {
+            // In-place compaction: the object stays in its compartment.
+            retained.push_back(h);
+            retained_bytes += r.size;
+            w.copied_bytes += r.size;
+        }
+    }
+    eden_objects_[comp] = std::move(retained);
+    eden_used_total_ -= eden_used_[comp] - retained_bytes;
+    eden_used_[comp] = retained_bytes;
+    w.needs_full = oldGenPressure();
+    return w;
+}
+
+FullWork
+Heap::sweepOld(Ticks now)
+{
+    (void)now;
+    FullWork w;
+    std::vector<ObjectHandle> new_old;
+    new_old.reserve(old_objects_.size());
+    Bytes live = 0;
+    for (const ObjectHandle h : old_objects_) {
+        ObjectRecord &r = rec(h);
+        ++w.scanned_objects;
+        if (r.dead) {
+            w.reclaimed_bytes += r.size;
+            freeRecord(h);
+            continue;
+        }
+        new_old.push_back(h);
+        live += r.size;
+    }
+    old_objects_ = std::move(new_old);
+    old_used_ = live;
+    w.live_bytes = live;
+    return w;
+}
+
+void
+Heap::checkInvariants() const
+{
+    // Region lists' live/dead membership must agree with the counters.
+    // Note the semantics: live_bytes_ counts only live objects, while
+    // region usage (survivor_used_, old_used_, eden_used_) counts dead
+    // bytes too until a collection reclaims them.
+    Bytes live = 0;
+    std::uint64_t live_count = 0;
+    Bytes survivor_resident = 0;
+    Bytes old_resident = 0;
+    Bytes eden_resident = 0;
+    auto walk = [&](const std::vector<ObjectHandle> &list, Region region) {
+        for (const ObjectHandle h : list) {
+            const ObjectRecord &r = pool_[h];
+            if (r.id == 0)
+                continue; // freed slot awaiting removal by GC
+            jscale_assert(r.region == region, "object ", r.id,
+                          " in wrong region list");
+            if (!r.dead) {
+                live += r.size;
+                ++live_count;
+            }
+            switch (region) {
+              case Region::Eden:
+                eden_resident += r.size;
+                break;
+              case Region::Survivor:
+                survivor_resident += r.size;
+                break;
+              case Region::Old:
+                old_resident += r.size;
+                break;
+            }
+        }
+    };
+    for (const auto &list : eden_objects_)
+        walk(list, Region::Eden);
+    walk(survivor_objects_, Region::Survivor);
+    walk(old_objects_, Region::Old);
+    jscale_assert(live == live_bytes_, "live bytes mismatch: lists ",
+                  live, " vs counter ", live_bytes_);
+    jscale_assert(live_count == live_objects_,
+                  "live object count mismatch");
+    jscale_assert(survivor_resident == survivor_used_,
+                  "survivor bytes mismatch");
+    jscale_assert(old_resident == old_used_, "old-gen bytes mismatch");
+    jscale_assert(stats_.objects_allocated ==
+                      stats_.objects_died + live_objects_,
+                  "allocation/death conservation violated");
+    Bytes eden_total = 0;
+    for (const auto used : eden_used_)
+        eden_total += used;
+    jscale_assert(eden_total == eden_used_total_,
+                  "eden usage mismatch");
+    // With TLABs, eden usage includes reserved-but-unfilled buffer
+    // space, so residency is a lower bound; otherwise it is exact.
+    if (config_.tlab_size > 0) {
+        jscale_assert(eden_resident <= eden_used_total_,
+                      "eden residency exceeds usage");
+    } else {
+        jscale_assert(eden_resident == eden_used_total_,
+                      "eden residency mismatch");
+    }
+    jscale_assert(eden_used_total_ <= eden_capacity_, "eden overfull");
+}
+
+bool
+Heap::resizeYoung(double young_fraction)
+{
+    jscale_assert(!config_.compartmentalized,
+                  "adaptive sizing applies to the shared-eden mode");
+    jscale_assert(young_fraction > 0.0 && young_fraction < 1.0,
+                  "young fraction out of range");
+    const Bytes young = static_cast<Bytes>(
+        static_cast<double>(config_.capacity) * young_fraction);
+    const Bytes new_survivor = static_cast<Bytes>(
+        static_cast<double>(young) * config_.survivor_fraction);
+    const Bytes new_eden = young - 2 * new_survivor;
+    const Bytes new_old = config_.capacity - young;
+    if (new_eden < eden_used_total_ || new_survivor < survivor_used_ ||
+        new_old < old_used_) {
+        return false; // occupancy does not fit the proposed geometry
+    }
+    config_.young_fraction = young_fraction;
+    eden_capacity_ = new_eden;
+    survivor_capacity_ = new_survivor;
+    old_capacity_ = new_old;
+    ++resize_count_;
+    return true;
+}
+
+bool
+Heap::oldGenPressure() const
+{
+    return static_cast<double>(old_used_) >
+           config_.full_gc_trigger * static_cast<double>(old_capacity_);
+}
+
+bool
+Heap::impossibleAllocation(Bytes size) const
+{
+    return size > compartmentCapacity();
+}
+
+} // namespace jscale::jvm

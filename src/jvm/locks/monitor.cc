@@ -1,0 +1,334 @@
+#include "jvm/locks/monitor.hh"
+
+#include <algorithm>
+
+#include "base/logging.hh"
+#include "os/scheduler.hh"
+
+namespace jscale::jvm {
+
+const char *
+lockStateName(LockState s)
+{
+    switch (s) {
+      case LockState::Neutral: return "neutral";
+      case LockState::Biased: return "biased";
+      case LockState::Thin: return "thin";
+      case LockState::Fat: return "fat";
+    }
+    return "?";
+}
+
+Monitor::Monitor(MonitorId id, std::string name, os::Scheduler &sched,
+                 const ListenerChain *listeners, MonitorTable *table)
+    : id_(id), name_(std::move(name)), sched_(sched),
+      listeners_(listeners), table_(table)
+{
+}
+
+void
+Monitor::grant(MonitorWaiter *waiter, Ticks now, bool contended)
+{
+    owner_ = waiter;
+    acquired_at_ = now;
+    ++stats_.acquisitions;
+    if (listeners_) {
+        listeners_->dispatch([&](RuntimeListener &l) {
+            l.onMonitorAcquire(waiter->mutatorIndex(), id_, contended, now);
+        });
+    }
+}
+
+bool
+Monitor::acquire(MonitorWaiter *waiter, Ticks now)
+{
+    jscale_assert(waiter != nullptr, "null waiter");
+    jscale_assert(owner_ != waiter,
+                  "recursive acquire of monitor '", name_, "'");
+    if (owner_ == nullptr) {
+        // Uncontended path: advance the HotSpot lock-state machine.
+        switch (state_) {
+          case LockState::Neutral:
+            state_ = LockState::Biased;
+            bias_holder_ = waiter;
+            ++stats_.biased_acquisitions;
+            break;
+          case LockState::Biased:
+            if (bias_holder_ == waiter) {
+                ++stats_.biased_acquisitions;
+            } else {
+                // A second thread revokes the bias; thin from now on.
+                ++stats_.bias_revocations;
+                state_ = LockState::Thin;
+                bias_holder_ = nullptr;
+                ++stats_.thin_acquisitions;
+            }
+            break;
+          case LockState::Thin:
+            ++stats_.thin_acquisitions;
+            break;
+          case LockState::Fat:
+            ++stats_.fat_acquisitions;
+            break;
+        }
+        grant(waiter, now, false);
+        return true;
+    }
+    // Contended slow path: the lock inflates to a fat monitor (where it
+    // stays), then the waiter queues FIFO.
+    if (state_ != LockState::Fat) {
+        state_ = LockState::Fat;
+        bias_holder_ = nullptr;
+        ++stats_.inflations;
+    }
+    ++stats_.contentions;
+    queue_.push_back(Waiting{waiter, now});
+    stats_.max_queue_depth = std::max(
+        stats_.max_queue_depth, static_cast<std::uint32_t>(queue_.size()));
+    if (listeners_) {
+        listeners_->dispatch([&](RuntimeListener &l) {
+            l.onMonitorContended(waiter->mutatorIndex(), id_, now);
+        });
+    }
+    if (table_)
+        table_->onBlocked(waiter, id_);
+    return false;
+}
+
+void
+Monitor::releaseInternal(MonitorWaiter *waiter, Ticks now)
+{
+    stats_.total_hold_time += now - acquired_at_;
+    owner_ = nullptr;
+    if (listeners_) {
+        listeners_->dispatch([&](RuntimeListener &l) {
+            l.onMonitorRelease(waiter->mutatorIndex(), id_, now);
+        });
+    }
+    if (queue_.empty())
+        return;
+    // Direct handoff to the queue head.
+    const Waiting next = queue_.front();
+    queue_.pop_front();
+    stats_.total_block_time += now - next.since;
+    ++stats_.fat_acquisitions; // handoff happens on the inflated path
+    if (table_)
+        table_->onGranted(next.waiter);
+    grant(next.waiter, now, true);
+    next.waiter->monitorGranted(id_);
+    sched_.wake(next.waiter->osThread());
+}
+
+void
+Monitor::release(MonitorWaiter *waiter, Ticks now)
+{
+    jscale_assert(owner_ == waiter, "release of monitor '", name_,
+                  "' by non-owner");
+    releaseInternal(waiter, now);
+}
+
+void
+Monitor::waitOn(MonitorWaiter *waiter, Ticks now)
+{
+    jscale_assert(owner_ == waiter, "wait() on monitor '", name_,
+                  "' by non-owner (IllegalMonitorState)");
+    ++stats_.waits;
+    // Waiting on a monitor requires the inflated form, as in HotSpot.
+    if (state_ != LockState::Fat) {
+        state_ = LockState::Fat;
+        bias_holder_ = nullptr;
+        ++stats_.inflations;
+    }
+    waitset_.push_back(waiter);
+    releaseInternal(waiter, now);
+}
+
+void
+Monitor::notify(MonitorWaiter *waiter, std::uint32_t count, Ticks now)
+{
+    jscale_assert(owner_ == waiter, "notify() on monitor '", name_,
+                  "' by non-owner (IllegalMonitorState)");
+    ++stats_.notifies;
+    while (count > 0 && !waitset_.empty()) {
+        MonitorWaiter *w = waitset_.front();
+        waitset_.pop_front();
+        --count;
+        // The notified thread re-contends for the monitor: it joins the
+        // acquire queue and is granted at a future release.
+        ++stats_.contentions;
+        queue_.push_back(Waiting{w, now});
+        stats_.max_queue_depth =
+            std::max(stats_.max_queue_depth,
+                     static_cast<std::uint32_t>(queue_.size()));
+        if (listeners_) {
+            listeners_->dispatch([&](RuntimeListener &l) {
+                l.onMonitorContended(w->mutatorIndex(), id_, now);
+            });
+        }
+        if (table_)
+            table_->onBlocked(w, id_);
+    }
+}
+
+WaitChannel::WaitChannel(ChannelId id, std::string name,
+                         std::uint64_t permits, os::Scheduler &sched)
+    : id_(id), name_(std::move(name)), sched_(sched), permits_(permits)
+{
+}
+
+bool
+WaitChannel::acquire(MonitorWaiter *waiter, Ticks now)
+{
+    (void)now;
+    if (permits_ > 0) {
+        --permits_;
+        return true;
+    }
+    queue_.push_back(waiter);
+    return false;
+}
+
+void
+WaitChannel::post(std::uint64_t n, Ticks now)
+{
+    (void)now;
+    while (n > 0 && !queue_.empty()) {
+        MonitorWaiter *w = queue_.front();
+        queue_.pop_front();
+        --n;
+        w->channelGranted(id_);
+        sched_.wake(w->osThread());
+    }
+    permits_ += n;
+}
+
+MonitorId
+MonitorTable::createMonitor(const std::string &name)
+{
+    const auto id = static_cast<MonitorId>(monitors_.size());
+    monitors_.push_back(
+        std::make_unique<Monitor>(id, name, sched_, listeners_, this));
+    return id;
+}
+
+void
+MonitorTable::onBlocked(MonitorWaiter *waiter, MonitorId monitor)
+{
+    blocked_on_[waiter] = monitor;
+    // Walk the wait-for graph: waiter -> monitor -> owner -> (monitor
+    // that owner blocks on) -> ... A return to the starting thread is a
+    // deadlock; report the whole cycle.
+    std::string chain = "thread " + std::to_string(waiter->mutatorIndex());
+    const MonitorWaiter *cur = waiter;
+    for (std::size_t depth = 0; depth <= monitors_.size(); ++depth) {
+        const auto it = blocked_on_.find(cur);
+        if (it == blocked_on_.end())
+            return; // cur is runnable: no cycle through here
+        const Monitor &m = *monitors_[it->second];
+        const MonitorWaiter *owner = m.owner();
+        if (owner == nullptr)
+            return; // lock in handoff; will drain
+        chain += " -> [" + m.name() + "] -> thread " +
+                 std::to_string(owner->mutatorIndex());
+        if (owner == waiter) {
+            jscale_panic("monitor deadlock detected: ", chain);
+        }
+        cur = owner;
+    }
+}
+
+void
+MonitorTable::onGranted(MonitorWaiter *waiter)
+{
+    blocked_on_.erase(waiter);
+}
+
+const Monitor *
+MonitorTable::blockedOn(const MonitorWaiter *waiter) const
+{
+    const auto it = blocked_on_.find(waiter);
+    return it == blocked_on_.end() ? nullptr
+                                   : monitors_[it->second].get();
+}
+
+ChannelId
+MonitorTable::createChannel(const std::string &name, std::uint64_t permits)
+{
+    const auto id = static_cast<ChannelId>(channels_.size());
+    channels_.push_back(
+        std::make_unique<WaitChannel>(id, name, permits, sched_));
+    return id;
+}
+
+Monitor &
+MonitorTable::monitor(MonitorId id)
+{
+    jscale_assert(id < monitors_.size(), "monitor id out of range");
+    return *monitors_[id];
+}
+
+const Monitor &
+MonitorTable::monitor(MonitorId id) const
+{
+    jscale_assert(id < monitors_.size(), "monitor id out of range");
+    return *monitors_[id];
+}
+
+WaitChannel &
+MonitorTable::channel(ChannelId id)
+{
+    jscale_assert(id < channels_.size(), "channel id out of range");
+    return *channels_[id];
+}
+
+std::uint64_t
+MonitorTable::totalAcquisitions() const
+{
+    std::uint64_t total = 0;
+    for (const auto &m : monitors_)
+        total += m->monStats().acquisitions;
+    return total;
+}
+
+std::uint64_t
+MonitorTable::totalContentions() const
+{
+    std::uint64_t total = 0;
+    for (const auto &m : monitors_)
+        total += m->monStats().contentions;
+    return total;
+}
+
+Ticks
+MonitorTable::totalBlockTime() const
+{
+    Ticks total = 0;
+    for (const auto &m : monitors_)
+        total += m->monStats().total_block_time;
+    return total;
+}
+
+MonitorStats
+MonitorTable::aggregateStats() const
+{
+    MonitorStats agg;
+    for (const auto &m : monitors_) {
+        const MonitorStats &s = m->monStats();
+        agg.acquisitions += s.acquisitions;
+        agg.contentions += s.contentions;
+        agg.total_hold_time += s.total_hold_time;
+        agg.total_block_time += s.total_block_time;
+        agg.max_queue_depth =
+            std::max(agg.max_queue_depth, s.max_queue_depth);
+        agg.biased_acquisitions += s.biased_acquisitions;
+        agg.thin_acquisitions += s.thin_acquisitions;
+        agg.fat_acquisitions += s.fat_acquisitions;
+        agg.bias_revocations += s.bias_revocations;
+        agg.inflations += s.inflations;
+        agg.waits += s.waits;
+        agg.notifies += s.notifies;
+    }
+    return agg;
+}
+
+} // namespace jscale::jvm

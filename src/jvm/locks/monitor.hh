@@ -1,0 +1,272 @@
+/**
+ * @file
+ * Java-style monitors and semaphore channels.
+ *
+ * A Monitor has an uncontended fast path (acquire when free) and a
+ * contended slow path: the acquiring thread blocks in a FIFO queue and
+ * ownership is handed off directly at release time. Acquisitions and
+ * contention instances are counted exactly as the paper's DTrace probes
+ * counted them (Fig. 1a / Fig. 1b), and every transition is published to
+ * the RuntimeListener chain for the lock profiler.
+ *
+ * A WaitChannel is a counting semaphore used by workload models for
+ * producer/consumer stage coupling (bounded pipelines, work handoff).
+ */
+
+#ifndef JSCALE_JVM_LOCKS_MONITOR_HH
+#define JSCALE_JVM_LOCKS_MONITOR_HH
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "base/units.hh"
+#include "jvm/runtime/listener.hh"
+#include "stats/stats.hh"
+
+namespace jscale::os {
+class Scheduler;
+class OsThread;
+} // namespace jscale::os
+
+namespace jscale::jvm {
+
+/**
+ * Interface implemented by threads that can block on monitors and
+ * channels (MutatorThread). Grant callbacks fire while the thread is
+ * still parked, immediately before the scheduler wake.
+ */
+class MonitorWaiter
+{
+  public:
+    virtual ~MonitorWaiter() = default;
+
+    /** Monitor ownership was handed to this thread. */
+    virtual void monitorGranted(MonitorId monitor) = 0;
+
+    /** A channel permit was granted to this thread. */
+    virtual void channelGranted(ChannelId channel) = 0;
+
+    /** The OS thread to wake. */
+    virtual os::OsThread *osThread() const = 0;
+
+    /** Application-level thread index (for stats/listeners). */
+    virtual MutatorIndex mutatorIndex() const = 0;
+};
+
+/**
+ * HotSpot-style lock states. A fresh monitor is bias-able; the first
+ * owner biases it; an acquisition by a different thread revokes the
+ * bias (thin locking); actual contention inflates the lock to a fat
+ * monitor with a wait queue, where it stays.
+ */
+enum class LockState : std::uint8_t { Neutral, Biased, Thin, Fat };
+
+/** Render a LockState name. */
+const char *lockStateName(LockState s);
+
+/** Per-monitor counters matching the paper's lock-usage metrics. */
+struct MonitorStats
+{
+    std::uint64_t acquisitions = 0;
+    std::uint64_t contentions = 0;
+    Ticks total_hold_time = 0;
+    Ticks total_block_time = 0;
+    std::uint32_t max_queue_depth = 0;
+    /** @name HotSpot lock-state breakdown */
+    /** @{ */
+    std::uint64_t biased_acquisitions = 0;
+    std::uint64_t thin_acquisitions = 0;
+    std::uint64_t fat_acquisitions = 0;
+    std::uint64_t bias_revocations = 0;
+    std::uint64_t inflations = 0;
+    /** @} */
+    /** Object.wait() calls. */
+    std::uint64_t waits = 0;
+    /** Object.notify()/notifyAll() calls. */
+    std::uint64_t notifies = 0;
+};
+
+class MonitorTable;
+
+/** A single monitor. Created through the MonitorTable. */
+class Monitor
+{
+  public:
+    Monitor(MonitorId id, std::string name, os::Scheduler &sched,
+            const ListenerChain *listeners, MonitorTable *table);
+
+    MonitorId id() const { return id_; }
+    const std::string &name() const { return name_; }
+
+    /**
+     * Try to acquire for @p waiter at @p now.
+     * @return true on immediate (uncontended or free) acquisition; false
+     * when the waiter was queued — the caller must block, and
+     * monitorGranted() + a scheduler wake will arrive at handoff.
+     */
+    bool acquire(MonitorWaiter *waiter, Ticks now);
+
+    /**
+     * Release by the current owner; hands off to the queue head if any
+     * (counting a contended acquisition for it) and wakes it.
+     */
+    void release(MonitorWaiter *waiter, Ticks now);
+
+    /**
+     * Java Object.wait(): the owner atomically releases the monitor
+     * (handing off to the queue head, if any) and parks in the waitset
+     * until a notify moves it back to the acquire queue. The caller must
+     * block; monitorGranted() arrives after re-acquisition.
+     */
+    void waitOn(MonitorWaiter *waiter, Ticks now);
+
+    /**
+     * Java Object.notify()/notifyAll(): move up to @p count waitset
+     * members (FIFO) to the acquire queue. Must be called by the owner.
+     */
+    void notify(MonitorWaiter *waiter, std::uint32_t count, Ticks now);
+
+    /** Current owner (nullptr when free). */
+    MonitorWaiter *owner() const { return owner_; }
+
+    /** Current HotSpot-style lock state. */
+    LockState state() const { return state_; }
+
+    /** Number of queued waiters. */
+    std::size_t queueDepth() const { return queue_.size(); }
+
+    /** Number of threads parked in the waitset. */
+    std::size_t waitsetDepth() const { return waitset_.size(); }
+
+    const MonitorStats &monStats() const { return stats_; }
+
+  private:
+    void grant(MonitorWaiter *waiter, Ticks now, bool contended);
+
+    /** Release protocol shared by release() and waitOn(). */
+    void releaseInternal(MonitorWaiter *waiter, Ticks now);
+
+    MonitorId id_;
+    std::string name_;
+    os::Scheduler &sched_;
+    const ListenerChain *listeners_;
+    MonitorTable *table_;
+
+    MonitorWaiter *owner_ = nullptr;
+    Ticks acquired_at_ = 0;
+    LockState state_ = LockState::Neutral;
+    /** Thread the lock is biased toward (Biased state only). */
+    const MonitorWaiter *bias_holder_ = nullptr;
+    struct Waiting
+    {
+        MonitorWaiter *waiter;
+        Ticks since;
+    };
+    std::deque<Waiting> queue_;
+    /** Threads parked by waitOn(), FIFO. */
+    std::deque<MonitorWaiter *> waitset_;
+    MonitorStats stats_;
+};
+
+/**
+ * Counting semaphore for producer/consumer coupling. acquire() consumes
+ * a permit or blocks FIFO; post() adds permits, waking blocked waiters
+ * first.
+ */
+class WaitChannel
+{
+  public:
+    WaitChannel(ChannelId id, std::string name, std::uint64_t permits,
+                os::Scheduler &sched);
+
+    ChannelId id() const { return id_; }
+    const std::string &name() const { return name_; }
+
+    /** @return true if a permit was consumed; false if queued/blocked. */
+    bool acquire(MonitorWaiter *waiter, Ticks now);
+
+    /** Add @p n permits; wakes up to @p n blocked waiters. */
+    void post(std::uint64_t n, Ticks now);
+
+    /** Permits currently available. */
+    std::uint64_t permits() const { return permits_; }
+
+    /** Number of blocked waiters. */
+    std::size_t queueDepth() const { return queue_.size(); }
+
+  private:
+    ChannelId id_;
+    std::string name_;
+    os::Scheduler &sched_;
+    std::uint64_t permits_;
+    std::deque<MonitorWaiter *> queue_;
+};
+
+/**
+ * Registry of all monitors and channels in a VM, plus aggregate counts
+ * used by the study's Fig. 1a/1b series.
+ */
+class MonitorTable
+{
+  public:
+    MonitorTable(os::Scheduler &sched, const ListenerChain *listeners)
+        : sched_(sched), listeners_(listeners)
+    {}
+
+    /** Create a monitor; ids are dense and start at 0. */
+    MonitorId createMonitor(const std::string &name);
+
+    /** Create a channel with @p permits initial permits. */
+    ChannelId createChannel(const std::string &name, std::uint64_t permits);
+
+    Monitor &monitor(MonitorId id);
+    const Monitor &monitor(MonitorId id) const;
+    WaitChannel &channel(ChannelId id);
+
+    std::size_t monitorCount() const { return monitors_.size(); }
+    std::size_t channelCount() const { return channels_.size(); }
+
+    /** Sum of acquisitions over all monitors. */
+    std::uint64_t totalAcquisitions() const;
+
+    /** Sum of contention instances over all monitors. */
+    std::uint64_t totalContentions() const;
+
+    /** Sum of block time over all monitors. */
+    Ticks totalBlockTime() const;
+
+    /** Aggregate HotSpot lock-state counters over all monitors. */
+    MonitorStats aggregateStats() const;
+
+    /** @name Deadlock detection (wait-for graph maintenance) */
+    /** @{ */
+    /**
+     * Record that @p waiter blocks on @p monitor and walk the wait-for
+     * graph (blocked thread -> monitor -> owner -> ...); panics with the
+     * cycle description if @p waiter closes a cycle.
+     */
+    void onBlocked(MonitorWaiter *waiter, MonitorId monitor);
+
+    /** @p waiter was granted the monitor it blocked on. */
+    void onGranted(MonitorWaiter *waiter);
+
+    /** Monitor a thread currently blocks on, if any. */
+    const Monitor *blockedOn(const MonitorWaiter *waiter) const;
+    /** @} */
+
+  private:
+    os::Scheduler &sched_;
+    const ListenerChain *listeners_;
+    std::vector<std::unique_ptr<Monitor>> monitors_;
+    std::vector<std::unique_ptr<WaitChannel>> channels_;
+    /** Wait-for edges: blocked thread -> monitor id. */
+    std::map<const MonitorWaiter *, MonitorId> blocked_on_;
+};
+
+} // namespace jscale::jvm
+
+#endif // JSCALE_JVM_LOCKS_MONITOR_HH

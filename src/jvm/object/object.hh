@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Heap object model.
+ *
+ * Objects are lightweight records tracked by the heap: identity, owner
+ * thread, size, generation-region residence, GC age, and the two
+ * quantities the paper's lifespan metric needs — the global
+ * allocated-bytes counter at birth, and the owner-local allocated-bytes
+ * threshold at which the object dies. Lifespan at death is
+ * (global allocated bytes now) - (global allocated bytes at birth),
+ * exactly the Elephant-Tracks metric used in the paper.
+ */
+
+#ifndef JSCALE_JVM_OBJECT_OBJECT_HH
+#define JSCALE_JVM_OBJECT_OBJECT_HH
+
+#include <cstdint>
+#include <limits>
+
+#include "base/units.hh"
+
+namespace jscale::jvm {
+
+/** Unique object identity (never reused within a run). */
+using ObjectId = std::uint64_t;
+
+/** Allocation-site identifier, assigned by workload models. */
+using AllocSiteId = std::uint32_t;
+
+/** Index of the owning mutator thread within the application. */
+using MutatorIndex = std::uint32_t;
+
+/** Owner-local TTL marking an object immortal for the whole run. */
+constexpr Bytes kImmortalTtl = std::numeric_limits<Bytes>::max();
+
+/** Generation region an object currently resides in. */
+enum class Region : std::uint8_t { Eden, Survivor, Old };
+
+/** Render a region name. */
+const char *regionName(Region r);
+
+/** Heap-internal handle to an object record (index into the pool). */
+using ObjectHandle = std::uint32_t;
+
+/** Sentinel for "no object". */
+constexpr ObjectHandle kNullHandle =
+    std::numeric_limits<ObjectHandle>::max();
+
+/**
+ * Per-object bookkeeping record. Records live in a pooled arena inside
+ * the heap; handles remain valid until the record is reclaimed by a
+ * collection after the object's death.
+ */
+struct ObjectRecord
+{
+    ObjectId id = 0;
+    MutatorIndex owner = 0;
+    AllocSiteId site = 0;
+    Bytes size = 0;
+    /** Global allocated-bytes counter at birth. */
+    Bytes birth_global_bytes = 0;
+    /** Simulated time of birth. */
+    Ticks birth_time = 0;
+    /**
+     * Owner-local allocated-bytes threshold at which the object dies;
+     * kImmortalTtl-marked objects die only at VM shutdown.
+     */
+    Bytes death_owner_bytes = 0;
+    /** Number of minor collections survived. */
+    std::uint8_t age = 0;
+    Region region = Region::Eden;
+    bool dead = false;
+    /** True for immortal (application-lifetime) data. */
+    bool pinned = false;
+};
+
+} // namespace jscale::jvm
+
+#endif // JSCALE_JVM_OBJECT_OBJECT_HH

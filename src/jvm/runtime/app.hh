@@ -1,0 +1,85 @@
+/**
+ * @file
+ * ApplicationModel: the contract between the runtime and workload models.
+ *
+ * A model describes one application (one of the six DaCapo-like apps, or
+ * a user-defined workload): it sets up shared state (monitors, channels)
+ * and supplies a per-thread ActionSource. The VM owns everything else.
+ */
+
+#ifndef JSCALE_JVM_RUNTIME_APP_HH
+#define JSCALE_JVM_RUNTIME_APP_HH
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "base/random.hh"
+#include "jvm/locks/monitor.hh"
+#include "jvm/threads/action.hh"
+
+namespace jscale::jvm {
+
+class JavaVm;
+
+/**
+ * Setup and per-thread context handed to application models. Valid for
+ * the duration of one JavaVm::run().
+ */
+class AppContext
+{
+  public:
+    AppContext(JavaVm &vm, std::uint32_t n_threads, Rng rng)
+        : vm_(vm), n_threads_(n_threads), rng_(rng)
+    {}
+
+    /** The owning VM (heap/monitor access for advanced models). */
+    JavaVm &vm() { return vm_; }
+
+    /** Number of application threads in this run. */
+    std::uint32_t threadCount() const { return n_threads_; }
+
+    /** Create a named monitor. */
+    MonitorId createMonitor(const std::string &name);
+
+    /** Create a named channel (counting semaphore). */
+    ChannelId createChannel(const std::string &name, std::uint64_t permits);
+
+    /** App-level random stream (setup decisions). */
+    Rng &rng() { return rng_; }
+
+    /** Deterministic per-thread random stream. */
+    Rng forkThreadRng(std::uint32_t thread_idx) const
+    {
+        return rng_.fork(0x7468'0000ULL + thread_idx);
+    }
+
+  private:
+    JavaVm &vm_;
+    std::uint32_t n_threads_;
+    Rng rng_;
+};
+
+/**
+ * One application. Implementations must be reusable across runs: all
+ * per-run state belongs in the ActionSources and the AppContext.
+ */
+class ApplicationModel
+{
+  public:
+    virtual ~ApplicationModel() = default;
+
+    /** Stable identifier, e.g. "xalan". */
+    virtual std::string appName() const = 0;
+
+    /** Create shared state (monitors/channels) for a run. */
+    virtual void setup(AppContext &ctx) = 0;
+
+    /** Produce the behaviour stream of thread @p thread_idx. */
+    virtual std::unique_ptr<ActionSource>
+    threadSource(std::uint32_t thread_idx, AppContext &ctx) = 0;
+};
+
+} // namespace jscale::jvm
+
+#endif // JSCALE_JVM_RUNTIME_APP_HH

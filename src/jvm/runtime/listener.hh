@@ -1,0 +1,136 @@
+/**
+ * @file
+ * RuntimeListener: a JVMTI-like probe interface.
+ *
+ * Observation tools (the Elephant-Tracks-style tracer, the DTrace-style
+ * lock profiler, test instrumentation) subscribe to runtime events
+ * without the runtime knowing anything about them — mirroring how the
+ * paper attached Elephant Tracks and DTrace to an unmodified JVM.
+ */
+
+#ifndef JSCALE_JVM_RUNTIME_LISTENER_HH
+#define JSCALE_JVM_RUNTIME_LISTENER_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "base/units.hh"
+#include "jvm/gc/gc_types.hh"
+#include "jvm/object/object.hh"
+
+namespace jscale::jvm {
+
+/** Monitor (lock) identifier. */
+using MonitorId = std::uint32_t;
+
+/** Channel (semaphore) identifier. */
+using ChannelId = std::uint32_t;
+
+/**
+ * Event callbacks delivered synchronously, in simulation order. All
+ * default to no-ops so tools override only what they observe.
+ */
+class RuntimeListener
+{
+  public:
+    virtual ~RuntimeListener() = default;
+
+    /** An object was allocated. */
+    virtual void
+    onObjectAlloc(const ObjectRecord &obj, Ticks now)
+    {
+        (void)obj; (void)now;
+    }
+
+    /**
+     * An object died. @p lifespan is the paper's metric: bytes allocated
+     * globally (by any thread) between the object's birth and death.
+     */
+    virtual void
+    onObjectDeath(const ObjectRecord &obj, Bytes lifespan, Ticks now)
+    {
+        (void)obj; (void)lifespan; (void)now;
+    }
+
+    /** A monitor was acquired. @p contended is true when the acquiring
+     *  thread had to block first. */
+    virtual void
+    onMonitorAcquire(MutatorIndex thread, MonitorId monitor, bool contended,
+                     Ticks now)
+    {
+        (void)thread; (void)monitor; (void)contended; (void)now;
+    }
+
+    /** A thread found the monitor held and blocked (one contention
+     *  instance, in the paper's Fig. 1b sense). */
+    virtual void
+    onMonitorContended(MutatorIndex thread, MonitorId monitor, Ticks now)
+    {
+        (void)thread; (void)monitor; (void)now;
+    }
+
+    /** A monitor was released. */
+    virtual void
+    onMonitorRelease(MutatorIndex thread, MonitorId monitor, Ticks now)
+    {
+        (void)thread; (void)monitor; (void)now;
+    }
+
+    /** A stop-the-world collection is starting (safepoint reached). */
+    virtual void
+    onGcStart(GcKind kind, std::uint64_t sequence, Ticks now)
+    {
+        (void)kind; (void)sequence; (void)now;
+    }
+
+    /** A collection finished; the world is about to resume. */
+    virtual void
+    onGcEnd(const GcEvent &event, Ticks now)
+    {
+        (void)event; (void)now;
+    }
+
+    /** A mutator thread started. */
+    virtual void
+    onThreadStart(MutatorIndex thread, Ticks now)
+    {
+        (void)thread; (void)now;
+    }
+
+    /** A mutator thread finished its work. */
+    virtual void
+    onThreadFinish(MutatorIndex thread, Ticks now)
+    {
+        (void)thread; (void)now;
+    }
+};
+
+/** Fan-out helper: a registration list shared by all runtime components. */
+class ListenerChain
+{
+  public:
+    /** Subscribe a listener (not owned). */
+    void add(RuntimeListener *l) { listeners_.push_back(l); }
+
+    /** Remove a previously subscribed listener. */
+    void remove(RuntimeListener *l);
+
+    /** All current subscribers. */
+    const std::vector<RuntimeListener *> &all() const { return listeners_; }
+
+    /** Invoke @p fn on every subscriber, in subscription order. */
+    template <typename Fn>
+    void
+    dispatch(Fn &&fn) const
+    {
+        for (RuntimeListener *l : listeners_)
+            fn(*l);
+    }
+
+  private:
+    std::vector<RuntimeListener *> listeners_;
+};
+
+} // namespace jscale::jvm
+
+#endif // JSCALE_JVM_RUNTIME_LISTENER_HH

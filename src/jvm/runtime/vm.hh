@@ -1,0 +1,247 @@
+/**
+ * @file
+ * JavaVm: the managed-runtime facade.
+ *
+ * Wires the simulated machine, OS scheduler, generational heap, monitor
+ * table and thread models into one runnable VM, mirroring the
+ * OpenJDK 1.7 / HotSpot configuration of the paper (stop-the-world
+ * throughput-oriented parallel collector, GC workers = enabled cores).
+ * One JavaVm executes exactly one application run and reports a
+ * RunResult splitting wall time into mutator and GC components — the
+ * paper's two top-level performance factors.
+ */
+
+#ifndef JSCALE_JVM_RUNTIME_VM_HH
+#define JSCALE_JVM_RUNTIME_VM_HH
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "base/units.hh"
+#include "jvm/gc/adaptive.hh"
+#include "jvm/gc/concurrent.hh"
+#include "jvm/gc/cost_model.hh"
+#include "jvm/gc/gc_types.hh"
+#include "jvm/heap/heap.hh"
+#include "jvm/locks/monitor.hh"
+#include "jvm/runtime/app.hh"
+#include "jvm/runtime/listener.hh"
+#include "jvm/runtime/vm_config.hh"
+#include "jvm/threads/helper.hh"
+#include "jvm/threads/mutator.hh"
+#include "machine/machine.hh"
+#include "os/scheduler.hh"
+#include "sim/simulation.hh"
+#include "stats/stats.hh"
+
+namespace jscale::jvm {
+
+/** Aggregate GC statistics for one run. */
+struct GcRunStats
+{
+    std::uint64_t minor_count = 0;
+    std::uint64_t full_count = 0;
+    /** Thread-local compartment collections (compartmentalized mode). */
+    std::uint64_t local_count = 0;
+    /** Concurrent old-gen marking cycles started / failed / remarked. */
+    std::uint64_t concurrent_cycles = 0;
+    std::uint64_t concurrent_failures = 0;
+    std::uint64_t remark_count = 0;
+    /** Total single-thread pause of local collections (not STW). */
+    Ticks local_pause = 0;
+    /** Total stop-the-world time (the paper's "GC time"). */
+    Ticks total_pause = 0;
+    /** Total time-to-safepoint component. */
+    Ticks total_ttsp = 0;
+    Bytes copied_bytes = 0;
+    Bytes promoted_bytes = 0;
+    Bytes reclaimed_bytes = 0;
+    /** Per-pause distributions. */
+    stats::SampleStats minor_pauses;
+    stats::SampleStats full_pauses;
+    /** Log-bucket histogram of all STW pauses (for percentiles). */
+    stats::LogHistogram pause_hist;
+    /** Fraction of scanned nursery bytes that survived, per minor GC. */
+    stats::SampleStats nursery_survival;
+    /** Adaptive-sizing decisions (when enabled). */
+    AdaptiveSizeStats adaptive;
+    /** Successful young-generation resizes. */
+    std::uint64_t young_resizes = 0;
+    /** Every completed collection, in order. */
+    std::vector<GcEvent> events;
+};
+
+/** Per-thread summary row for workload-distribution analyses. */
+struct ThreadSummary
+{
+    std::string name;
+    os::ThreadKind kind = os::ThreadKind::Mutator;
+    Ticks cpu_time = 0;
+    Ticks ready_time = 0;
+    Ticks blocked_time = 0;
+    Ticks sleep_time = 0;
+    std::uint64_t dispatches = 0;
+    std::uint64_t migrations = 0;
+    std::uint64_t tasks_completed = 0;
+    std::uint64_t allocations = 0;
+    Bytes bytes_allocated = 0;
+};
+
+/** Aggregate lock counters (Fig. 1a / 1b series). */
+struct LockTotals
+{
+    std::uint64_t acquisitions = 0;
+    std::uint64_t contentions = 0;
+    Ticks block_time = 0;
+    std::uint64_t monitors = 0;
+    /** HotSpot lock-state breakdown (biased/thin/fat + transitions). */
+    std::uint64_t biased_acquisitions = 0;
+    std::uint64_t thin_acquisitions = 0;
+    std::uint64_t fat_acquisitions = 0;
+    std::uint64_t bias_revocations = 0;
+    std::uint64_t inflations = 0;
+    std::uint64_t waits = 0;
+    std::uint64_t notifies = 0;
+};
+
+/** Everything measured in one application run. */
+struct RunResult
+{
+    std::string app_name;
+    std::uint32_t threads = 0;
+    std::uint32_t cores = 0;
+    Bytes heap_capacity = 0;
+
+    /** End-to-end execution time (start to last mutator exit). */
+    Ticks wall_time = 0;
+    /** Total stop-the-world GC time within the run. */
+    Ticks gc_time = 0;
+
+    /** Application (non-GC) time, the paper's "mutator time". */
+    Ticks
+    mutatorTime() const
+    {
+        return wall_time > gc_time ? wall_time - gc_time : 0;
+    }
+
+    GcRunStats gc;
+    HeapStats heap;
+    LockTotals locks;
+    std::vector<ThreadSummary> thread_summaries;
+    os::SchedulerStats sched;
+    std::uint64_t total_tasks = 0;
+    std::uint64_t sim_events = 0;
+};
+
+/**
+ * The managed runtime. Construct, optionally subscribe listeners, then
+ * call run() exactly once.
+ */
+class JavaVm
+{
+  public:
+    JavaVm(sim::Simulation &sim, machine::Machine &mach,
+           os::Scheduler &sched, const VmConfig &config);
+    ~JavaVm();
+
+    JavaVm(const JavaVm &) = delete;
+    JavaVm &operator=(const JavaVm &) = delete;
+
+    /** Probe chain; subscribe tools before run(). */
+    ListenerChain &listeners() { return listeners_; }
+
+    /**
+     * Execute @p app with @p n_threads application threads on the
+     * machine's enabled cores. Runs the simulation to completion.
+     */
+    RunResult run(ApplicationModel &app, std::uint32_t n_threads);
+
+    /** @name Component access (valid during and after run) */
+    /** @{ */
+    Heap &heap();
+    MonitorTable &monitors();
+    const VmConfig &config() const { return config_; }
+    const VmCosts &costs() const { return config_.costs; }
+    sim::Simulation &sim() { return sim_; }
+    os::Scheduler &scheduler() { return sched_; }
+    /** @} */
+
+    /** @name Runtime-internal callbacks (used by MutatorThread) */
+    /** @{ */
+    /** Allocation failed; park @p t until the next GC completes. */
+    void requestGc(MutatorThread *t, Ticks now);
+
+    /** A mutator ran its End action. */
+    void onMutatorFinished(MutatorThread *t, Ticks now);
+
+    /** A mutator completed one application task. */
+    void onTaskCompleted(MutatorIndex idx);
+    /** @} */
+
+    /** Number of GC worker threads used by the cost model. */
+    std::uint32_t gcThreads() const;
+
+  private:
+    void performGcAtSafepoint();
+    void finishGc(GcKind kind, const MinorWork &minor,
+                  const FullWork &full, bool ran_full, Ticks safepoint_at);
+
+    /** Apply adaptive sizing after a stop-the-world collection. */
+    void maybeResizeYoung(const GcEvent &ev);
+
+    /** @name Concurrent old-generation collector */
+    /** @{ */
+    /** Kick off a marking cycle if occupancy warrants one. */
+    void maybeStartConcurrentCycle();
+
+    /** Marking finished (called from the marker thread's context). */
+    void onConcurrentCycleDone();
+
+    /** Schedule the stop-the-world remark (deferred if a GC runs). */
+    void requestRemark();
+    void performRemarkAtSafepoint();
+    void finishRemark(const FullWork &sweep, Ticks safepoint_at);
+    /** @} */
+
+    sim::Simulation &sim_;
+    machine::Machine &mach_;
+    os::Scheduler &sched_;
+    VmConfig config_;
+    ListenerChain listeners_;
+
+    std::unique_ptr<Heap> heap_;
+    std::unique_ptr<GcCostModel> cost_model_;
+    std::unique_ptr<AdaptiveSizePolicy> adaptive_;
+    std::unique_ptr<ConcurrentMarker> marker_;
+    bool cycle_active_ = false;
+    bool remark_pending_ = false;
+    /** Old-gen occupancy right after the last sweep (cycle throttle). */
+    Bytes post_sweep_old_used_ = 0;
+    std::unique_ptr<MonitorTable> monitors_;
+    std::vector<std::unique_ptr<MutatorThread>> mutators_;
+    std::vector<std::unique_ptr<HelperThread>> helpers_;
+
+    bool ran_ = false;
+    std::uint32_t n_threads_ = 0;
+    std::uint32_t mutators_finished_ = 0;
+    Ticks run_end_time_ = 0;
+
+    bool gc_in_progress_ = false;
+    Ticks gc_requested_at_ = 0;
+    /** End time of the previous STW collection (adaptive intervals). */
+    Ticks last_gc_end_ = 0;
+    std::uint64_t gc_seq_ = 0;
+    std::vector<MutatorThread *> gc_waiters_;
+
+    GcRunStats gc_stats_;
+    std::uint64_t total_tasks_ = 0;
+
+    /** Guard against runaway/deadlocked workloads. */
+    Ticks max_run_time_ = 600 * units::SEC;
+};
+
+} // namespace jscale::jvm
+
+#endif // JSCALE_JVM_RUNTIME_VM_HH

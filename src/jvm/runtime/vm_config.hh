@@ -1,0 +1,128 @@
+/**
+ * @file
+ * JVM configuration: heap geometry, GC cost-model parameters, fixed
+ * operation costs and helper-thread settings.
+ *
+ * Cost constants are calibrated to OpenJDK-1.7-era magnitudes on
+ * 2010-class hardware (the paper's AMD 6168 testbed): sub-microsecond
+ * allocation/lock fast paths, millisecond-scale collections, tens of
+ * microseconds of per-thread safepoint/root work.
+ */
+
+#ifndef JSCALE_JVM_RUNTIME_VM_CONFIG_HH
+#define JSCALE_JVM_RUNTIME_VM_CONFIG_HH
+
+#include <cstdint>
+
+#include "base/units.hh"
+#include "jvm/gc/adaptive.hh"
+#include "jvm/heap/heap.hh"
+
+namespace jscale::jvm {
+
+/** Parameters of the stop-the-world parallel collector's cost model. */
+struct GcCostParams
+{
+    /** Fixed serial part of every minor collection. */
+    Ticks minor_base = 150 * units::US;
+    /** Root-scanning / TLAB-retirement work per registered mutator. */
+    Ticks root_scan_per_thread = 12 * units::US;
+    /** Scavenge copy bandwidth per GC worker thread (bytes per ns). */
+    double copy_bw_per_thread = 1.2;
+    /** Synchronization penalty between GC workers (Amdahl-style). */
+    double parallel_alpha = 0.07;
+    /** Fixed serial part of every full collection. */
+    Ticks full_base = 1 * units::MS;
+    /** Mark bandwidth per GC worker (bytes per ns). */
+    double mark_bw_per_thread = 2.5;
+    /** Compaction bandwidth per GC worker (bytes per ns). */
+    double compact_bw_per_thread = 1.5;
+    /** Per-object-record scan overhead (ns). */
+    double scan_cost_per_object = 12.0;
+    /** Fixed cost of a thread-local compartment collection. */
+    Ticks local_base = 40 * units::US;
+};
+
+/** Fixed CPU costs of mutator operations. */
+struct VmCosts
+{
+    /** Allocation fast path (TLAB bump). */
+    Ticks alloc_base = 60;
+    /** Additional allocation cost per byte (zeroing). */
+    double alloc_per_byte = 0.02;
+    /** Uncontended monitor enter. */
+    Ticks monitor_enter = 25;
+    /** Monitor exit. */
+    Ticks monitor_exit = 20;
+    /** Channel acquire/post. */
+    Ticks channel_op = 30;
+    /** Task completion bookkeeping. */
+    Ticks task_done = 40;
+    /** Allocation retry after a GC (slow path re-entry). */
+    Ticks gc_retry = 300;
+    /** Thread exit. */
+    Ticks thread_end = 100;
+};
+
+/** Helper (VM service) thread configuration. */
+struct HelperConfig
+{
+    /** Number of JIT-compiler-like helper threads. */
+    std::uint32_t jit_threads = 2;
+    /** One periodic VM maintenance daemon. */
+    bool periodic_daemon = true;
+    /** Mean length of a JIT compile burst. */
+    Ticks jit_burst_mean = 300 * units::US;
+    /** Initial mean sleep between JIT bursts (backs off over time). */
+    Ticks jit_sleep_mean_initial = 2 * units::MS;
+    /** Multiplicative sleep back-off per burst (JIT work dries up). */
+    double jit_backoff = 1.15;
+    /** Period of the maintenance daemon. */
+    Ticks periodic_interval = 50 * units::MS;
+    /** CPU burst of the maintenance daemon per period. */
+    Ticks periodic_burst = 50 * units::US;
+};
+
+/** Which collector manages the old generation. */
+enum class CollectorKind : std::uint8_t
+{
+    /** The paper's stop-the-world throughput (ParallelScavenge) GC. */
+    Throughput,
+    /** CMS-style: concurrent old-gen marking + short STW remark/sweep. */
+    ConcurrentOld,
+};
+
+/** Parameters of the concurrent old-generation collector. */
+struct ConcurrentGcParams
+{
+    /** Old-gen occupancy fraction that initiates a marking cycle. */
+    double initiating_occupancy = 0.60;
+    /** Single-thread concurrent marking bandwidth (bytes per ns). */
+    double mark_bw = 2.0;
+    /** CPU burst granularity of the marking thread. */
+    Ticks mark_chunk = 300 * units::US;
+    /** Fixed part of the stop-the-world remark pause. */
+    Ticks remark_base = 120 * units::US;
+};
+
+/** Complete VM configuration for one run. */
+struct VmConfig
+{
+    HeapConfig heap;
+    GcCostParams gc_costs;
+    /** Old-generation collector choice. */
+    CollectorKind collector = CollectorKind::Throughput;
+    ConcurrentGcParams concurrent;
+    /** HotSpot-style ergonomic young-generation resizing. */
+    AdaptiveSizeConfig adaptive;
+    VmCosts costs;
+    /** GC worker threads; 0 means one per enabled core (HotSpot-style). */
+    std::uint32_t gc_threads = 0;
+    HelperConfig helpers;
+    /** Spawn helper threads (disable for microbenchmark purity). */
+    bool enable_helpers = true;
+};
+
+} // namespace jscale::jvm
+
+#endif // JSCALE_JVM_RUNTIME_VM_CONFIG_HH

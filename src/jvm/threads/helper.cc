@@ -1,0 +1,56 @@
+#include "jvm/threads/helper.hh"
+
+#include <algorithm>
+
+#include "base/logging.hh"
+
+namespace jscale::jvm {
+
+HelperThread::HelperThread(os::Scheduler &sched, HelperKind kind,
+                           Ticks burst_mean, Ticks sleep_mean,
+                           double backoff, Rng rng, std::string name)
+    : sched_(sched), kind_(kind), burst_mean_(burst_mean),
+      sleep_mean_(static_cast<double>(sleep_mean)), backoff_(backoff),
+      rng_(rng), name_(std::move(name))
+{
+    jscale_assert(burst_mean_ > 0 && sleep_mean_ > 0.0,
+                  "helper thread timing must be positive");
+    jscale_assert(backoff_ >= 1.0, "helper back-off must be >= 1");
+}
+
+Ticks
+HelperThread::planBurst(Ticks now, Ticks limit)
+{
+    (void)now;
+    if (remaining_ == 0) {
+        const double drawn =
+            rng_.exponential(static_cast<double>(burst_mean_));
+        remaining_ = std::max<Ticks>(
+            1 * units::US, static_cast<Ticks>(drawn));
+    }
+    return std::min(remaining_, limit);
+}
+
+os::BurstOutcome
+HelperThread::finishBurst(Ticks now, Ticks elapsed)
+{
+    jscale_assert(elapsed <= remaining_, "helper burst over-ran");
+    remaining_ -= elapsed;
+    if (remaining_ > 0)
+        return os::BurstOutcome::Ready;
+
+    // Burst complete; sleep until the next one.
+    Ticks sleep;
+    if (kind_ == HelperKind::PeriodicDaemon) {
+        sleep = static_cast<Ticks>(sleep_mean_);
+    } else {
+        sleep = std::max<Ticks>(
+            100 * units::US,
+            static_cast<Ticks>(rng_.exponential(sleep_mean_)));
+        sleep_mean_ *= backoff_;
+    }
+    sched_.wakeAt(os_thread_, now + sleep);
+    return os::BurstOutcome::Blocked;
+}
+
+} // namespace jscale::jvm

@@ -1,0 +1,78 @@
+/**
+ * @file
+ * HelperThread: VM service threads that compete with mutators for cores.
+ *
+ * The paper notes that "many helper threads also run concurrently with
+ * the application threads ... most helper threads are short lived". Two
+ * flavours are modeled: JIT-compiler-like threads that burn bursty CPU
+ * early in the run and back off as compilation work dries up, and a
+ * periodic maintenance daemon. Their preemption of mutators contributes
+ * to the suspend-wait that inflates object lifespans.
+ */
+
+#ifndef JSCALE_JVM_THREADS_HELPER_HH
+#define JSCALE_JVM_THREADS_HELPER_HH
+
+#include <cstdint>
+#include <string>
+
+#include "base/random.hh"
+#include "base/units.hh"
+#include "os/scheduler.hh"
+#include "os/thread.hh"
+
+namespace jscale::jvm {
+
+/** Behaviour flavours for helper threads. */
+enum class HelperKind
+{
+    /** Bursty early activity with multiplicative back-off (JIT-like). */
+    JitCompiler,
+    /** Fixed-period small bursts (VM periodic task thread). */
+    PeriodicDaemon,
+};
+
+/** A VM service thread; runs forever (the simulation stops around it). */
+class HelperThread : public os::SchedClient
+{
+  public:
+    /**
+     * @param sched owning scheduler
+     * @param kind behaviour flavour
+     * @param burst_mean mean CPU burst length
+     * @param sleep_mean initial mean sleep between bursts
+     * @param backoff multiplicative sleep growth (JIT back-off; use 1.0
+     *        for fixed-period daemons)
+     * @param rng private random stream
+     * @param name diagnostic name
+     */
+    HelperThread(os::Scheduler &sched, HelperKind kind, Ticks burst_mean,
+                 Ticks sleep_mean, double backoff, Rng rng,
+                 std::string name);
+
+    Ticks planBurst(Ticks now, Ticks limit) override;
+    os::BurstOutcome finishBurst(Ticks now, Ticks elapsed) override;
+    std::string clientName() const override { return name_; }
+
+    /** Bind the scheduler-side record (done once by the VM). */
+    void bindOsThread(os::OsThread *t) { os_thread_ = t; }
+
+    os::OsThread *osThread() const { return os_thread_; }
+
+  private:
+    os::Scheduler &sched_;
+    HelperKind kind_;
+    Ticks burst_mean_;
+    double sleep_mean_;
+    double backoff_;
+    Rng rng_;
+    std::string name_;
+    os::OsThread *os_thread_ = nullptr;
+
+    /** Unpaid remainder of the current burst. */
+    Ticks remaining_ = 0;
+};
+
+} // namespace jscale::jvm
+
+#endif // JSCALE_JVM_THREADS_HELPER_HH

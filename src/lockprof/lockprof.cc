@@ -1,0 +1,85 @@
+#include "lockprof/lockprof.hh"
+
+#include <algorithm>
+
+#include "base/output.hh"
+
+namespace jscale::lockprof {
+
+void
+LockProfiler::onMonitorAcquire(jvm::MutatorIndex thread,
+                               jvm::MonitorId monitor, bool contended,
+                               Ticks now)
+{
+    ++totals_.acquisitions;
+    ++per_monitor_[monitor].acquisitions;
+    ++per_thread_[thread].acquisitions;
+    if (contended) {
+        ++totals_.contended_acquisitions;
+        ++per_monitor_[monitor].contended_acquisitions;
+        if (per_monitor_[monitor].blocked_now > 0)
+            --per_monitor_[monitor].blocked_now;
+        ++per_thread_[thread].contended_acquisitions;
+        auto it = block_since_.find(thread);
+        if (it != block_since_.end()) {
+            const Ticks blocked = now - it->second;
+            totals_.total_block_time += blocked;
+            per_monitor_[monitor].total_block_time += blocked;
+            per_thread_[thread].total_block_time += blocked;
+            block_.add(static_cast<double>(blocked));
+            block_since_.erase(it);
+        }
+    }
+}
+
+void
+LockProfiler::onMonitorContended(jvm::MutatorIndex thread,
+                                 jvm::MonitorId monitor, Ticks now)
+{
+    ++totals_.contentions;
+    auto &m = per_monitor_[monitor];
+    ++m.contentions;
+    ++m.blocked_now;
+    m.max_blocked = std::max(m.max_blocked, m.blocked_now);
+    ++per_thread_[thread].contentions;
+    block_since_[thread] = now;
+}
+
+void
+LockProfiler::onMonitorRelease(jvm::MutatorIndex thread,
+                               jvm::MonitorId monitor, Ticks now)
+{
+    (void)thread;
+    (void)now;
+    ++totals_.releases;
+    ++per_monitor_[monitor].releases;
+}
+
+void
+LockProfiler::printReport(std::ostream &os) const
+{
+    TextTable t;
+    t.header({"monitor", "acquisitions", "contentions", "contended-acq",
+              "block-time", "max-queue"});
+    for (const auto &[id, c] : per_monitor_) {
+        t.row({"monitor-" + std::to_string(id),
+               std::to_string(c.acquisitions),
+               std::to_string(c.contentions),
+               std::to_string(c.contended_acquisitions),
+               formatTicks(c.total_block_time),
+               std::to_string(c.max_blocked)});
+    }
+    t.row({"TOTAL", std::to_string(totals_.acquisitions),
+           std::to_string(totals_.contentions),
+           std::to_string(totals_.contended_acquisitions),
+           formatTicks(totals_.total_block_time), ""});
+    t.print(os);
+}
+
+void
+LockProfiler::reset()
+{
+    *this = LockProfiler();
+}
+
+} // namespace jscale::lockprof

@@ -1,0 +1,89 @@
+/**
+ * @file
+ * DTrace-style lock profiling.
+ *
+ * The paper "used Dtrace to profile lock usage, from which instances of
+ * contention during execution could be analyzed". LockProfiler plays the
+ * same role here: it subscribes to the VM probe chain and aggregates,
+ * per monitor and per thread, the acquisition counts (Fig. 1a series),
+ * contention instance counts (Fig. 1b series) and block-time
+ * distributions, without the runtime knowing it is being profiled.
+ */
+
+#ifndef JSCALE_LOCKPROF_LOCKPROF_HH
+#define JSCALE_LOCKPROF_LOCKPROF_HH
+
+#include <cstdint>
+#include <map>
+#include <ostream>
+#include <string>
+
+#include "base/units.hh"
+#include "jvm/runtime/listener.hh"
+#include "stats/stats.hh"
+
+namespace jscale::lockprof {
+
+/** Aggregated probe counts for one monitor or one thread. */
+struct LockCounters
+{
+    std::uint64_t acquisitions = 0;
+    std::uint64_t contended_acquisitions = 0;
+    std::uint64_t contentions = 0;
+    std::uint64_t releases = 0;
+    Ticks total_block_time = 0;
+    /** Threads currently blocked (profiler view). */
+    std::uint32_t blocked_now = 0;
+    /** High-water mark of simultaneously blocked threads. */
+    std::uint32_t max_blocked = 0;
+};
+
+/** The profiling agent. Subscribe to JavaVm::listeners() before run(). */
+class LockProfiler : public jvm::RuntimeListener
+{
+  public:
+    void onMonitorAcquire(jvm::MutatorIndex thread, jvm::MonitorId monitor,
+                          bool contended, Ticks now) override;
+    void onMonitorContended(jvm::MutatorIndex thread,
+                            jvm::MonitorId monitor, Ticks now) override;
+    void onMonitorRelease(jvm::MutatorIndex thread, jvm::MonitorId monitor,
+                          Ticks now) override;
+
+    /** Totals across all monitors. */
+    const LockCounters &totals() const { return totals_; }
+
+    /** Per-monitor counters (only monitors that saw events appear). */
+    const std::map<jvm::MonitorId, LockCounters> &
+    perMonitor() const
+    {
+        return per_monitor_;
+    }
+
+    /** Per-thread counters. */
+    const std::map<jvm::MutatorIndex, LockCounters> &
+    perThread() const
+    {
+        return per_thread_;
+    }
+
+    /** Distribution of individual block durations. */
+    const stats::SampleStats &blockDurations() const { return block_; }
+
+    /** Render an aligned per-monitor report. */
+    void printReport(std::ostream &os) const;
+
+    /** Clear all state. */
+    void reset();
+
+  private:
+    LockCounters totals_;
+    std::map<jvm::MonitorId, LockCounters> per_monitor_;
+    std::map<jvm::MutatorIndex, LockCounters> per_thread_;
+    /** Block-start time of each currently blocked thread. */
+    std::map<jvm::MutatorIndex, Ticks> block_since_;
+    stats::SampleStats block_;
+};
+
+} // namespace jscale::lockprof
+
+#endif // JSCALE_LOCKPROF_LOCKPROF_HH

@@ -1,0 +1,49 @@
+#include "os/policy.hh"
+
+#include "base/logging.hh"
+
+namespace jscale::os {
+
+BiasedPolicy::BiasedPolicy(std::uint32_t groups, Ticks phase_quantum)
+    : groups_(groups), phase_quantum_(phase_quantum)
+{
+    jscale_assert(groups >= 1, "BiasedPolicy requires at least one group");
+    jscale_assert(phase_quantum > 0, "phase quantum must be positive");
+}
+
+void
+BiasedPolicy::onRegister(const OsThread &thread)
+{
+    if (thread.kind() != ThreadKind::Mutator)
+        return;
+    group_of_[thread.id()] = next_group_;
+    next_group_ = (next_group_ + 1) % groups_;
+}
+
+std::uint32_t
+BiasedPolicy::activeGroup(Ticks now) const
+{
+    return static_cast<std::uint32_t>((now / phase_quantum_) % groups_);
+}
+
+std::uint32_t
+BiasedPolicy::groupOf(ThreadId id) const
+{
+    auto it = group_of_.find(id);
+    jscale_assert(it != group_of_.end(), "thread ", id,
+                  " has no bias group");
+    return it->second;
+}
+
+bool
+BiasedPolicy::eligible(const OsThread &thread, Ticks now) const
+{
+    if (thread.kind() != ThreadKind::Mutator)
+        return true;
+    auto it = group_of_.find(thread.id());
+    if (it == group_of_.end())
+        return true;
+    return it->second == activeGroup(now);
+}
+
+} // namespace jscale::os

@@ -1,0 +1,398 @@
+#include "os/scheduler.hh"
+
+#include <algorithm>
+
+#include "base/logging.hh"
+
+namespace jscale::os {
+
+const char *
+threadStateName(ThreadState s)
+{
+    switch (s) {
+      case ThreadState::New: return "new";
+      case ThreadState::Ready: return "ready";
+      case ThreadState::Running: return "running";
+      case ThreadState::Blocked: return "blocked";
+      case ThreadState::Sleeping: return "sleeping";
+      case ThreadState::Finished: return "finished";
+    }
+    return "?";
+}
+
+/** Per-core event firing at the end of a dispatched burst. */
+class Scheduler::SliceEndEvent : public sim::Event
+{
+  public:
+    SliceEndEvent(Scheduler &sched, machine::CoreId core)
+        : sched_(sched), core_(core)
+    {}
+
+    void process() override { sched_.sliceEnd(core_); }
+
+    std::string
+    name() const override
+    {
+        return "slice-end(core " + std::to_string(core_) + ")";
+    }
+
+  private:
+    Scheduler &sched_;
+    machine::CoreId core_;
+};
+
+Scheduler::Scheduler(sim::Simulation &sim, machine::Machine &mach,
+                     const SchedulerConfig &config)
+    : sim_(sim), mach_(mach), config_(config),
+      policy_(std::make_unique<DefaultPolicy>()),
+      rng_(sim.forkRng(0x05ced'0001ULL))
+{
+    jscale_assert(config_.quantum > 0, "quantum must be positive");
+    jscale_assert(config_.min_poll_latency >= 1 &&
+                      config_.min_poll_latency <= config_.max_poll_latency,
+                  "bad safepoint poll latency bounds");
+    cores_.resize(mach.cores().size());
+    for (std::size_t i = 0; i < cores_.size(); ++i) {
+        cores_[i].slice_end = std::make_unique<SliceEndEvent>(
+            *this, static_cast<machine::CoreId>(i));
+    }
+}
+
+Scheduler::~Scheduler()
+{
+    // Deschedule core events so the queue never dispatches into a dead
+    // scheduler if the Simulation outlives it.
+    for (auto &cs : cores_) {
+        if (cs.slice_end && cs.slice_end->scheduled())
+            sim_.queue().deschedule(cs.slice_end.get());
+    }
+}
+
+void
+Scheduler::setPolicy(std::unique_ptr<SchedPolicy> policy)
+{
+    jscale_assert(policy != nullptr, "null scheduling policy");
+    policy_ = std::move(policy);
+    for (const auto &t : threads_)
+        policy_->onRegister(*t);
+}
+
+OsThread *
+Scheduler::registerThread(SchedClient *client, ThreadKind kind,
+                          std::optional<machine::CoreId> home)
+{
+    jscale_assert(client != nullptr, "null scheduler client");
+    const auto enabled = mach_.enabledCoreIds();
+    jscale_assert(!enabled.empty(),
+                  "registerThread before any core was enabled");
+    machine::CoreId home_core;
+    if (home) {
+        jscale_assert(mach_.core(*home).enabled(),
+                      "home core ", *home, " is not enabled");
+        home_core = *home;
+    } else {
+        home_core = enabled[next_home_rr_ % enabled.size()];
+        ++next_home_rr_;
+    }
+    auto thread = std::make_unique<OsThread>(
+        static_cast<ThreadId>(threads_.size()), client, kind, home_core);
+    OsThread *ptr = thread.get();
+    threads_.push_back(std::move(thread));
+    policy_->onRegister(*ptr);
+    return ptr;
+}
+
+void
+Scheduler::start(OsThread *thread)
+{
+    jscale_assert(thread->state_ == ThreadState::New,
+                  "start() on non-new thread '", thread->name(), "'");
+    thread->state_ = ThreadState::Ready;
+    thread->state_since_ = sim_.now();
+    enqueueReady(thread, thread->home_core_);
+    if (!world_stopped_)
+        kickAll();
+}
+
+void
+Scheduler::accountStateExit(OsThread *thread, Ticks now)
+{
+    const Ticks span = now - thread->state_since_;
+    switch (thread->state_) {
+      case ThreadState::Ready:
+        thread->ready_time_ += span;
+        break;
+      case ThreadState::Blocked:
+        thread->blocked_time_ += span;
+        break;
+      case ThreadState::Sleeping:
+        thread->sleep_time_ += span;
+        break;
+      default:
+        break;
+    }
+}
+
+void
+Scheduler::wake(OsThread *thread)
+{
+    jscale_assert(thread->state_ == ThreadState::Blocked ||
+                      thread->state_ == ThreadState::Sleeping,
+                  "wake() on thread '", thread->name(), "' in state ",
+                  threadStateName(thread->state_));
+    const Ticks now = sim_.now();
+    accountStateExit(thread, now);
+    thread->state_ = ThreadState::Ready;
+    thread->state_since_ = now;
+    // Wake to the home core: after a block the home core is the one most
+    // likely idle (its owner was the blocked thread), and restoring the
+    // 1:1 placement avoids the cross-core drift that work stealing
+    // introduces while threads are parked.
+    enqueueReady(thread, thread->home_core_);
+    if (!world_stopped_)
+        kickAll();
+}
+
+void
+Scheduler::wakeAt(OsThread *thread, Ticks when)
+{
+    jscale_assert(when >= sim_.now(), "wakeAt in the past");
+    // The caller is inside its burst; the Blocked outcome it is about to
+    // return is recorded as Sleeping for accounting.
+    thread->pending_sleep_ = true;
+    sim_.scheduleAt(when, [this, thread] {
+        if (thread->state_ == ThreadState::Sleeping)
+            wake(thread);
+    }, "timed-wake");
+}
+
+void
+Scheduler::enqueueReady(OsThread *thread, machine::CoreId core_id)
+{
+    cores_[core_id].ready.push_back(thread);
+}
+
+OsThread *
+Scheduler::pickFromQueue(std::deque<OsThread *> &queue, Ticks now)
+{
+    for (auto it = queue.begin(); it != queue.end(); ++it) {
+        if (policy_->eligible(**it, now) || (*it)->client()->urgent()) {
+            OsThread *t = *it;
+            queue.erase(it);
+            return t;
+        }
+    }
+    return nullptr;
+}
+
+OsThread *
+Scheduler::stealFor(machine::CoreId thief, Ticks now)
+{
+    if (!config_.stealing)
+        return nullptr;
+    // Deterministic victim selection, NUMA-aware: same-socket victims
+    // are preferred; remote sockets are raided only for real imbalance
+    // (two or more queued threads), since cross-socket migration is
+    // expensive and would otherwise poison hot lock-handoff chains.
+    const machine::NodeId my_socket = mach_.socketOf(thief);
+    machine::CoreId victim = thief;
+    std::size_t best = 0;
+    bool best_local = false;
+    for (const auto id : mach_.enabledCoreIds()) {
+        if (id == thief)
+            continue;
+        const std::size_t len = cores_[id].ready.size();
+        if (len == 0)
+            continue;
+        const bool local = mach_.socketOf(id) == my_socket;
+        if (!local && len < 2)
+            continue;
+        // Local victims beat remote ones; then longest queue, lowest id.
+        if ((local && !best_local) ||
+            (local == best_local && len > best)) {
+            best = len;
+            victim = id;
+            best_local = local;
+        }
+    }
+    if (best == 0)
+        return nullptr;
+    OsThread *t = pickFromQueue(cores_[victim].ready, now);
+    if (t)
+        ++stats_.steals;
+    return t;
+}
+
+void
+Scheduler::maybeDispatch(machine::CoreId core_id)
+{
+    CoreState &cs = cores_[core_id];
+    if (world_stopped_ || cs.running || !mach_.core(core_id).enabled())
+        return;
+    const Ticks now = sim_.now();
+    OsThread *thread = pickFromQueue(cs.ready, now);
+    bool stolen = false;
+    if (!thread) {
+        thread = stealFor(core_id, now);
+        stolen = thread != nullptr;
+    }
+    if (!thread)
+        return;
+    dispatch(core_id, thread, stolen);
+}
+
+void
+Scheduler::dispatch(machine::CoreId core_id, OsThread *thread, bool stolen)
+{
+    (void)stolen;
+    CoreState &cs = cores_[core_id];
+    const Ticks now = sim_.now();
+    jscale_assert(thread->state_ == ThreadState::Ready,
+                  "dispatching thread in state ",
+                  threadStateName(thread->state_));
+    accountStateExit(thread, now);
+
+    Ticks overhead = 0;
+    if (cs.last_thread != thread) {
+        overhead += mach_.config().context_switch_cost;
+        ++stats_.context_switches;
+    }
+    if (thread->ever_ran_ &&
+        mach_.socketOf(thread->last_core_) != mach_.socketOf(core_id)) {
+        overhead += mach_.config().migration_cost;
+        ++thread->migrations_;
+        ++stats_.migrations;
+    }
+
+    thread->state_ = ThreadState::Running;
+    thread->state_since_ = now;
+    thread->last_core_ = core_id;
+    thread->ever_ran_ = true;
+    ++thread->dispatches_;
+    ++stats_.dispatches;
+
+    const Ticks planned = thread->client_->planBurst(now, config_.quantum);
+    jscale_assert(planned > 0 && planned <= config_.quantum,
+                  "planBurst of '", thread->name(),
+                  "' returned out-of-range length ", planned);
+
+    cs.running = thread;
+    cs.last_thread = thread;
+    cs.dispatched_at = now;
+    cs.overhead = overhead;
+    cs.planned = planned;
+    ++running_count_;
+    sim_.schedule(cs.slice_end.get(), now + overhead + planned);
+
+    // A stop-the-world request may have raced in via the policy kick
+    // path; keep the invariant that no dispatch happens while stopped.
+    jscale_assert(!world_stopped_, "dispatch during stop-the-world");
+}
+
+void
+Scheduler::sliceEnd(machine::CoreId core_id)
+{
+    CoreState &cs = cores_[core_id];
+    OsThread *thread = cs.running;
+    jscale_assert(thread != nullptr, "slice end on idle core ", core_id);
+    const Ticks now = sim_.now();
+    const Ticks elapsed_total = now - cs.dispatched_at;
+    const Ticks work = elapsed_total > cs.overhead
+                           ? elapsed_total - cs.overhead
+                           : 0;
+    jscale_assert(work <= cs.planned, "burst overran its plan");
+
+    cs.running = nullptr;
+    --running_count_;
+    thread->cpu_time_ += work;
+    stats_.busy_ticks += elapsed_total;
+    stats_.overhead_ticks += std::min(cs.overhead, elapsed_total);
+    if (work < cs.planned)
+        ++stats_.preemptions;
+
+    // finishBurst may reenter the scheduler (wake peers, request a
+    // stop-the-world); core state must already be consistent.
+    const BurstOutcome outcome = thread->client_->finishBurst(now, work);
+
+    switch (outcome) {
+      case BurstOutcome::Ready:
+        thread->state_ = ThreadState::Ready;
+        thread->state_since_ = now;
+        enqueueReady(thread, core_id);
+        break;
+      case BurstOutcome::Blocked:
+        thread->state_ = thread->pending_sleep_ ? ThreadState::Sleeping
+                                                : ThreadState::Blocked;
+        thread->pending_sleep_ = false;
+        thread->state_since_ = now;
+        break;
+      case BurstOutcome::Finished:
+        thread->state_ = ThreadState::Finished;
+        thread->state_since_ = now;
+        ++finished_count_;
+        if (finished_cb_)
+            finished_cb_(thread);
+        break;
+    }
+
+    if (world_stopped_) {
+        maybeFireStwCallback();
+    } else {
+        maybeDispatch(core_id);
+    }
+}
+
+void
+Scheduler::stopTheWorld(std::function<void()> all_parked)
+{
+    jscale_assert(!world_stopped_, "nested stop-the-world");
+    world_stopped_ = true;
+    stw_callback_ = std::move(all_parked);
+    stw_cb_pending_ = true;
+
+    const Ticks now = sim_.now();
+    for (const auto id : mach_.enabledCoreIds()) {
+        CoreState &cs = cores_[id];
+        if (!cs.running)
+            continue;
+        // Truncate the running burst at its next safepoint poll.
+        const Ticks poll = now + static_cast<Ticks>(rng_.range(
+            static_cast<std::int64_t>(config_.min_poll_latency),
+            static_cast<std::int64_t>(config_.max_poll_latency)));
+        if (cs.slice_end->scheduled() && cs.slice_end->when() > poll)
+            sim_.queue().reschedule(cs.slice_end.get(), poll);
+    }
+    maybeFireStwCallback();
+}
+
+void
+Scheduler::maybeFireStwCallback()
+{
+    if (!stw_cb_pending_ || running_count_ > 0)
+        return;
+    stw_cb_pending_ = false;
+    // Flatten the call stack: fire as a zero-delay event.
+    sim_.scheduleAfter(0, [this] {
+        if (stw_callback_)
+            stw_callback_();
+    }, "stw-parked");
+}
+
+void
+Scheduler::resumeWorld()
+{
+    jscale_assert(world_stopped_, "resumeWorld without stopTheWorld");
+    jscale_assert(running_count_ == 0, "resumeWorld with running threads");
+    world_stopped_ = false;
+    stw_callback_ = nullptr;
+    kickAll();
+}
+
+void
+Scheduler::kickAll()
+{
+    for (const auto id : mach_.enabledCoreIds())
+        maybeDispatch(id);
+}
+
+} // namespace jscale::os

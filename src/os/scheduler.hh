@@ -1,0 +1,180 @@
+/**
+ * @file
+ * The simulated OS CPU scheduler.
+ *
+ * Per-core FIFO run queues with round-robin time slices, home-core
+ * affinity, deterministic idle stealing, context-switch and cross-socket
+ * migration costs, and a stop-the-world protocol used by the JVM's
+ * safepoint machinery: running threads are truncated at their next
+ * (randomized) safepoint-poll boundary, so time-to-safepoint grows with
+ * the number of running threads — one of the effects the paper measures.
+ */
+
+#ifndef JSCALE_OS_SCHEDULER_HH
+#define JSCALE_OS_SCHEDULER_HH
+
+#include <deque>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "base/random.hh"
+#include "base/units.hh"
+#include "machine/machine.hh"
+#include "os/policy.hh"
+#include "os/thread.hh"
+#include "sim/simulation.hh"
+
+namespace jscale::os {
+
+/** Tunables for the scheduler. */
+struct SchedulerConfig
+{
+    /** Round-robin time slice. */
+    Ticks quantum = 4 * units::MS;
+    /** Safepoint-poll latency bounds for truncating running threads. */
+    Ticks min_poll_latency = 1 * units::US;
+    Ticks max_poll_latency = 25 * units::US;
+    /** Whether idle cores steal from loaded run queues. */
+    bool stealing = true;
+};
+
+/** Aggregate scheduler statistics for one run. */
+struct SchedulerStats
+{
+    std::uint64_t dispatches = 0;
+    std::uint64_t context_switches = 0;
+    std::uint64_t migrations = 0;
+    std::uint64_t steals = 0;
+    std::uint64_t preemptions = 0;
+    Ticks busy_ticks = 0;
+    Ticks overhead_ticks = 0;
+};
+
+/**
+ * Deterministic manycore scheduler. Threads are registered once, started,
+ * and then driven through the SchedClient burst protocol; all interleaving
+ * decisions derive from the simulation's seeded random streams.
+ */
+class Scheduler
+{
+  public:
+    Scheduler(sim::Simulation &sim, machine::Machine &mach,
+              const SchedulerConfig &config = {});
+    ~Scheduler();
+
+    Scheduler(const Scheduler &) = delete;
+    Scheduler &operator=(const Scheduler &) = delete;
+
+    /** Install a scheduling policy (default: DefaultPolicy). Threads
+     *  registered so far are re-announced to the new policy. */
+    void setPolicy(std::unique_ptr<SchedPolicy> policy);
+
+    /** Currently installed policy. */
+    const SchedPolicy &policy() const { return *policy_; }
+
+    /**
+     * Register a thread. Home core defaults to round-robin over the
+     * machine's enabled cores.
+     */
+    OsThread *registerThread(SchedClient *client, ThreadKind kind,
+                             std::optional<machine::CoreId> home = {});
+
+    /** Move a New thread to Ready and try to dispatch it. */
+    void start(OsThread *thread);
+
+    /** Wake a Blocked/Sleeping thread. */
+    void wake(OsThread *thread);
+
+    /**
+     * Arrange for @p thread to sleep until @p when; the client must
+     * return BurstOutcome::Blocked from the burst that called this.
+     */
+    void wakeAt(OsThread *thread, Ticks when);
+
+    /**
+     * Park every thread (used by the JVM safepoint). Running threads are
+     * truncated at their next poll point; @p all_parked fires (as an
+     * event at the park-completion time) once no thread is running.
+     */
+    void stopTheWorld(std::function<void()> all_parked);
+
+    /** Resume dispatching after stopTheWorld. */
+    void resumeWorld();
+
+    /** Whether the world is currently stopped (or stopping). */
+    bool worldStopped() const { return world_stopped_; }
+
+    /** Number of threads currently executing on cores. */
+    std::uint32_t runningCount() const { return running_count_; }
+
+    /** Number of registered threads that have finished. */
+    std::uint32_t finishedCount() const { return finished_count_; }
+
+    /** All registered threads, in registration order. */
+    const std::vector<std::unique_ptr<OsThread>> &threads() const
+    {
+        return threads_;
+    }
+
+    /** Callback invoked whenever a thread finishes. */
+    void setThreadFinishedCallback(std::function<void(OsThread *)> cb)
+    {
+        finished_cb_ = std::move(cb);
+    }
+
+    /** Re-examine all idle cores (used after policy phase rotations). */
+    void kickAll();
+
+    /** Run statistics. */
+    const SchedulerStats &schedStats() const { return stats_; }
+
+    const SchedulerConfig &config() const { return config_; }
+
+  private:
+    class SliceEndEvent;
+
+    struct CoreState
+    {
+        std::deque<OsThread *> ready;
+        OsThread *running = nullptr;
+        OsThread *last_thread = nullptr;
+        Ticks dispatched_at = 0;
+        Ticks overhead = 0;
+        Ticks planned = 0;
+        std::unique_ptr<SliceEndEvent> slice_end;
+    };
+
+    void maybeDispatch(machine::CoreId core_id);
+    void dispatch(machine::CoreId core_id, OsThread *thread, bool stolen);
+    void sliceEnd(machine::CoreId core_id);
+    OsThread *pickFromQueue(std::deque<OsThread *> &queue, Ticks now);
+    OsThread *stealFor(machine::CoreId thief, Ticks now);
+    void enqueueReady(OsThread *thread, machine::CoreId core_id);
+    void accountStateExit(OsThread *thread, Ticks now);
+    void maybeFireStwCallback();
+
+    sim::Simulation &sim_;
+    machine::Machine &mach_;
+    SchedulerConfig config_;
+    std::unique_ptr<SchedPolicy> policy_;
+    Rng rng_;
+
+    std::vector<std::unique_ptr<OsThread>> threads_;
+    std::vector<CoreState> cores_;
+    std::uint32_t next_home_rr_ = 0;
+    std::uint32_t running_count_ = 0;
+    std::uint32_t finished_count_ = 0;
+
+    bool world_stopped_ = false;
+    bool stw_cb_pending_ = false;
+    std::function<void()> stw_callback_;
+    std::function<void(OsThread *)> finished_cb_;
+
+    SchedulerStats stats_;
+};
+
+} // namespace jscale::os
+
+#endif // JSCALE_OS_SCHEDULER_HH

@@ -1,0 +1,88 @@
+#include "sim/event.hh"
+
+#include "base/logging.hh"
+
+namespace jscale::sim {
+
+Event::~Event()
+{
+    // Owners must deschedule their events before destroying them; a
+    // scheduled event dying would leave a dangling pointer in the queue.
+    jscale_assert(!scheduled_, "event destroyed while scheduled");
+}
+
+EventQueue::~EventQueue()
+{
+    // Drain remaining live events, honouring self-deletion so no
+    // LambdaEvents leak when a simulation ends early.
+    while (Event *ev = pop()) {
+        if (ev->selfDeleting())
+            delete ev;
+    }
+}
+
+void
+EventQueue::schedule(Event *ev, Ticks when)
+{
+    jscale_assert(ev != nullptr, "schedule of null event");
+    jscale_assert(!ev->scheduled_,
+                  "event '", ev->name(), "' is already scheduled");
+    ev->when_ = when;
+    ev->seq_ = next_seq_++;
+    ev->scheduled_ = true;
+    heap_.push(Entry{when, ev->seq_, ev});
+    ++live_;
+}
+
+void
+EventQueue::deschedule(Event *ev)
+{
+    jscale_assert(ev != nullptr, "deschedule of null event");
+    if (!ev->scheduled_)
+        return;
+    ev->scheduled_ = false;
+    cancelled_.insert(ev->seq_);
+    --live_;
+}
+
+void
+EventQueue::reschedule(Event *ev, Ticks when)
+{
+    deschedule(ev);
+    schedule(ev, when);
+}
+
+void
+EventQueue::skim()
+{
+    while (!heap_.empty()) {
+        auto it = cancelled_.find(heap_.top().seq);
+        if (it == cancelled_.end())
+            return;
+        cancelled_.erase(it);
+        heap_.pop();
+    }
+}
+
+Ticks
+EventQueue::nextTime()
+{
+    skim();
+    jscale_assert(!heap_.empty(), "nextTime() on empty event queue");
+    return heap_.top().when;
+}
+
+Event *
+EventQueue::pop()
+{
+    skim();
+    if (heap_.empty())
+        return nullptr;
+    Entry top = heap_.top();
+    heap_.pop();
+    top.ev->scheduled_ = false;
+    --live_;
+    return top.ev;
+}
+
+} // namespace jscale::sim

@@ -1,0 +1,158 @@
+/**
+ * @file
+ * Discrete-event kernel: events and the event queue.
+ *
+ * Events are processed in (time, sequence) order, so two events scheduled
+ * for the same tick always fire in the order they were scheduled — the
+ * determinism guarantee the rest of the simulator builds on.
+ *
+ * Cancellation is tombstone-based: descheduling records the entry's
+ * sequence number in a cancellation set, and stale heap entries are
+ * skimmed off without ever dereferencing the (possibly already
+ * destroyed) event. The contract for event owners is therefore simple:
+ * deschedule your events in your destructor and the queue may safely
+ * outlive you.
+ */
+
+#ifndef JSCALE_SIM_EVENT_HH
+#define JSCALE_SIM_EVENT_HH
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <string>
+#include <unordered_set>
+#include <vector>
+
+#include "base/units.hh"
+
+namespace jscale::sim {
+
+class EventQueue;
+
+/**
+ * An occurrence scheduled at a simulated time. Subclasses implement
+ * process(). Events are owned by their components (they are *not* deleted
+ * by the queue) unless they opt into self-deletion via selfDeleting().
+ */
+class Event
+{
+  public:
+    virtual ~Event();
+
+    Event(const Event &) = delete;
+    Event &operator=(const Event &) = delete;
+
+    /** Invoked when the event's scheduled time is reached. */
+    virtual void process() = 0;
+
+    /** Human-readable name for diagnostics. */
+    virtual std::string name() const { return "event"; }
+
+    /** Whether the queue should delete this event after processing. */
+    virtual bool selfDeleting() const { return false; }
+
+    /** Time this event is scheduled for (valid only while scheduled). */
+    Ticks when() const { return when_; }
+
+    /** True while the event sits in a queue awaiting dispatch. */
+    bool scheduled() const { return scheduled_; }
+
+  protected:
+    Event() = default;
+
+  private:
+    friend class EventQueue;
+
+    Ticks when_ = 0;
+    std::uint64_t seq_ = 0;
+    bool scheduled_ = false;
+};
+
+/** Convenience event wrapping a callable; self-deletes after firing. */
+class LambdaEvent : public Event
+{
+  public:
+    /** @param fn callback to run; @param what diagnostic label. */
+    explicit LambdaEvent(std::function<void()> fn,
+                         std::string what = "lambda")
+        : fn_(std::move(fn)), what_(std::move(what))
+    {}
+
+    void process() override { fn_(); }
+    std::string name() const override { return what_; }
+    bool selfDeleting() const override { return true; }
+
+  private:
+    std::function<void()> fn_;
+    std::string what_;
+};
+
+/**
+ * Deterministic min-heap of events keyed by (time, insertion sequence).
+ */
+class EventQueue
+{
+  public:
+    EventQueue() = default;
+    ~EventQueue();
+
+    EventQueue(const EventQueue &) = delete;
+    EventQueue &operator=(const EventQueue &) = delete;
+
+    /**
+     * Schedule @p ev at absolute time @p when. Scheduling an
+     * already-scheduled event is a simulator bug.
+     */
+    void schedule(Event *ev, Ticks when);
+
+    /** Remove @p ev from the queue; no-op if not scheduled. */
+    void deschedule(Event *ev);
+
+    /** Deschedule (if needed) and schedule at a new time. */
+    void reschedule(Event *ev, Ticks when);
+
+    /** True when no live events remain. */
+    bool empty() const { return live_ == 0; }
+
+    /** Number of live (non-cancelled) events. */
+    std::size_t size() const { return live_; }
+
+    /** Time of the earliest live event; queue must not be empty. */
+    Ticks nextTime();
+
+    /**
+     * Pop and return the earliest live event, marking it unscheduled.
+     * Returns nullptr when empty. The caller runs process() and honours
+     * selfDeleting().
+     */
+    Event *pop();
+
+  private:
+    struct Entry
+    {
+        Ticks when;
+        std::uint64_t seq;
+        Event *ev;
+
+        bool
+        operator>(const Entry &o) const
+        {
+            if (when != o.when)
+                return when > o.when;
+            return seq > o.seq;
+        }
+    };
+
+    /** Drop cancelled entries off the heap top without touching them. */
+    void skim();
+
+    std::priority_queue<Entry, std::vector<Entry>, std::greater<>> heap_;
+    std::unordered_set<std::uint64_t> cancelled_;
+    std::uint64_t next_seq_ = 0;
+    std::size_t live_ = 0;
+};
+
+} // namespace jscale::sim
+
+#endif // JSCALE_SIM_EVENT_HH

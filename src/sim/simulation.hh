@@ -1,0 +1,86 @@
+/**
+ * @file
+ * The Simulation object: global clock, event dispatch loop and the
+ * experiment-wide deterministic random seed from which every subsystem
+ * forks its private stream.
+ */
+
+#ifndef JSCALE_SIM_SIMULATION_HH
+#define JSCALE_SIM_SIMULATION_HH
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+#include "base/random.hh"
+#include "base/units.hh"
+#include "sim/event.hh"
+
+namespace jscale::sim {
+
+/**
+ * Owns the event queue and the simulated clock. One Simulation per
+ * experiment run; components hold a reference and schedule against it.
+ */
+class Simulation
+{
+  public:
+    /** @param seed master seed; all component Rngs fork from it. */
+    explicit Simulation(std::uint64_t seed = 1);
+
+    Simulation(const Simulation &) = delete;
+    Simulation &operator=(const Simulation &) = delete;
+
+    /** Current simulated time. */
+    Ticks now() const { return now_; }
+
+    /** Event queue (for schedule/deschedule). */
+    EventQueue &queue() { return queue_; }
+
+    /** Schedule @p ev at absolute time @p when (must be >= now()). */
+    void schedule(Event *ev, Ticks when);
+
+    /** Schedule @p ev @p delta ticks in the future. */
+    void scheduleIn(Event *ev, TickDelta delta);
+
+    /** Schedule a one-shot callback at absolute time @p when. */
+    void scheduleAt(Ticks when, std::function<void()> fn,
+                    std::string what = "lambda");
+
+    /** Schedule a one-shot callback @p delta ticks in the future. */
+    void scheduleAfter(TickDelta delta, std::function<void()> fn,
+                       std::string what = "lambda");
+
+    /**
+     * Run until the queue drains or @p until is reached (0 = no limit).
+     * @return the time at which the loop stopped.
+     */
+    Ticks run(Ticks until = 0);
+
+    /** Process exactly one event; returns false if the queue was empty. */
+    bool step();
+
+    /** Request the run() loop to exit after the current event. */
+    void requestStop() { stop_requested_ = true; }
+
+    /** Number of events processed so far. */
+    std::uint64_t eventsProcessed() const { return events_processed_; }
+
+    /** Master seed the simulation was built with. */
+    std::uint64_t seed() const { return seed_; }
+
+    /** Fork a named random stream deterministically from the master seed. */
+    Rng forkRng(std::uint64_t stream_id) const { return master_rng_.fork(stream_id); }
+
+  private:
+    EventQueue queue_;
+    Ticks now_ = 0;
+    bool stop_requested_ = false;
+    std::uint64_t events_processed_ = 0;
+    std::uint64_t seed_;
+    Rng master_rng_;
+};
+
+} // namespace jscale::sim
+
+#endif // JSCALE_SIM_SIMULATION_HH

@@ -1,0 +1,200 @@
+#include "stats/stats.hh"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+
+#include "base/logging.hh"
+#include "base/output.hh"
+
+namespace jscale::stats {
+
+void
+SampleStats::add(double x)
+{
+    ++count_;
+    sum_ += x;
+    const double delta = x - mean_;
+    mean_ += delta / static_cast<double>(count_);
+    m2_ += delta * (x - mean_);
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+}
+
+double
+SampleStats::variance() const
+{
+    if (count_ < 2)
+        return 0.0;
+    return m2_ / static_cast<double>(count_ - 1);
+}
+
+double
+SampleStats::stddev() const
+{
+    return std::sqrt(variance());
+}
+
+void
+SampleStats::reset()
+{
+    *this = SampleStats();
+}
+
+std::size_t
+LogHistogram::bucketIndex(std::uint64_t value)
+{
+    if (value == 0)
+        return 0;
+    return static_cast<std::size_t>(64 - std::countl_zero(value));
+}
+
+std::uint64_t
+LogHistogram::bucketUpperEdge(std::size_t i)
+{
+    if (i == 0)
+        return 0;
+    if (i >= 64)
+        return std::numeric_limits<std::uint64_t>::max();
+    return (1ULL << i) - 1;
+}
+
+void
+LogHistogram::add(std::uint64_t value, std::uint64_t weight)
+{
+    buckets_[bucketIndex(value)] += weight;
+    total_ += weight;
+}
+
+double
+LogHistogram::fractionBelow(std::uint64_t threshold) const
+{
+    if (total_ == 0 || threshold == 0)
+        return 0.0;
+    const std::size_t idx = bucketIndex(threshold);
+    std::uint64_t below = 0;
+    for (std::size_t i = 0; i < idx; ++i)
+        below += buckets_[i];
+    // Interpolate within the bucket containing the threshold.
+    const std::uint64_t lo = idx == 0 ? 0 : (1ULL << (idx - 1));
+    const std::uint64_t hi = idx >= 64
+                                 ? std::numeric_limits<std::uint64_t>::max()
+                                 : (1ULL << idx);
+    double partial = 0.0;
+    if (threshold > lo && hi > lo) {
+        partial = static_cast<double>(buckets_[idx]) *
+                  static_cast<double>(threshold - lo) /
+                  static_cast<double>(hi - lo);
+    }
+    return (static_cast<double>(below) + partial) /
+           static_cast<double>(total_);
+}
+
+std::uint64_t
+LogHistogram::percentile(double p) const
+{
+    jscale_assert(p >= 0.0 && p <= 1.0, "percentile requires p in [0,1]");
+    if (total_ == 0)
+        return 0;
+    const double target = p * static_cast<double>(total_);
+    double cum = 0.0;
+    for (std::size_t i = 0; i < kBuckets; ++i) {
+        const double next = cum + static_cast<double>(buckets_[i]);
+        if (next >= target && buckets_[i] > 0) {
+            const std::uint64_t lo = i == 0 ? 0 : (1ULL << (i - 1));
+            const std::uint64_t hi = bucketUpperEdge(i);
+            const double frac = (target - cum) /
+                                static_cast<double>(buckets_[i]);
+            return lo + static_cast<std::uint64_t>(
+                            frac * static_cast<double>(hi - lo));
+        }
+        cum = next;
+    }
+    return bucketUpperEdge(kBuckets - 1);
+}
+
+void
+LogHistogram::merge(const LogHistogram &other)
+{
+    for (std::size_t i = 0; i < kBuckets; ++i)
+        buckets_[i] += other.buckets_[i];
+    total_ += other.total_;
+}
+
+void
+LogHistogram::reset()
+{
+    *this = LogHistogram();
+}
+
+std::vector<double>
+LogHistogram::cdf(const std::vector<std::uint64_t> &thresholds) const
+{
+    std::vector<double> out;
+    out.reserve(thresholds.size());
+    for (auto t : thresholds)
+        out.push_back(fractionBelow(t));
+    return out;
+}
+
+void
+StatSnapshot::add(const std::string &name, double value,
+                  const std::string &unit)
+{
+    index_[name] = values_.size();
+    values_.push_back({name, value, unit});
+}
+
+void
+StatSnapshot::add(const std::string &name, const Counter &c)
+{
+    add(name, static_cast<double>(c.value()), "count");
+}
+
+void
+StatSnapshot::addSummary(const std::string &name, const SampleStats &s,
+                         const std::string &unit)
+{
+    add(name + ".count", static_cast<double>(s.count()), "count");
+    add(name + ".mean", s.mean(), unit);
+    if (s.count() > 0) {
+        add(name + ".min", s.min(), unit);
+        add(name + ".max", s.max(), unit);
+    }
+}
+
+double
+StatSnapshot::get(const std::string &name) const
+{
+    auto it = index_.find(name);
+    if (it == index_.end())
+        return std::numeric_limits<double>::quiet_NaN();
+    return values_[it->second].value;
+}
+
+bool
+StatSnapshot::has(const std::string &name) const
+{
+    return index_.count(name) > 0;
+}
+
+void
+StatSnapshot::print(std::ostream &os) const
+{
+    TextTable t;
+    t.header({"stat", "value", "unit"});
+    for (const auto &v : values_)
+        t.row({v.name, formatFixed(v.value, 3), v.unit});
+    t.print(os);
+}
+
+void
+StatSnapshot::printCsv(std::ostream &os) const
+{
+    CsvWriter csv(os);
+    csv.row({"stat", "value", "unit"});
+    for (const auto &v : values_)
+        csv.row({v.name, formatFixed(v.value, 6), v.unit});
+}
+
+} // namespace jscale::stats

@@ -1,0 +1,190 @@
+/**
+ * @file
+ * Statistics primitives used across the simulator: counters, running
+ * scalar summaries (Welford), log2-bucketed histograms with CDF queries,
+ * and a registry that renders a named snapshot of everything.
+ *
+ * These mirror the role of the gem5 stats package at the scale this
+ * project needs: deterministic, allocation-light, and dumpable both as
+ * aligned text and CSV.
+ */
+
+#ifndef JSCALE_STATS_STATS_HH
+#define JSCALE_STATS_STATS_HH
+
+#include <cstdint>
+#include <limits>
+#include <map>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "base/units.hh"
+
+namespace jscale::stats {
+
+/** Monotonic event counter. */
+class Counter
+{
+  public:
+    Counter() = default;
+
+    /** Increment by @p n (default 1). */
+    void inc(std::uint64_t n = 1) { value_ += n; }
+
+    /** Current count. */
+    std::uint64_t value() const { return value_; }
+
+    /** Reset to zero. */
+    void reset() { value_ = 0; }
+
+  private:
+    std::uint64_t value_ = 0;
+};
+
+/**
+ * Running summary of a stream of samples: count, sum, mean, variance
+ * (Welford's online algorithm), min and max.
+ */
+class SampleStats
+{
+  public:
+    /** Record one sample. */
+    void add(double x);
+
+    /** Number of samples recorded. */
+    std::uint64_t count() const { return count_; }
+
+    /** Sum of samples. */
+    double sum() const { return sum_; }
+
+    /** Sample mean (0 when empty). */
+    double mean() const { return count_ ? sum_ / count_ : 0.0; }
+
+    /** Unbiased sample variance (0 with fewer than two samples). */
+    double variance() const;
+
+    /** Sample standard deviation. */
+    double stddev() const;
+
+    /** Minimum sample (+inf when empty). */
+    double min() const { return min_; }
+
+    /** Maximum sample (-inf when empty). */
+    double max() const { return max_; }
+
+    /** Clear all state. */
+    void reset();
+
+  private:
+    std::uint64_t count_ = 0;
+    double sum_ = 0.0;
+    double mean_ = 0.0;
+    double m2_ = 0.0;
+    double min_ = std::numeric_limits<double>::infinity();
+    double max_ = -std::numeric_limits<double>::infinity();
+};
+
+/**
+ * Log2-bucketed histogram over non-negative 64-bit values. Bucket 0 holds
+ * value 0; bucket i >= 1 holds values in [2^(i-1), 2^i). Designed for
+ * object-lifespan distributions where the paper's questions are of the
+ * form "what fraction of objects live less than 1 KB of allocation?".
+ */
+class LogHistogram
+{
+  public:
+    static constexpr std::size_t kBuckets = 65;
+
+    /** Record a value with optional weight. */
+    void add(std::uint64_t value, std::uint64_t weight = 1);
+
+    /** Total weight recorded. */
+    std::uint64_t totalWeight() const { return total_; }
+
+    /** Weight in bucket @p i. */
+    std::uint64_t bucket(std::size_t i) const { return buckets_[i]; }
+
+    /** Index of the bucket holding @p value. */
+    static std::size_t bucketIndex(std::uint64_t value);
+
+    /** Inclusive upper edge of bucket @p i (2^i - 1; bucket 0 -> 0). */
+    static std::uint64_t bucketUpperEdge(std::size_t i);
+
+    /**
+     * Fraction of recorded weight with value strictly below @p threshold.
+     * Exact when @p threshold is a power of two (bucket edge); otherwise
+     * interpolates linearly within the containing bucket.
+     */
+    double fractionBelow(std::uint64_t threshold) const;
+
+    /** Approximate p-quantile (p in [0,1]) via bucket interpolation. */
+    std::uint64_t percentile(double p) const;
+
+    /** Merge another histogram into this one. */
+    void merge(const LogHistogram &other);
+
+    /** Clear all state. */
+    void reset();
+
+    /**
+     * Evaluate the CDF at each of @p thresholds, returning fractions.
+     * Convenience for emitting paper-style lifespan tables.
+     */
+    std::vector<double>
+    cdf(const std::vector<std::uint64_t> &thresholds) const;
+
+  private:
+    std::uint64_t buckets_[kBuckets] = {};
+    std::uint64_t total_ = 0;
+};
+
+/** One named scalar in a StatSnapshot. */
+struct StatValue
+{
+    std::string name;
+    double value;
+    std::string unit;
+};
+
+/**
+ * A flat, ordered collection of named stats, rendered as aligned text or
+ * CSV. Subsystems contribute their counters into one snapshot after a run.
+ */
+class StatSnapshot
+{
+  public:
+    /** Append a named scalar. */
+    void add(const std::string &name, double value,
+             const std::string &unit = "");
+
+    /** Append a counter under @p name. */
+    void add(const std::string &name, const Counter &c);
+
+    /** Append mean/min/max/count of @p s under @p name. */
+    void addSummary(const std::string &name, const SampleStats &s,
+                    const std::string &unit = "");
+
+    /** Look up a stat by exact name; returns NaN if missing. */
+    double get(const std::string &name) const;
+
+    /** True if a stat with this exact name exists. */
+    bool has(const std::string &name) const;
+
+    /** All values in insertion order. */
+    const std::vector<StatValue> &values() const { return values_; }
+
+    /** Render as aligned text. */
+    void print(std::ostream &os) const;
+
+    /** Render as CSV ("name,value,unit"). */
+    void printCsv(std::ostream &os) const;
+
+  private:
+    std::vector<StatValue> values_;
+    std::map<std::string, std::size_t> index_;
+};
+
+} // namespace jscale::stats
+
+#endif // JSCALE_STATS_STATS_HH

@@ -1,0 +1,37 @@
+#include "workload/alloc_profile.hh"
+
+#include <algorithm>
+#include <cmath>
+
+namespace jscale::workload {
+
+Bytes
+AllocationProfile::drawSize(Rng &rng) const
+{
+    const double v = rng.logNormal(size_log_mean, size_log_sigma);
+    const Bytes b = static_cast<Bytes>(std::llround(v));
+    return std::clamp(b, size_min, size_max);
+}
+
+Bytes
+AllocationProfile::drawTtl(Rng &rng) const
+{
+    const double u = rng.uniform();
+    if (u < frac_tiny)
+        return static_cast<Bytes>(rng.below(tiny_max + 1));
+    if (u < frac_tiny + frac_short) {
+        return static_cast<Bytes>(rng.paretoBounded(
+            short_alpha, static_cast<double>(short_lo),
+            static_cast<double>(short_hi)));
+    }
+    if (u < frac_tiny + frac_short + frac_medium) {
+        return static_cast<Bytes>(rng.paretoBounded(
+            medium_alpha, static_cast<double>(medium_lo),
+            static_cast<double>(medium_hi)));
+    }
+    return static_cast<Bytes>(rng.paretoBounded(
+        long_alpha, static_cast<double>(medium_hi),
+        static_cast<double>(long_hi)));
+}
+
+} // namespace jscale::workload

@@ -1,0 +1,232 @@
+#include "workload/pipeline_app.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "base/logging.hh"
+
+namespace jscale::workload {
+
+struct PipelineApp::RunState
+{
+    /** Units the producer has yet to parse. */
+    TaskPool produce_pool;
+    /** Units consumers have yet to claim. */
+    TaskPool consume_pool;
+    jvm::ChannelId units_channel = 0;
+    jvm::MonitorId workspace_lock = 0;
+    std::uint32_t effective_consumers = 0;
+};
+
+namespace {
+
+Ticks
+drawCompute(Rng &rng, Ticks mean, double sigma)
+{
+    return std::max<Ticks>(
+        1, static_cast<Ticks>(rng.logNormal(
+               std::log(static_cast<double>(mean)), sigma)));
+}
+
+} // namespace
+
+/** Thread 0: parses units serially and posts them to the channel. */
+class PipelineApp::ProducerSource : public BufferedSource
+{
+  public:
+    ProducerSource(std::shared_ptr<RunState> state,
+                   const PipelineParams &params, Rng rng)
+        : state_(std::move(state)), params_(params), rng_(rng)
+    {}
+
+  protected:
+    bool
+    refill(std::vector<jvm::Action> &out) override
+    {
+        if (!started_) {
+            started_ = true;
+            out.push_back(jvm::Action::compute(
+                std::max<Ticks>(params_.startup_compute, 1)));
+            emitPinnedData(out, rng_, params_.pinned_shared,
+                           params_.pinned_shared_objects, /*site=*/1);
+            return true;
+        }
+        if (state_->produce_pool.claim(1) == 0)
+            return false;
+        emitTaskBody(out, rng_, params_.alloc,
+                     drawCompute(rng_, params_.producer_compute,
+                                 params_.producer_sigma),
+                     params_.allocs_producer, /*site=*/3);
+        out.push_back(jvm::Action::channelPost(state_->units_channel));
+        out.push_back(jvm::Action::taskDone());
+        return true;
+    }
+
+  private:
+    std::shared_ptr<RunState> state_;
+    const PipelineParams &params_;
+    Rng rng_;
+    bool started_ = false;
+};
+
+/** A consumer thread: waits for units, typechecks and generates code. */
+class PipelineApp::ConsumerSource : public BufferedSource
+{
+  public:
+    ConsumerSource(std::shared_ptr<RunState> state,
+                   const PipelineParams &params, Rng rng)
+        : state_(std::move(state)), params_(params), rng_(rng)
+    {}
+
+  protected:
+    bool
+    refill(std::vector<jvm::Action> &out) override
+    {
+        if (!started_) {
+            started_ = true;
+            out.push_back(jvm::Action::compute(
+                std::max<Ticks>(params_.startup_compute, 1)));
+            return true;
+        }
+        if (state_->consume_pool.claim(1) == 0)
+            return false;
+        out.push_back(jvm::Action::channelAcquire(state_->units_channel));
+        emitTaskBody(out, rng_, params_.alloc,
+                     drawCompute(rng_, params_.consumer_compute,
+                                 params_.consumer_sigma),
+                     params_.allocs_consumer, /*site=*/4);
+        out.push_back(jvm::Action::monitorEnter(state_->workspace_lock));
+        out.push_back(jvm::Action::compute(
+            std::max<Ticks>(params_.workspace_cs, 1)));
+        out.push_back(jvm::Action::monitorExit(state_->workspace_lock));
+        out.push_back(jvm::Action::taskDone());
+        return true;
+    }
+
+  private:
+    std::shared_ptr<RunState> state_;
+    const PipelineParams &params_;
+    Rng rng_;
+    bool started_ = false;
+};
+
+/** Single-thread fallback: produce and consume inline. */
+class PipelineApp::SoloSource : public BufferedSource
+{
+  public:
+    SoloSource(std::shared_ptr<RunState> state,
+               const PipelineParams &params, Rng rng)
+        : state_(std::move(state)), params_(params), rng_(rng)
+    {}
+
+  protected:
+    bool
+    refill(std::vector<jvm::Action> &out) override
+    {
+        if (!started_) {
+            started_ = true;
+            out.push_back(jvm::Action::compute(
+                std::max<Ticks>(params_.startup_compute, 1)));
+            emitPinnedData(out, rng_, params_.pinned_shared,
+                           params_.pinned_shared_objects, /*site=*/1);
+            return true;
+        }
+        if (state_->produce_pool.claim(1) == 0)
+            return false;
+        emitTaskBody(out, rng_, params_.alloc,
+                     drawCompute(rng_, params_.producer_compute,
+                                 params_.producer_sigma),
+                     params_.allocs_producer, /*site=*/3);
+        emitTaskBody(out, rng_, params_.alloc,
+                     drawCompute(rng_, params_.consumer_compute,
+                                 params_.consumer_sigma),
+                     params_.allocs_consumer, /*site=*/4);
+        out.push_back(jvm::Action::monitorEnter(state_->workspace_lock));
+        out.push_back(jvm::Action::compute(
+            std::max<Ticks>(params_.workspace_cs, 1)));
+        out.push_back(jvm::Action::monitorExit(state_->workspace_lock));
+        // One produce + one consume completion, so task totals match the
+        // pipelined mode.
+        out.push_back(jvm::Action::taskDone());
+        out.push_back(jvm::Action::taskDone());
+        return true;
+    }
+
+  private:
+    std::shared_ptr<RunState> state_;
+    const PipelineParams &params_;
+    Rng rng_;
+    bool started_ = false;
+};
+
+/** Surplus thread: brief startup, then exit. */
+class PipelineApp::SurplusSource : public BufferedSource
+{
+  public:
+    SurplusSource(const PipelineParams &params, Rng rng)
+        : params_(params), rng_(rng)
+    {}
+
+  protected:
+    bool
+    refill(std::vector<jvm::Action> &out) override
+    {
+        out.push_back(jvm::Action::compute(
+            std::max<Ticks>(params_.startup_compute / 2, 1)));
+        for (std::uint32_t i = 0; i < params_.surplus_allocs; ++i) {
+            out.push_back(jvm::Action::allocate(
+                params_.alloc.drawSize(rng_), params_.alloc.drawTtl(rng_),
+                /*site=*/5));
+        }
+        return false;
+    }
+
+  private:
+    const PipelineParams &params_;
+    Rng rng_;
+};
+
+PipelineApp::PipelineApp(PipelineParams params)
+    : params_(std::move(params))
+{
+    jscale_assert(params_.total_units > 0, "app needs at least one unit");
+    jscale_assert(params_.consumer_count >= 1,
+                  "pipeline needs >= 1 consumer");
+}
+
+PipelineApp::~PipelineApp() = default;
+
+void
+PipelineApp::setup(jvm::AppContext &ctx)
+{
+    state_ = std::make_shared<RunState>();
+    state_->produce_pool.remaining = params_.total_units;
+    state_->units_channel =
+        ctx.createChannel(params_.name + ".units", /*permits=*/0);
+    state_->workspace_lock =
+        ctx.createMonitor(params_.name + ".workspace-lock");
+    if (ctx.threadCount() == 1) {
+        state_->effective_consumers = 0;
+        state_->consume_pool.remaining = 0;
+    } else {
+        state_->effective_consumers =
+            std::min(params_.consumer_count, ctx.threadCount() - 1);
+        state_->consume_pool.remaining = params_.total_units;
+    }
+}
+
+std::unique_ptr<jvm::ActionSource>
+PipelineApp::threadSource(std::uint32_t thread_idx, jvm::AppContext &ctx)
+{
+    jscale_assert(state_ != nullptr, "setup() must precede threadSource()");
+    Rng rng = ctx.forkThreadRng(thread_idx);
+    if (ctx.threadCount() == 1)
+        return std::make_unique<SoloSource>(state_, params_, rng);
+    if (thread_idx == 0)
+        return std::make_unique<ProducerSource>(state_, params_, rng);
+    if (thread_idx <= state_->effective_consumers)
+        return std::make_unique<ConsumerSource>(state_, params_, rng);
+    return std::make_unique<SurplusSource>(params_, rng);
+}
+
+} // namespace jscale::workload

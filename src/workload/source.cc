@@ -1,0 +1,46 @@
+#include "workload/source.hh"
+
+#include <algorithm>
+
+namespace jscale::workload {
+
+void
+emitTaskBody(std::vector<jvm::Action> &out, Rng &rng,
+             const AllocationProfile &profile, Ticks compute,
+             std::uint32_t allocs, jvm::AllocSiteId site)
+{
+    if (allocs == 0) {
+        if (compute > 0)
+            out.push_back(jvm::Action::compute(compute));
+        return;
+    }
+    // Interleave: slice the compute time around the allocations so
+    // preemption and safepoints land at realistic granularity.
+    const Ticks slice = std::max<Ticks>(compute / allocs, 1);
+    Ticks spent = 0;
+    for (std::uint32_t i = 0; i < allocs; ++i) {
+        out.push_back(jvm::Action::compute(slice));
+        spent += slice;
+        out.push_back(jvm::Action::allocate(profile.drawSize(rng),
+                                            profile.drawTtl(rng), site));
+    }
+    if (compute > spent)
+        out.push_back(jvm::Action::compute(compute - spent));
+}
+
+void
+emitPinnedData(std::vector<jvm::Action> &out, Rng &rng, Bytes total,
+               std::uint32_t count, jvm::AllocSiteId site)
+{
+    if (total == 0 || count == 0)
+        return;
+    const Bytes each = std::max<Bytes>(total / count, 16);
+    for (std::uint32_t i = 0; i < count; ++i) {
+        // Vary sizes a little so the pinned set is not perfectly uniform.
+        const Bytes sz = std::max<Bytes>(
+            16, each / 2 + rng.below(each));
+        out.push_back(jvm::Action::allocatePinned(sz, site));
+    }
+}
+
+} // namespace jscale::workload

@@ -1,0 +1,204 @@
+#include "workload/task_queue_app.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <optional>
+
+#include "base/logging.hh"
+
+namespace jscale::workload {
+
+/** Per-run shared state: the task pool and the monitor ids. */
+struct TaskQueueApp::RunState
+{
+    TaskPool pool;
+    std::uint64_t chunk_size = 1;
+    jvm::MonitorId queue_lock = 0;
+    std::vector<jvm::MonitorId> sync_stripes;
+
+    struct Resource
+    {
+        SharedResourceSpec spec;
+        std::vector<jvm::MonitorId> stripes;
+        std::optional<ZipfDistribution> zipf;
+    };
+    std::vector<Resource> resources;
+};
+
+/** One worker thread's behaviour stream. */
+class TaskQueueApp::WorkerSource : public BufferedSource
+{
+  public:
+    WorkerSource(std::shared_ptr<RunState> state,
+                 const TaskQueueParams &params, std::uint32_t thread_idx,
+                 Rng rng)
+        : state_(std::move(state)), params_(params),
+          thread_idx_(thread_idx), rng_(rng)
+    {}
+
+  protected:
+    bool
+    refill(std::vector<jvm::Action> &out) override
+    {
+        if (!started_) {
+            started_ = true;
+            emitStartup(out);
+            return true;
+        }
+        return emitChunk(out);
+    }
+
+  private:
+    void
+    emitStartup(std::vector<jvm::Action> &out)
+    {
+        out.push_back(jvm::Action::compute(
+            std::max<Ticks>(params_.startup_compute, 1)));
+        if (thread_idx_ == 0) {
+            emitPinnedData(out, rng_, params_.pinned_shared,
+                           params_.pinned_shared_objects, /*site=*/1);
+        }
+        emitPinnedData(out, rng_, params_.pinned_per_thread,
+                       params_.pinned_thread_objects, /*site=*/2);
+    }
+
+    bool
+    emitChunk(std::vector<jvm::Action> &out)
+    {
+        // Fetch a chunk from the shared queue (always pays the queue
+        // round-trip, including the final empty check).
+        const std::uint64_t n = state_->pool.claim(state_->chunk_size);
+        out.push_back(jvm::Action::monitorEnter(state_->queue_lock));
+        out.push_back(jvm::Action::compute(
+            std::max<Ticks>(params_.queue_cs, 1)));
+        out.push_back(jvm::Action::monitorExit(state_->queue_lock));
+        if (n == 0)
+            return false;
+
+        for (std::uint64_t t = 0; t < n; ++t)
+            emitTask(out);
+
+        // Per-chunk coordination (phase sync, result merge) over the
+        // striped sync structure.
+        for (std::uint32_t s = 0; s < params_.sync_locks_per_chunk; ++s) {
+            const jvm::MonitorId stripe =
+                state_->sync_stripes[rng_.below(
+                    state_->sync_stripes.size())];
+            out.push_back(jvm::Action::monitorEnter(stripe));
+            out.push_back(jvm::Action::compute(
+                std::max<Ticks>(params_.sync_cs, 1)));
+            out.push_back(jvm::Action::monitorExit(stripe));
+        }
+        return true;
+    }
+
+    void
+    emitTask(std::vector<jvm::Action> &out)
+    {
+        const Ticks compute = std::max<Ticks>(
+            1, static_cast<Ticks>(rng_.logNormal(
+                   std::log(static_cast<double>(
+                       params_.task_compute_mean)),
+                   params_.task_compute_sigma)));
+        const std::uint32_t allocs =
+            params_.allocs_per_task == 0
+                ? 0
+                : static_cast<std::uint32_t>(rng_.range(
+                      params_.allocs_per_task / 2,
+                      params_.allocs_per_task + params_.allocs_per_task / 2));
+
+        // First half of the task body.
+        emitTaskBody(out, rng_, params_.alloc, compute / 2, allocs / 2,
+                     /*site=*/3);
+
+        // Shared-resource accesses in the middle of the task.
+        for (auto &res : state_->resources) {
+            double expected = res.spec.accesses_per_task;
+            std::uint32_t accesses =
+                static_cast<std::uint32_t>(expected);
+            expected -= accesses;
+            if (expected > 0.0 && rng_.chance(expected))
+                ++accesses;
+            for (std::uint32_t a = 0; a < accesses; ++a) {
+                const std::size_t stripe =
+                    res.zipf ? res.zipf->sample(rng_)
+                             : (res.spec.stripes > 1
+                                    ? rng_.below(res.spec.stripes)
+                                    : 0);
+                out.push_back(jvm::Action::monitorEnter(
+                    res.stripes[stripe]));
+                for (std::uint32_t k = 0; k < res.spec.allocs_in_cs; ++k) {
+                    out.push_back(jvm::Action::allocate(
+                        params_.alloc.drawSize(rng_),
+                        params_.alloc.drawTtl(rng_), /*site=*/4));
+                }
+                out.push_back(jvm::Action::compute(
+                    std::max<Ticks>(res.spec.cs_compute, 1)));
+                out.push_back(jvm::Action::monitorExit(
+                    res.stripes[stripe]));
+            }
+        }
+
+        // Second half of the task body.
+        emitTaskBody(out, rng_, params_.alloc, compute - compute / 2,
+                     allocs - allocs / 2, /*site=*/3);
+        out.push_back(jvm::Action::taskDone());
+    }
+
+    std::shared_ptr<RunState> state_;
+    const TaskQueueParams &params_;
+    std::uint32_t thread_idx_;
+    Rng rng_;
+    bool started_ = false;
+};
+
+TaskQueueApp::TaskQueueApp(TaskQueueParams params)
+    : params_(std::move(params))
+{
+    jscale_assert(params_.total_tasks > 0, "app needs at least one task");
+    jscale_assert(params_.chunk_divisor > 0.0,
+                  "chunk divisor must be positive");
+}
+
+TaskQueueApp::~TaskQueueApp() = default;
+
+void
+TaskQueueApp::setup(jvm::AppContext &ctx)
+{
+    state_ = std::make_shared<RunState>();
+    state_->pool.remaining = params_.total_tasks;
+    state_->chunk_size = std::max<std::uint64_t>(
+        1, static_cast<std::uint64_t>(
+               static_cast<double>(params_.total_tasks) /
+               (params_.chunk_divisor *
+                static_cast<double>(ctx.threadCount()))));
+    state_->queue_lock = ctx.createMonitor(params_.name + ".task-queue");
+    for (std::uint32_t s = 0; s < std::max<std::uint32_t>(
+                                      params_.sync_stripes, 1);
+         ++s) {
+        state_->sync_stripes.push_back(ctx.createMonitor(
+            params_.name + ".phase-sync." + std::to_string(s)));
+    }
+    for (const auto &spec : params_.resources) {
+        RunState::Resource res;
+        res.spec = spec;
+        jscale_assert(spec.stripes >= 1, "resource needs >= 1 stripe");
+        for (std::uint32_t s = 0; s < spec.stripes; ++s) {
+            res.stripes.push_back(ctx.createMonitor(
+                params_.name + "." + spec.name + "." + std::to_string(s)));
+        }
+        if (spec.stripes > 1 && spec.zipf_skew > 0.0)
+            res.zipf.emplace(spec.stripes, spec.zipf_skew);
+        state_->resources.push_back(std::move(res));
+    }
+}
+
+std::unique_ptr<jvm::ActionSource>
+TaskQueueApp::threadSource(std::uint32_t thread_idx, jvm::AppContext &ctx)
+{
+    jscale_assert(state_ != nullptr, "setup() must precede threadSource()");
+    return std::make_unique<WorkerSource>(
+        state_, params_, thread_idx, ctx.forkThreadRng(thread_idx));
+}
+
+} // namespace jscale::workload

@@ -1,0 +1,170 @@
+/**
+ * @file
+ * Tests for the text-table renderer, CSV writer, unit formatters and
+ * logging helpers.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "base/logging.hh"
+#include "base/output.hh"
+#include "base/units.hh"
+
+namespace {
+
+using jscale::CsvWriter;
+using jscale::TextTable;
+
+TEST(TextTable, RendersHeaderAndRows)
+{
+    TextTable t;
+    t.header({"name", "value"});
+    t.row({"alpha", "1"});
+    t.row({"b", "22"});
+    const std::string s = t.str();
+    EXPECT_NE(s.find("name"), std::string::npos);
+    EXPECT_NE(s.find("alpha"), std::string::npos);
+    EXPECT_NE(s.find("22"), std::string::npos);
+    // Header underline present.
+    EXPECT_NE(s.find("-----"), std::string::npos);
+}
+
+TEST(TextTable, ColumnsAligned)
+{
+    TextTable t;
+    t.header({"k", "v"});
+    t.row({"aaa", "1"});
+    t.row({"b", "100"});
+    std::istringstream lines(t.str());
+    std::string header;
+    std::string underline;
+    std::string r1;
+    std::string r2;
+    std::getline(lines, header);
+    std::getline(lines, underline);
+    std::getline(lines, r1);
+    std::getline(lines, r2);
+    EXPECT_EQ(r1.size(), r2.size());
+    EXPECT_EQ(header.size(), r1.size());
+}
+
+TEST(TextTable, RowWidthMismatchPanics)
+{
+    TextTable t;
+    t.header({"a", "b"});
+    EXPECT_DEATH(t.row({"only-one"}), "row width");
+}
+
+TEST(TextTable, EmptyTablePrintsNothing)
+{
+    TextTable t;
+    EXPECT_EQ(t.str(), "");
+}
+
+TEST(TextTable, RowsCounted)
+{
+    TextTable t;
+    t.header({"a"});
+    EXPECT_EQ(t.rows(), 0u);
+    t.row({"x"});
+    t.row({"y"});
+    EXPECT_EQ(t.rows(), 2u);
+}
+
+TEST(CsvWriter, PlainCells)
+{
+    std::ostringstream os;
+    CsvWriter csv(os);
+    csv.row({"a", "b", "c"});
+    EXPECT_EQ(os.str(), "a,b,c\n");
+}
+
+TEST(CsvWriter, QuotesSpecials)
+{
+    std::ostringstream os;
+    CsvWriter csv(os);
+    csv.row({"a,b", "say \"hi\"", "line\nbreak"});
+    EXPECT_EQ(os.str(), "\"a,b\",\"say \"\"hi\"\"\",\"line\nbreak\"\n");
+}
+
+TEST(CsvWriter, RowOfMixedTypes)
+{
+    std::ostringstream os;
+    CsvWriter csv(os);
+    csv.rowOf("x", 42, std::string("y"));
+    EXPECT_EQ(os.str(), "x,42,y\n");
+}
+
+TEST(Units, FormatTicksScales)
+{
+    using namespace jscale;
+    EXPECT_EQ(formatTicks(500), "500.00 ns");
+    EXPECT_EQ(formatTicks(1500), "1.50 us");
+    EXPECT_EQ(formatTicks(2 * units::MS), "2.00 ms");
+    EXPECT_EQ(formatTicks(3 * units::SEC), "3.00 s");
+}
+
+TEST(Units, FormatBytesScales)
+{
+    using namespace jscale;
+    EXPECT_EQ(formatBytes(512), "512.00 B");
+    EXPECT_EQ(formatBytes(2048), "2.00 KiB");
+    EXPECT_EQ(formatBytes(3 * units::MiB), "3.00 MiB");
+    EXPECT_EQ(formatBytes(5 * units::GiB), "5.00 GiB");
+}
+
+TEST(Units, FormatPercent)
+{
+    EXPECT_EQ(jscale::formatPercent(0.423), "42.3%");
+    EXPECT_EQ(jscale::formatPercent(0.0), "0.0%");
+    EXPECT_EQ(jscale::formatPercent(1.0), "100.0%");
+}
+
+TEST(Units, FormatFixed)
+{
+    EXPECT_EQ(jscale::formatFixed(3.14159, 2), "3.14");
+    EXPECT_EQ(jscale::formatFixed(2.0, 0), "2");
+}
+
+TEST(Logging, LevelsFilterMessages)
+{
+    using namespace jscale;
+    std::ostringstream captured;
+    std::ostream *prev = setLogStream(&captured);
+    const LogLevel prev_level = logLevel();
+
+    setLogLevel(LogLevel::Warn);
+    inform("should not appear");
+    warn("should appear");
+    EXPECT_EQ(captured.str().find("should not appear"),
+              std::string::npos);
+    EXPECT_NE(captured.str().find("should appear"), std::string::npos);
+
+    setLogLevel(LogLevel::Inform);
+    inform("now visible");
+    EXPECT_NE(captured.str().find("now visible"), std::string::npos);
+
+    setLogLevel(prev_level);
+    setLogStream(prev);
+}
+
+TEST(Logging, AssertPassesOnTrue)
+{
+    jscale_assert(1 + 1 == 2, "math works");
+    SUCCEED();
+}
+
+TEST(Logging, AssertPanicsOnFalse)
+{
+    EXPECT_DEATH(jscale_assert(false, "boom ", 42), "boom 42");
+}
+
+TEST(Logging, FatalExitsWithCode1)
+{
+    EXPECT_EXIT(jscale_fatal("bad config"),
+                ::testing::ExitedWithCode(1), "bad config");
+}
+
+} // namespace

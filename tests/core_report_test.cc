@@ -1,0 +1,159 @@
+/**
+ * @file
+ * Tests for the report writers: headers, row counts and CSV structure.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "core/report.hh"
+
+namespace {
+
+using namespace jscale;
+using core::SweepSet;
+
+jvm::RunResult
+fakeRun(const std::string &app, std::uint32_t threads)
+{
+    jvm::RunResult r;
+    r.app_name = app;
+    r.threads = threads;
+    r.cores = threads;
+    r.wall_time = 1000000 / threads + 1000;
+    r.gc_time = 1000 * threads;
+    r.heap_capacity = 3 * units::MiB;
+    r.locks.acquisitions = 100 * threads;
+    r.locks.contentions = 10 * threads;
+    r.total_tasks = 400;
+    r.heap.lifespan.add(100, 50);
+    r.heap.lifespan.add(10000, 50);
+    r.gc.minor_count = 5;
+    for (std::uint32_t i = 0; i < threads; ++i) {
+        jvm::ThreadSummary ts;
+        ts.kind = os::ThreadKind::Mutator;
+        ts.tasks_completed = 400 / threads;
+        r.thread_summaries.push_back(ts);
+    }
+    return r;
+}
+
+SweepSet
+fakeSweeps()
+{
+    SweepSet s;
+    for (const std::string app : {"alpha", "beta"}) {
+        for (const std::uint32_t t : {1u, 4u, 16u})
+            s[app].push_back(fakeRun(app, t));
+    }
+    return s;
+}
+
+std::size_t
+countLines(const std::string &s)
+{
+    return static_cast<std::size_t>(std::count(s.begin(), s.end(), '\n'));
+}
+
+TEST(Report, ScalabilityTableHasRowPerRun)
+{
+    std::ostringstream os;
+    core::printScalabilityTable(os, fakeSweeps());
+    // Title + header + underline + 6 rows.
+    EXPECT_EQ(countLines(os.str()), 9u);
+    EXPECT_NE(os.str().find("speedup"), std::string::npos);
+    EXPECT_NE(os.str().find("alpha"), std::string::npos);
+}
+
+TEST(Report, ScalabilityCsvParsable)
+{
+    std::ostringstream os;
+    core::writeScalabilityCsv(os, fakeSweeps());
+    std::istringstream lines(os.str());
+    std::string header;
+    std::getline(lines, header);
+    EXPECT_EQ(header,
+              "app,threads,wall_ns,speedup,mutator_ns,gc_ns,gc_share,"
+              "scalable");
+    std::string line;
+    std::size_t rows = 0;
+    while (std::getline(lines, line))
+        ++rows;
+    EXPECT_EQ(rows, 6u);
+}
+
+TEST(Report, WorkloadDistributionTable)
+{
+    std::ostringstream os;
+    core::printWorkloadDistributionTable(os, fakeSweeps());
+    EXPECT_NE(os.str().find("eff-workers"), std::string::npos);
+    EXPECT_EQ(countLines(os.str()), 9u);
+}
+
+TEST(Report, LockTablesTitleTheRightFigure)
+{
+    std::ostringstream a;
+    core::printLockAcquisitionTable(a, fakeSweeps());
+    EXPECT_NE(a.str().find("Fig. 1a"), std::string::npos);
+    std::ostringstream b;
+    core::printLockContentionTable(b, fakeSweeps());
+    EXPECT_NE(b.str().find("Fig. 1b"), std::string::npos);
+}
+
+TEST(Report, LifespanCdfTableHasThresholdRows)
+{
+    std::ostringstream os;
+    const auto sweeps = fakeSweeps();
+    core::printLifespanCdfTable(os, "alpha", sweeps.at("alpha"));
+    EXPECT_NE(os.str().find("1.00 KiB"), std::string::npos);
+    EXPECT_NE(os.str().find("4T/4C"), std::string::npos);
+}
+
+TEST(Report, LifespanCsvHasAppColumn)
+{
+    std::ostringstream os;
+    const auto sweeps = fakeSweeps();
+    core::writeLifespanCdfCsv(os, "alpha", sweeps.at("alpha"));
+    std::istringstream lines(os.str());
+    std::string header;
+    std::getline(lines, header);
+    EXPECT_EQ(header, "app,threads,threshold_bytes,fraction_below");
+}
+
+TEST(Report, MutatorGcTable)
+{
+    std::ostringstream os;
+    core::printMutatorGcTable(os, fakeSweeps());
+    EXPECT_NE(os.str().find("Fig. 2"), std::string::npos);
+    EXPECT_NE(os.str().find("mutator"), std::string::npos);
+}
+
+TEST(Report, SuspendWaitTableRenders)
+{
+    std::ostringstream os;
+    core::printSuspendWaitTable(os, fakeSweeps());
+    EXPECT_NE(os.str().find("suspend/cpu"), std::string::npos);
+    EXPECT_EQ(countLines(os.str()), 9u);
+    std::ostringstream csv;
+    core::writeSuspendWaitCsv(csv, fakeSweeps());
+    std::istringstream lines(csv.str());
+    std::string header;
+    std::getline(lines, header);
+    EXPECT_EQ(header,
+              "app,threads,mean_ready_ns,mean_blocked_ns,"
+              "suspend_over_cpu,lifespan_lt_1k");
+}
+
+TEST(Report, RunSummaryContainsKeyMetrics)
+{
+    std::ostringstream os;
+    core::printRunSummary(os, fakeRun("gamma", 8));
+    const std::string s = os.str();
+    EXPECT_NE(s.find("gamma"), std::string::npos);
+    EXPECT_NE(s.find("wall time"), std::string::npos);
+    EXPECT_NE(s.find("gc share"), std::string::npos);
+    EXPECT_NE(s.find("lock contentions"), std::string::npos);
+}
+
+} // namespace

@@ -1,0 +1,112 @@
+/**
+ * @file
+ * Whole-system determinism: identical configurations must replay
+ * identically event by event, including with observation tools
+ * attached — the property every debugging and comparison workflow in
+ * this project relies on.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/experiment.hh"
+#include "lockprof/lockprof.hh"
+#include "trace/trace.hh"
+
+namespace {
+
+using namespace jscale;
+
+core::ExperimentConfig
+cfgWith(std::uint64_t seed)
+{
+    core::ExperimentConfig cfg;
+    cfg.workload_scale = 0.05;
+    cfg.seed = seed;
+    return cfg;
+}
+
+TEST(Determinism, TraceStreamsIdenticalAcrossReplays)
+{
+    auto capture = [](std::uint64_t seed) {
+        core::ExperimentRunner runner(cfgWith(seed));
+        trace::MemoryTraceSink sink;
+        trace::ObjectTracer tracer(sink);
+        runner.runApp("lusearch", 8, [&tracer](jvm::JavaVm &vm) {
+            vm.listeners().add(&tracer);
+        });
+        return sink;
+    };
+    const auto a = capture(5);
+    const auto b = capture(5);
+    ASSERT_EQ(a.events().size(), b.events().size());
+    for (std::size_t i = 0; i < a.events().size(); ++i)
+        ASSERT_EQ(a.events()[i], b.events()[i]) << "event " << i;
+}
+
+TEST(Determinism, ObserversDoNotPerturbTheRun)
+{
+    // Attaching a tracer/profiler must not change simulated behaviour.
+    core::ExperimentRunner bare_runner(cfgWith(9));
+    const auto bare = bare_runner.runApp("xalan", 8);
+
+    core::ExperimentRunner observed_runner(cfgWith(9));
+    trace::MemoryTraceSink sink;
+    trace::ObjectTracer tracer(sink);
+    lockprof::LockProfiler profiler;
+    const auto observed = observed_runner.runApp(
+        "xalan", 8, [&](jvm::JavaVm &vm) {
+            vm.listeners().add(&tracer);
+            vm.listeners().add(&profiler);
+        });
+
+    EXPECT_EQ(bare.wall_time, observed.wall_time);
+    EXPECT_EQ(bare.gc_time, observed.gc_time);
+    EXPECT_EQ(bare.sim_events, observed.sim_events);
+    EXPECT_EQ(bare.locks.contentions, observed.locks.contentions);
+}
+
+TEST(Determinism, AllAppsReplayExactly)
+{
+    for (const std::string app :
+         {"sunflow", "lusearch", "xalan", "h2", "eclipse", "jython"}) {
+        core::ExperimentRunner a(cfgWith(3));
+        core::ExperimentRunner b(cfgWith(3));
+        const auto ra = a.runApp(app, 4);
+        const auto rb = b.runApp(app, 4);
+        EXPECT_EQ(ra.wall_time, rb.wall_time) << app;
+        EXPECT_EQ(ra.sim_events, rb.sim_events) << app;
+        EXPECT_EQ(ra.heap.objects_allocated, rb.heap.objects_allocated)
+            << app;
+        EXPECT_EQ(ra.gc.minor_count, rb.gc.minor_count) << app;
+    }
+}
+
+TEST(Determinism, CompartmentalizedModeReplays)
+{
+    auto run = [] {
+        auto cfg = cfgWith(11);
+        cfg.vm.heap.compartmentalized = true;
+        core::ExperimentRunner runner(cfg);
+        return runner.runApp("xalan", 8);
+    };
+    const auto a = run();
+    const auto b = run();
+    EXPECT_EQ(a.wall_time, b.wall_time);
+    EXPECT_EQ(a.gc.local_count, b.gc.local_count);
+}
+
+TEST(Determinism, BiasedSchedulingReplays)
+{
+    auto run = [] {
+        auto cfg = cfgWith(13);
+        cfg.biased_scheduling = true;
+        core::ExperimentRunner runner(cfg);
+        return runner.runApp("sunflow", 8);
+    };
+    const auto a = run();
+    const auto b = run();
+    EXPECT_EQ(a.wall_time, b.wall_time);
+    EXPECT_EQ(a.sim_events, b.sim_events);
+}
+
+} // namespace

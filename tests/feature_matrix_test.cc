@@ -1,0 +1,151 @@
+/**
+ * @file
+ * Feature-interaction matrix: every application model crossed with
+ * every VM/scheduler feature combination must complete with intact
+ * accounting. Feature interactions (adaptive sizing during concurrent
+ * cycles, TLABs under biased scheduling, ...) are where integration
+ * bugs live; this sweep exercises them systematically at small scale.
+ */
+
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "core/analyze.hh"
+#include "core/experiment.hh"
+#include "workload/dacapo.hh"
+
+namespace {
+
+using namespace jscale;
+using core::ExperimentConfig;
+using core::ExperimentRunner;
+
+/** Feature bundles under test. */
+enum class Features
+{
+    Baseline,
+    Adaptive,
+    Concurrent,
+    Compartments,
+    Tlab,
+    Biased,
+    Scatter,
+    AdaptiveConcurrentTlab,
+    BiasedScatterTlab,
+};
+
+const char *
+featuresName(Features f)
+{
+    switch (f) {
+      case Features::Baseline: return "baseline";
+      case Features::Adaptive: return "adaptive";
+      case Features::Concurrent: return "concurrent";
+      case Features::Compartments: return "compartments";
+      case Features::Tlab: return "tlab";
+      case Features::Biased: return "biased";
+      case Features::Scatter: return "scatter";
+      case Features::AdaptiveConcurrentTlab: return "adaptive_conc_tlab";
+      case Features::BiasedScatterTlab: return "biased_scatter_tlab";
+    }
+    return "?";
+}
+
+ExperimentConfig
+configure(Features f)
+{
+    ExperimentConfig cfg;
+    cfg.workload_scale = 0.05;
+    switch (f) {
+      case Features::Baseline:
+        break;
+      case Features::Adaptive:
+        cfg.vm.adaptive.enabled = true;
+        break;
+      case Features::Concurrent:
+        cfg.vm.collector = jvm::CollectorKind::ConcurrentOld;
+        break;
+      case Features::Compartments:
+        cfg.vm.heap.compartmentalized = true;
+        break;
+      case Features::Tlab:
+        cfg.vm.heap.tlab_size = 8 * units::KiB;
+        break;
+      case Features::Biased:
+        cfg.biased_scheduling = true;
+        cfg.bias_groups = 2;
+        break;
+      case Features::Scatter:
+        cfg.placement = machine::Machine::EnablePolicy::Scatter;
+        break;
+      case Features::AdaptiveConcurrentTlab:
+        cfg.vm.adaptive.enabled = true;
+        cfg.vm.collector = jvm::CollectorKind::ConcurrentOld;
+        cfg.vm.heap.tlab_size = 8 * units::KiB;
+        break;
+      case Features::BiasedScatterTlab:
+        cfg.biased_scheduling = true;
+        cfg.bias_groups = 2;
+        cfg.placement = machine::Machine::EnablePolicy::Scatter;
+        cfg.vm.heap.tlab_size = 8 * units::KiB;
+        break;
+    }
+    return cfg;
+}
+
+class FeatureMatrix
+    : public ::testing::TestWithParam<std::tuple<std::string, Features>>
+{
+};
+
+TEST_P(FeatureMatrix, CompletesWithConsistentAccounting)
+{
+    const auto [app, features] = GetParam();
+    ExperimentRunner runner(configure(features));
+    const jvm::RunResult r = runner.runApp(app, 8);
+
+    // Completion and conservation invariants hold under any feature mix.
+    EXPECT_GT(r.wall_time, 0u);
+    EXPECT_EQ(r.wall_time, r.mutatorTime() + r.gc_time);
+    EXPECT_GT(r.total_tasks, 0u);
+    EXPECT_EQ(r.heap.objects_allocated, r.heap.objects_died);
+    EXPECT_EQ(r.heap.bytes_allocated, r.heap.bytes_died);
+    EXPECT_EQ(r.locks.biased_acquisitions + r.locks.thin_acquisitions +
+                  r.locks.fat_acquisitions,
+              r.locks.acquisitions);
+    EXPECT_LE(r.locks.contentions, r.locks.acquisitions);
+
+    // Work volume is a property of the app, not the VM features.
+    ExperimentRunner baseline(configure(Features::Baseline));
+    EXPECT_EQ(r.total_tasks, baseline.runApp(app, 8).total_tasks);
+}
+
+TEST_P(FeatureMatrix, ReplaysDeterministically)
+{
+    const auto [app, features] = GetParam();
+    ExperimentRunner a(configure(features));
+    ExperimentRunner b(configure(features));
+    const auto ra = a.runApp(app, 8);
+    const auto rb = b.runApp(app, 8);
+    EXPECT_EQ(ra.wall_time, rb.wall_time);
+    EXPECT_EQ(ra.sim_events, rb.sim_events);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AppsByFeatures, FeatureMatrix,
+    ::testing::Combine(
+        ::testing::Values("sunflow", "lusearch", "xalan", "h2", "eclipse",
+                          "jython"),
+        ::testing::Values(Features::Baseline, Features::Adaptive,
+                          Features::Concurrent, Features::Compartments,
+                          Features::Tlab, Features::Biased,
+                          Features::Scatter,
+                          Features::AdaptiveConcurrentTlab,
+                          Features::BiasedScatterTlab)),
+    [](const auto &info) {
+        return std::get<0>(info.param) + "_" +
+               featuresName(std::get<1>(info.param));
+    });
+
+} // namespace

@@ -1,0 +1,254 @@
+/**
+ * @file
+ * Randomized property tests: generated applications with arbitrary (but
+ * protocol-correct) interleavings of compute, allocation, locking and
+ * channel use must always run to completion with all accounting
+ * invariants intact, and must replay deterministically.
+ */
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "test_apps.hh"
+
+namespace {
+
+using namespace jscale;
+
+/**
+ * A randomized application: each thread executes a random script of
+ * balanced actions drawn from a seeded stream. Task volume and locking
+ * vary per seed, covering interleavings hand-written tests never reach.
+ */
+class RandomApp : public jvm::ApplicationModel
+{
+  public:
+    RandomApp(std::uint64_t seed, std::uint32_t monitors,
+              std::uint32_t tasks)
+        : seed_(seed), n_monitors_(monitors), tasks_(tasks)
+    {}
+
+    std::string appName() const override { return "random-app"; }
+
+    void
+    setup(jvm::AppContext &ctx) override
+    {
+        monitors_.clear();
+        for (std::uint32_t i = 0; i < n_monitors_; ++i) {
+            monitors_.push_back(
+                ctx.createMonitor("m" + std::to_string(i)));
+        }
+        channel_ = ctx.createChannel("permits", /*permits=*/3);
+    }
+
+    std::unique_ptr<jvm::ActionSource>
+    threadSource(std::uint32_t idx, jvm::AppContext &) override
+    {
+        return std::make_unique<Src>(*this, Rng(seed_ * 977 + idx));
+    }
+
+  private:
+    class Src : public jvm::ActionSource
+    {
+      public:
+        Src(const RandomApp &app, Rng rng)
+        {
+            using jvm::Action;
+            // Pre-generate a balanced random script. Locks are always
+            // acquired in ascending id order (no deadlocks) and
+            // released before the next acquisition round.
+            for (std::uint32_t t = 0; t < app.tasks_; ++t) {
+                const int shape = static_cast<int>(rng.below(5));
+                switch (shape) {
+                  case 0: // pure compute
+                    script_.push_back(Action::compute(
+                        1 + rng.below(40 * units::US)));
+                    break;
+                  case 1: { // allocation burst
+                    const int n = 1 + static_cast<int>(rng.below(8));
+                    for (int i = 0; i < n; ++i) {
+                        script_.push_back(Action::allocate(
+                            16 + rng.below(2048), rng.below(16384)));
+                    }
+                    break;
+                  }
+                  case 2: { // nested ordered locks around work
+                    const std::size_t first =
+                        rng.below(app.monitors_.size());
+                    const bool two =
+                        rng.chance(0.4) &&
+                        first + 1 < app.monitors_.size();
+                    script_.push_back(
+                        Action::monitorEnter(app.monitors_[first]));
+                    if (two) {
+                        script_.push_back(Action::monitorEnter(
+                            app.monitors_[first + 1]));
+                    }
+                    script_.push_back(Action::compute(
+                        1 + rng.below(4 * units::US)));
+                    if (two) {
+                        script_.push_back(Action::monitorExit(
+                            app.monitors_[first + 1]));
+                    }
+                    script_.push_back(
+                        Action::monitorExit(app.monitors_[first]));
+                    break;
+                  }
+                  case 3: // channel round-trip (bounded: permits return)
+                    script_.push_back(
+                        Action::channelAcquire(app.channel_));
+                    script_.push_back(Action::compute(
+                        1 + rng.below(2 * units::US)));
+                    script_.push_back(Action::channelPost(app.channel_));
+                    break;
+                  default: // pinned data
+                    script_.push_back(Action::allocatePinned(
+                        64 + rng.below(1024)));
+                    break;
+                }
+                script_.push_back(Action::taskDone());
+            }
+            script_.push_back(Action::end());
+        }
+
+        jvm::Action
+        next() override
+        {
+            return script_[pos_ < script_.size() ? pos_++
+                                                 : script_.size() - 1];
+        }
+
+      private:
+        std::vector<jvm::Action> script_;
+        std::size_t pos_ = 0;
+    };
+
+    std::uint64_t seed_;
+    std::uint32_t n_monitors_;
+    std::uint32_t tasks_;
+    std::vector<jvm::MonitorId> monitors_;
+    jvm::ChannelId channel_ = 0;
+};
+
+/** Invariant-checking listener: mutual exclusion + heap consistency. */
+struct InvariantProbe : jvm::RuntimeListener
+{
+    explicit InvariantProbe(test::VmHarness &h) : h(h) {}
+
+    test::VmHarness &h;
+    std::map<jvm::MonitorId, int> holders;
+    bool mutex_ok = true;
+    std::uint64_t gcs = 0;
+
+    void
+    onMonitorAcquire(jvm::MutatorIndex, jvm::MonitorId m, bool,
+                     Ticks) override
+    {
+        mutex_ok &= ++holders[m] == 1;
+    }
+
+    void
+    onMonitorRelease(jvm::MutatorIndex, jvm::MonitorId m, Ticks) override
+    {
+        mutex_ok &= --holders[m] == 0;
+    }
+
+    void
+    onGcEnd(const jvm::GcEvent &, Ticks) override
+    {
+        ++gcs;
+        h.vm.heap().checkInvariants();
+    }
+};
+
+class FuzzVm : public ::testing::TestWithParam<std::uint64_t>
+{
+};
+
+TEST_P(FuzzVm, RandomAppRunsCleanlyWithInvariantsIntact)
+{
+    const std::uint64_t seed = GetParam();
+    jvm::VmConfig cfg = test::VmHarness::defaultVmConfig();
+    cfg.heap.capacity = 3 * units::MiB; // small: force collections
+    cfg.enable_helpers = (seed % 2) == 0;
+    test::VmHarness h(8, cfg, seed);
+    InvariantProbe probe(h);
+    h.vm.listeners().add(&probe);
+
+    RandomApp app(seed, /*monitors=*/4, /*tasks=*/120);
+    const jvm::RunResult r = h.vm.run(app, 8);
+
+    EXPECT_TRUE(probe.mutex_ok) << "mutual exclusion violated";
+    h.vm.heap().checkInvariants();
+    EXPECT_EQ(r.total_tasks, 8u * 120u);
+    EXPECT_EQ(r.heap.objects_allocated, r.heap.objects_died);
+    EXPECT_EQ(r.wall_time, r.mutatorTime() + r.gc_time);
+    // Lock accounting is internally consistent.
+    EXPECT_EQ(r.locks.biased_acquisitions + r.locks.thin_acquisitions +
+                  r.locks.fat_acquisitions,
+              r.locks.acquisitions);
+    EXPECT_LE(r.locks.contentions, r.locks.acquisitions);
+}
+
+TEST_P(FuzzVm, RandomAppReplaysDeterministically)
+{
+    const std::uint64_t seed = GetParam();
+    auto run = [seed] {
+        jvm::VmConfig cfg = test::VmHarness::defaultVmConfig();
+        cfg.heap.capacity = 3 * units::MiB;
+        test::VmHarness h(6, cfg, seed);
+        RandomApp app(seed, 3, 80);
+        return h.vm.run(app, 6);
+    };
+    const auto a = run();
+    const auto b = run();
+    EXPECT_EQ(a.wall_time, b.wall_time);
+    EXPECT_EQ(a.sim_events, b.sim_events);
+    EXPECT_EQ(a.gc.minor_count, b.gc.minor_count);
+    EXPECT_EQ(a.locks.contentions, b.locks.contentions);
+    EXPECT_EQ(a.heap.bytes_allocated, b.heap.bytes_allocated);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FuzzVm,
+                         ::testing::Values(1, 7, 13, 42, 99, 1234, 5678,
+                                           271828, 314159, 999983));
+
+TEST(FuzzVm, TlabModePreservesInvariants)
+{
+    for (const std::uint64_t seed : {3ULL, 17ULL, 51ULL}) {
+        jvm::VmConfig cfg = test::VmHarness::defaultVmConfig();
+        cfg.heap.capacity = 3 * units::MiB;
+        cfg.heap.tlab_size = 8 * units::KiB;
+        test::VmHarness h(8, cfg, seed);
+        InvariantProbe probe(h);
+        h.vm.listeners().add(&probe);
+        RandomApp app(seed, 4, 100);
+        const jvm::RunResult r = h.vm.run(app, 8);
+        EXPECT_TRUE(probe.mutex_ok);
+        h.vm.heap().checkInvariants();
+        EXPECT_GT(r.heap.tlab_refills, 0u);
+        // TLAB reservation rounds eden usage up: more GCs, never fewer
+        // allocations.
+        EXPECT_EQ(r.total_tasks, 8u * 100u);
+    }
+}
+
+TEST(FuzzVm, CompartmentModePreservesInvariants)
+{
+    for (const std::uint64_t seed : {5ULL, 23ULL}) {
+        jvm::VmConfig cfg = test::VmHarness::defaultVmConfig();
+        cfg.heap.capacity = 4 * units::MiB;
+        cfg.heap.compartmentalized = true;
+        test::VmHarness h(8, cfg, seed);
+        RandomApp app(seed, 4, 100);
+        const jvm::RunResult r = h.vm.run(app, 8);
+        h.vm.heap().checkInvariants();
+        EXPECT_EQ(r.total_tasks, 8u * 100u);
+        EXPECT_EQ(r.heap.objects_allocated, r.heap.objects_died);
+    }
+}
+
+} // namespace

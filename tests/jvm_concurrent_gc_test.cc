@@ -1,0 +1,171 @@
+/**
+ * @file
+ * Tests for the concurrent old-generation collector: cycle triggering,
+ * remark/sweep reclamation, concurrent mode failure fallback, and
+ * determinism.
+ */
+
+#include <gtest/gtest.h>
+
+#include "test_apps.hh"
+
+namespace {
+
+using namespace jscale;
+using test::TinyApp;
+using test::TinyAppParams;
+using test::VmHarness;
+
+/** Promotion-heavy parameters: objects tenure, then die in the old gen. */
+TinyAppParams
+oldChurnParams()
+{
+    TinyAppParams p;
+    p.tasks_per_thread = 400;
+    p.compute_per_task = 5 * units::US;
+    p.allocs_per_task = 6;
+    p.alloc_size = 1024;
+    // TTL >> eden: objects survive several minor GCs, get promoted, and
+    // die later — classic old-generation churn (live set ~2 MiB across
+    // four threads, inside the 4 MiB old generation).
+    p.alloc_ttl = 512 * units::KiB;
+    return p;
+}
+
+jvm::VmConfig
+concurrentConfig()
+{
+    jvm::VmConfig cfg = test::VmHarness::defaultVmConfig();
+    cfg.heap.capacity = 6 * units::MiB;
+    cfg.heap.tenure_threshold = 2;
+    cfg.collector = jvm::CollectorKind::ConcurrentOld;
+    // Initiate cycles early: the test workload promotes aggressively.
+    cfg.concurrent.initiating_occupancy = 0.45;
+    return cfg;
+}
+
+TEST(ConcurrentGc, CyclesRunAndRemarkReclaims)
+{
+    VmHarness h(4, concurrentConfig());
+    TinyApp app(oldChurnParams());
+    const jvm::RunResult r = h.vm.run(app, 4);
+    EXPECT_GE(r.gc.concurrent_cycles, 2u);
+    EXPECT_GT(r.gc.remark_count, 0u);
+    // An occasional mode failure is legitimate CMS behaviour, but the
+    // cycles must keep full collections rare.
+    EXPECT_LE(r.gc.concurrent_failures, 1u);
+    EXPECT_LE(r.gc.full_count, 1u);
+    // Remark events are present and STW-accounted.
+    bool saw_remark = false;
+    for (const auto &ev : r.gc.events)
+        saw_remark |= ev.kind == jvm::GcKind::Remark;
+    EXPECT_TRUE(saw_remark);
+    h.vm.heap().checkInvariants();
+    EXPECT_EQ(r.heap.objects_allocated, r.heap.objects_died);
+}
+
+TEST(ConcurrentGc, ModeFailureFallsBackToFullGc)
+{
+    jvm::VmConfig cfg = concurrentConfig();
+    // Pathologically slow marker: the cycle can never finish before the
+    // old generation fills.
+    cfg.concurrent.mark_bw = 0.0001;
+    VmHarness h(4, cfg);
+    TinyApp app(oldChurnParams());
+    const jvm::RunResult r = h.vm.run(app, 4);
+    EXPECT_GT(r.gc.concurrent_failures, 0u);
+    EXPECT_GT(r.gc.full_count, 0u);
+    h.vm.heap().checkInvariants();
+}
+
+TEST(ConcurrentGc, FewerFullsThanThroughputCollector)
+{
+    TinyAppParams p = oldChurnParams();
+    jvm::VmConfig base = concurrentConfig();
+
+    jvm::VmConfig throughput = base;
+    throughput.collector = jvm::CollectorKind::Throughput;
+    VmHarness ht(4, throughput);
+    TinyApp app_t(p);
+    const jvm::RunResult rt = ht.vm.run(app_t, 4);
+
+    VmHarness hc(4, base);
+    TinyApp app_c(p);
+    const jvm::RunResult rc = hc.vm.run(app_c, 4);
+
+    ASSERT_GT(rt.gc.full_count, 0u)
+        << "workload must pressure the old generation";
+    EXPECT_LT(rc.gc.full_count, rt.gc.full_count);
+    // The concurrent collector's largest STW pause is smaller than the
+    // throughput collector's (full GCs dominate its tail).
+    auto max_pause = [](const jvm::RunResult &r) {
+        Ticks worst = 0;
+        for (const auto &ev : r.gc.events)
+            worst = std::max(worst, ev.pause());
+        return worst;
+    };
+    EXPECT_LT(max_pause(rc), max_pause(rt));
+}
+
+TEST(ConcurrentGc, MarkerThreadCompetesForCpu)
+{
+    VmHarness h(4, concurrentConfig());
+    TinyApp app(oldChurnParams());
+    const jvm::RunResult r = h.vm.run(app, 4);
+    ASSERT_GT(r.gc.concurrent_cycles, 0u);
+    Ticks marker_cpu = 0;
+    for (const auto &ts : r.thread_summaries) {
+        if (ts.name == "concurrent-mark")
+            marker_cpu = ts.cpu_time;
+    }
+    EXPECT_GT(marker_cpu, 0u);
+}
+
+TEST(ConcurrentGc, DeterministicReplay)
+{
+    auto run = [] {
+        VmHarness h(4, concurrentConfig(), 77);
+        TinyApp app(oldChurnParams());
+        return h.vm.run(app, 4);
+    };
+    const auto a = run();
+    const auto b = run();
+    EXPECT_EQ(a.wall_time, b.wall_time);
+    EXPECT_EQ(a.gc.concurrent_cycles, b.gc.concurrent_cycles);
+    EXPECT_EQ(a.gc.remark_count, b.gc.remark_count);
+    EXPECT_EQ(a.sim_events, b.sim_events);
+}
+
+TEST(ConcurrentGc, IncompatibleWithCompartments)
+{
+    jvm::VmConfig cfg = concurrentConfig();
+    cfg.heap.compartmentalized = true;
+    TinyAppParams p;
+    EXPECT_DEATH({
+        VmHarness h(2, cfg);
+        TinyApp app(p);
+        h.vm.run(app, 2);
+    }, "mutually exclusive");
+}
+
+TEST(HeapSweepOld, ReclaimsOnlyDeadOldObjects)
+{
+    jvm::HeapConfig cfg;
+    cfg.capacity = 8 * units::MiB;
+    cfg.tenure_threshold = 1;
+    jvm::Heap heap(cfg, 1, nullptr);
+    heap.allocate(0, 4000, 5000, 0, 0);            // dies after 5000B
+    heap.allocate(0, 3000, jvm::kImmortalTtl, 0, 0);
+    heap.collectMinor(0); // promotes both
+    heap.allocate(0, 8000, jvm::kImmortalTtl, 0, 0); // kills the first
+    ASSERT_EQ(heap.heapStats().objects_died, 1u);
+    const auto w = heap.sweepOld(0);
+    EXPECT_EQ(w.reclaimed_bytes, 4000u);
+    EXPECT_EQ(w.live_bytes, 3000u);
+    EXPECT_EQ(heap.oldUsed(), 3000u);
+    // Eden content untouched by the old sweep.
+    EXPECT_EQ(heap.edenUsed(), 8000u);
+    heap.checkInvariants();
+}
+
+} // namespace

@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Tests for VM helper threads: JIT-style burst/back-off behaviour and
+ * the fixed-period maintenance daemon.
+ */
+
+#include <gtest/gtest.h>
+
+#include "jvm/threads/helper.hh"
+#include "machine/machine.hh"
+#include "os/scheduler.hh"
+#include "sim/simulation.hh"
+
+namespace {
+
+using namespace jscale;
+using jvm::HelperKind;
+using jvm::HelperThread;
+
+struct Bundle
+{
+    explicit Bundle(std::uint32_t cores)
+        : sim(1), mach(machine::Machine::testMachine_2p8c()),
+          sched((mach.enableCores(cores), sim), mach)
+    {}
+
+    sim::Simulation sim;
+    machine::Machine mach;
+    os::Scheduler sched;
+};
+
+TEST(HelperThread, JitBurstsConsumeCpuAndBackOff)
+{
+    Bundle b(1);
+    HelperThread jit(b.sched, HelperKind::JitCompiler, 200 * units::US,
+                     1 * units::MS, 1.5, Rng(3), "jit");
+    jit.bindOsThread(b.sched.registerThread(&jit, os::ThreadKind::Helper));
+    b.sched.start(jit.osThread());
+    b.sim.run(50 * units::MS);
+    const Ticks early_cpu = jit.osThread()->cpuTime();
+    EXPECT_GT(early_cpu, 0u);
+    b.sim.run(500 * units::MS);
+    const Ticks late_cpu = jit.osThread()->cpuTime() - early_cpu;
+    // Back-off: later activity density is much lower than early.
+    EXPECT_LT(static_cast<double>(late_cpu) / 450.0,
+              static_cast<double>(early_cpu) / 50.0);
+    EXPECT_GT(jit.osThread()->sleepTime(), 0u);
+}
+
+TEST(HelperThread, PeriodicDaemonKeepsFixedCadence)
+{
+    Bundle b(1);
+    HelperThread daemon(b.sched, HelperKind::PeriodicDaemon,
+                        50 * units::US, 10 * units::MS, 1.0, Rng(5),
+                        "daemon");
+    daemon.bindOsThread(
+        b.sched.registerThread(&daemon, os::ThreadKind::Daemon));
+    b.sched.start(daemon.osThread());
+    b.sim.run(200 * units::MS);
+    // ~20 periods of ~50us bursts (exponential burst lengths).
+    const auto dispatches = daemon.osThread()->dispatches();
+    EXPECT_GE(dispatches, 15u);
+    EXPECT_LE(dispatches, 40u);
+}
+
+TEST(HelperThread, InvalidTimingDies)
+{
+    Bundle b(1);
+    EXPECT_DEATH(HelperThread(b.sched, HelperKind::JitCompiler, 0,
+                              1 * units::MS, 1.2, Rng(1), "bad"),
+                 "positive");
+    EXPECT_DEATH(HelperThread(b.sched, HelperKind::JitCompiler,
+                              1 * units::US, 1 * units::MS, 0.5, Rng(1),
+                              "bad"),
+                 "back-off");
+}
+
+} // namespace

@@ -1,0 +1,202 @@
+/**
+ * @file
+ * Integration tests for the JavaVm facade: complete runs, time
+ * accounting, GC triggering, OOM detection and misuse guards.
+ */
+
+#include <gtest/gtest.h>
+
+#include "test_apps.hh"
+
+namespace {
+
+using namespace jscale;
+using test::TinyApp;
+using test::TinyAppParams;
+using test::VmHarness;
+
+TEST(JavaVm, RunsToCompletion)
+{
+    VmHarness h(4);
+    TinyAppParams p;
+    p.tasks_per_thread = 20;
+    TinyApp app(p);
+    const jvm::RunResult r = h.vm.run(app, 4);
+    EXPECT_EQ(r.app_name, "tiny");
+    EXPECT_EQ(r.threads, 4u);
+    EXPECT_EQ(r.cores, 4u);
+    EXPECT_GT(r.wall_time, 0u);
+    EXPECT_EQ(r.total_tasks, 4u * 20u);
+    EXPECT_EQ(r.wall_time, r.mutatorTime() + r.gc_time);
+}
+
+TEST(JavaVm, AllObjectsDieByShutdown)
+{
+    VmHarness h(2);
+    TinyAppParams p;
+    p.pinned = 64 * units::KiB;
+    TinyApp app(p);
+    const jvm::RunResult r = h.vm.run(app, 2);
+    EXPECT_EQ(r.heap.objects_allocated, r.heap.objects_died);
+    EXPECT_EQ(r.heap.bytes_allocated, r.heap.bytes_died);
+}
+
+TEST(JavaVm, GcTriggersWhenEdenFills)
+{
+    jvm::VmConfig cfg = VmHarness::defaultVmConfig();
+    cfg.heap.capacity = 2 * units::MiB; // small: eden ~ 560 KiB
+    VmHarness h(2, cfg);
+    TinyAppParams p;
+    p.tasks_per_thread = 200;
+    p.allocs_per_task = 10;
+    p.alloc_size = 1024;
+    TinyApp app(p);
+    const jvm::RunResult r = h.vm.run(app, 2);
+    // 2 threads x 200 x 10 x 1 KiB = ~4 MiB allocated through a small
+    // eden: several collections must have happened.
+    EXPECT_GT(r.gc.minor_count, 2u);
+    EXPECT_GT(r.gc_time, 0u);
+    EXPECT_EQ(r.gc.events.size(),
+              r.gc.minor_count);
+    // Pause composition sane: ttsp <= pause, times ordered.
+    for (const auto &ev : r.gc.events) {
+        EXPECT_LE(ev.requested_at, ev.safepoint_at);
+        EXPECT_LE(ev.safepoint_at, ev.finished_at);
+    }
+}
+
+TEST(JavaVm, ThreadSummariesCoverAllThreads)
+{
+    VmHarness h(4);
+    TinyAppParams p;
+    TinyApp app(p);
+    const jvm::RunResult r = h.vm.run(app, 3);
+    std::size_t mutators = 0;
+    for (const auto &ts : r.thread_summaries) {
+        if (ts.kind == os::ThreadKind::Mutator) {
+            ++mutators;
+            EXPECT_EQ(ts.tasks_completed, p.tasks_per_thread);
+            EXPECT_GT(ts.cpu_time, 0u);
+        }
+    }
+    EXPECT_EQ(mutators, 3u);
+}
+
+TEST(JavaVm, HelperThreadsAppearWhenEnabled)
+{
+    jvm::VmConfig cfg = VmHarness::defaultVmConfig();
+    cfg.enable_helpers = true;
+    cfg.helpers.jit_threads = 2;
+    VmHarness h(4, cfg);
+    TinyAppParams p;
+    TinyApp app(p);
+    const jvm::RunResult r = h.vm.run(app, 2);
+    std::size_t helpers = 0;
+    for (const auto &ts : r.thread_summaries)
+        helpers += ts.kind != os::ThreadKind::Mutator;
+    EXPECT_EQ(helpers, 3u); // 2 JIT + periodic daemon
+}
+
+TEST(JavaVm, OutOfMemoryIsFatal)
+{
+    jvm::VmConfig cfg = VmHarness::defaultVmConfig();
+    cfg.heap.capacity = 1 * units::MiB;
+    TinyAppParams p;
+    p.pinned = 2 * units::MiB; // cannot fit: old gen < 1 MiB
+    p.tasks_per_thread = 2000;
+    p.allocs_per_task = 4;
+    EXPECT_EXIT({
+        VmHarness h(2, cfg);
+        TinyApp app(p);
+        h.vm.run(app, 2);
+    }, ::testing::ExitedWithCode(1), "OutOfMemoryError");
+}
+
+TEST(JavaVm, SecondRunIsRejected)
+{
+    VmHarness h(2);
+    TinyAppParams p;
+    TinyApp app(p);
+    h.vm.run(app, 2);
+    TinyApp app2(p);
+    EXPECT_DEATH(h.vm.run(app2, 2), "exactly once");
+}
+
+TEST(JavaVm, GcListenerSeesStartAndEndInOrder)
+{
+    struct GcProbe : jvm::RuntimeListener
+    {
+        std::vector<std::pair<char, Ticks>> log;
+
+        void
+        onGcStart(jvm::GcKind, std::uint64_t, Ticks now) override
+        {
+            log.emplace_back('s', now);
+        }
+
+        void
+        onGcEnd(const jvm::GcEvent &, Ticks now) override
+        {
+            log.emplace_back('e', now);
+        }
+    };
+    jvm::VmConfig cfg = VmHarness::defaultVmConfig();
+    cfg.heap.capacity = 2 * units::MiB;
+    VmHarness h(2, cfg);
+    GcProbe probe;
+    h.vm.listeners().add(&probe);
+    TinyAppParams p;
+    p.tasks_per_thread = 200;
+    p.allocs_per_task = 10;
+    p.alloc_size = 1024;
+    TinyApp app(p);
+    h.vm.run(app, 2);
+    ASSERT_GE(probe.log.size(), 2u);
+    ASSERT_EQ(probe.log.size() % 2, 0u);
+    for (std::size_t i = 0; i < probe.log.size(); i += 2) {
+        EXPECT_EQ(probe.log[i].first, 's');
+        EXPECT_EQ(probe.log[i + 1].first, 'e');
+        EXPECT_LE(probe.log[i].second, probe.log[i + 1].second);
+    }
+}
+
+TEST(JavaVm, MutatorTimeDropsWithMoreCores)
+{
+    TinyAppParams p;
+    p.tasks_per_thread = 0; // per-thread work set below
+    // Fixed total work split across threads: emulate by scaling
+    // tasks_per_thread inversely.
+    auto run = [&](std::uint32_t threads) {
+        TinyAppParams q;
+        q.tasks_per_thread = 240 / threads;
+        q.compute_per_task = 50 * units::US;
+        VmHarness h(threads);
+        TinyApp app(q);
+        return h.vm.run(app, threads);
+    };
+    const auto r1 = run(1);
+    const auto r4 = run(4);
+    const auto r8 = run(8);
+    EXPECT_GT(r1.wall_time, r4.wall_time);
+    EXPECT_GT(r4.wall_time, r8.wall_time);
+}
+
+TEST(JavaVm, CompartmentalizedModeRunsLocalGcs)
+{
+    jvm::VmConfig cfg = VmHarness::defaultVmConfig();
+    cfg.heap.capacity = 2 * units::MiB;
+    cfg.heap.compartmentalized = true;
+    VmHarness h(4, cfg);
+    TinyAppParams p;
+    p.tasks_per_thread = 150;
+    p.allocs_per_task = 10;
+    p.alloc_size = 1024;
+    TinyApp app(p);
+    const jvm::RunResult r = h.vm.run(app, 4);
+    EXPECT_GT(r.gc.local_count, 0u);
+    EXPECT_GT(r.gc.local_pause, 0u);
+    // Routine scavenging must not stop the world in this mode.
+    EXPECT_EQ(r.gc.minor_count, 0u);
+}
+
+} // namespace

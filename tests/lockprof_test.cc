@@ -1,0 +1,125 @@
+/**
+ * @file
+ * Tests for the DTrace-style lock profiler: agreement with the
+ * runtime's own monitor counters, per-thread/per-monitor breakdowns and
+ * block-time accounting.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "lockprof/lockprof.hh"
+#include "test_apps.hh"
+
+namespace {
+
+using namespace jscale;
+using lockprof::LockProfiler;
+using test::TinyApp;
+using test::TinyAppParams;
+using test::VmHarness;
+
+jvm::RunResult
+profiledRun(LockProfiler &profiler, std::uint32_t threads,
+            std::int32_t lock_cs)
+{
+    VmHarness h(8);
+    h.vm.listeners().add(&profiler);
+    TinyAppParams p;
+    p.tasks_per_thread = 40;
+    p.compute_per_task = 3 * units::US;
+    p.use_shared_lock = lock_cs;
+    TinyApp app(p);
+    return h.vm.run(app, threads);
+}
+
+TEST(LockProfiler, MatchesRuntimeCounters)
+{
+    LockProfiler prof;
+    const jvm::RunResult r = profiledRun(prof, 8, 3000);
+    EXPECT_EQ(prof.totals().acquisitions, r.locks.acquisitions);
+    EXPECT_EQ(prof.totals().contentions, r.locks.contentions);
+    EXPECT_EQ(prof.totals().total_block_time, r.locks.block_time);
+    EXPECT_EQ(prof.totals().releases, r.locks.acquisitions);
+}
+
+TEST(LockProfiler, PerThreadSumsToTotals)
+{
+    LockProfiler prof;
+    profiledRun(prof, 6, 2000);
+    std::uint64_t acq = 0;
+    std::uint64_t cont = 0;
+    for (const auto &[tid, c] : prof.perThread()) {
+        acq += c.acquisitions;
+        cont += c.contentions;
+    }
+    EXPECT_EQ(acq, prof.totals().acquisitions);
+    EXPECT_EQ(cont, prof.totals().contentions);
+}
+
+TEST(LockProfiler, PerMonitorSumsToTotals)
+{
+    LockProfiler prof;
+    profiledRun(prof, 6, 2000);
+    std::uint64_t acq = 0;
+    Ticks block = 0;
+    for (const auto &[mid, c] : prof.perMonitor()) {
+        acq += c.acquisitions;
+        block += c.total_block_time;
+    }
+    EXPECT_EQ(acq, prof.totals().acquisitions);
+    EXPECT_EQ(block, prof.totals().total_block_time);
+}
+
+TEST(LockProfiler, ContendedAcquisitionsMatchContentions)
+{
+    // Every contention instance eventually becomes a contended
+    // acquisition (FIFO handoff, no timeouts).
+    LockProfiler prof;
+    profiledRun(prof, 8, 4000);
+    EXPECT_EQ(prof.totals().contended_acquisitions,
+              prof.totals().contentions);
+}
+
+TEST(LockProfiler, BlockDurationsPositiveWhenContended)
+{
+    LockProfiler prof;
+    profiledRun(prof, 8, 4000);
+    ASSERT_GT(prof.blockDurations().count(), 0u);
+    EXPECT_GT(prof.blockDurations().mean(), 0.0);
+    EXPECT_GE(prof.blockDurations().min(), 0.0);
+}
+
+TEST(LockProfiler, QueueDepthTracked)
+{
+    LockProfiler prof;
+    profiledRun(prof, 8, 6000);
+    std::uint32_t max_depth = 0;
+    for (const auto &[mid, c] : prof.perMonitor())
+        max_depth = std::max(max_depth, c.max_blocked);
+    EXPECT_GE(max_depth, 1u);
+    EXPECT_LE(max_depth, 7u); // at most threads-1 can queue
+}
+
+TEST(LockProfiler, ReportRendersAllMonitors)
+{
+    LockProfiler prof;
+    profiledRun(prof, 4, 2000);
+    std::ostringstream os;
+    prof.printReport(os);
+    EXPECT_NE(os.str().find("monitor-0"), std::string::npos);
+    EXPECT_NE(os.str().find("TOTAL"), std::string::npos);
+}
+
+TEST(LockProfiler, ResetClearsState)
+{
+    LockProfiler prof;
+    profiledRun(prof, 4, 2000);
+    ASSERT_GT(prof.totals().acquisitions, 0u);
+    prof.reset();
+    EXPECT_EQ(prof.totals().acquisitions, 0u);
+    EXPECT_TRUE(prof.perMonitor().empty());
+}
+
+} // namespace

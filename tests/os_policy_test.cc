@@ -1,0 +1,115 @@
+/**
+ * @file
+ * Unit tests for scheduling policies (group assignment and phase
+ * arithmetic; the dispatch interaction is covered in the scheduler
+ * tests).
+ */
+
+#include <gtest/gtest.h>
+
+#include "os/policy.hh"
+
+namespace {
+
+using namespace jscale;
+using os::BiasedPolicy;
+using os::DefaultPolicy;
+using os::OsThread;
+using os::ThreadKind;
+
+/** Minimal client so OsThread records can exist. */
+struct NullClient : os::SchedClient
+{
+    Ticks planBurst(Ticks, Ticks) override { return 1; }
+    os::BurstOutcome
+    finishBurst(Ticks, Ticks) override
+    {
+        return os::BurstOutcome::Finished;
+    }
+};
+
+TEST(DefaultPolicy, EverythingEligible)
+{
+    DefaultPolicy p;
+    NullClient c;
+    OsThread t(0, &c, ThreadKind::Mutator, 0);
+    EXPECT_TRUE(p.eligible(t, 0));
+    EXPECT_TRUE(p.eligible(t, 123456789));
+}
+
+TEST(BiasedPolicy, RoundRobinGroupAssignment)
+{
+    BiasedPolicy p(3, 1000);
+    NullClient c;
+    std::vector<std::unique_ptr<OsThread>> threads;
+    for (std::uint32_t i = 0; i < 7; ++i) {
+        threads.push_back(
+            std::make_unique<OsThread>(i, &c, ThreadKind::Mutator, 0));
+        p.onRegister(*threads.back());
+    }
+    EXPECT_EQ(p.groupOf(0), 0u);
+    EXPECT_EQ(p.groupOf(1), 1u);
+    EXPECT_EQ(p.groupOf(2), 2u);
+    EXPECT_EQ(p.groupOf(3), 0u);
+    EXPECT_EQ(p.groupOf(6), 0u);
+}
+
+TEST(BiasedPolicy, ActiveGroupRotatesByQuantum)
+{
+    BiasedPolicy p(4, 1000);
+    EXPECT_EQ(p.activeGroup(0), 0u);
+    EXPECT_EQ(p.activeGroup(999), 0u);
+    EXPECT_EQ(p.activeGroup(1000), 1u);
+    EXPECT_EQ(p.activeGroup(3999), 3u);
+    EXPECT_EQ(p.activeGroup(4000), 0u);
+}
+
+TEST(BiasedPolicy, OnlyActiveGroupMutatorsEligible)
+{
+    BiasedPolicy p(2, 1000);
+    NullClient c;
+    OsThread t0(0, &c, ThreadKind::Mutator, 0);
+    OsThread t1(1, &c, ThreadKind::Mutator, 0);
+    p.onRegister(t0);
+    p.onRegister(t1);
+    EXPECT_TRUE(p.eligible(t0, 0));
+    EXPECT_FALSE(p.eligible(t1, 0));
+    EXPECT_FALSE(p.eligible(t0, 1500));
+    EXPECT_TRUE(p.eligible(t1, 1500));
+}
+
+TEST(BiasedPolicy, HelpersAndDaemonsAlwaysEligible)
+{
+    BiasedPolicy p(2, 1000);
+    NullClient c;
+    OsThread helper(0, &c, ThreadKind::Helper, 0);
+    OsThread daemon(1, &c, ThreadKind::Daemon, 0);
+    p.onRegister(helper);
+    p.onRegister(daemon);
+    for (Ticks t : {0ULL, 500ULL, 1500ULL, 9999ULL}) {
+        EXPECT_TRUE(p.eligible(helper, t));
+        EXPECT_TRUE(p.eligible(daemon, t));
+    }
+}
+
+TEST(BiasedPolicy, UnregisteredMutatorIsEligible)
+{
+    BiasedPolicy p(2, 1000);
+    NullClient c;
+    OsThread t(42, &c, ThreadKind::Mutator, 0);
+    EXPECT_TRUE(p.eligible(t, 0));
+}
+
+TEST(BiasedPolicy, InvalidParamsDie)
+{
+    EXPECT_DEATH(BiasedPolicy(0, 1000), "at least one group");
+    EXPECT_DEATH(BiasedPolicy(2, 0), "quantum");
+}
+
+TEST(BiasedPolicy, GroupOfUnknownThreadDies)
+{
+    BiasedPolicy p(2, 1000);
+    EXPECT_DEATH(p.groupOf(99), "no bias group");
+}
+
+} // namespace

@@ -1,0 +1,395 @@
+/**
+ * @file
+ * Tests for the OS scheduler: the burst protocol, preemption and
+ * truncation, accounting, stop-the-world, stealing and policies.
+ */
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "machine/machine.hh"
+#include "os/policy.hh"
+#include "os/scheduler.hh"
+#include "sim/simulation.hh"
+
+namespace {
+
+using namespace jscale;
+using os::BurstOutcome;
+using os::OsThread;
+using os::Scheduler;
+using os::SchedulerConfig;
+using os::ThreadKind;
+using os::ThreadState;
+
+/** Scripted scheduler client: a sequence of (work, outcome) steps. */
+class ScriptClient : public os::SchedClient
+{
+  public:
+    struct Step
+    {
+        Ticks work;
+        BurstOutcome outcome;
+    };
+
+    ScriptClient(std::string name, std::vector<Step> steps)
+        : name_(std::move(name)), steps_(std::move(steps))
+    {}
+
+    Ticks
+    planBurst(Ticks, Ticks limit) override
+    {
+        if (remaining_ == 0)
+            remaining_ = steps_[step_].work;
+        return std::min(remaining_, limit);
+    }
+
+    BurstOutcome
+    finishBurst(Ticks now, Ticks elapsed) override
+    {
+        remaining_ -= elapsed;
+        if (remaining_ > 0)
+            return BurstOutcome::Ready;
+        const BurstOutcome out = steps_[step_].outcome;
+        ++step_;
+        last_finish_ = now;
+        if (out == BurstOutcome::Finished)
+            finished_ = true;
+        return out;
+    }
+
+    std::string clientName() const override { return name_; }
+    bool urgent() const override { return urgent_; }
+
+    bool finished() const { return finished_; }
+    Ticks lastFinish() const { return last_finish_; }
+    std::size_t stepsDone() const { return step_; }
+    void setUrgent(bool u) { urgent_ = u; }
+
+  private:
+    std::string name_;
+    std::vector<Step> steps_;
+    std::size_t step_ = 0;
+    Ticks remaining_ = 0;
+    Ticks last_finish_ = 0;
+    bool finished_ = false;
+    bool urgent_ = false;
+};
+
+/** Bundle of simulation, machine and scheduler for tests. */
+struct Bundle
+{
+    explicit Bundle(std::uint32_t enabled_cores,
+                    SchedulerConfig cfg = {})
+        : sim(1), mach(machine::Machine::testMachine_2p8c()),
+          sched((mach.enableCores(enabled_cores), sim), mach, cfg)
+    {}
+
+    sim::Simulation sim;
+    machine::Machine mach;
+    Scheduler sched;
+};
+
+std::vector<ScriptClient::Step>
+computeSteps(int n, Ticks each)
+{
+    std::vector<ScriptClient::Step> steps;
+    for (int i = 0; i < n - 1; ++i)
+        steps.push_back({each, BurstOutcome::Ready});
+    steps.push_back({each, BurstOutcome::Finished});
+    return steps;
+}
+
+TEST(Scheduler, SingleThreadRunsToCompletion)
+{
+    Bundle b(1);
+    ScriptClient c("t0", computeSteps(5, 1000));
+    OsThread *t = b.sched.registerThread(&c, ThreadKind::Mutator);
+    b.sched.start(t);
+    b.sim.run();
+    EXPECT_TRUE(c.finished());
+    EXPECT_EQ(t->state(), ThreadState::Finished);
+    EXPECT_EQ(t->cpuTime(), 5000u);
+    EXPECT_EQ(b.sched.finishedCount(), 1u);
+}
+
+TEST(Scheduler, FirstDispatchPaysContextSwitch)
+{
+    Bundle b(1);
+    ScriptClient c("t0", computeSteps(1, 1000));
+    OsThread *t = b.sched.registerThread(&c, ThreadKind::Mutator);
+    b.sched.start(t);
+    b.sim.run();
+    // Wall clock = switch-in + work.
+    EXPECT_EQ(c.lastFinish(),
+              b.mach.config().context_switch_cost + 1000);
+}
+
+TEST(Scheduler, TwoThreadsOneCoreShareAndFinish)
+{
+    Bundle b(1);
+    ScriptClient c0("t0", computeSteps(10, 50 * units::US));
+    ScriptClient c1("t1", computeSteps(10, 50 * units::US));
+    OsThread *t0 = b.sched.registerThread(&c0, ThreadKind::Mutator, 0);
+    OsThread *t1 = b.sched.registerThread(&c1, ThreadKind::Mutator, 0);
+    b.sched.start(t0);
+    b.sched.start(t1);
+    b.sim.run();
+    EXPECT_TRUE(c0.finished());
+    EXPECT_TRUE(c1.finished());
+    EXPECT_EQ(t0->cpuTime(), 500 * units::US);
+    EXPECT_EQ(t1->cpuTime(), 500 * units::US);
+    // The second thread waited while the first ran.
+    EXPECT_GT(t1->readyTime(), 0u);
+    EXPECT_GT(b.sched.schedStats().context_switches, 1u);
+}
+
+TEST(Scheduler, WorkConservation)
+{
+    // 6 threads on 2 cores: total wall >= total work / cores and every
+    // thread's cpu time equals its scripted work.
+    Bundle b(2);
+    std::vector<std::unique_ptr<ScriptClient>> clients;
+    std::vector<OsThread *> threads;
+    const Ticks each = 20 * units::US;
+    for (int i = 0; i < 6; ++i) {
+        clients.push_back(std::make_unique<ScriptClient>(
+            "t" + std::to_string(i), computeSteps(8, each)));
+        threads.push_back(b.sched.registerThread(
+            clients.back().get(), ThreadKind::Mutator,
+            static_cast<machine::CoreId>(i % 2)));
+    }
+    for (auto *t : threads)
+        b.sched.start(t);
+    b.sim.run();
+    Ticks total_cpu = 0;
+    for (std::size_t i = 0; i < threads.size(); ++i) {
+        EXPECT_TRUE(clients[i]->finished());
+        EXPECT_EQ(threads[i]->cpuTime(), 8 * each);
+        total_cpu += threads[i]->cpuTime();
+    }
+    EXPECT_GE(b.sim.now(), total_cpu / 2);
+}
+
+TEST(Scheduler, BlockedThreadWaitsForWake)
+{
+    Bundle b(1);
+    ScriptClient c("t0", {{1000, BurstOutcome::Blocked},
+                          {1000, BurstOutcome::Finished}});
+    OsThread *t = b.sched.registerThread(&c, ThreadKind::Mutator);
+    b.sched.start(t);
+    b.sim.run();
+    EXPECT_FALSE(c.finished());
+    EXPECT_EQ(t->state(), ThreadState::Blocked);
+    const Ticks blocked_at = b.sim.now();
+    b.sim.scheduleAfter(5000, [&] { b.sched.wake(t); }, "waker");
+    b.sim.run();
+    EXPECT_TRUE(c.finished());
+    EXPECT_GE(t->blockedTime(), 5000u);
+    EXPECT_GT(c.lastFinish(), blocked_at + 5000);
+}
+
+TEST(Scheduler, WakeAtIsTimedSleep)
+{
+    Bundle b(1);
+    ScriptClient c("t0", {{1000, BurstOutcome::Blocked},
+                          {1000, BurstOutcome::Finished}});
+    OsThread *t = b.sched.registerThread(&c, ThreadKind::Mutator);
+    // The client requests the timed wake from within its burst in real
+    // code; doing it just before produces the same protocol state.
+    b.sched.start(t);
+    // Let the first burst run, then arrange the timed wake on block.
+    b.sim.scheduleAfter(1, [&] {}, "noop");
+    b.sim.run();
+    ASSERT_EQ(t->state(), ThreadState::Blocked);
+    // Emulate wakeAt usage: pending_sleep applies to the *next* block,
+    // so here we simply wake explicitly after a delay.
+    b.sim.scheduleAfter(3000, [&] { b.sched.wake(t); }, "timer");
+    b.sim.run();
+    EXPECT_TRUE(c.finished());
+}
+
+TEST(Scheduler, WakeOnRunningThreadDies)
+{
+    Bundle b(1);
+    ScriptClient c("t0", computeSteps(2, 1 * units::MS));
+    OsThread *t = b.sched.registerThread(&c, ThreadKind::Mutator);
+    b.sched.start(t);
+    EXPECT_DEATH(b.sched.wake(t), "wake");
+}
+
+TEST(Scheduler, StopTheWorldParksEverything)
+{
+    Bundle b(2);
+    ScriptClient c0("t0", computeSteps(1000, 100 * units::US));
+    ScriptClient c1("t1", computeSteps(1000, 100 * units::US));
+    OsThread *t0 = b.sched.registerThread(&c0, ThreadKind::Mutator);
+    OsThread *t1 = b.sched.registerThread(&c1, ThreadKind::Mutator);
+    b.sched.start(t0);
+    b.sched.start(t1);
+    b.sim.run(1 * units::MS);
+
+    bool parked = false;
+    Ticks parked_at = 0;
+    b.sched.stopTheWorld([&] {
+        parked = true;
+        parked_at = b.sim.now();
+        EXPECT_EQ(b.sched.runningCount(), 0u);
+    });
+    const Ticks requested_at = b.sim.now();
+    // Run until parked; both threads must be truncated at a poll point.
+    while (!parked && b.sim.step()) {
+    }
+    EXPECT_TRUE(parked);
+    EXPECT_TRUE(b.sched.worldStopped());
+    const SchedulerConfig &cfg = b.sched.config();
+    EXPECT_LE(parked_at - requested_at, cfg.max_poll_latency + 1);
+
+    // No dispatch while stopped.
+    const auto dispatches_before = b.sched.schedStats().dispatches;
+    b.sim.run(b.sim.now() + 1 * units::MS);
+    EXPECT_EQ(b.sched.schedStats().dispatches, dispatches_before);
+
+    b.sched.resumeWorld();
+    b.sim.run();
+    EXPECT_TRUE(c0.finished());
+    EXPECT_TRUE(c1.finished());
+}
+
+TEST(Scheduler, StopTheWorldWithNothingRunningFiresImmediately)
+{
+    Bundle b(1);
+    bool parked = false;
+    b.sched.stopTheWorld([&] { parked = true; });
+    b.sim.run();
+    EXPECT_TRUE(parked);
+    b.sched.resumeWorld();
+}
+
+TEST(Scheduler, NestedStopTheWorldDies)
+{
+    Bundle b(1);
+    b.sched.stopTheWorld([] {});
+    EXPECT_DEATH(b.sched.stopTheWorld([] {}), "nested");
+}
+
+TEST(Scheduler, FinishedCallbackFires)
+{
+    Bundle b(1);
+    ScriptClient c("t0", computeSteps(1, 100));
+    OsThread *t = b.sched.registerThread(&c, ThreadKind::Mutator);
+    OsThread *seen = nullptr;
+    b.sched.setThreadFinishedCallback(
+        [&seen](OsThread *done) { seen = done; });
+    b.sched.start(t);
+    b.sim.run();
+    EXPECT_EQ(seen, t);
+}
+
+TEST(Scheduler, IdleCoresStealQueuedWork)
+{
+    Bundle b(4);
+    // All threads homed on core 0; idle cores 1-3 must steal.
+    std::vector<std::unique_ptr<ScriptClient>> clients;
+    for (int i = 0; i < 4; ++i) {
+        clients.push_back(std::make_unique<ScriptClient>(
+            "t" + std::to_string(i), computeSteps(4, 50 * units::US)));
+        b.sched.start(
+            b.sched.registerThread(clients.back().get(),
+                                   ThreadKind::Mutator, 0));
+    }
+    b.sim.run();
+    for (auto &c : clients)
+        EXPECT_TRUE(c->finished());
+    EXPECT_GT(b.sched.schedStats().steals, 0u);
+    // With stealing, the run completes much faster than serial.
+    EXPECT_LT(b.sim.now(), 4 * 4 * 50 * units::US);
+}
+
+TEST(Scheduler, StealingCanBeDisabled)
+{
+    SchedulerConfig cfg;
+    cfg.stealing = false;
+    Bundle b(4, cfg);
+    std::vector<std::unique_ptr<ScriptClient>> clients;
+    for (int i = 0; i < 4; ++i) {
+        clients.push_back(std::make_unique<ScriptClient>(
+            "t" + std::to_string(i), computeSteps(4, 50 * units::US)));
+        b.sched.start(
+            b.sched.registerThread(clients.back().get(),
+                                   ThreadKind::Mutator, 0));
+    }
+    b.sim.run();
+    EXPECT_EQ(b.sched.schedStats().steals, 0u);
+    // Serialized on core 0.
+    EXPECT_GE(b.sim.now(), 4 * 4 * 50 * units::US);
+}
+
+TEST(Scheduler, RoundRobinHomeAssignment)
+{
+    Bundle b(4);
+    ScriptClient c("x", computeSteps(1, 10));
+    const OsThread *t0 = b.sched.registerThread(&c, ThreadKind::Mutator);
+    const OsThread *t1 = b.sched.registerThread(&c, ThreadKind::Mutator);
+    const OsThread *t4 = nullptr;
+    b.sched.registerThread(&c, ThreadKind::Mutator);
+    b.sched.registerThread(&c, ThreadKind::Mutator);
+    t4 = b.sched.registerThread(&c, ThreadKind::Mutator);
+    EXPECT_EQ(t0->homeCore(), 0u);
+    EXPECT_EQ(t1->homeCore(), 1u);
+    EXPECT_EQ(t4->homeCore(), 0u); // wraps around 4 enabled cores
+}
+
+TEST(Scheduler, BiasedPolicyGatesInactiveGroups)
+{
+    Bundle b(2);
+    b.sched.setPolicy(std::make_unique<os::BiasedPolicy>(
+        2, 10 * units::MS));
+    ScriptClient c0("g0", computeSteps(1, 1000));
+    ScriptClient c1("g1", computeSteps(1, 1000));
+    OsThread *t0 = b.sched.registerThread(&c0, ThreadKind::Mutator, 0);
+    OsThread *t1 = b.sched.registerThread(&c1, ThreadKind::Mutator, 1);
+    b.sched.start(t0);
+    b.sched.start(t1);
+    b.sim.run(5 * units::MS);
+    // Group 0 is active during the first quantum; only t0 ran.
+    EXPECT_TRUE(c0.finished());
+    EXPECT_FALSE(c1.finished());
+    // Advance into the next phase and kick.
+    b.sim.scheduleAt(11 * units::MS, [&] { b.sched.kickAll(); }, "kick");
+    b.sim.run();
+    EXPECT_TRUE(c1.finished());
+    (void)t1;
+}
+
+TEST(Scheduler, UrgentOverridesGating)
+{
+    Bundle b(2);
+    b.sched.setPolicy(std::make_unique<os::BiasedPolicy>(
+        2, 10 * units::MS));
+    ScriptClient c1("g1", computeSteps(1, 1000));
+    // Register a placeholder in group 0 so c1 lands in group 1.
+    ScriptClient c0("g0", computeSteps(1, 1000));
+    b.sched.registerThread(&c0, ThreadKind::Mutator, 0);
+    OsThread *t1 = b.sched.registerThread(&c1, ThreadKind::Mutator, 1);
+    c1.setUrgent(true);
+    b.sched.start(t1);
+    b.sim.run(5 * units::MS);
+    EXPECT_TRUE(c1.finished()); // ran despite its group being inactive
+}
+
+TEST(Scheduler, HelpersUnaffectedByBias)
+{
+    Bundle b(2);
+    b.sched.setPolicy(std::make_unique<os::BiasedPolicy>(
+        4, 10 * units::MS));
+    ScriptClient helper("helper", computeSteps(1, 1000));
+    OsThread *t = b.sched.registerThread(&helper, ThreadKind::Helper, 1);
+    b.sched.start(t);
+    b.sim.run(5 * units::MS);
+    EXPECT_TRUE(helper.finished());
+}
+
+} // namespace

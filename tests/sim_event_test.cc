@@ -1,0 +1,271 @@
+/**
+ * @file
+ * Tests for the discrete-event kernel: ordering guarantees, tie
+ * breaking, cancellation, rescheduling and the simulation loop.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "base/random.hh"
+#include "sim/event.hh"
+#include "sim/simulation.hh"
+
+namespace {
+
+using namespace jscale;
+using sim::Event;
+using sim::EventQueue;
+using sim::Simulation;
+
+/** Test event recording its firing into a shared log. */
+class LogEvent : public Event
+{
+  public:
+    LogEvent(std::vector<int> &log, int id) : log_(log), id_(id) {}
+
+    void process() override { log_.push_back(id_); }
+    std::string name() const override { return "log-event"; }
+
+  private:
+    std::vector<int> &log_;
+    int id_;
+};
+
+TEST(EventQueue, ProcessesInTimeOrder)
+{
+    Simulation sim;
+    std::vector<int> log;
+    LogEvent e1(log, 1);
+    LogEvent e2(log, 2);
+    LogEvent e3(log, 3);
+    sim.schedule(&e2, 20);
+    sim.schedule(&e1, 10);
+    sim.schedule(&e3, 30);
+    sim.run();
+    EXPECT_EQ(log, (std::vector<int>{1, 2, 3}));
+    EXPECT_EQ(sim.now(), 30u);
+}
+
+TEST(EventQueue, SameTickFiresInScheduleOrder)
+{
+    Simulation sim;
+    std::vector<int> log;
+    std::vector<std::unique_ptr<LogEvent>> events;
+    for (int i = 0; i < 10; ++i) {
+        events.push_back(std::make_unique<LogEvent>(log, i));
+        sim.schedule(events.back().get(), 5);
+    }
+    sim.run();
+    std::vector<int> expect(10);
+    for (int i = 0; i < 10; ++i)
+        expect[i] = i;
+    EXPECT_EQ(log, expect);
+}
+
+TEST(EventQueue, DescheduleCancels)
+{
+    Simulation sim;
+    std::vector<int> log;
+    LogEvent keep(log, 1);
+    LogEvent cancel(log, 2);
+    sim.schedule(&keep, 10);
+    sim.schedule(&cancel, 5);
+    EXPECT_TRUE(cancel.scheduled());
+    sim.queue().deschedule(&cancel);
+    EXPECT_FALSE(cancel.scheduled());
+    sim.run();
+    EXPECT_EQ(log, std::vector<int>{1});
+}
+
+TEST(EventQueue, DescheduleIdempotent)
+{
+    Simulation sim;
+    std::vector<int> log;
+    LogEvent e(log, 1);
+    sim.schedule(&e, 10);
+    sim.queue().deschedule(&e);
+    sim.queue().deschedule(&e); // no-op
+    EXPECT_TRUE(sim.queue().empty());
+}
+
+TEST(EventQueue, RescheduleMovesEvent)
+{
+    Simulation sim;
+    std::vector<int> log;
+    LogEvent a(log, 1);
+    LogEvent b(log, 2);
+    sim.schedule(&a, 10);
+    sim.schedule(&b, 20);
+    sim.queue().reschedule(&b, 5); // b now fires first
+    sim.run();
+    EXPECT_EQ(log, (std::vector<int>{2, 1}));
+}
+
+TEST(EventQueue, RescheduleAfterFiringWorks)
+{
+    Simulation sim;
+    std::vector<int> log;
+    LogEvent e(log, 7);
+    sim.schedule(&e, 1);
+    sim.run();
+    sim.schedule(&e, sim.now() + 1); // reuse is allowed once unscheduled
+    sim.run();
+    EXPECT_EQ(log, (std::vector<int>{7, 7}));
+}
+
+TEST(EventQueue, DoubleScheduleDies)
+{
+    Simulation sim;
+    std::vector<int> log;
+    LogEvent e(log, 1);
+    sim.schedule(&e, 10);
+    EXPECT_DEATH(sim.schedule(&e, 20), "already scheduled");
+    sim.queue().deschedule(&e);
+}
+
+TEST(EventQueue, SizeTracksLiveEvents)
+{
+    Simulation sim;
+    std::vector<int> log;
+    LogEvent a(log, 1);
+    LogEvent b(log, 2);
+    EXPECT_TRUE(sim.queue().empty());
+    sim.schedule(&a, 1);
+    sim.schedule(&b, 2);
+    EXPECT_EQ(sim.queue().size(), 2u);
+    sim.queue().deschedule(&a);
+    EXPECT_EQ(sim.queue().size(), 1u);
+    sim.run();
+    EXPECT_TRUE(sim.queue().empty());
+}
+
+TEST(Simulation, SchedulingInThePastDies)
+{
+    Simulation sim;
+    sim.scheduleAfter(100, [] {}, "later");
+    sim.run();
+    std::vector<int> log;
+    LogEvent e(log, 1);
+    EXPECT_DEATH(sim.schedule(&e, 5), "in the past");
+}
+
+TEST(Simulation, LambdaEventsSelfDelete)
+{
+    Simulation sim;
+    int fired = 0;
+    for (int i = 0; i < 100; ++i)
+        sim.scheduleAfter(i, [&fired] { ++fired; }, "inc");
+    sim.run();
+    EXPECT_EQ(fired, 100);
+    // ASAN (when enabled) verifies no leaks; here we check the queue
+    // drained.
+    EXPECT_TRUE(sim.queue().empty());
+}
+
+TEST(Simulation, RunUntilStopsAtLimit)
+{
+    Simulation sim;
+    int fired = 0;
+    sim.scheduleAfter(10, [&fired] { ++fired; }, "a");
+    sim.scheduleAfter(1000, [&fired] { ++fired; }, "b");
+    sim.run(100);
+    EXPECT_EQ(fired, 1);
+    EXPECT_EQ(sim.now(), 100u);
+    sim.run();
+    EXPECT_EQ(fired, 2);
+}
+
+TEST(Simulation, RequestStopExitsLoop)
+{
+    Simulation sim;
+    int fired = 0;
+    sim.scheduleAfter(10, [&] {
+        ++fired;
+        sim.requestStop();
+    }, "stopper");
+    sim.scheduleAfter(20, [&fired] { ++fired; }, "later");
+    sim.run();
+    EXPECT_EQ(fired, 1);
+    sim.run(); // resumes
+    EXPECT_EQ(fired, 2);
+}
+
+TEST(Simulation, EventsProcessedCounter)
+{
+    Simulation sim;
+    for (int i = 0; i < 7; ++i)
+        sim.scheduleAfter(i, [] {}, "noop");
+    sim.run();
+    EXPECT_EQ(sim.eventsProcessed(), 7u);
+}
+
+TEST(Simulation, NestedSchedulingFromHandlers)
+{
+    Simulation sim;
+    std::vector<Ticks> times;
+    std::function<void(int)> chain = [&](int depth) {
+        times.push_back(sim.now());
+        if (depth > 0) {
+            sim.scheduleAfter(5, [&chain, depth] { chain(depth - 1); },
+                              "chain");
+        }
+    };
+    sim.scheduleAfter(0, [&chain] { chain(3); }, "start");
+    sim.run();
+    EXPECT_EQ(times, (std::vector<Ticks>{0, 5, 10, 15}));
+}
+
+TEST(Simulation, ForkRngDeterministicPerStream)
+{
+    Simulation a(77);
+    Simulation b(77);
+    Rng ra = a.forkRng(3);
+    Rng rb = b.forkRng(3);
+    for (int i = 0; i < 50; ++i)
+        EXPECT_EQ(ra.next(), rb.next());
+}
+
+/** Property: random schedules always dispatch in nondecreasing time. */
+class EventOrderProperty : public ::testing::TestWithParam<std::uint64_t>
+{
+};
+
+TEST_P(EventOrderProperty, MonotoneDispatch)
+{
+    Simulation sim(GetParam());
+    Rng rng(GetParam());
+    std::vector<Ticks> fired;
+    for (int i = 0; i < 2000; ++i) {
+        const Ticks when = rng.below(100000);
+        sim.scheduleAt(when, [&fired, &sim] { fired.push_back(sim.now()); },
+                       "prop");
+    }
+    sim.run();
+    ASSERT_EQ(fired.size(), 2000u);
+    EXPECT_TRUE(std::is_sorted(fired.begin(), fired.end()));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, EventOrderProperty,
+                         ::testing::Values(1, 2, 3, 42, 99, 12345));
+
+TEST(EventQueue, TombstoneSafetyAfterOwnerGone)
+{
+    // An owner that deschedules its event may be destroyed before the
+    // queue; the stale heap entry must never be dereferenced.
+    Simulation sim;
+    std::vector<int> log;
+    {
+        auto ev = std::make_unique<LogEvent>(log, 1);
+        sim.schedule(ev.get(), 50);
+        sim.queue().deschedule(ev.get());
+        // ev destroyed here while its tombstone sits in the heap.
+    }
+    sim.scheduleAfter(100, [] {}, "later");
+    sim.run();
+    EXPECT_TRUE(log.empty());
+}
+
+} // namespace

@@ -1,0 +1,205 @@
+/**
+ * @file
+ * Tests for the statistics package: running summaries, log-bucket
+ * histograms and stat snapshots.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <sstream>
+#include <vector>
+
+#include "base/random.hh"
+#include "stats/stats.hh"
+
+namespace {
+
+using jscale::Rng;
+using namespace jscale::stats;
+
+TEST(Counter, IncrementAndReset)
+{
+    Counter c;
+    EXPECT_EQ(c.value(), 0u);
+    c.inc();
+    c.inc(5);
+    EXPECT_EQ(c.value(), 6u);
+    c.reset();
+    EXPECT_EQ(c.value(), 0u);
+}
+
+TEST(SampleStats, EmptyIsSafe)
+{
+    SampleStats s;
+    EXPECT_EQ(s.count(), 0u);
+    EXPECT_EQ(s.mean(), 0.0);
+    EXPECT_EQ(s.variance(), 0.0);
+}
+
+TEST(SampleStats, MatchesNaiveComputation)
+{
+    Rng rng(21);
+    std::vector<double> xs;
+    SampleStats s;
+    for (int i = 0; i < 1000; ++i) {
+        const double x = rng.uniform(-50.0, 150.0);
+        xs.push_back(x);
+        s.add(x);
+    }
+    double sum = 0.0;
+    for (const double x : xs)
+        sum += x;
+    const double mean = sum / xs.size();
+    double var = 0.0;
+    for (const double x : xs)
+        var += (x - mean) * (x - mean);
+    var /= xs.size() - 1;
+
+    EXPECT_NEAR(s.mean(), mean, 1e-9);
+    EXPECT_NEAR(s.variance(), var, 1e-6);
+    EXPECT_EQ(s.count(), xs.size());
+    EXPECT_DOUBLE_EQ(s.min(), *std::min_element(xs.begin(), xs.end()));
+    EXPECT_DOUBLE_EQ(s.max(), *std::max_element(xs.begin(), xs.end()));
+}
+
+TEST(SampleStats, SingleSample)
+{
+    SampleStats s;
+    s.add(7.0);
+    EXPECT_DOUBLE_EQ(s.mean(), 7.0);
+    EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+    EXPECT_DOUBLE_EQ(s.min(), 7.0);
+    EXPECT_DOUBLE_EQ(s.max(), 7.0);
+}
+
+TEST(LogHistogram, BucketIndexing)
+{
+    EXPECT_EQ(LogHistogram::bucketIndex(0), 0u);
+    EXPECT_EQ(LogHistogram::bucketIndex(1), 1u);
+    EXPECT_EQ(LogHistogram::bucketIndex(2), 2u);
+    EXPECT_EQ(LogHistogram::bucketIndex(3), 2u);
+    EXPECT_EQ(LogHistogram::bucketIndex(4), 3u);
+    EXPECT_EQ(LogHistogram::bucketIndex(1023), 10u);
+    EXPECT_EQ(LogHistogram::bucketIndex(1024), 11u);
+}
+
+TEST(LogHistogram, FractionBelowExactAtPowerOfTwoEdges)
+{
+    LogHistogram h;
+    // 4 values below 64, 6 values in [64, 128).
+    for (int i = 0; i < 4; ++i)
+        h.add(10);
+    for (int i = 0; i < 6; ++i)
+        h.add(100);
+    EXPECT_DOUBLE_EQ(h.fractionBelow(64), 0.4);
+    EXPECT_DOUBLE_EQ(h.fractionBelow(128), 1.0);
+    EXPECT_DOUBLE_EQ(h.fractionBelow(1), 0.0);
+}
+
+TEST(LogHistogram, FractionBelowInterpolatesWithinBucket)
+{
+    LogHistogram h;
+    h.add(100); // bucket [64, 128)
+    const double f96 = h.fractionBelow(96); // midpoint
+    EXPECT_NEAR(f96, 0.5, 1e-9);
+}
+
+TEST(LogHistogram, FractionBelowMonotone)
+{
+    LogHistogram h;
+    Rng rng(22);
+    for (int i = 0; i < 10000; ++i)
+        h.add(rng.below(1 << 20));
+    double prev = 0.0;
+    for (std::uint64_t t = 1; t < (1 << 20); t *= 2) {
+        const double f = h.fractionBelow(t);
+        EXPECT_GE(f, prev);
+        prev = f;
+    }
+    EXPECT_DOUBLE_EQ(h.fractionBelow(1ULL << 21), 1.0);
+}
+
+TEST(LogHistogram, PercentileRoundTripApproximate)
+{
+    LogHistogram h;
+    Rng rng(23);
+    for (int i = 0; i < 200000; ++i)
+        h.add(rng.below(4096));
+    // The p-quantile of U[0,4096) is p*4096; log buckets give us the
+    // right bucket plus linear interpolation.
+    for (const double p : {0.1, 0.5, 0.9}) {
+        const auto q = static_cast<double>(h.percentile(p));
+        EXPECT_NEAR(q, p * 4096, 4096 * 0.25);
+    }
+}
+
+TEST(LogHistogram, WeightsAndMerge)
+{
+    LogHistogram a;
+    LogHistogram b;
+    a.add(10, 3);
+    b.add(1000, 7);
+    a.merge(b);
+    EXPECT_EQ(a.totalWeight(), 10u);
+    EXPECT_DOUBLE_EQ(a.fractionBelow(512), 0.3);
+}
+
+TEST(LogHistogram, ZeroValuesLandInBucketZero)
+{
+    LogHistogram h;
+    h.add(0);
+    h.add(0);
+    EXPECT_EQ(h.bucket(0), 2u);
+    EXPECT_DOUBLE_EQ(h.fractionBelow(1), 1.0);
+}
+
+TEST(LogHistogram, CdfVectorMatchesPointQueries)
+{
+    LogHistogram h;
+    Rng rng(24);
+    for (int i = 0; i < 5000; ++i)
+        h.add(rng.below(100000));
+    const std::vector<std::uint64_t> thresholds = {64, 1024, 65536};
+    const auto cdf = h.cdf(thresholds);
+    ASSERT_EQ(cdf.size(), 3u);
+    for (std::size_t i = 0; i < thresholds.size(); ++i)
+        EXPECT_DOUBLE_EQ(cdf[i], h.fractionBelow(thresholds[i]));
+}
+
+TEST(StatSnapshot, AddGetHas)
+{
+    StatSnapshot s;
+    s.add("a.b", 2.5, "ms");
+    EXPECT_TRUE(s.has("a.b"));
+    EXPECT_FALSE(s.has("a.c"));
+    EXPECT_DOUBLE_EQ(s.get("a.b"), 2.5);
+    EXPECT_TRUE(std::isnan(s.get("missing")));
+}
+
+TEST(StatSnapshot, SummaryExpansion)
+{
+    StatSnapshot s;
+    SampleStats st;
+    st.add(1.0);
+    st.add(3.0);
+    s.addSummary("pause", st, "ns");
+    EXPECT_DOUBLE_EQ(s.get("pause.count"), 2.0);
+    EXPECT_DOUBLE_EQ(s.get("pause.mean"), 2.0);
+    EXPECT_DOUBLE_EQ(s.get("pause.min"), 1.0);
+    EXPECT_DOUBLE_EQ(s.get("pause.max"), 3.0);
+}
+
+TEST(StatSnapshot, PrintAndCsv)
+{
+    StatSnapshot s;
+    s.add("x", 1.0, "count");
+    std::ostringstream text;
+    s.print(text);
+    EXPECT_NE(text.str().find("x"), std::string::npos);
+    std::ostringstream csv;
+    s.printCsv(csv);
+    EXPECT_NE(csv.str().find("stat,value,unit"), std::string::npos);
+}
+
+} // namespace

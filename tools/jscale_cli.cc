@@ -1,0 +1,483 @@
+/**
+ * @file
+ * jscale — command-line driver for the simulation framework.
+ *
+ * Subcommands:
+ *   apps                         list the modeled applications
+ *   run      one application run with a full summary
+ *   sweep    thread sweep of one application (E1-style rows)
+ *   study    the complete six-app study (all paper tables)
+ *   lifespan lifespan CDF across thread counts (Fig. 1c/1d)
+ *   locks    per-monitor DTrace-style lock profile
+ *
+ * Common flags: --app <name> --threads <list> --scale <f> --seed <n>
+ *               --heap-factor <f> --compartments --biased [--groups g]
+ *               --adaptive --gclog <path> --csv
+ */
+
+#include <cstdint>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "base/output.hh"
+#include "core/analyze.hh"
+#include "core/experiment.hh"
+#include "core/plots.hh"
+#include "core/report.hh"
+#include "jvm/gc/gclog.hh"
+#include "lockprof/lockprof.hh"
+#include "trace/trace.hh"
+#include "workload/dacapo.hh"
+
+namespace {
+
+using namespace jscale;
+
+struct CliOptions
+{
+    std::string command;
+    std::string app = "xalan";
+    std::vector<std::uint32_t> threads = {8};
+    double scale = 1.0;
+    std::uint64_t seed = 42;
+    double heap_factor = 3.0;
+    bool compartments = false;
+    bool biased = false;
+    std::uint32_t groups = 4;
+    bool adaptive = false;
+    bool concurrent = false;
+    bool scatter = false;
+    std::uint32_t replicas = 1;
+    bool per_thread = false;
+    std::string gclog_path;
+    std::string trace_out = "jscale.trace";
+    std::string plots_dir;
+    std::string trace_in;
+    bool csv = false;
+};
+
+[[noreturn]] void
+usage(int code)
+{
+    std::cout <<
+        "usage: jscale <command> [flags]\n"
+        "\n"
+        "commands:\n"
+        "  apps      list the modeled applications\n"
+        "  run       one application run with a full summary\n"
+        "  sweep     thread sweep of one application\n"
+        "  study     the complete six-app study (all paper tables)\n"
+        "  lifespan  lifespan CDF across thread counts (Fig. 1c/1d)\n"
+        "  locks     per-monitor lock profile (DTrace-style)\n"
+        "  trace     record a binary object trace (Elephant-Tracks "
+        "style)\n"
+        "  analyze   lifespan/site analysis of a recorded trace file\n"
+        "\n"
+        "flags:\n"
+        "  --app <name>        application (default xalan); see 'apps'\n"
+        "  --threads <list>    comma-separated thread counts "
+        "(default 8)\n"
+        "  --scale <f>         work-volume multiplier (default 1.0)\n"
+        "  --seed <n>          experiment seed (default 42)\n"
+        "  --heap-factor <f>   heap = f x min requirement (default 3)\n"
+        "  --compartments      compartmentalized heap (Sec. IV (ii))\n"
+        "  --biased            biased scheduling (Sec. IV (i))\n"
+        "  --groups <g>        bias phase groups (default 4)\n"
+        "  --adaptive          adaptive young-gen sizing\n"
+        "  --concurrent        CMS-style concurrent old-gen collector\n"
+        "  --scatter           spread enabled cores across sockets\n"
+        "  --replicas <n>      repetitions with derived seeds (sweep)\n"
+        "  --per-thread        per-thread breakdown (run command)\n"
+        "  --gclog <path>      write a HotSpot-style GC log\n"
+        "  --out <path>        trace output file (trace command)\n"
+        "  --in <path>         trace input file (analyze command)\n"
+        "  --plots <dir>       write gnuplot figures (study command)\n"
+        "  --csv               emit CSV after the tables\n";
+    std::exit(code);
+}
+
+std::vector<std::uint32_t>
+parseThreadList(const std::string &arg)
+{
+    std::vector<std::uint32_t> out;
+    std::stringstream ss(arg);
+    std::string item;
+    while (std::getline(ss, item, ',')) {
+        const int v = std::atoi(item.c_str());
+        if (v <= 0) {
+            std::cerr << "bad thread count '" << item << "'\n";
+            std::exit(2);
+        }
+        out.push_back(static_cast<std::uint32_t>(v));
+    }
+    if (out.empty()) {
+        std::cerr << "empty thread list\n";
+        std::exit(2);
+    }
+    return out;
+}
+
+CliOptions
+parse(int argc, char **argv)
+{
+    if (argc < 2)
+        usage(2);
+    CliOptions o;
+    o.command = argv[1];
+    if (o.command == "--help" || o.command == "-h")
+        usage(0);
+    for (int i = 2; i < argc; ++i) {
+        const std::string arg = argv[i];
+        auto value = [&]() -> const char * {
+            if (i + 1 >= argc) {
+                std::cerr << "missing value for " << arg << "\n";
+                std::exit(2);
+            }
+            return argv[++i];
+        };
+        if (arg == "--app") {
+            o.app = value();
+        } else if (arg == "--threads") {
+            o.threads = parseThreadList(value());
+        } else if (arg == "--scale") {
+            o.scale = std::atof(value());
+        } else if (arg == "--seed") {
+            o.seed = static_cast<std::uint64_t>(std::atoll(value()));
+        } else if (arg == "--heap-factor") {
+            o.heap_factor = std::atof(value());
+        } else if (arg == "--compartments") {
+            o.compartments = true;
+        } else if (arg == "--biased") {
+            o.biased = true;
+        } else if (arg == "--groups") {
+            o.groups = static_cast<std::uint32_t>(std::atoi(value()));
+        } else if (arg == "--adaptive") {
+            o.adaptive = true;
+        } else if (arg == "--concurrent") {
+            o.concurrent = true;
+        } else if (arg == "--scatter") {
+            o.scatter = true;
+        } else if (arg == "--replicas") {
+            o.replicas = static_cast<std::uint32_t>(
+                std::atoi(value()));
+        } else if (arg == "--per-thread") {
+            o.per_thread = true;
+        } else if (arg == "--gclog") {
+            o.gclog_path = value();
+        } else if (arg == "--out") {
+            o.trace_out = value();
+        } else if (arg == "--plots") {
+            o.plots_dir = value();
+        } else if (arg == "--in") {
+            o.trace_in = value();
+        } else if (arg == "--csv") {
+            o.csv = true;
+        } else if (arg == "--help" || arg == "-h") {
+            usage(0);
+        } else {
+            std::cerr << "unknown flag '" << arg << "'\n";
+            usage(2);
+        }
+    }
+    return o;
+}
+
+core::ExperimentConfig
+experimentConfig(const CliOptions &o)
+{
+    core::ExperimentConfig cfg;
+    cfg.seed = o.seed;
+    cfg.workload_scale = o.scale;
+    cfg.heap_factor = o.heap_factor;
+    cfg.vm.heap.compartmentalized = o.compartments;
+    cfg.biased_scheduling = o.biased;
+    cfg.bias_groups = o.groups;
+    cfg.vm.adaptive.enabled = o.adaptive;
+    if (o.concurrent)
+        cfg.vm.collector = jvm::CollectorKind::ConcurrentOld;
+    if (o.scatter)
+        cfg.placement = machine::Machine::EnablePolicy::Scatter;
+    return cfg;
+}
+
+int
+cmdApps()
+{
+    TextTable t;
+    t.header({"app", "class", "model"});
+    t.align(2, TextTable::Align::Left);
+    for (const auto &name : workload::dacapoAppNames()) {
+        std::string model;
+        if (name == "sunflow")
+            model = "task queue, compute-heavy (raytracer)";
+        else if (name == "lusearch")
+            model = "task queue, striped index cache (search)";
+        else if (name == "xalan")
+            model = "task queue, hot output buffer (XSLT)";
+        else if (name == "h2")
+            model = "coarse database lock (transactions)";
+        else if (name == "eclipse")
+            model = "fixed-width compile pipeline";
+        else
+            model = "interpreter lock, <=4 workers";
+        t.row({name,
+               workload::dacapoExpectedScalable(name) ? "scalable"
+                                                      : "non-scalable",
+               model});
+    }
+    t.print(std::cout);
+    return 0;
+}
+
+core::VmAttachHook
+gcLogHook(const CliOptions &o,
+          std::unique_ptr<std::ofstream> &log_stream,
+          std::unique_ptr<jvm::GcLogWriter> &writer)
+{
+    if (o.gclog_path.empty())
+        return {};
+    log_stream = std::make_unique<std::ofstream>(o.gclog_path);
+    if (!*log_stream) {
+        std::cerr << "cannot open gc log '" << o.gclog_path << "'\n";
+        std::exit(2);
+    }
+    return [&log_stream, &writer](jvm::JavaVm &vm) {
+        writer = std::make_unique<jvm::GcLogWriter>(*log_stream, vm);
+        vm.listeners().add(writer.get());
+    };
+}
+
+int
+cmdRun(const CliOptions &o)
+{
+    core::ExperimentRunner runner(experimentConfig(o));
+    std::unique_ptr<std::ofstream> log_stream;
+    std::unique_ptr<jvm::GcLogWriter> writer;
+    const jvm::RunResult r = runner.runApp(
+        o.app, o.threads.front(), gcLogHook(o, log_stream, writer));
+    core::printRunSummary(std::cout, r);
+    if (o.per_thread) {
+        std::cout << "\n";
+        core::printThreadTable(std::cout, r);
+    }
+    if (r.locks.acquisitions > 0) {
+        std::cout << "lock states: " << r.locks.biased_acquisitions
+                  << " biased, " << r.locks.thin_acquisitions
+                  << " thin, " << r.locks.fat_acquisitions << " fat ("
+                  << r.locks.bias_revocations << " revocations, "
+                  << r.locks.inflations << " inflations)\n";
+    }
+    if (r.gc.local_count > 0) {
+        std::cout << "local GCs: " << r.gc.local_count << " ("
+                  << formatTicks(r.gc.local_pause)
+                  << " thread-local pause)\n";
+    }
+    if (r.gc.concurrent_cycles > 0) {
+        std::cout << "concurrent GC: " << r.gc.concurrent_cycles
+                  << " cycles, " << r.gc.remark_count << " remarks, "
+                  << r.gc.concurrent_failures << " mode failures\n";
+    }
+    if (r.gc.young_resizes > 0) {
+        std::cout << "adaptive sizing: " << r.gc.young_resizes
+                  << " young-gen resizes, final young fraction "
+                  << formatFixed(r.gc.adaptive.final_young_fraction, 3)
+                  << "\n";
+    }
+    if (writer) {
+        std::cout << "gc log: " << writer->lines() << " lines -> "
+                  << o.gclog_path << "\n";
+    }
+    return 0;
+}
+
+int
+cmdSweep(const CliOptions &o)
+{
+    core::ExperimentRunner runner(experimentConfig(o));
+    if (o.replicas > 1) {
+        // Replicated mode: mean and 95% CI over derived seeds.
+        TextTable t;
+        t.header({"app", "threads", "replicas", "wall-mean", "wall-ci95",
+                  "gc-mean"});
+        for (const auto threads : o.threads) {
+            const auto reps =
+                runner.runReplicated(o.app, threads, o.replicas);
+            const auto wall =
+                core::ScalabilityAnalyzer::wallTimeConfidence(reps);
+            std::vector<double> gcs;
+            for (const auto &r : reps)
+                gcs.push_back(static_cast<double>(r.gc_time));
+            const auto gc = core::ScalabilityAnalyzer::confidence(gcs);
+            t.row({o.app, std::to_string(threads),
+                   std::to_string(o.replicas),
+                   formatTicks(static_cast<Ticks>(wall.mean)),
+                   "+/- " + formatTicks(static_cast<Ticks>(wall.ci95)),
+                   formatTicks(static_cast<Ticks>(gc.mean))});
+        }
+        t.print(std::cout);
+        return 0;
+    }
+    core::SweepSet sweeps;
+    sweeps[o.app] = runner.sweep(o.app, o.threads);
+    core::printScalabilityTable(std::cout, sweeps);
+    if (o.csv) {
+        std::cout << "\n";
+        core::writeScalabilityCsv(std::cout, sweeps);
+    }
+    return 0;
+}
+
+int
+cmdStudy(const CliOptions &o)
+{
+    core::ExperimentRunner runner(experimentConfig(o));
+    core::SweepSet sweeps;
+    const auto threads = runner.paperThreadCounts();
+    for (const auto &app : workload::dacapoAppNames()) {
+        std::cerr << "sweeping " << app << "...\n";
+        sweeps[app] = runner.sweep(app, threads);
+    }
+    core::printScalabilityTable(std::cout, sweeps);
+    std::cout << '\n';
+    core::printWorkloadDistributionTable(std::cout, sweeps);
+    std::cout << '\n';
+    core::printLockAcquisitionTable(std::cout, sweeps);
+    std::cout << '\n';
+    core::printLockContentionTable(std::cout, sweeps);
+    std::cout << '\n';
+    core::printMutatorGcTable(std::cout, sweeps);
+    if (o.csv) {
+        std::cout << "\n";
+        core::writeScalabilityCsv(std::cout, sweeps);
+    }
+    if (!o.plots_dir.empty()) {
+        const auto files = core::writeAllFigures(o.plots_dir, sweeps);
+        std::cerr << "wrote " << files.size() << " figure files to "
+                  << o.plots_dir << "\n";
+    }
+    return 0;
+}
+
+int
+cmdLifespan(const CliOptions &o)
+{
+    core::ExperimentRunner runner(experimentConfig(o));
+    std::vector<jvm::RunResult> sweep = runner.sweep(o.app, o.threads);
+    core::printLifespanCdfTable(std::cout, o.app, sweep);
+    if (o.csv) {
+        std::cout << "\n";
+        core::writeLifespanCdfCsv(std::cout, o.app, sweep);
+    }
+    return 0;
+}
+
+int
+cmdLocks(const CliOptions &o)
+{
+    core::ExperimentRunner runner(experimentConfig(o));
+    lockprof::LockProfiler profiler;
+    const jvm::RunResult r = runner.runApp(
+        o.app, o.threads.front(),
+        [&profiler](jvm::JavaVm &vm) { vm.listeners().add(&profiler); });
+    std::cout << "Lock profile: " << o.app << " @ " << r.threads
+              << " threads (wall " << formatTicks(r.wall_time) << ")\n\n";
+    profiler.printReport(std::cout);
+    return 0;
+}
+
+int
+cmdTrace(const CliOptions &o)
+{
+    std::ofstream out(o.trace_out, std::ios::binary);
+    if (!out) {
+        std::cerr << "cannot open '" << o.trace_out << "'\n";
+        return 2;
+    }
+    trace::BinaryTraceWriter writer(out);
+    trace::ObjectTracer tracer(writer);
+    core::ExperimentRunner runner(experimentConfig(o));
+    const jvm::RunResult r = runner.runApp(
+        o.app, o.threads.front(),
+        [&tracer](jvm::JavaVm &vm) { vm.listeners().add(&tracer); });
+    writer.flush();
+    std::cout << "traced " << o.app << " @ " << r.threads << " threads: "
+              << writer.recordCount() << " events ("
+              << r.heap.objects_allocated << " allocations) -> "
+              << o.trace_out << "\n";
+    return 0;
+}
+
+int
+cmdAnalyze(const CliOptions &o)
+{
+    if (o.trace_in.empty()) {
+        std::cerr << "analyze requires --in <trace-file>\n";
+        return 2;
+    }
+    std::ifstream in(o.trace_in, std::ios::binary);
+    if (!in) {
+        std::cerr << "cannot open '" << o.trace_in << "'\n";
+        return 2;
+    }
+    trace::BinaryTraceReader reader(in);
+    trace::LifespanAnalyzer analyzer;
+    trace::TraceEvent ev;
+    std::uint64_t events = 0;
+    while (reader.next(ev)) {
+        analyzer.feed(ev);
+        ++events;
+    }
+    std::cout << "trace '" << o.trace_in << "': " << events
+              << " events, " << analyzer.allocs() << " allocations, "
+              << analyzer.deaths() << " deaths\n\n";
+
+    TextTable cdf;
+    cdf.header({"lifespan <", "fraction"});
+    for (const auto thr : trace::paperLifespanThresholds()) {
+        cdf.row({formatBytes(thr),
+                 formatPercent(analyzer.histogram().fractionBelow(thr))});
+    }
+    cdf.print(std::cout);
+
+    std::cout << "\nhottest allocation sites by volume:\n";
+    TextTable sites;
+    sites.header({"site", "objects", "bytes", "median-lifespan"});
+    for (const auto &s : analyzer.topSites(8)) {
+        sites.row({std::to_string(s.site), std::to_string(s.objects),
+                   formatBytes(s.bytes), formatBytes(s.median_lifespan)});
+    }
+    sites.print(std::cout);
+    return 0;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    const CliOptions o = parse(argc, argv);
+    if (o.command == "apps")
+        return cmdApps();
+    if (o.command == "run")
+        return cmdRun(o);
+    if (o.command == "sweep")
+        return cmdSweep(o);
+    if (o.command == "study")
+        return cmdStudy(o);
+    if (o.command == "lifespan")
+        return cmdLifespan(o);
+    if (o.command == "locks")
+        return cmdLocks(o);
+    if (o.command == "trace")
+        return cmdTrace(o);
+    if (o.command == "analyze")
+        return cmdAnalyze(o);
+    std::cerr << "unknown command '" << o.command << "'\n";
+    usage(2);
+}
