@@ -28,6 +28,12 @@ struct BenchOptions
     double scale = 1.0;
     std::uint64_t seed = 42;
     bool csv = false;
+    /** Chrome-trace timeline path ({app}/{threads} placeholders). */
+    std::string timeline_path;
+    /** Metric-sampler CSV path. */
+    std::string metrics_path;
+    /** Metric sampling period in ms (0 = off). */
+    std::uint64_t metrics_interval_ms = 0;
 
     /** Parse argv; unknown flags are fatal. */
     static BenchOptions
@@ -50,8 +56,17 @@ struct BenchOptions
                     std::atoll(value("--seed")));
             } else if (arg == "--csv") {
                 o.csv = true;
+            } else if (arg == "--timeline") {
+                o.timeline_path = value("--timeline");
+            } else if (arg == "--metrics") {
+                o.metrics_path = value("--metrics");
+            } else if (arg == "--metrics-interval-ms") {
+                o.metrics_interval_ms = static_cast<std::uint64_t>(
+                    std::atoll(value("--metrics-interval-ms")));
             } else if (arg == "--help" || arg == "-h") {
-                std::cout << "flags: --scale <f> --seed <n> --csv\n";
+                std::cout << "flags: --scale <f> --seed <n> --csv"
+                             " --timeline <path> --metrics <path>"
+                             " --metrics-interval-ms <n>\n";
                 std::exit(0);
             } else {
                 std::cerr << "unknown flag '" << arg << "'\n";
@@ -67,6 +82,9 @@ struct BenchOptions
         core::ExperimentConfig cfg;
         cfg.seed = seed;
         cfg.workload_scale = scale;
+        cfg.timeline_path = timeline_path;
+        cfg.metrics_path = metrics_path;
+        cfg.metrics_interval = metrics_interval_ms * units::MS;
         return cfg;
     }
 };

@@ -2,18 +2,44 @@
 # Regenerate every experiment artifact (the data behind EXPERIMENTS.md)
 # into ./experiment-output. Usage: scripts/regenerate_experiments.sh
 # [build-dir] [scale]
-set -e
+#
+# Each bench's stdout goes to $OUT/<name>.txt and its stderr to
+# $OUT/<name>.log; a bench that exits non-zero is reported FAIL (with
+# its log tail) instead of being silently swallowed, and the script
+# exits 1 if any bench failed.
 BUILD=${1:-build}
 SCALE=${2:-1.0}
 OUT=experiment-output
 mkdir -p "$OUT"
+
+if ! ls "$BUILD"/bench/bench_* > /dev/null 2>&1; then
+    echo "error: no benches under '$BUILD/bench' (build first?)" >&2
+    exit 1
+fi
+
+failures=0
 for b in "$BUILD"/bench/bench_*; do
     name=$(basename "$b")
     if [ "$name" = "bench_micro_kernel" ]; then
-        "$b" --benchmark_min_time=0.1 > "$OUT/$name.txt" 2>/dev/null
+        "$b" --benchmark_min_time=0.1 \
+            > "$OUT/$name.txt" 2> "$OUT/$name.log"
+        status=$?
     else
-        "$b" --scale "$SCALE" --csv > "$OUT/$name.txt" 2>/dev/null ||
-        "$b" > "$OUT/$name.txt" 2>/dev/null
+        "$b" --scale "$SCALE" --csv \
+            > "$OUT/$name.txt" 2> "$OUT/$name.log"
+        status=$?
     fi
-    echo "wrote $OUT/$name.txt"
+    if [ "$status" -eq 0 ]; then
+        echo "PASS $name -> $OUT/$name.txt"
+    else
+        failures=$((failures + 1))
+        echo "FAIL $name (exit $status); stderr tail:"
+        tail -n 5 "$OUT/$name.log" | sed 's/^/    /'
+    fi
 done
+
+if [ "$failures" -ne 0 ]; then
+    echo "$failures bench(es) failed; see $OUT/*.log" >&2
+    exit 1
+fi
+echo "all benches passed"

@@ -2,13 +2,55 @@
 
 #include <algorithm>
 #include <cmath>
+#include <filesystem>
+#include <fstream>
+#include <optional>
 
 #include "base/logging.hh"
 #include "os/policy.hh"
 #include "sim/simulation.hh"
+#include "telemetry/recorder.hh"
+#include "telemetry/sampler.hh"
+#include "telemetry/timeline.hh"
 #include "workload/dacapo.hh"
 
 namespace jscale::core {
+
+namespace {
+
+/** Substitute "{app}" / "{threads}" placeholders in an artifact path. */
+std::string
+substitutePlaceholders(std::string path, const std::string &app,
+                       std::uint32_t threads)
+{
+    const auto replaceAll = [&path](const std::string &from,
+                                    const std::string &to) {
+        for (std::size_t pos = path.find(from); pos != std::string::npos;
+             pos = path.find(from, pos + to.size())) {
+            path.replace(pos, from.size(), to);
+        }
+    };
+    replaceAll("{app}", app);
+    replaceAll("{threads}", std::to_string(threads));
+    return path;
+}
+
+/** Open @p path for writing, creating parent directories as needed. */
+void
+openArtifact(std::ofstream &os, const std::string &path)
+{
+    const std::filesystem::path parent =
+        std::filesystem::path(path).parent_path();
+    if (!parent.empty()) {
+        std::error_code ec;
+        std::filesystem::create_directories(parent, ec);
+    }
+    os.open(path, std::ios::out | std::ios::trunc);
+    if (!os)
+        jscale_fatal("cannot open telemetry output '", path, "'");
+}
+
+} // namespace
 
 ExperimentRunner::ExperimentRunner(ExperimentConfig config)
     : config_(std::move(config))
@@ -40,6 +82,36 @@ ExperimentRunner::paperThreadCounts() const
             out.push_back(t);
     }
     return out;
+}
+
+std::string
+ExperimentRunner::claimArtifactPath(const std::string &templ,
+                                    const std::string &app,
+                                    std::uint32_t threads)
+{
+    const std::string resolved = substitutePlaceholders(templ, app, threads);
+    if (used_artifact_paths_.insert(resolved).second)
+        return resolved;
+
+    // Collision (e.g. a sweep with a placeholder-free path): suffix the
+    // run identity before the extension, then a serial if still taken.
+    std::string stem = resolved;
+    std::string ext;
+    const auto dot = resolved.find_last_of('.');
+    const auto slash = resolved.find_last_of('/');
+    if (dot != std::string::npos &&
+        (slash == std::string::npos || dot > slash)) {
+        stem = resolved.substr(0, dot);
+        ext = resolved.substr(dot);
+    }
+    const std::string base =
+        stem + "-" + app + "-t" + std::to_string(threads);
+    std::string candidate = base + ext;
+    for (int serial = 2; !used_artifact_paths_.insert(candidate).second;
+         ++serial) {
+        candidate = base + "-" + std::to_string(serial) + ext;
+    }
+    return candidate;
 }
 
 jvm::RunResult
@@ -87,9 +159,58 @@ ExperimentRunner::runOnce(jvm::ApplicationModel &app, std::uint32_t threads,
     jvm::VmConfig vm_cfg = config_.vm;
     vm_cfg.heap.capacity = heap_capacity;
     jvm::JavaVm vm(sim, mach, sched, vm_cfg);
+
+    // Telemetry taps: a timeline recorder on the probe chains and/or a
+    // periodic metric sampler. Both are pure observers — attaching them
+    // never changes the run's schedule or results.
+    std::ofstream timeline_os;
+    std::optional<telemetry::Timeline> timeline;
+    std::optional<telemetry::TelemetryRecorder> recorder;
+    std::optional<telemetry::MetricSampler> sampler;
+    std::string timeline_file;
+    std::string metrics_file;
+    if (!config_.timeline_path.empty()) {
+        timeline_file = claimArtifactPath(config_.timeline_path,
+                                          app.appName(), threads);
+        openArtifact(timeline_os, timeline_file);
+        timeline.emplace(timeline_os);
+        recorder.emplace(*timeline);
+        recorder->attach(vm);
+    }
+    if (config_.metrics_interval > 0) {
+        std::string templ = config_.metrics_path;
+        if (templ.empty()) {
+            templ = config_.timeline_path.empty()
+                        ? "metrics-{app}-t{threads}.csv"
+                        : config_.timeline_path + ".metrics.csv";
+        }
+        metrics_file =
+            claimArtifactPath(templ, app.appName(), threads);
+        sampler.emplace(sim, vm, config_.metrics_interval);
+        if (timeline)
+            sampler->attachTimeline(&*timeline);
+        sampler->start();
+    }
+
     if (attach)
         attach(vm);
-    return vm.run(app, threads);
+    jvm::RunResult r = vm.run(app, threads);
+
+    if (recorder) {
+        recorder->finish(sim.now());
+        recorder->detach();
+        timeline->finish();
+        r.timeline_file = timeline_file;
+        r.timeline_events = timeline->events();
+    }
+    if (sampler) {
+        std::ofstream csv;
+        openArtifact(csv, metrics_file);
+        sampler->writeCsv(csv);
+        r.metrics_file = metrics_file;
+        r.metric_rows = sampler->samples().size();
+    }
+    return r;
 }
 
 Bytes

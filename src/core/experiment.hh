@@ -18,6 +18,7 @@
 #include <functional>
 #include <map>
 #include <memory>
+#include <set>
 #include <string>
 #include <vector>
 
@@ -53,6 +54,21 @@ struct ExperimentConfig
     bool biased_scheduling = false;
     std::uint32_t bias_groups = 4;
     Ticks bias_quantum = 2 * units::MS;
+
+    /** @name Telemetry outputs */
+    /** @{ */
+    /**
+     * Chrome-trace timeline path (empty = no timeline). "{app}" and
+     * "{threads}" placeholders are substituted per run; when the same
+     * resolved path would be written twice in one campaign (e.g. a
+     * sweep), later runs get an automatic "-<app>-t<threads>" suffix.
+     */
+    std::string timeline_path;
+    /** Metric-sampler CSV path; empty derives "<timeline>.metrics.csv". */
+    std::string metrics_path;
+    /** Metric sampling period (0 = sampling disabled). */
+    Ticks metrics_interval = 0;
+    /** @} */
 };
 
 /** Hook to attach observation tools to the VM before a run starts. */
@@ -117,8 +133,18 @@ class ExperimentRunner
     Bytes minHeapFor(const AppFactory &factory,
                      const std::string &cache_key);
 
+    /**
+     * Resolve an artifact path template for one run: substitute
+     * placeholders and de-collide against paths already claimed in this
+     * campaign.
+     */
+    std::string claimArtifactPath(const std::string &templ,
+                                  const std::string &app,
+                                  std::uint32_t threads);
+
     ExperimentConfig config_;
     std::map<std::string, Bytes> min_heap_cache_;
+    std::set<std::string> used_artifact_paths_;
 };
 
 } // namespace jscale::core

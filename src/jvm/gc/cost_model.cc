@@ -34,6 +34,30 @@ GcCostModel::numaFactor() const
            remote_fraction * (mach_.config().numa_remote_factor - 1.0);
 }
 
+namespace {
+
+/**
+ * Turn cumulative phase costs (doubles, in accumulation order) into
+ * integer durations by rounding the cumulative boundaries, so the phase
+ * durations always sum exactly to the rounded total pause.
+ */
+std::vector<GcPhaseCost>
+phasesFromCumulative(const char *const names[],
+                     const double cumulative[], std::size_t n)
+{
+    std::vector<GcPhaseCost> phases;
+    phases.reserve(n);
+    Ticks prev = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+        const Ticks edge = static_cast<Ticks>(std::llround(cumulative[i]));
+        phases.push_back({names[i], edge - prev});
+        prev = edge;
+    }
+    return phases;
+}
+
+} // namespace
+
 Ticks
 GcCostModel::minorPause(const MinorWork &w) const
 {
@@ -48,6 +72,27 @@ GcCostModel::minorPause(const MinorWork &w) const
     return static_cast<Ticks>(std::llround(cost));
 }
 
+std::vector<GcPhaseCost>
+GcCostModel::minorPhases(const MinorWork &w) const
+{
+    // Accumulation order mirrors minorPause so the last cumulative value
+    // rounds to the identical total.
+    double cost = static_cast<double>(params_.minor_base);
+    cost += static_cast<double>(params_.root_scan_per_thread) *
+            static_cast<double>(mutator_threads_);
+    const double after_roots = cost;
+    cost += params_.scan_cost_per_object *
+            static_cast<double>(w.scanned_objects);
+    const double after_scan = cost;
+    const double moved = static_cast<double>(w.copied_bytes) +
+                         static_cast<double>(w.promoted_bytes);
+    cost += moved * numaFactor() / bandwidth(params_.copy_bw_per_thread);
+
+    static const char *const names[] = {"root-scan", "scan", "copy"};
+    const double cumulative[] = {after_roots, after_scan, cost};
+    return phasesFromCumulative(names, cumulative, 3);
+}
+
 Ticks
 GcCostModel::fullPause(const FullWork &w) const
 {
@@ -60,6 +105,26 @@ GcCostModel::fullPause(const FullWork &w) const
     cost += live / bandwidth(params_.mark_bw_per_thread);
     cost += live * numaFactor() / bandwidth(params_.compact_bw_per_thread);
     return static_cast<Ticks>(std::llround(cost));
+}
+
+std::vector<GcPhaseCost>
+GcCostModel::fullPhases(const FullWork &w) const
+{
+    double cost = static_cast<double>(params_.full_base);
+    cost += static_cast<double>(params_.root_scan_per_thread) *
+            static_cast<double>(mutator_threads_);
+    const double after_roots = cost;
+    cost += params_.scan_cost_per_object *
+            static_cast<double>(w.scanned_objects);
+    const double live = static_cast<double>(w.live_bytes);
+    cost += live / bandwidth(params_.mark_bw_per_thread);
+    const double after_mark = cost;
+    cost += live * numaFactor() / bandwidth(params_.compact_bw_per_thread);
+
+    // The per-object scan work of a full collection is part of marking.
+    static const char *const names[] = {"root-scan", "mark", "compact"};
+    const double cumulative[] = {after_roots, after_mark, cost};
+    return phasesFromCumulative(names, cumulative, 3);
 }
 
 Ticks

@@ -15,6 +15,7 @@
 #define JSCALE_JVM_GC_COST_MODEL_HH
 
 #include <cstdint>
+#include <vector>
 
 #include "base/units.hh"
 #include "jvm/gc/gc_types.hh"
@@ -22,6 +23,14 @@
 #include "machine/machine.hh"
 
 namespace jscale::jvm {
+
+/** One named, priced component of a stop-the-world pause. */
+struct GcPhaseCost
+{
+    /** Static phase name ("root-scan", "copy", ...). */
+    const char *name;
+    Ticks duration;
+};
 
 /** Pause-duration model of the stop-the-world parallel collector. */
 class GcCostModel
@@ -41,6 +50,18 @@ class GcCostModel
 
     /** Pause of a full (mark-compact) collection doing @p work. */
     Ticks fullPause(const FullWork &work) const;
+
+    /**
+     * Component breakdown (root-scan / scan / copy) of a minor pause.
+     * Durations partition the pause: they sum exactly to minorPause().
+     */
+    std::vector<GcPhaseCost> minorPhases(const MinorWork &work) const;
+
+    /**
+     * Component breakdown (root-scan / mark / compact) of a full pause;
+     * durations sum exactly to fullPause().
+     */
+    std::vector<GcPhaseCost> fullPhases(const FullWork &work) const;
 
     /**
      * Single-thread pause of a thread-local compartment collection

@@ -308,6 +308,15 @@ MonitorTable::totalBlockTime() const
     return total;
 }
 
+std::size_t
+MonitorTable::totalQueuedWaiters() const
+{
+    std::size_t total = 0;
+    for (const auto &m : monitors_)
+        total += m->queueDepth();
+    return total;
+}
+
 MonitorStats
 MonitorTable::aggregateStats() const
 {

@@ -239,6 +239,13 @@ class MonitorTable
     /** Sum of block time over all monitors. */
     Ticks totalBlockTime() const;
 
+    /**
+     * Threads blocked on monitor acquire queues right now (the live
+     * "blocked_now" gauge sampled by the telemetry layer; waitset
+     * parkers are excluded — they are waiting, not contending).
+     */
+    std::size_t totalQueuedWaiters() const;
+
     /** Aggregate HotSpot lock-state counters over all monitors. */
     MonitorStats aggregateStats() const;
 

@@ -11,6 +11,7 @@
 #ifndef JSCALE_JVM_RUNTIME_LISTENER_HH
 #define JSCALE_JVM_RUNTIME_LISTENER_HH
 
+#include <algorithm>
 #include <cstdint>
 #include <vector>
 
@@ -76,6 +77,26 @@ class RuntimeListener
         (void)thread; (void)monitor; (void)now;
     }
 
+    /**
+     * The VM requested a global safepoint (stop-the-world); the
+     * scheduler starts truncating running threads at their polls.
+     */
+    virtual void
+    onSafepointBegin(std::uint64_t sequence, Ticks now)
+    {
+        (void)sequence; (void)now;
+    }
+
+    /**
+     * Every thread is parked; the stop-the-world operation can run.
+     * @p ttsp is the bring-to-stop latency (now - request time).
+     */
+    virtual void
+    onSafepointReached(std::uint64_t sequence, Ticks ttsp, Ticks now)
+    {
+        (void)sequence; (void)ttsp; (void)now;
+    }
+
     /** A stop-the-world collection is starting (safepoint reached). */
     virtual void
     onGcStart(GcKind kind, std::uint64_t sequence, Ticks now)
@@ -83,11 +104,38 @@ class RuntimeListener
         (void)kind; (void)sequence; (void)now;
     }
 
+    /**
+     * One component phase of a stop-the-world pause (root-scan, scan,
+     * copy, mark, compact, remark), as priced by the GcCostModel.
+     * Delivered between onGcStart and onGcEnd; the phases of one
+     * collection partition [safepoint, finish] without overlap.
+     */
+    virtual void
+    onGcPhase(std::uint64_t sequence, GcKind kind, const char *phase,
+              Ticks begin, Ticks end)
+    {
+        (void)sequence; (void)kind; (void)phase; (void)begin; (void)end;
+    }
+
     /** A collection finished; the world is about to resume. */
     virtual void
     onGcEnd(const GcEvent &event, Ticks now)
     {
         (void)event; (void)now;
+    }
+
+    /** A concurrent old-generation marking cycle started. */
+    virtual void
+    onConcurrentMarkBegin(std::uint64_t cycle, Ticks now)
+    {
+        (void)cycle; (void)now;
+    }
+
+    /** A marking cycle completed (or was aborted by a mode failure). */
+    virtual void
+    onConcurrentMarkEnd(std::uint64_t cycle, bool aborted, Ticks now)
+    {
+        (void)cycle; (void)aborted; (void)now;
     }
 
     /** A mutator thread started. */
@@ -112,8 +160,14 @@ class ListenerChain
     /** Subscribe a listener (not owned). */
     void add(RuntimeListener *l) { listeners_.push_back(l); }
 
-    /** Remove a previously subscribed listener. */
-    void remove(RuntimeListener *l);
+    /** Remove a previously subscribed listener (no-op if absent). */
+    void
+    remove(RuntimeListener *l)
+    {
+        listeners_.erase(
+            std::remove(listeners_.begin(), listeners_.end(), l),
+            listeners_.end());
+    }
 
     /** All current subscribers. */
     const std::vector<RuntimeListener *> &all() const { return listeners_; }

@@ -87,6 +87,8 @@ JavaVm::requestGc(MutatorThread *t, Ticks now)
         return; // the in-flight collection will serve this thread too
     gc_in_progress_ = true;
     gc_requested_at_ = now;
+    listeners_.dispatch(
+        [&](RuntimeListener &l) { l.onSafepointBegin(gc_seq_, now); });
     sched_.stopTheWorld([this] { performGcAtSafepoint(); });
 }
 
@@ -94,6 +96,10 @@ void
 JavaVm::performGcAtSafepoint()
 {
     const Ticks safepoint_at = sim_.now();
+    listeners_.dispatch([&](RuntimeListener &l) {
+        l.onSafepointReached(gc_seq_, safepoint_at - gc_requested_at_,
+                             safepoint_at);
+    });
 
     // In compartmentalized mode a stop-the-world collection only happens
     // under old-generation pressure (or an overfull compartment), and it
@@ -103,13 +109,16 @@ JavaVm::performGcAtSafepoint()
     FullWork full;
     bool ran_full = false;
     Ticks duration = 0;
+    std::vector<GcPhaseCost> phases;
     if (config_.heap.compartmentalized) {
         full = heap_->collectFull(safepoint_at);
         ran_full = true;
         duration = cost_model_->fullPause(full);
+        phases = cost_model_->fullPhases(full);
     } else {
         minor = heap_->collectMinor(safepoint_at);
         duration = cost_model_->minorPause(minor);
+        phases = cost_model_->minorPhases(minor);
         if (minor.needs_full) {
             if (cycle_active_) {
                 // Concurrent mode failure: the old generation filled
@@ -118,10 +127,17 @@ JavaVm::performGcAtSafepoint()
                 ++gc_stats_.concurrent_failures;
                 marker_->abortCycle();
                 cycle_active_ = false;
+                listeners_.dispatch([&](RuntimeListener &l) {
+                    l.onConcurrentMarkEnd(gc_stats_.concurrent_cycles,
+                                          /*aborted=*/true, safepoint_at);
+                });
             }
             ran_full = true;
             full = heap_->collectFull(safepoint_at);
             duration += cost_model_->fullPause(full);
+            const auto full_phases = cost_model_->fullPhases(full);
+            phases.insert(phases.end(), full_phases.begin(),
+                          full_phases.end());
         }
     }
 
@@ -131,16 +147,18 @@ JavaVm::performGcAtSafepoint()
     });
 
     sim_.scheduleAfter(static_cast<TickDelta>(duration),
-                       [this, kind, minor, full, ran_full, safepoint_at] {
+                       [this, kind, minor, full, ran_full, safepoint_at,
+                        phases = std::move(phases)] {
                            finishGc(kind, minor, full, ran_full,
-                                    safepoint_at);
+                                    safepoint_at, phases);
                        },
                        "gc-finish");
 }
 
 void
 JavaVm::finishGc(GcKind kind, const MinorWork &minor, const FullWork &full,
-                 bool ran_full, Ticks safepoint_at)
+                 bool ran_full, Ticks safepoint_at,
+                 const std::vector<GcPhaseCost> &phases)
 {
     const Ticks now = sim_.now();
 
@@ -178,6 +196,14 @@ JavaVm::finishGc(GcKind kind, const MinorWork &minor, const FullWork &full,
     }
     gc_stats_.events.push_back(ev);
 
+    Ticks phase_at = safepoint_at;
+    for (const GcPhaseCost &p : phases) {
+        const Ticks phase_end = phase_at + p.duration;
+        listeners_.dispatch([&](RuntimeListener &l) {
+            l.onGcPhase(ev.sequence, kind, p.name, phase_at, phase_end);
+        });
+        phase_at = phase_end;
+    }
     listeners_.dispatch([&](RuntimeListener &l) { l.onGcEnd(ev, now); });
 
     // An old generation that a full collection could not bring under
@@ -239,6 +265,9 @@ JavaVm::maybeStartConcurrentCycle()
     }
     cycle_active_ = true;
     ++gc_stats_.concurrent_cycles;
+    listeners_.dispatch([&](RuntimeListener &l) {
+        l.onConcurrentMarkBegin(gc_stats_.concurrent_cycles, sim_.now());
+    });
     const Ticks budget = static_cast<Ticks>(
         static_cast<double>(heap_->oldUsed()) /
         config_.concurrent.mark_bw);
@@ -250,6 +279,10 @@ JavaVm::onConcurrentCycleDone()
 {
     if (!cycle_active_)
         return; // aborted cycle raced with completion
+    listeners_.dispatch([&](RuntimeListener &l) {
+        l.onConcurrentMarkEnd(gc_stats_.concurrent_cycles,
+                              /*aborted=*/false, sim_.now());
+    });
     requestRemark();
 }
 
@@ -262,6 +295,9 @@ JavaVm::requestRemark()
     }
     gc_in_progress_ = true;
     gc_requested_at_ = sim_.now();
+    listeners_.dispatch([&](RuntimeListener &l) {
+        l.onSafepointBegin(gc_seq_, gc_requested_at_);
+    });
     sched_.stopTheWorld([this] { performRemarkAtSafepoint(); });
 }
 
@@ -269,6 +305,10 @@ void
 JavaVm::performRemarkAtSafepoint()
 {
     const Ticks safepoint_at = sim_.now();
+    listeners_.dispatch([&](RuntimeListener &l) {
+        l.onSafepointReached(gc_seq_, safepoint_at - gc_requested_at_,
+                             safepoint_at);
+    });
     const FullWork sweep = heap_->sweepOld(safepoint_at);
     listeners_.dispatch([&](RuntimeListener &l) {
         l.onGcStart(GcKind::Remark, gc_seq_, safepoint_at);
@@ -305,6 +345,10 @@ JavaVm::finishRemark(const FullWork &sweep, Ticks safepoint_at)
     gc_stats_.total_ttsp += ev.timeToSafepoint();
     gc_stats_.reclaimed_bytes += ev.reclaimed_bytes;
     gc_stats_.events.push_back(ev);
+    listeners_.dispatch([&](RuntimeListener &l) {
+        l.onGcPhase(ev.sequence, GcKind::Remark, "remark+sweep",
+                    safepoint_at, now);
+    });
     listeners_.dispatch([&](RuntimeListener &l) { l.onGcEnd(ev, now); });
 
     cycle_active_ = false;

@@ -133,6 +133,16 @@ struct RunResult
     os::SchedulerStats sched;
     std::uint64_t total_tasks = 0;
     std::uint64_t sim_events = 0;
+
+    /** @name Telemetry artifacts (filled by the experiment runner) */
+    /** @{ */
+    /** Chrome-trace timeline written for this run (empty = disabled). */
+    std::string timeline_file;
+    /** Metric-sampler CSV written for this run (empty = disabled). */
+    std::string metrics_file;
+    std::uint64_t timeline_events = 0;
+    std::uint64_t metric_rows = 0;
+    /** @} */
 };
 
 /**
@@ -186,7 +196,8 @@ class JavaVm
   private:
     void performGcAtSafepoint();
     void finishGc(GcKind kind, const MinorWork &minor,
-                  const FullWork &full, bool ran_full, Ticks safepoint_at);
+                  const FullWork &full, bool ran_full, Ticks safepoint_at,
+                  const std::vector<GcPhaseCost> &phases);
 
     /** Apply adaptive sizing after a stop-the-world collection. */
     void maybeResizeYoung(const GcEvent &ev);

@@ -1,0 +1,126 @@
+/**
+ * @file
+ * SchedulerListener: a probe interface for the OS scheduler, mirroring
+ * jvm::RuntimeListener.
+ *
+ * Observation tools (the telemetry timeline recorder, test
+ * instrumentation) subscribe to scheduling events — dispatch, burst end,
+ * migration, thread-state transitions — without the scheduler knowing
+ * anything about them, the same way the paper attached DTrace scheduler
+ * probes to an unmodified kernel.
+ */
+
+#ifndef JSCALE_OS_SCHED_LISTENER_HH
+#define JSCALE_OS_SCHED_LISTENER_HH
+
+#include <algorithm>
+#include <vector>
+
+#include "base/units.hh"
+#include "machine/machine.hh"
+#include "os/thread.hh"
+
+namespace jscale::os {
+
+/**
+ * Event callbacks delivered synchronously, in simulation order. All
+ * default to no-ops so tools override only what they observe.
+ */
+class SchedulerListener
+{
+  public:
+    virtual ~SchedulerListener() = default;
+
+    /** A thread was placed on a core and starts a burst.
+     *  @p overhead is the context-switch/migration cost paid first;
+     *  @p stolen marks a work-stealing dispatch. */
+    virtual void
+    onDispatch(const OsThread &t, machine::CoreId core, Ticks overhead,
+               bool stolen, Ticks now)
+    {
+        (void)t; (void)core; (void)overhead; (void)stolen; (void)now;
+    }
+
+    /**
+     * A dispatched burst ended. @p started is the dispatch time;
+     * @p preempted is true when the burst was truncated before its
+     * planned length (time-slice preemption or a safepoint poll).
+     */
+    virtual void
+    onBurstEnd(const OsThread &t, machine::CoreId core, Ticks started,
+               bool preempted, Ticks now)
+    {
+        (void)t; (void)core; (void)started; (void)preempted; (void)now;
+    }
+
+    /** A dispatch moved the thread across sockets. */
+    virtual void
+    onMigrate(const OsThread &t, machine::CoreId from, machine::CoreId to,
+              Ticks now)
+    {
+        (void)t; (void)from; (void)to; (void)now;
+    }
+
+    /** A thread changed observable state (@p prev -> current state). */
+    virtual void
+    onThreadState(const OsThread &t, ThreadState prev, Ticks now)
+    {
+        (void)t; (void)prev; (void)now;
+    }
+
+    /** A stop-the-world request started parking threads. */
+    virtual void
+    onWorldStopRequested(Ticks now)
+    {
+        (void)now;
+    }
+
+    /** Dispatching resumed after a stop-the-world. */
+    virtual void
+    onWorldResumed(Ticks now)
+    {
+        (void)now;
+    }
+};
+
+/** Fan-out helper mirroring jvm::ListenerChain. */
+class SchedListenerChain
+{
+  public:
+    /** Subscribe a listener (not owned). */
+    void add(SchedulerListener *l) { listeners_.push_back(l); }
+
+    /** Remove a previously subscribed listener. */
+    void
+    remove(SchedulerListener *l)
+    {
+        listeners_.erase(
+            std::remove(listeners_.begin(), listeners_.end(), l),
+            listeners_.end());
+    }
+
+    /** All current subscribers. */
+    const std::vector<SchedulerListener *> &all() const
+    {
+        return listeners_;
+    }
+
+    /** True when nothing is subscribed (hot-path early-out). */
+    bool empty() const { return listeners_.empty(); }
+
+    /** Invoke @p fn on every subscriber, in subscription order. */
+    template <typename Fn>
+    void
+    dispatch(Fn &&fn) const
+    {
+        for (SchedulerListener *l : listeners_)
+            fn(*l);
+    }
+
+  private:
+    std::vector<SchedulerListener *> listeners_;
+};
+
+} // namespace jscale::os
+
+#endif // JSCALE_OS_SCHED_LISTENER_HH

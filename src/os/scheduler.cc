@@ -107,11 +107,32 @@ Scheduler::start(OsThread *thread)
 {
     jscale_assert(thread->state_ == ThreadState::New,
                   "start() on non-new thread '", thread->name(), "'");
-    thread->state_ = ThreadState::Ready;
-    thread->state_since_ = sim_.now();
+    setThreadState(thread, ThreadState::Ready, sim_.now());
     enqueueReady(thread, thread->home_core_);
     if (!world_stopped_)
         kickAll();
+}
+
+void
+Scheduler::setThreadState(OsThread *thread, ThreadState next, Ticks now)
+{
+    const ThreadState prev = thread->state_;
+    thread->state_ = next;
+    thread->state_since_ = now;
+    if (!listeners_.empty()) {
+        listeners_.dispatch([&](SchedulerListener &l) {
+            l.onThreadState(*thread, prev, now);
+        });
+    }
+}
+
+std::size_t
+Scheduler::totalReadyQueued() const
+{
+    std::size_t n = 0;
+    for (const auto &cs : cores_)
+        n += cs.ready.size();
+    return n;
 }
 
 void
@@ -142,8 +163,7 @@ Scheduler::wake(OsThread *thread)
                   threadStateName(thread->state_));
     const Ticks now = sim_.now();
     accountStateExit(thread, now);
-    thread->state_ = ThreadState::Ready;
-    thread->state_since_ = now;
+    setThreadState(thread, ThreadState::Ready, now);
     // Wake to the home core: after a block the home core is the one most
     // likely idle (its owner was the blocked thread), and restoring the
     // 1:1 placement avoids the cross-core drift that work stealing
@@ -244,7 +264,6 @@ Scheduler::maybeDispatch(machine::CoreId core_id)
 void
 Scheduler::dispatch(machine::CoreId core_id, OsThread *thread, bool stolen)
 {
-    (void)stolen;
     CoreState &cs = cores_[core_id];
     const Ticks now = sim_.now();
     jscale_assert(thread->state_ == ThreadState::Ready,
@@ -257,19 +276,28 @@ Scheduler::dispatch(machine::CoreId core_id, OsThread *thread, bool stolen)
         overhead += mach_.config().context_switch_cost;
         ++stats_.context_switches;
     }
-    if (thread->ever_ran_ &&
-        mach_.socketOf(thread->last_core_) != mach_.socketOf(core_id)) {
+    const machine::CoreId prev_core = thread->last_core_;
+    const bool migrated =
+        thread->ever_ran_ &&
+        mach_.socketOf(prev_core) != mach_.socketOf(core_id);
+    if (migrated) {
         overhead += mach_.config().migration_cost;
         ++thread->migrations_;
         ++stats_.migrations;
     }
 
-    thread->state_ = ThreadState::Running;
-    thread->state_since_ = now;
+    setThreadState(thread, ThreadState::Running, now);
     thread->last_core_ = core_id;
     thread->ever_ran_ = true;
     ++thread->dispatches_;
     ++stats_.dispatches;
+    if (!listeners_.empty()) {
+        listeners_.dispatch([&](SchedulerListener &l) {
+            if (migrated)
+                l.onMigrate(*thread, prev_core, core_id, now);
+            l.onDispatch(*thread, core_id, overhead, stolen, now);
+        });
+    }
 
     const Ticks planned = thread->client_->planBurst(now, config_.quantum);
     jscale_assert(planned > 0 && planned <= config_.quantum,
@@ -307,8 +335,15 @@ Scheduler::sliceEnd(machine::CoreId core_id)
     thread->cpu_time_ += work;
     stats_.busy_ticks += elapsed_total;
     stats_.overhead_ticks += std::min(cs.overhead, elapsed_total);
-    if (work < cs.planned)
+    const bool preempted = work < cs.planned;
+    if (preempted)
         ++stats_.preemptions;
+    if (!listeners_.empty()) {
+        listeners_.dispatch([&](SchedulerListener &l) {
+            l.onBurstEnd(*thread, core_id, cs.dispatched_at, preempted,
+                         now);
+        });
+    }
 
     // finishBurst may reenter the scheduler (wake peers, request a
     // stop-the-world); core state must already be consistent.
@@ -316,19 +351,18 @@ Scheduler::sliceEnd(machine::CoreId core_id)
 
     switch (outcome) {
       case BurstOutcome::Ready:
-        thread->state_ = ThreadState::Ready;
-        thread->state_since_ = now;
+        setThreadState(thread, ThreadState::Ready, now);
         enqueueReady(thread, core_id);
         break;
       case BurstOutcome::Blocked:
-        thread->state_ = thread->pending_sleep_ ? ThreadState::Sleeping
-                                                : ThreadState::Blocked;
+        setThreadState(thread,
+                       thread->pending_sleep_ ? ThreadState::Sleeping
+                                              : ThreadState::Blocked,
+                       now);
         thread->pending_sleep_ = false;
-        thread->state_since_ = now;
         break;
       case BurstOutcome::Finished:
-        thread->state_ = ThreadState::Finished;
-        thread->state_since_ = now;
+        setThreadState(thread, ThreadState::Finished, now);
         ++finished_count_;
         if (finished_cb_)
             finished_cb_(thread);
@@ -351,6 +385,11 @@ Scheduler::stopTheWorld(std::function<void()> all_parked)
     stw_cb_pending_ = true;
 
     const Ticks now = sim_.now();
+    if (!listeners_.empty()) {
+        listeners_.dispatch([&](SchedulerListener &l) {
+            l.onWorldStopRequested(now);
+        });
+    }
     for (const auto id : mach_.enabledCoreIds()) {
         CoreState &cs = cores_[id];
         if (!cs.running)
@@ -385,6 +424,12 @@ Scheduler::resumeWorld()
     jscale_assert(running_count_ == 0, "resumeWorld with running threads");
     world_stopped_ = false;
     stw_callback_ = nullptr;
+    if (!listeners_.empty()) {
+        const Ticks now = sim_.now();
+        listeners_.dispatch([&](SchedulerListener &l) {
+            l.onWorldResumed(now);
+        });
+    }
     kickAll();
 }
 

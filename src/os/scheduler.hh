@@ -23,6 +23,7 @@
 #include "base/units.hh"
 #include "machine/machine.hh"
 #include "os/policy.hh"
+#include "os/sched_listener.hh"
 #include "os/thread.hh"
 #include "sim/simulation.hh"
 
@@ -127,6 +128,18 @@ class Scheduler
     /** Re-examine all idle cores (used after policy phase rotations). */
     void kickAll();
 
+    /** Probe chain; subscribe observation tools before start(). */
+    SchedListenerChain &listeners() { return listeners_; }
+
+    /** Threads queued (ready, not running) on @p core's run queue. */
+    std::size_t readyQueueDepth(machine::CoreId core) const
+    {
+        return cores_[core].ready.size();
+    }
+
+    /** Threads queued on all run queues (total suspend-wait backlog). */
+    std::size_t totalReadyQueued() const;
+
     /** Run statistics. */
     const SchedulerStats &schedStats() const { return stats_; }
 
@@ -155,6 +168,9 @@ class Scheduler
     void accountStateExit(OsThread *thread, Ticks now);
     void maybeFireStwCallback();
 
+    /** Commit a state transition and publish it to the probe chain. */
+    void setThreadState(OsThread *thread, ThreadState next, Ticks now);
+
     sim::Simulation &sim_;
     machine::Machine &mach_;
     SchedulerConfig config_;
@@ -171,6 +187,7 @@ class Scheduler
     bool stw_cb_pending_ = false;
     std::function<void()> stw_callback_;
     std::function<void(OsThread *)> finished_cb_;
+    SchedListenerChain listeners_;
 
     SchedulerStats stats_;
 };

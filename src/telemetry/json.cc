@@ -1,0 +1,250 @@
+#include "telemetry/json.hh"
+
+#include <cctype>
+#include <cstddef>
+
+namespace jscale::telemetry {
+
+namespace {
+
+/** Recursive-descent validator over a string; tracks one error. */
+class Parser
+{
+  public:
+    explicit Parser(const std::string &text) : text_(text) {}
+
+    bool run(std::string *err)
+    {
+        skipWs();
+        if (!value()) {
+            report(err);
+            return false;
+        }
+        skipWs();
+        if (pos_ != text_.size()) {
+            error_ = "trailing content after JSON value";
+            error_at_ = pos_;
+            report(err);
+            return false;
+        }
+        return true;
+    }
+
+  private:
+    bool fail(const char *what)
+    {
+        if (error_.empty()) {
+            error_ = what;
+            error_at_ = pos_;
+        }
+        return false;
+    }
+
+    void report(std::string *err) const
+    {
+        if (err == nullptr)
+            return;
+        *err = error_.empty() ? "invalid JSON" : error_;
+        *err += " at offset " + std::to_string(error_at_);
+    }
+
+    char peek() const { return pos_ < text_.size() ? text_[pos_] : '\0'; }
+    bool eof() const { return pos_ >= text_.size(); }
+
+    void skipWs()
+    {
+        while (pos_ < text_.size()) {
+            const char c = text_[pos_];
+            if (c != ' ' && c != '\t' && c != '\n' && c != '\r')
+                break;
+            ++pos_;
+        }
+    }
+
+    bool literal(const char *word)
+    {
+        std::size_t i = 0;
+        while (word[i] != '\0') {
+            if (pos_ + i >= text_.size() || text_[pos_ + i] != word[i])
+                return fail("invalid literal");
+            ++i;
+        }
+        pos_ += i;
+        return true;
+    }
+
+    bool value()
+    {
+        if (eof())
+            return fail("unexpected end of input");
+        switch (peek()) {
+          case '{': return object();
+          case '[': return array();
+          case '"': return string();
+          case 't': return literal("true");
+          case 'f': return literal("false");
+          case 'n': return literal("null");
+          default: return number();
+        }
+    }
+
+    bool object()
+    {
+        ++pos_; // '{'
+        skipWs();
+        if (peek() == '}') {
+            ++pos_;
+            return true;
+        }
+        while (true) {
+            skipWs();
+            if (peek() != '"')
+                return fail("expected object key string");
+            if (!string())
+                return false;
+            skipWs();
+            if (peek() != ':')
+                return fail("expected ':' in object");
+            ++pos_;
+            skipWs();
+            if (!value())
+                return false;
+            skipWs();
+            if (peek() == ',') {
+                ++pos_;
+                continue;
+            }
+            if (peek() == '}') {
+                ++pos_;
+                return true;
+            }
+            return fail("expected ',' or '}' in object");
+        }
+    }
+
+    bool array()
+    {
+        ++pos_; // '['
+        skipWs();
+        if (peek() == ']') {
+            ++pos_;
+            return true;
+        }
+        while (true) {
+            skipWs();
+            if (!value())
+                return false;
+            skipWs();
+            if (peek() == ',') {
+                ++pos_;
+                continue;
+            }
+            if (peek() == ']') {
+                ++pos_;
+                return true;
+            }
+            return fail("expected ',' or ']' in array");
+        }
+    }
+
+    bool hexDigit(char c) const
+    {
+        return std::isxdigit(static_cast<unsigned char>(c)) != 0;
+    }
+
+    bool string()
+    {
+        ++pos_; // '"'
+        while (true) {
+            if (eof())
+                return fail("unterminated string");
+            const char c = text_[pos_];
+            if (static_cast<unsigned char>(c) < 0x20)
+                return fail("raw control character in string");
+            if (c == '"') {
+                ++pos_;
+                return true;
+            }
+            if (c == '\\') {
+                ++pos_;
+                if (eof())
+                    return fail("unterminated escape");
+                const char e = text_[pos_];
+                switch (e) {
+                  case '"': case '\\': case '/': case 'b': case 'f':
+                  case 'n': case 'r': case 't':
+                    ++pos_;
+                    break;
+                  case 'u':
+                    ++pos_;
+                    for (int i = 0; i < 4; ++i) {
+                        if (eof() || !hexDigit(text_[pos_]))
+                            return fail("bad \\u escape");
+                        ++pos_;
+                    }
+                    break;
+                  default:
+                    return fail("bad escape character");
+                }
+            } else {
+                ++pos_;
+            }
+        }
+    }
+
+    bool digits()
+    {
+        if (eof() || std::isdigit(static_cast<unsigned char>(peek())) == 0)
+            return fail("expected digit");
+        while (!eof() &&
+               std::isdigit(static_cast<unsigned char>(peek())) != 0) {
+            ++pos_;
+        }
+        return true;
+    }
+
+    bool number()
+    {
+        if (peek() == '-')
+            ++pos_;
+        if (eof())
+            return fail("expected number");
+        if (peek() == '0') {
+            ++pos_; // leading zero must stand alone
+            if (!eof() &&
+                std::isdigit(static_cast<unsigned char>(peek())) != 0) {
+                return fail("leading zero in number");
+            }
+        } else if (!digits()) {
+            return false;
+        }
+        if (peek() == '.') {
+            ++pos_;
+            if (!digits())
+                return false;
+        }
+        if (peek() == 'e' || peek() == 'E') {
+            ++pos_;
+            if (peek() == '+' || peek() == '-')
+                ++pos_;
+            if (!digits())
+                return false;
+        }
+        return true;
+    }
+
+    const std::string &text_;
+    std::size_t pos_ = 0;
+    std::string error_;
+    std::size_t error_at_ = 0;
+};
+
+} // namespace
+
+bool
+validateJson(const std::string &text, std::string *err)
+{
+    return Parser(text).run(err);
+}
+
+} // namespace jscale::telemetry

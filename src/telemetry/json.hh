@@ -1,0 +1,28 @@
+/**
+ * @file
+ * Strict, dependency-free JSON validator.
+ *
+ * Used by the telemetry tests and the CI smoke check to confirm that
+ * emitted Chrome-trace files are well-formed JSON (RFC 8259): no
+ * trailing commas, no unquoted keys, no NaN/Infinity literals. It
+ * validates only — it does not build a document tree.
+ */
+
+#ifndef JSCALE_TELEMETRY_JSON_HH
+#define JSCALE_TELEMETRY_JSON_HH
+
+#include <string>
+
+namespace jscale::telemetry {
+
+/**
+ * Validate @p text as a single JSON value (plus surrounding
+ * whitespace).
+ * @return true when the text parses; otherwise false with a
+ * human-readable position/description in @p err (when non-null).
+ */
+bool validateJson(const std::string &text, std::string *err = nullptr);
+
+} // namespace jscale::telemetry
+
+#endif // JSCALE_TELEMETRY_JSON_HH

@@ -1,0 +1,307 @@
+#include "telemetry/recorder.hh"
+
+#include "jvm/runtime/vm.hh"
+#include "os/scheduler.hh"
+
+namespace jscale::telemetry {
+
+TelemetryRecorder::TelemetryRecorder(Timeline &timeline)
+    : timeline_(timeline)
+{
+    timeline_.processName(kCoresPid, "cores");
+    timeline_.processName(kThreadsPid, "threads");
+    timeline_.processName(kVmPid, "vm");
+    timeline_.threadName(kVmPid, kSafepointTid, "safepoint");
+    timeline_.threadName(kVmPid, kGcTid, "gc");
+    timeline_.threadName(kVmPid, kConcMarkTid, "concurrent-mark");
+}
+
+TelemetryRecorder::~TelemetryRecorder()
+{
+    detach();
+}
+
+void
+TelemetryRecorder::attach(jvm::JavaVm &vm)
+{
+    detach();
+    vm_ = &vm;
+    vm_->listeners().add(this);
+    vm_->scheduler().listeners().add(this);
+}
+
+void
+TelemetryRecorder::detach()
+{
+    if (vm_ == nullptr)
+        return;
+    vm_->listeners().remove(this);
+    vm_->scheduler().listeners().remove(this);
+    vm_ = nullptr;
+}
+
+TelemetryRecorder::ThreadTrack &
+TelemetryRecorder::threadTrack(const os::OsThread &t)
+{
+    auto [it, inserted] = threads_.try_emplace(t.id());
+    if (inserted) {
+        it->second.tid = t.id();
+        timeline_.threadName(kThreadsPid, t.id(), t.name());
+    }
+    return it->second;
+}
+
+TelemetryRecorder::CoreTrack &
+TelemetryRecorder::coreTrack(machine::CoreId core)
+{
+    CoreTrack &ct = cores_[core];
+    if (!ct.named) {
+        ct.named = true;
+        timeline_.threadName(kCoresPid, core,
+                             "core " + std::to_string(core));
+    }
+    return ct;
+}
+
+void
+TelemetryRecorder::closeState(ThreadTrack &tr, Ticks now)
+{
+    if (!tr.open) {
+        return;
+    }
+    tr.open = false;
+    if (now == tr.since)
+        return; // zero-length state; skip the noise
+    TraceArgs args;
+    if (tr.monitor != kNoMonitor)
+        args.push_back(
+            targ("monitor", static_cast<std::uint64_t>(tr.monitor)));
+    timeline_.span(kThreadsPid, tr.tid, tr.label, "state", tr.since, now,
+                   args);
+}
+
+void
+TelemetryRecorder::onDispatch(const os::OsThread &t, machine::CoreId core,
+                              Ticks overhead, bool stolen, Ticks now)
+{
+    CoreTrack &ct = coreTrack(core);
+    if (!ct.busy && now > ct.idle_since) {
+        timeline_.span(kCoresPid, core, "idle", "idle", ct.idle_since,
+                       now);
+    }
+    ct.busy = true;
+    ct.runner = t.name();
+    ct.runner_id = t.id();
+    ct.stolen = stolen;
+    ct.overhead = overhead;
+    ct.burst_since = now;
+}
+
+void
+TelemetryRecorder::onBurstEnd(const os::OsThread &t, machine::CoreId core,
+                              Ticks started, bool preempted, Ticks now)
+{
+    CoreTrack &ct = coreTrack(core);
+    TraceArgs args = {
+        targ("thread", static_cast<std::uint64_t>(t.id())),
+        targ("overhead_ns", static_cast<std::uint64_t>(ct.overhead)),
+    };
+    if (ct.stolen)
+        args.push_back(targ("stolen", "true"));
+    if (preempted)
+        args.push_back(targ("preempted", "true"));
+    timeline_.span(kCoresPid, core, t.name(), "burst", started, now, args);
+    if (preempted) {
+        timeline_.instant(kCoresPid, core, "preempt", "sched", now,
+                          {targ("thread",
+                                static_cast<std::uint64_t>(t.id()))});
+    }
+    ct.busy = false;
+    ct.idle_since = now;
+}
+
+void
+TelemetryRecorder::onMigrate(const os::OsThread &t, machine::CoreId from,
+                             machine::CoreId to, Ticks now)
+{
+    timeline_.instant(kCoresPid, to, "migrate", "sched", now,
+                      {targ("thread", static_cast<std::uint64_t>(t.id())),
+                       targ("from", static_cast<std::uint64_t>(from)),
+                       targ("to", static_cast<std::uint64_t>(to))});
+}
+
+void
+TelemetryRecorder::onThreadState(const os::OsThread &t,
+                                 os::ThreadState prev, Ticks now)
+{
+    (void)prev;
+    ThreadTrack &tr = threadTrack(t);
+    std::string label;
+    std::uint32_t monitor = kNoMonitor;
+    switch (t.state()) {
+      case os::ThreadState::Running:
+        label = "running";
+        break;
+      case os::ThreadState::Ready:
+        label = in_safepoint_ ? "at-safepoint" : "ready-wait";
+        break;
+      case os::ThreadState::Blocked: {
+        label = "blocked";
+        if (t.kind() == os::ThreadKind::Mutator) {
+            // Mutators are registered first, so ThreadId == MutatorIndex.
+            const auto it = pending_monitor_.find(
+                static_cast<jvm::MutatorIndex>(t.id()));
+            if (it != pending_monitor_.end()) {
+                label = "lock-blocked";
+                monitor = it->second;
+                pending_monitor_.erase(it);
+            }
+        }
+        break;
+      }
+      case os::ThreadState::Sleeping:
+        label = "sleeping";
+        break;
+      case os::ThreadState::New:
+      case os::ThreadState::Finished:
+        break;
+    }
+    closeState(tr, now);
+    if (label.empty())
+        return;
+    tr.label = std::move(label);
+    tr.since = now;
+    tr.open = true;
+    tr.monitor = monitor;
+}
+
+void
+TelemetryRecorder::onWorldStopRequested(Ticks now)
+{
+    in_safepoint_ = true;
+    // Threads already queued keep waiting through the safepoint; relabel
+    // the remainder of their wait so safepoint time is visible per thread.
+    for (auto &[id, tr] : threads_) {
+        (void)id;
+        if (tr.open && tr.label == "ready-wait") {
+            closeState(tr, now);
+            tr.label = "at-safepoint";
+            tr.since = now;
+            tr.open = true;
+            tr.monitor = kNoMonitor;
+        }
+    }
+}
+
+void
+TelemetryRecorder::onWorldResumed(Ticks now)
+{
+    in_safepoint_ = false;
+    for (auto &[id, tr] : threads_) {
+        (void)id;
+        if (tr.open && tr.label == "at-safepoint") {
+            closeState(tr, now);
+            tr.label = "ready-wait";
+            tr.since = now;
+            tr.open = true;
+            tr.monitor = kNoMonitor;
+        }
+    }
+}
+
+void
+TelemetryRecorder::onMonitorContended(jvm::MutatorIndex thread,
+                                      jvm::MonitorId monitor, Ticks now)
+{
+    (void)now;
+    pending_monitor_[thread] = monitor;
+}
+
+void
+TelemetryRecorder::onSafepointReached(std::uint64_t sequence, Ticks ttsp,
+                                      Ticks now)
+{
+    timeline_.span(kVmPid, kSafepointTid, "bring-to-stop", "safepoint",
+                   now - ttsp, now, {targ("sequence", sequence)});
+}
+
+void
+TelemetryRecorder::onGcPhase(std::uint64_t sequence, jvm::GcKind kind,
+                             const char *phase, Ticks begin, Ticks end)
+{
+    timeline_.span(kVmPid, kGcTid, phase, "gc-phase", begin, end,
+                   {targ("sequence", sequence),
+                    targ("kind", jvm::gcKindName(kind))});
+}
+
+void
+TelemetryRecorder::onGcEnd(const jvm::GcEvent &event, Ticks now)
+{
+    (void)now;
+    timeline_.span(
+        kVmPid, kGcTid, jvm::gcKindName(event.kind), "gc",
+        event.safepoint_at, event.finished_at,
+        {targ("sequence", event.sequence),
+         targ("ttsp_ns", static_cast<std::uint64_t>(
+                             event.timeToSafepoint())),
+         targ("moved_bytes", static_cast<std::uint64_t>(event.moved_bytes)),
+         targ("promoted_bytes",
+              static_cast<std::uint64_t>(event.promoted_bytes)),
+         targ("reclaimed_bytes",
+              static_cast<std::uint64_t>(event.reclaimed_bytes))});
+}
+
+void
+TelemetryRecorder::onConcurrentMarkBegin(std::uint64_t cycle, Ticks now)
+{
+    mark_open_ = true;
+    mark_cycle_ = cycle;
+    mark_since_ = now;
+}
+
+void
+TelemetryRecorder::onConcurrentMarkEnd(std::uint64_t cycle, bool aborted,
+                                       Ticks now)
+{
+    if (!mark_open_)
+        return;
+    mark_open_ = false;
+    TraceArgs args = {targ("cycle", cycle)};
+    if (aborted)
+        args.push_back(targ("aborted", "true"));
+    timeline_.span(kVmPid, kConcMarkTid, "concurrent-mark", "gc",
+                   mark_since_, now, args);
+}
+
+void
+TelemetryRecorder::finish(Ticks end)
+{
+    if (finished_)
+        return;
+    finished_ = true;
+    for (auto &[id, tr] : threads_) {
+        (void)id;
+        closeState(tr, end);
+    }
+    for (auto &[core, ct] : cores_) {
+        if (ct.busy) {
+            timeline_.span(kCoresPid, core, ct.runner, "burst",
+                           ct.burst_since, end,
+                           {targ("thread", static_cast<std::uint64_t>(
+                                               ct.runner_id)),
+                            targ("truncated", "true")});
+        } else if (end > ct.idle_since) {
+            timeline_.span(kCoresPid, core, "idle", "idle", ct.idle_since,
+                           end);
+        }
+    }
+    if (mark_open_) {
+        mark_open_ = false;
+        timeline_.span(kVmPid, kConcMarkTid, "concurrent-mark", "gc",
+                       mark_since_, end,
+                       {targ("cycle", mark_cycle_),
+                        targ("truncated", "true")});
+    }
+}
+
+} // namespace jscale::telemetry

@@ -1,0 +1,174 @@
+/**
+ * @file
+ * TelemetryRecorder: turns the runtime and scheduler probe streams into
+ * a Chrome-trace timeline.
+ *
+ * The recorder subscribes to both probe chains (jvm::RuntimeListener and
+ * os::SchedulerListener) and emits three track groups:
+ *
+ *  - pid 1 "cores":   one track per core. CPU bursts as spans named by
+ *    the thread that ran (with dispatch overhead / steal / preempt
+ *    args), idle gaps as explicit "idle" spans, migrations and
+ *    preemptions as instants.
+ *  - pid 2 "threads": one track per OS thread. Contiguous state spans:
+ *    running, ready-wait, at-safepoint (ready while a stop-the-world is
+ *    in progress), lock-blocked (with the contended monitor id),
+ *    blocked, sleeping.
+ *  - pid 3 "vm":      safepoint bring-to-stop spans (track 0), GC
+ *    umbrella + component-phase spans (track 1), concurrent-mark cycle
+ *    spans (track 2).
+ *
+ * Span arithmetic is exact: bring-to-stop spans sum to the run's
+ * total_ttsp and GC phase spans partition [safepoint, finish], so the
+ * timeline totals reconcile with RunResult's tick accounting.
+ */
+
+#ifndef JSCALE_TELEMETRY_RECORDER_HH
+#define JSCALE_TELEMETRY_RECORDER_HH
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+#include "base/units.hh"
+#include "jvm/runtime/listener.hh"
+#include "os/sched_listener.hh"
+#include "telemetry/timeline.hh"
+
+namespace jscale::jvm {
+class JavaVm;
+} // namespace jscale::jvm
+
+namespace jscale::telemetry {
+
+/** Track-group (pid) layout of the emitted trace. */
+enum TrackGroup : std::uint32_t
+{
+    kCoresPid = 1,
+    kThreadsPid = 2,
+    kVmPid = 3,
+};
+
+/** Tracks within the "vm" group. */
+enum VmTrack : std::uint32_t
+{
+    kSafepointTid = 0,
+    kGcTid = 1,
+    kConcMarkTid = 2,
+};
+
+/**
+ * The probe-to-timeline bridge. Construct over a Timeline, attach() to a
+ * VM before run(), call finish() with the run end time afterwards.
+ */
+class TelemetryRecorder : public jvm::RuntimeListener,
+                          public os::SchedulerListener
+{
+  public:
+    explicit TelemetryRecorder(Timeline &timeline);
+    ~TelemetryRecorder() override;
+
+    TelemetryRecorder(const TelemetryRecorder &) = delete;
+    TelemetryRecorder &operator=(const TelemetryRecorder &) = delete;
+
+    /** Subscribe to @p vm's runtime and scheduler probe chains. */
+    void attach(jvm::JavaVm &vm);
+
+    /** Unsubscribe (idempotent; also run by the destructor). */
+    void detach();
+
+    /**
+     * Close all open spans at @p end (run end): per-thread state spans,
+     * in-flight bursts, trailing idle gaps and an unfinished concurrent
+     * mark cycle.
+     */
+    void finish(Ticks end);
+
+    Timeline &timeline() { return timeline_; }
+
+    /** @name os::SchedulerListener */
+    /** @{ */
+    void onDispatch(const os::OsThread &t, machine::CoreId core,
+                    Ticks overhead, bool stolen, Ticks now) override;
+    void onBurstEnd(const os::OsThread &t, machine::CoreId core,
+                    Ticks started, bool preempted, Ticks now) override;
+    void onMigrate(const os::OsThread &t, machine::CoreId from,
+                   machine::CoreId to, Ticks now) override;
+    void onThreadState(const os::OsThread &t, os::ThreadState prev,
+                       Ticks now) override;
+    void onWorldStopRequested(Ticks now) override;
+    void onWorldResumed(Ticks now) override;
+    /** @} */
+
+    /** @name jvm::RuntimeListener */
+    /** @{ */
+    void onMonitorContended(jvm::MutatorIndex thread,
+                            jvm::MonitorId monitor, Ticks now) override;
+    void onSafepointReached(std::uint64_t sequence, Ticks ttsp,
+                            Ticks now) override;
+    void onGcPhase(std::uint64_t sequence, jvm::GcKind kind,
+                   const char *phase, Ticks begin, Ticks end) override;
+    void onGcEnd(const jvm::GcEvent &event, Ticks now) override;
+    void onConcurrentMarkBegin(std::uint64_t cycle, Ticks now) override;
+    void onConcurrentMarkEnd(std::uint64_t cycle, bool aborted,
+                             Ticks now) override;
+    /** @} */
+
+  private:
+    /** Open state span on a thread track. */
+    struct ThreadTrack
+    {
+        os::ThreadId tid = 0;
+        std::string label;
+        Ticks since = 0;
+        bool open = false;
+        /** Monitor id attached to the current lock-blocked span. */
+        std::uint32_t monitor = kNoMonitor;
+    };
+
+    /** Core-track bookkeeping: the in-flight burst and the idle gap. */
+    struct CoreTrack
+    {
+        bool busy = false;
+        std::string runner;
+        os::ThreadId runner_id = 0;
+        bool stolen = false;
+        Ticks overhead = 0;
+        Ticks burst_since = 0;
+        Ticks idle_since = 0;
+        bool named = false;
+    };
+
+    static constexpr std::uint32_t kNoMonitor = ~0u;
+
+    /** Current-state label for @p t given the safepoint flag. */
+    std::string stateLabel(const os::OsThread &t);
+
+    /** Ensure the per-thread track exists and is named. */
+    ThreadTrack &threadTrack(const os::OsThread &t);
+    CoreTrack &coreTrack(machine::CoreId core);
+
+    /** Close the open state span (if any) and start @p label at @p now. */
+    void switchState(const os::OsThread &t, const std::string &label,
+                     Ticks now);
+    void closeState(ThreadTrack &tr, Ticks now);
+
+    Timeline &timeline_;
+    jvm::JavaVm *vm_ = nullptr;
+
+    std::map<os::ThreadId, ThreadTrack> threads_;
+    std::map<machine::CoreId, CoreTrack> cores_;
+    /** Monitor a mutator is about to block on (set by contention probe,
+     *  consumed by the matching Blocked transition). */
+    std::map<jvm::MutatorIndex, jvm::MonitorId> pending_monitor_;
+
+    bool in_safepoint_ = false;
+    bool mark_open_ = false;
+    std::uint64_t mark_cycle_ = 0;
+    Ticks mark_since_ = 0;
+    bool finished_ = false;
+};
+
+} // namespace jscale::telemetry
+
+#endif // JSCALE_TELEMETRY_RECORDER_HH

@@ -1,0 +1,80 @@
+#include "telemetry/sampler.hh"
+
+#include "base/logging.hh"
+#include "jvm/runtime/vm.hh"
+#include "sim/simulation.hh"
+#include "telemetry/recorder.hh"
+#include "telemetry/timeline.hh"
+
+namespace jscale::telemetry {
+
+MetricSampler::MetricSampler(sim::Simulation &sim, jvm::JavaVm &vm,
+                             Ticks interval)
+    : sim_(sim), vm_(vm), interval_(interval)
+{
+    jscale_assert(interval_ > 0, "sampling interval must be positive");
+}
+
+void
+MetricSampler::start()
+{
+    sim_.scheduleAfter(interval_, [this] { tick(); }, "metric-sample");
+}
+
+void
+MetricSampler::tick()
+{
+    const Ticks now = sim_.now();
+    MetricSample s;
+    s.at = now;
+    s.eden_used = vm_.heap().edenUsed();
+    s.survivor_used = vm_.heap().survivorUsed();
+    s.old_used = vm_.heap().oldUsed();
+    s.live_bytes = vm_.heap().liveBytes();
+    s.run_queue = vm_.scheduler().totalReadyQueued();
+    s.running = vm_.scheduler().runningCount();
+    s.lock_blocked = vm_.monitors().totalQueuedWaiters();
+    samples_.push_back(s);
+
+    summary_.eden_used.add(static_cast<double>(s.eden_used));
+    summary_.old_used.add(static_cast<double>(s.old_used));
+    summary_.live_bytes.add(static_cast<double>(s.live_bytes));
+    summary_.run_queue.add(static_cast<double>(s.run_queue));
+    summary_.running.add(static_cast<double>(s.running));
+    summary_.lock_blocked.add(static_cast<double>(s.lock_blocked));
+
+    if (timeline_ != nullptr) {
+        timeline_->counter(kVmPid, "heap", now,
+                           {targ("eden", s.eden_used),
+                            targ("survivor", s.survivor_used),
+                            targ("old", s.old_used),
+                            targ("live", s.live_bytes)});
+        timeline_->counter(kVmPid, "scheduler", now,
+                           {targ("run_queue", s.run_queue),
+                            targ("running", s.running)});
+        timeline_->counter(kVmPid, "locks", now,
+                           {targ("blocked_now", s.lock_blocked)});
+    }
+
+    sim_.scheduleAfter(interval_, [this] { tick(); }, "metric-sample");
+}
+
+const char *
+MetricSampler::csvHeader()
+{
+    return "time_ns,eden_used,survivor_used,old_used,live_bytes,"
+           "run_queue,running,lock_blocked";
+}
+
+void
+MetricSampler::writeCsv(std::ostream &os) const
+{
+    os << csvHeader() << "\n";
+    for (const MetricSample &s : samples_) {
+        os << s.at << "," << s.eden_used << "," << s.survivor_used << ","
+           << s.old_used << "," << s.live_bytes << "," << s.run_queue
+           << "," << s.running << "," << s.lock_blocked << "\n";
+    }
+}
+
+} // namespace jscale::telemetry

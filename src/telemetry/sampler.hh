@@ -1,0 +1,109 @@
+/**
+ * @file
+ * MetricSampler: periodic polling of live gauges into a time series.
+ *
+ * Every interval the sampler reads heap occupancy (eden / survivor /
+ * old / live bytes), scheduler pressure (run-queue backlog, running
+ * threads) and lock pressure (threads blocked on monitor queues right
+ * now) from the running VM. Samples accumulate in memory, feed
+ * stats::SampleStats summaries per column, dump as CSV, and can
+ * optionally mirror into a Timeline as Chrome-trace counter tracks.
+ *
+ * Sampling is read-only and draws no random numbers, so enabling it
+ * never perturbs a run's schedule.
+ */
+
+#ifndef JSCALE_TELEMETRY_SAMPLER_HH
+#define JSCALE_TELEMETRY_SAMPLER_HH
+
+#include <cstdint>
+#include <ostream>
+#include <vector>
+
+#include "base/units.hh"
+#include "stats/stats.hh"
+
+namespace jscale::sim {
+class Simulation;
+} // namespace jscale::sim
+
+namespace jscale::jvm {
+class JavaVm;
+} // namespace jscale::jvm
+
+namespace jscale::telemetry {
+
+class Timeline;
+
+/** One polled row. */
+struct MetricSample
+{
+    Ticks at = 0;
+    Bytes eden_used = 0;
+    Bytes survivor_used = 0;
+    Bytes old_used = 0;
+    Bytes live_bytes = 0;
+    /** Threads queued ready (not running) across all cores. */
+    std::uint64_t run_queue = 0;
+    /** Threads executing on cores. */
+    std::uint64_t running = 0;
+    /** Threads blocked on monitor acquire queues. */
+    std::uint64_t lock_blocked = 0;
+};
+
+/** Per-column summary statistics over all samples. */
+struct MetricSummary
+{
+    stats::SampleStats eden_used;
+    stats::SampleStats old_used;
+    stats::SampleStats live_bytes;
+    stats::SampleStats run_queue;
+    stats::SampleStats running;
+    stats::SampleStats lock_blocked;
+};
+
+/**
+ * The periodic sampler. Construct, optionally attachTimeline(), then
+ * start() before Simulation::run; ticks self-reschedule every interval
+ * until the simulation drains.
+ */
+class MetricSampler
+{
+  public:
+    /** @param interval polling period (must be > 0). */
+    MetricSampler(sim::Simulation &sim, jvm::JavaVm &vm, Ticks interval);
+
+    /** Mirror samples into @p timeline as counter tracks. */
+    void attachTimeline(Timeline *timeline) { timeline_ = timeline; }
+
+    /** Schedule the first tick at now + interval. */
+    void start();
+
+    /** All samples, in time order. */
+    const std::vector<MetricSample> &samples() const { return samples_; }
+
+    /** Per-column summaries. */
+    const MetricSummary &summary() const { return summary_; }
+
+    /** CSV header line for writeCsv output. */
+    static const char *csvHeader();
+
+    /** Dump the sample table as CSV (header + one row per sample). */
+    void writeCsv(std::ostream &os) const;
+
+    Ticks interval() const { return interval_; }
+
+  private:
+    void tick();
+
+    sim::Simulation &sim_;
+    jvm::JavaVm &vm_;
+    Ticks interval_;
+    Timeline *timeline_ = nullptr;
+    std::vector<MetricSample> samples_;
+    MetricSummary summary_;
+};
+
+} // namespace jscale::telemetry
+
+#endif // JSCALE_TELEMETRY_SAMPLER_HH

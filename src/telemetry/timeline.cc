@@ -1,0 +1,202 @@
+#include "telemetry/timeline.hh"
+
+#include <cstdio>
+
+#include "base/logging.hh"
+
+namespace jscale::telemetry {
+
+std::string
+jsonEscape(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size());
+    for (const char c : s) {
+        switch (c) {
+          case '"': out += "\\\""; break;
+          case '\\': out += "\\\\"; break;
+          case '\b': out += "\\b"; break;
+          case '\f': out += "\\f"; break;
+          case '\n': out += "\\n"; break;
+          case '\r': out += "\\r"; break;
+          case '\t': out += "\\t"; break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x",
+                              static_cast<unsigned>(
+                                  static_cast<unsigned char>(c)));
+                out += buf;
+            } else {
+                out += c;
+            }
+        }
+    }
+    return out;
+}
+
+TraceArg
+targ(std::string key, std::string value)
+{
+    return {std::move(key), std::move(value), /*quoted=*/true};
+}
+
+TraceArg
+targ(std::string key, const char *value)
+{
+    return {std::move(key), std::string(value), /*quoted=*/true};
+}
+
+TraceArg
+targ(std::string key, std::uint64_t value)
+{
+    return {std::move(key), std::to_string(value), /*quoted=*/false};
+}
+
+TraceArg
+targ(std::string key, std::int64_t value)
+{
+    return {std::move(key), std::to_string(value), /*quoted=*/false};
+}
+
+TraceArg
+targ(std::string key, std::uint32_t value)
+{
+    return targ(std::move(key), static_cast<std::uint64_t>(value));
+}
+
+TraceArg
+targ(std::string key, double value)
+{
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.6g", value);
+    return {std::move(key), std::string(buf), /*quoted=*/false};
+}
+
+namespace {
+
+/** Render nanosecond Ticks as exact microseconds ("12.345"). */
+std::string
+microseconds(Ticks ns)
+{
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%llu.%03llu",
+                  static_cast<unsigned long long>(ns / 1000),
+                  static_cast<unsigned long long>(ns % 1000));
+    return std::string(buf);
+}
+
+} // namespace
+
+Timeline::Timeline(std::ostream &os) : os_(os)
+{
+    os_ << "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+}
+
+Timeline::~Timeline()
+{
+    finish();
+}
+
+void
+Timeline::beginEvent(const std::string &name, const std::string &cat,
+                     char ph, std::uint32_t pid, std::uint32_t tid,
+                     Ticks ts)
+{
+    jscale_assert(!finished_, "event recorded after Timeline::finish");
+    if (events_ > 0)
+        os_ << ",";
+    os_ << "\n{\"name\":\"" << jsonEscape(name) << "\"";
+    if (!cat.empty())
+        os_ << ",\"cat\":\"" << jsonEscape(cat) << "\"";
+    os_ << ",\"ph\":\"" << ph << "\",\"pid\":" << pid
+        << ",\"tid\":" << tid << ",\"ts\":" << microseconds(ts);
+    ++events_;
+}
+
+void
+Timeline::writeArgs(const TraceArgs &args)
+{
+    if (args.empty())
+        return;
+    os_ << ",\"args\":{";
+    bool first = true;
+    for (const TraceArg &a : args) {
+        if (!first)
+            os_ << ",";
+        first = false;
+        os_ << "\"" << jsonEscape(a.key) << "\":";
+        if (a.quoted)
+            os_ << "\"" << jsonEscape(a.value) << "\"";
+        else
+            os_ << a.value;
+    }
+    os_ << "}";
+}
+
+void
+Timeline::endEvent()
+{
+    os_ << "}";
+}
+
+void
+Timeline::processName(std::uint32_t pid, const std::string &name)
+{
+    beginEvent("process_name", "", 'M', pid, 0, 0);
+    writeArgs({targ("name", name)});
+    endEvent();
+}
+
+void
+Timeline::threadName(std::uint32_t pid, std::uint32_t tid,
+                     const std::string &name)
+{
+    beginEvent("thread_name", "", 'M', pid, tid, 0);
+    writeArgs({targ("name", name)});
+    endEvent();
+}
+
+void
+Timeline::span(std::uint32_t pid, std::uint32_t tid,
+               const std::string &name, const std::string &cat,
+               Ticks begin, Ticks end, const TraceArgs &args)
+{
+    jscale_assert(end >= begin, "span '", name, "' ends before it begins");
+    beginEvent(name, cat, 'X', pid, tid, begin);
+    os_ << ",\"dur\":" << microseconds(end - begin);
+    writeArgs(args);
+    endEvent();
+}
+
+void
+Timeline::instant(std::uint32_t pid, std::uint32_t tid,
+                  const std::string &name, const std::string &cat,
+                  Ticks at, const TraceArgs &args)
+{
+    beginEvent(name, cat, 'i', pid, tid, at);
+    os_ << ",\"s\":\"t\""; // thread-scoped instant
+    writeArgs(args);
+    endEvent();
+}
+
+void
+Timeline::counter(std::uint32_t pid, const std::string &name, Ticks at,
+                  const TraceArgs &args)
+{
+    beginEvent(name, "metrics", 'C', pid, 0, at);
+    writeArgs(args);
+    endEvent();
+}
+
+void
+Timeline::finish()
+{
+    if (finished_)
+        return;
+    finished_ = true;
+    os_ << "\n]}\n";
+    os_.flush();
+}
+
+} // namespace jscale::telemetry

@@ -1,0 +1,112 @@
+/**
+ * @file
+ * Timeline: a streaming Chrome trace-event JSON writer.
+ *
+ * Produces the "JSON Array Format" understood by Perfetto and
+ * chrome://tracing: one object per event with pid/tid (track), phase
+ * ("X" complete span, "i" instant, "C" counter, "M" metadata), a
+ * microsecond timestamp and optional args. Events are written as they
+ * are recorded, so memory stays O(1) in trace length; Perfetto sorts by
+ * timestamp at load time, so emission order does not matter.
+ *
+ * Timestamps are rendered from integer nanosecond Ticks as exact
+ * "<us>.<ns>" decimals — no double rounding — so span totals in the
+ * JSON match the simulator's tick accounting.
+ */
+
+#ifndef JSCALE_TELEMETRY_TIMELINE_HH
+#define JSCALE_TELEMETRY_TIMELINE_HH
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "base/units.hh"
+
+namespace jscale::telemetry {
+
+/** Escape a string for embedding inside a JSON string literal. */
+std::string jsonEscape(const std::string &s);
+
+/** One key/value argument attached to a trace event. */
+struct TraceArg
+{
+    std::string key;
+    /** Rendered value; quoted and escaped when @p quoted. */
+    std::string value;
+    bool quoted = true;
+};
+
+/** String argument. */
+TraceArg targ(std::string key, std::string value);
+TraceArg targ(std::string key, const char *value);
+
+/** Numeric arguments (rendered unquoted). */
+TraceArg targ(std::string key, std::uint64_t value);
+TraceArg targ(std::string key, std::int64_t value);
+TraceArg targ(std::string key, std::uint32_t value);
+TraceArg targ(std::string key, double value);
+
+/** Trace-event argument list. */
+using TraceArgs = std::vector<TraceArg>;
+
+/**
+ * The streaming writer. Construct over an output stream, record events,
+ * then call finish() (the destructor finishes implicitly). Not
+ * thread-safe; the simulator is single-threaded by design.
+ */
+class Timeline
+{
+  public:
+    explicit Timeline(std::ostream &os);
+    ~Timeline();
+
+    Timeline(const Timeline &) = delete;
+    Timeline &operator=(const Timeline &) = delete;
+
+    /** Name the track group @p pid ("process_name" metadata). */
+    void processName(std::uint32_t pid, const std::string &name);
+
+    /** Name track @p tid within @p pid ("thread_name" metadata). */
+    void threadName(std::uint32_t pid, std::uint32_t tid,
+                    const std::string &name);
+
+    /** Complete span [begin, end] on track (pid, tid). */
+    void span(std::uint32_t pid, std::uint32_t tid,
+              const std::string &name, const std::string &cat,
+              Ticks begin, Ticks end, const TraceArgs &args = {});
+
+    /** Instant event at @p at on track (pid, tid). */
+    void instant(std::uint32_t pid, std::uint32_t tid,
+                 const std::string &name, const std::string &cat,
+                 Ticks at, const TraceArgs &args = {});
+
+    /**
+     * Counter event: every numeric arg becomes one series on the
+     * counter track @p name of process @p pid.
+     */
+    void counter(std::uint32_t pid, const std::string &name, Ticks at,
+                 const TraceArgs &args);
+
+    /** Terminate the JSON document; further events are rejected. */
+    void finish();
+
+    /** Total events written so far (including metadata). */
+    std::uint64_t events() const { return events_; }
+
+  private:
+    void beginEvent(const std::string &name, const std::string &cat,
+                    char ph, std::uint32_t pid, std::uint32_t tid,
+                    Ticks ts);
+    void writeArgs(const TraceArgs &args);
+    void endEvent();
+
+    std::ostream &os_;
+    std::uint64_t events_ = 0;
+    bool finished_ = false;
+};
+
+} // namespace jscale::telemetry
+
+#endif // JSCALE_TELEMETRY_TIMELINE_HH

@@ -1,0 +1,137 @@
+/**
+ * @file
+ * Property test: GC log lines written by GcLogWriter parse back into
+ * records matching the originating events for a randomized event
+ * stream. The log format quantizes (occupancy to KiB, pause to 100 ns),
+ * so the round-trip assertions allow exactly those quantization errors
+ * and nothing more.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <vector>
+
+#include "base/random.hh"
+#include "jvm/gc/gclog.hh"
+#include "jvm/heap/heap.hh"
+
+namespace {
+
+using namespace jscale;
+
+/** Synthesize one random plausible GcEvent. */
+jvm::GcEvent
+randomEvent(Rng &rng, std::uint64_t sequence, Ticks &clock)
+{
+    jvm::GcEvent ev;
+    ev.kind = rng.chance(0.3) ? jvm::GcKind::Full : jvm::GcKind::Minor;
+    ev.sequence = sequence;
+    clock += static_cast<Ticks>(rng.range(1, 50 * units::MS));
+    ev.requested_at = clock;
+    ev.safepoint_at =
+        clock + static_cast<Ticks>(rng.range(0, 500 * units::US));
+    ev.finished_at = ev.safepoint_at +
+                     static_cast<Ticks>(rng.range(1, 80 * units::MS));
+    clock = ev.finished_at;
+    ev.reclaimed_bytes =
+        static_cast<Bytes>(rng.range(0, 256 * units::MiB));
+    ev.moved_bytes = static_cast<Bytes>(rng.range(0, 16 * units::MiB));
+    return ev;
+}
+
+TEST(GcLogRoundTrip, RandomEventStreamSurvivesWriteThenParse)
+{
+    // The writer reads live occupancy from a heap; an untouched heap
+    // reports zero, so "before" equals the event's reclaimed bytes.
+    jvm::HeapConfig hc;
+    hc.capacity = 512 * units::MiB;
+    jvm::Heap heap(hc, 1, nullptr);
+
+    Rng rng(0xfeedface);
+    constexpr int kEvents = 300;
+
+    std::ostringstream os;
+    jvm::GcLogWriter writer(os, heap);
+    std::vector<jvm::GcEvent> events;
+    Ticks clock = 0;
+    for (int i = 0; i < kEvents; ++i) {
+        events.push_back(
+            randomEvent(rng, static_cast<std::uint64_t>(i), clock));
+        writer.onGcStart(events.back().kind, events.back().sequence,
+                         events.back().safepoint_at);
+        writer.onGcEnd(events.back(), events.back().finished_at);
+    }
+    EXPECT_EQ(writer.lines(), static_cast<std::uint64_t>(kEvents));
+
+    std::istringstream is(os.str());
+    const auto records = jvm::parseGcLog(is);
+    ASSERT_EQ(records.size(), static_cast<std::size_t>(kEvents));
+
+    for (int i = 0; i < kEvents; ++i) {
+        const jvm::GcEvent &ev = events[static_cast<std::size_t>(i)];
+        const jvm::GcLogRecord &rec =
+            records[static_cast<std::size_t>(i)];
+        SCOPED_TRACE("event " + std::to_string(i));
+
+        // Kind is exact (Remark logs as a non-full "GC" line).
+        EXPECT_EQ(rec.full, ev.kind == jvm::GcKind::Full);
+
+        // Pause survives modulo the 100 ns resolution of "%.7f secs".
+        const Ticks pause = ev.pause();
+        const Ticks delta =
+            rec.pause > pause ? rec.pause - pause : pause - rec.pause;
+        EXPECT_LE(delta, 100u) << "pause " << pause << " parsed as "
+                               << rec.pause;
+
+        // Heap delta survives modulo KiB truncation of both endpoints.
+        EXPECT_EQ(rec.capacity, hc.capacity);
+        const Bytes parsed_delta = rec.before - rec.after;
+        EXPECT_LE(parsed_delta, ev.reclaimed_bytes);
+        EXPECT_GT(parsed_delta + units::KiB, ev.reclaimed_bytes);
+    }
+}
+
+TEST(GcLogRoundTrip, SummaryAggregatesMatchTheStream)
+{
+    jvm::HeapConfig hc;
+    hc.capacity = 64 * units::MiB;
+    jvm::Heap heap(hc, 1, nullptr);
+
+    Rng rng(42);
+    std::ostringstream os;
+    jvm::GcLogWriter writer(os, heap);
+    std::uint64_t minors = 0;
+    std::uint64_t fulls = 0;
+    Ticks clock = 0;
+    for (int i = 0; i < 100; ++i) {
+        const jvm::GcEvent ev =
+            randomEvent(rng, static_cast<std::uint64_t>(i), clock);
+        (ev.kind == jvm::GcKind::Full ? fulls : minors) += 1;
+        writer.onGcEnd(ev, ev.finished_at);
+    }
+
+    std::istringstream is(os.str());
+    const auto summary = jvm::summarizeGcLog(jvm::parseGcLog(is));
+    EXPECT_EQ(summary.minor_count, minors);
+    EXPECT_EQ(summary.full_count, fulls);
+    EXPECT_GT(summary.total_pause, 0u);
+    EXPECT_GE(summary.total_pause, summary.max_pause);
+}
+
+TEST(GcLogRoundTrip, NonGcLinesAreSkipped)
+{
+    std::istringstream is(
+        "starting run\n"
+        "[GC (Allocation Failure)  412K->67K(1024K), 0.0003120 secs]\n"
+        "noise [GC] noise\n"
+        "[Full GC (Ergonomics)  897K->411K(1024K), 0.0041230 secs]\n");
+    const auto records = jvm::parseGcLog(is);
+    ASSERT_EQ(records.size(), 2u);
+    EXPECT_FALSE(records[0].full);
+    EXPECT_TRUE(records[1].full);
+    EXPECT_EQ(records[0].pause, 312000u);
+    EXPECT_EQ(records[1].before, 897 * units::KiB);
+}
+
+} // namespace

@@ -1,0 +1,142 @@
+/**
+ * @file
+ * Unit tests for the probe-chain plumbing: jvm::ListenerChain and
+ * os::SchedListenerChain subscription, removal and dispatch order.
+ */
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "jvm/runtime/listener.hh"
+#include "os/sched_listener.hh"
+
+namespace {
+
+using namespace jscale;
+
+/** Listener that logs its identity on every thread-start event. */
+struct TaggedListener : jvm::RuntimeListener
+{
+    TaggedListener(std::string tag, std::vector<std::string> &log)
+        : tag(std::move(tag)), log(log)
+    {}
+
+    void
+    onThreadStart(jvm::MutatorIndex, Ticks) override
+    {
+        log.push_back(tag);
+    }
+
+    std::string tag;
+    std::vector<std::string> &log;
+};
+
+TEST(ListenerChain, DispatchesInSubscriptionOrder)
+{
+    std::vector<std::string> log;
+    TaggedListener a("a", log);
+    TaggedListener b("b", log);
+    TaggedListener c("c", log);
+    jvm::ListenerChain chain;
+    chain.add(&b);
+    chain.add(&a);
+    chain.add(&c);
+    chain.dispatch(
+        [](jvm::RuntimeListener &l) { l.onThreadStart(0, 0); });
+    EXPECT_EQ(log, (std::vector<std::string>{"b", "a", "c"}));
+}
+
+TEST(ListenerChain, RemoveUnsubscribesOnlyTheTarget)
+{
+    std::vector<std::string> log;
+    TaggedListener a("a", log);
+    TaggedListener b("b", log);
+    jvm::ListenerChain chain;
+    chain.add(&a);
+    chain.add(&b);
+    ASSERT_EQ(chain.all().size(), 2u);
+
+    chain.remove(&a);
+    EXPECT_EQ(chain.all().size(), 1u);
+    chain.dispatch(
+        [](jvm::RuntimeListener &l) { l.onThreadStart(0, 0); });
+    EXPECT_EQ(log, (std::vector<std::string>{"b"}));
+}
+
+TEST(ListenerChain, RemoveOfNeverSubscribedListenerIsANoOp)
+{
+    std::vector<std::string> log;
+    TaggedListener a("a", log);
+    TaggedListener stranger("s", log);
+    jvm::ListenerChain chain;
+    chain.add(&a);
+    chain.remove(&stranger);
+    EXPECT_EQ(chain.all().size(), 1u);
+    chain.dispatch(
+        [](jvm::RuntimeListener &l) { l.onThreadStart(0, 0); });
+    EXPECT_EQ(log, (std::vector<std::string>{"a"}));
+}
+
+TEST(ListenerChain, RemoveFromEmptyChainIsANoOp)
+{
+    std::vector<std::string> log;
+    TaggedListener a("a", log);
+    jvm::ListenerChain chain;
+    chain.remove(&a);
+    EXPECT_TRUE(chain.all().empty());
+}
+
+TEST(ListenerChain, ResubscribeAfterRemoveWorks)
+{
+    std::vector<std::string> log;
+    TaggedListener a("a", log);
+    jvm::ListenerChain chain;
+    chain.add(&a);
+    chain.remove(&a);
+    chain.add(&a);
+    chain.dispatch(
+        [](jvm::RuntimeListener &l) { l.onThreadStart(0, 0); });
+    EXPECT_EQ(log, (std::vector<std::string>{"a"}));
+}
+
+/** Scheduler-side listener logging world-stop events. */
+struct StopLogger : os::SchedulerListener
+{
+    StopLogger(std::string tag, std::vector<std::string> &log)
+        : tag(std::move(tag)), log(log)
+    {}
+
+    void
+    onWorldStopRequested(Ticks) override
+    {
+        log.push_back(tag);
+    }
+
+    std::string tag;
+    std::vector<std::string> &log;
+};
+
+TEST(SchedListenerChain, MirrorsRuntimeChainSemantics)
+{
+    std::vector<std::string> log;
+    StopLogger a("a", log);
+    StopLogger b("b", log);
+    os::SchedListenerChain chain;
+    EXPECT_TRUE(chain.empty());
+    chain.add(&a);
+    chain.add(&b);
+    EXPECT_FALSE(chain.empty());
+
+    chain.remove(&b);
+    chain.remove(&b); // second remove: no-op
+    chain.dispatch(
+        [](os::SchedulerListener &l) { l.onWorldStopRequested(0); });
+    EXPECT_EQ(log, (std::vector<std::string>{"a"}));
+
+    chain.remove(&a);
+    EXPECT_TRUE(chain.empty());
+}
+
+} // namespace

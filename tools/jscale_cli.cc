@@ -60,6 +60,9 @@ struct CliOptions
     std::string plots_dir;
     std::string trace_in;
     bool csv = false;
+    std::string timeline_path;
+    std::string metrics_path;
+    std::uint64_t metrics_interval_ms = 0;
 };
 
 [[noreturn]] void
@@ -95,6 +98,12 @@ usage(int code)
         "  --replicas <n>      repetitions with derived seeds (sweep)\n"
         "  --per-thread        per-thread breakdown (run command)\n"
         "  --gclog <path>      write a HotSpot-style GC log\n"
+        "  --timeline <path>   write a Chrome-trace/Perfetto timeline\n"
+        "                      ({app}/{threads} placeholders allowed)\n"
+        "  --metrics-interval-ms <n>  sample heap/runqueue/lock gauges\n"
+        "                      every n ms into a CSV time series\n"
+        "  --metrics <path>    metrics CSV path (default derives from\n"
+        "                      --timeline)\n"
         "  --out <path>        trace output file (trace command)\n"
         "  --in <path>         trace input file (analyze command)\n"
         "  --plots <dir>       write gnuplot figures (study command)\n"
@@ -170,6 +179,13 @@ parse(int argc, char **argv)
             o.per_thread = true;
         } else if (arg == "--gclog") {
             o.gclog_path = value();
+        } else if (arg == "--timeline") {
+            o.timeline_path = value();
+        } else if (arg == "--metrics") {
+            o.metrics_path = value();
+        } else if (arg == "--metrics-interval-ms") {
+            o.metrics_interval_ms =
+                static_cast<std::uint64_t>(std::atoll(value()));
         } else if (arg == "--out") {
             o.trace_out = value();
         } else if (arg == "--plots") {
@@ -203,6 +219,9 @@ experimentConfig(const CliOptions &o)
         cfg.vm.collector = jvm::CollectorKind::ConcurrentOld;
     if (o.scatter)
         cfg.placement = machine::Machine::EnablePolicy::Scatter;
+    cfg.timeline_path = o.timeline_path;
+    cfg.metrics_path = o.metrics_path;
+    cfg.metrics_interval = o.metrics_interval_ms * units::MS;
     return cfg;
 }
 
@@ -293,6 +312,14 @@ cmdRun(const CliOptions &o)
         std::cout << "gc log: " << writer->lines() << " lines -> "
                   << o.gclog_path << "\n";
     }
+    if (!r.timeline_file.empty()) {
+        std::cout << "timeline: " << r.timeline_events << " events -> "
+                  << r.timeline_file << "\n";
+    }
+    if (!r.metrics_file.empty()) {
+        std::cout << "metrics: " << r.metric_rows << " samples -> "
+                  << r.metrics_file << "\n";
+    }
     return 0;
 }
 
@@ -326,6 +353,13 @@ cmdSweep(const CliOptions &o)
     core::SweepSet sweeps;
     sweeps[o.app] = runner.sweep(o.app, o.threads);
     core::printScalabilityTable(std::cout, sweeps);
+    for (const auto &r : sweeps[o.app]) {
+        if (!r.timeline_file.empty()) {
+            std::cout << "timeline (" << r.threads << " threads): "
+                      << r.timeline_events << " events -> "
+                      << r.timeline_file << "\n";
+        }
+    }
     if (o.csv) {
         std::cout << "\n";
         core::writeScalabilityCsv(std::cout, sweeps);
