@@ -34,6 +34,8 @@ struct BenchOptions
     std::string metrics_path;
     /** Metric sampling period in ms (0 = off). */
     std::uint64_t metrics_interval_ms = 0;
+    /** Host workers for sweeps (0 = one per core, 1 = sequential). */
+    std::uint32_t jobs = 0;
 
     /** Parse argv; unknown flags are fatal. */
     static BenchOptions
@@ -63,10 +65,20 @@ struct BenchOptions
             } else if (arg == "--metrics-interval-ms") {
                 o.metrics_interval_ms = static_cast<std::uint64_t>(
                     std::atoll(value("--metrics-interval-ms")));
+            } else if (arg == "--jobs") {
+                // 0 legitimately means "one worker per host core", so
+                // a mistyped value must not alias to it via atoi.
+                const std::string v = value("--jobs");
+                if (v.empty() || v.find_first_not_of("0123456789") !=
+                                     std::string::npos) {
+                    std::cerr << "bad --jobs value '" << v << "'\n";
+                    std::exit(2);
+                }
+                o.jobs = static_cast<std::uint32_t>(std::stoul(v));
             } else if (arg == "--help" || arg == "-h") {
                 std::cout << "flags: --scale <f> --seed <n> --csv"
                              " --timeline <path> --metrics <path>"
-                             " --metrics-interval-ms <n>\n";
+                             " --metrics-interval-ms <n> --jobs <n>\n";
                 std::exit(0);
             } else {
                 std::cerr << "unknown flag '" << arg << "'\n";
@@ -85,6 +97,7 @@ struct BenchOptions
         cfg.timeline_path = timeline_path;
         cfg.metrics_path = metrics_path;
         cfg.metrics_interval = metrics_interval_ms * units::MS;
+        cfg.jobs = jobs;
         return cfg;
     }
 };
@@ -93,13 +106,12 @@ struct BenchOptions
 inline core::SweepSet
 sweepAllApps(core::ExperimentRunner &runner)
 {
-    core::SweepSet sweeps;
-    const auto threads = runner.paperThreadCounts();
-    for (const auto &app : workload::dacapoAppNames()) {
-        std::cerr << "  sweeping " << app << "...\n";
-        sweeps[app] = runner.sweep(app, threads);
-    }
-    return sweeps;
+    return runner.sweepApps(workload::dacapoAppNames(),
+                            runner.paperThreadCounts(),
+                            [](const std::string &app) {
+                                std::cerr << "  sweeping " << app
+                                          << "...\n";
+                            });
 }
 
 } // namespace jscale::bench

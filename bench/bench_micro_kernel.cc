@@ -9,10 +9,15 @@
 
 #include <benchmark/benchmark.h>
 
+#include <memory>
+#include <vector>
+
 #include "base/random.hh"
 #include "core/experiment.hh"
 #include "jvm/heap/heap.hh"
+#include "jvm/runtime/listener.hh"
 #include "machine/machine.hh"
+#include "sim/event.hh"
 #include "sim/simulation.hh"
 #include "stats/stats.hh"
 
@@ -55,6 +60,161 @@ BM_EventQueueDeepHeap(benchmark::State &state)
     state.SetItemsProcessed(state.iterations() * depth);
 }
 BENCHMARK(BM_EventQueueDeepHeap)->Arg(1024)->Arg(65536);
+
+void
+BM_EventQueueChurnCancel(benchmark::State &state)
+{
+    // Schedule/cancel/drain churn over reusable member events; range(0)
+    // percent of each batch is descheduled before the drain. Arg(0) is
+    // the pure hot path — an empty cancellation set must cost exactly
+    // one branch per pop.
+    const std::int64_t cancel_pct = state.range(0);
+    constexpr int kBatch = 64;
+    sim::EventQueue q;
+    std::uint64_t fired = 0;
+    std::vector<std::unique_ptr<sim::CallbackEvent>> events;
+    for (int i = 0; i < kBatch; ++i) {
+        events.push_back(std::make_unique<sim::CallbackEvent>(
+            [&fired] { ++fired; }, "churn"));
+    }
+    Rng rng(23);
+    Ticks base = 0;
+    for (auto _ : state) {
+        for (auto &ev : events)
+            q.schedule(ev.get(), base + 1 + rng.below(1000));
+        for (auto &ev : events) {
+            if (static_cast<std::int64_t>(rng.below(100)) < cancel_pct)
+                q.deschedule(ev.get());
+        }
+        while (sim::Event *ev = q.pop())
+            ev->process();
+        base += 1001;
+    }
+    benchmark::DoNotOptimize(fired);
+    state.SetItemsProcessed(state.iterations() * kBatch);
+}
+BENCHMARK(BM_EventQueueChurnCancel)->Arg(0)->Arg(25);
+
+void
+BM_EventQueueChurnLambda(benchmark::State &state)
+{
+    // The pre-pool idiom: a fresh heap-allocated self-deleting
+    // LambdaEvent (one std::function + string per occurrence). Kept as
+    // the baseline the pooled CallbackEvent churn above replaces.
+    constexpr int kBatch = 64;
+    sim::EventQueue q;
+    std::uint64_t fired = 0;
+    Rng rng(23);
+    Ticks base = 0;
+    for (auto _ : state) {
+        for (int i = 0; i < kBatch; ++i) {
+            q.schedule(
+                new sim::LambdaEvent([&fired] { ++fired; }, "churn"),
+                base + 1 + rng.below(1000));
+        }
+        while (sim::Event *ev = q.pop()) {
+            ev->process();
+            if (ev->selfDeleting())
+                delete ev;
+        }
+        base += 1001;
+    }
+    benchmark::DoNotOptimize(fired);
+    state.SetItemsProcessed(state.iterations() * kBatch);
+}
+BENCHMARK(BM_EventQueueChurnLambda);
+
+void
+BM_RecurringEventTick(benchmark::State &state)
+{
+    // One periodic activity (metric sampling, phase rotation): each
+    // step fires the callback and rearms the same pooled event.
+    sim::Simulation sim(1);
+    std::uint64_t fired = 0;
+    sim::RecurringEvent tick(sim.queue(), 10, [&fired] { ++fired; },
+                             "bench-tick");
+    tick.start(10);
+    for (auto _ : state)
+        sim.step();
+    tick.stop();
+    benchmark::DoNotOptimize(fired);
+    state.SetItemsProcessed(static_cast<std::int64_t>(fired));
+}
+BENCHMARK(BM_RecurringEventTick);
+
+void
+BM_ListenerDispatchEmpty(benchmark::State &state)
+{
+    // The overwhelmingly common case: no tools attached, every probe
+    // site must reduce to a single branch.
+    jvm::ListenerChain chain;
+    std::uint64_t calls = 0;
+    for (auto _ : state) {
+        chain.dispatch([&calls](jvm::RuntimeListener &l) {
+            l.onThreadStart(0, 0);
+            ++calls;
+        });
+        benchmark::DoNotOptimize(calls);
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ListenerDispatchEmpty);
+
+void
+BM_ListenerDispatchSubscribed(benchmark::State &state)
+{
+    class CountingListener : public jvm::RuntimeListener
+    {
+      public:
+        std::uint64_t starts = 0;
+        void
+        onThreadStart(jvm::MutatorIndex, Ticks) override
+        {
+            ++starts;
+        }
+    };
+    jvm::ListenerChain chain;
+    CountingListener listener;
+    chain.add(&listener);
+    for (auto _ : state) {
+        chain.dispatch([](jvm::RuntimeListener &l) {
+            l.onThreadStart(0, 0);
+        });
+    }
+    benchmark::DoNotOptimize(listener.starts);
+    state.SetItemsProcessed(
+        static_cast<std::int64_t>(listener.starts));
+}
+BENCHMARK(BM_ListenerDispatchSubscribed);
+
+void
+BM_HeapThreadExitKill(benchmark::State &state)
+{
+    // End-of-run thread exits on the paper's 48-core machine: every
+    // mutator exits in turn while the heap holds range(0) live objects.
+    // Each exit must touch only the exiting owner's objects — a full
+    // region-list scan per exit makes the combined exits quadratic.
+    const std::int64_t objects = state.range(0);
+    constexpr std::uint32_t kOwners = 48;
+    jvm::HeapConfig cfg;
+    cfg.capacity = 1024 * units::MiB;
+    const Bytes long_ttl = static_cast<Bytes>(1) << 40;
+    for (auto _ : state) {
+        state.PauseTiming();
+        jvm::Heap heap(cfg, kOwners, nullptr);
+        for (std::int64_t i = 0; i < objects; ++i) {
+            heap.allocate(
+                static_cast<jvm::MutatorIndex>(i % kOwners), 64,
+                long_ttl, 0, 0);
+        }
+        state.ResumeTiming();
+        for (std::uint32_t o = 0; o < kOwners; ++o)
+            heap.killThreadObjects(o, 0);
+        benchmark::DoNotOptimize(heap.heapStats().objects_died);
+    }
+    state.SetItemsProcessed(state.iterations() * objects);
+}
+BENCHMARK(BM_HeapThreadExitKill)->Arg(10000)->Arg(100000);
 
 void
 BM_HeapAllocateDeath(benchmark::State &state)

@@ -1,0 +1,93 @@
+#!/bin/sh
+# Kernel performance harness: runs the simulation-kernel
+# micro-benchmarks and times an E1-style study at --jobs 1 versus
+# --jobs <host cores>, then merges everything into BENCH_kernel.json.
+#
+# Usage: scripts/bench_perf.sh [--smoke] [build-dir]
+#   --smoke   short benchmark repetitions and a reduced study, for CI
+#
+# The two study runs must produce byte-identical output (the parallel
+# determinism contract); the script fails if they differ.
+SMOKE=0
+if [ "$1" = "--smoke" ]; then
+    SMOKE=1
+    shift
+fi
+BUILD=${1:-build}
+OUT=BENCH_kernel.json
+
+if [ ! -x "$BUILD/bench/bench_micro_kernel" ] ||
+       [ ! -x "$BUILD/tools/jscale" ]; then
+    echo "error: build '$BUILD' is missing bench_micro_kernel or" \
+         "jscale (build first?)" >&2
+    exit 1
+fi
+
+CORES=$(nproc 2> /dev/null || getconf _NPROCESSORS_ONLN 2> /dev/null ||
+            echo 1)
+if [ "$SMOKE" -eq 1 ]; then
+    MIN_TIME=0.05
+    STUDY="sweep --app xalan --threads 1,2,4 --scale 0.1 --csv"
+else
+    MIN_TIME=0.5
+    STUDY="study --scale 0.5 --csv"
+fi
+
+TMP=$(mktemp -d)
+trap 'rm -rf "$TMP"' EXIT
+
+echo "== micro-benchmarks (min_time=${MIN_TIME}s) =="
+"$BUILD/bench/bench_micro_kernel" \
+    --benchmark_format=json \
+    --benchmark_min_time="$MIN_TIME" \
+    > "$TMP/micro.json" || exit 1
+
+now_s() {
+    date +%s.%N
+}
+
+echo "== study: $STUDY, --jobs 1 =="
+T0=$(now_s)
+# shellcheck disable=SC2086
+"$BUILD/tools/jscale" $STUDY --jobs 1 \
+    > "$TMP/seq.txt" 2> /dev/null || exit 1
+T1=$(now_s)
+SEQ_S=$(awk "BEGIN { printf \"%.3f\", $T1 - $T0 }")
+
+echo "== study: $STUDY, --jobs $CORES =="
+T0=$(now_s)
+# shellcheck disable=SC2086
+"$BUILD/tools/jscale" $STUDY --jobs "$CORES" \
+    > "$TMP/par.txt" 2> /dev/null || exit 1
+T1=$(now_s)
+PAR_S=$(awk "BEGIN { printf \"%.3f\", $T1 - $T0 }")
+
+if ! cmp -s "$TMP/seq.txt" "$TMP/par.txt"; then
+    echo "FAIL: --jobs 1 and --jobs $CORES output differs" >&2
+    diff "$TMP/seq.txt" "$TMP/par.txt" | head -20 >&2
+    exit 1
+fi
+echo "output byte-identical at --jobs 1 and --jobs $CORES"
+
+SPEEDUP=$(awk "BEGIN { if ($PAR_S > 0)
+                           printf \"%.2f\", $SEQ_S / $PAR_S;
+                       else printf \"0\" }")
+echo "study wall clock: ${SEQ_S}s sequential, ${PAR_S}s at" \
+     "$CORES jobs (speedup ${SPEEDUP}x)"
+
+{
+    printf '{\n'
+    printf '  "host_cores": %s,\n' "$CORES"
+    printf '  "smoke": %s,\n' "$SMOKE"
+    printf '  "study": {\n'
+    printf '    "command": "%s",\n' "$STUDY"
+    printf '    "jobs_1_seconds": %s,\n' "$SEQ_S"
+    printf '    "jobs_n_seconds": %s,\n' "$PAR_S"
+    printf '    "speedup": %s,\n' "$SPEEDUP"
+    printf '    "identical_output": true\n'
+    printf '  },\n'
+    printf '  "micro":\n'
+    sed 's/^/  /' "$TMP/micro.json"
+    printf '}\n'
+} > "$OUT"
+echo "wrote $OUT"

@@ -1,12 +1,21 @@
 #!/bin/sh
 # Regenerate every experiment artifact (the data behind EXPERIMENTS.md)
 # into ./experiment-output. Usage: scripts/regenerate_experiments.sh
-# [build-dir] [scale]
+# [-j N] [build-dir] [scale]
+#
+# Sweeps fan out across host cores: pass -j N (or set JOBS=N) to pick
+# the worker count, JOBS=1 for fully sequential. Results are identical
+# for any value — parallelism only changes wall-clock time.
 #
 # Each bench's stdout goes to $OUT/<name>.txt and its stderr to
 # $OUT/<name>.log; a bench that exits non-zero is reported FAIL (with
 # its log tail) instead of being silently swallowed, and the script
 # exits 1 if any bench failed.
+JOBS=${JOBS:-0}
+if [ "$1" = "-j" ]; then
+    JOBS=$2
+    shift 2
+fi
 BUILD=${1:-build}
 SCALE=${2:-1.0}
 OUT=experiment-output
@@ -25,7 +34,7 @@ for b in "$BUILD"/bench/bench_*; do
             > "$OUT/$name.txt" 2> "$OUT/$name.log"
         status=$?
     else
-        "$b" --scale "$SCALE" --csv \
+        "$b" --scale "$SCALE" --csv --jobs "$JOBS" \
             > "$OUT/$name.txt" 2> "$OUT/$name.log"
         status=$?
     fi

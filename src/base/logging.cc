@@ -1,6 +1,7 @@
 #include "base/logging.hh"
 
 #include <cstdlib>
+#include <mutex>
 
 namespace jscale {
 namespace detail {
@@ -40,6 +41,10 @@ logImpl(LogLevel level, const char *tag, const std::string &msg)
 {
     if (static_cast<int>(level) > static_cast<int>(logLevel()))
         return;
+    // Parallel experiment runs may log concurrently; serialize so lines
+    // never interleave mid-message.
+    static std::mutex mutex;
+    std::lock_guard<std::mutex> lock(mutex);
     (*logStream()) << tag << ": " << msg << std::endl;
 }
 

@@ -1,0 +1,75 @@
+#include "base/thread_pool.hh"
+
+namespace jscale {
+
+ThreadPool::ThreadPool(std::size_t workers)
+{
+    if (workers == 0)
+        workers = 1;
+    workers_.reserve(workers);
+    for (std::size_t i = 0; i < workers; ++i)
+        workers_.emplace_back([this] { workerLoop(); });
+}
+
+ThreadPool::~ThreadPool()
+{
+    wait();
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        shutdown_ = true;
+    }
+    task_ready_.notify_all();
+    for (auto &w : workers_)
+        w.join();
+}
+
+void
+ThreadPool::submit(std::function<void()> task)
+{
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        tasks_.push_back(std::move(task));
+        ++in_flight_;
+    }
+    task_ready_.notify_one();
+}
+
+void
+ThreadPool::wait()
+{
+    std::unique_lock<std::mutex> lock(mutex_);
+    all_done_.wait(lock, [this] { return in_flight_ == 0; });
+}
+
+std::size_t
+ThreadPool::hardwareConcurrency()
+{
+    const unsigned n = std::thread::hardware_concurrency();
+    return n == 0 ? 1 : static_cast<std::size_t>(n);
+}
+
+void
+ThreadPool::workerLoop()
+{
+    for (;;) {
+        std::function<void()> task;
+        {
+            std::unique_lock<std::mutex> lock(mutex_);
+            task_ready_.wait(
+                lock, [this] { return shutdown_ || !tasks_.empty(); });
+            if (tasks_.empty())
+                return; // shutdown with an empty backlog
+            task = std::move(tasks_.front());
+            tasks_.pop_front();
+        }
+        task();
+        {
+            std::lock_guard<std::mutex> lock(mutex_);
+            --in_flight_;
+            if (in_flight_ == 0)
+                all_done_.notify_all();
+        }
+    }
+}
+
+} // namespace jscale

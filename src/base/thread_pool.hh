@@ -1,0 +1,73 @@
+/**
+ * @file
+ * A small fixed-size worker pool for fanning independent host-side jobs
+ * (experiment runs) across cores.
+ *
+ * Deliberately work-stealing-free: tasks are pulled from one shared FIFO
+ * under a mutex, which is ample for the coarse-grained jobs this project
+ * schedules (whole simulation runs, seconds each) and keeps the
+ * completion semantics easy to reason about. Determinism of results is
+ * the caller's job — workers only decide *when* a task runs, never what
+ * it computes or where its output lands.
+ */
+
+#ifndef JSCALE_BASE_THREAD_POOL_HH
+#define JSCALE_BASE_THREAD_POOL_HH
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace jscale {
+
+/**
+ * Fixed-size pool of host worker threads. Construct with a worker
+ * count, submit() closures, wait() for the backlog to drain. The
+ * destructor waits for all submitted tasks before joining.
+ */
+class ThreadPool
+{
+  public:
+    /** @param workers worker count (0 is clamped to 1). */
+    explicit ThreadPool(std::size_t workers);
+
+    /** Drains outstanding tasks, then joins all workers. */
+    ~ThreadPool();
+
+    ThreadPool(const ThreadPool &) = delete;
+    ThreadPool &operator=(const ThreadPool &) = delete;
+
+    /** Number of worker threads. */
+    std::size_t size() const { return workers_.size(); }
+
+    /** Enqueue a task; runs on some worker in FIFO dispatch order. */
+    void submit(std::function<void()> task);
+
+    /** Block until every task submitted so far has completed. */
+    void wait();
+
+    /**
+     * Host parallelism available for experiment fan-out; always >= 1
+     * even when the runtime cannot determine the core count.
+     */
+    static std::size_t hardwareConcurrency();
+
+  private:
+    void workerLoop();
+
+    std::mutex mutex_;
+    std::condition_variable task_ready_;
+    std::condition_variable all_done_;
+    std::deque<std::function<void()>> tasks_;
+    std::size_t in_flight_ = 0;
+    bool shutdown_ = false;
+    std::vector<std::thread> workers_;
+};
+
+} // namespace jscale
+
+#endif // JSCALE_BASE_THREAD_POOL_HH

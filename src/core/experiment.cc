@@ -7,7 +7,10 @@
 #include <optional>
 
 #include "base/logging.hh"
+#include "base/thread_pool.hh"
+#include "core/parallel.hh"
 #include "os/policy.hh"
+#include "sim/event.hh"
 #include "sim/simulation.hh"
 #include "telemetry/recorder.hh"
 #include "telemetry/sampler.hh"
@@ -114,50 +117,68 @@ ExperimentRunner::claimArtifactPath(const std::string &templ,
     return candidate;
 }
 
-jvm::RunResult
-ExperimentRunner::runOnce(jvm::ApplicationModel &app, std::uint32_t threads,
-                          Bytes heap_capacity, const VmAttachHook &attach)
+ExperimentRunner::RunPlan
+ExperimentRunner::planRun(const AppFactory &factory,
+                          const std::string &cache_key,
+                          std::uint32_t threads)
 {
+    RunPlan plan;
+    plan.threads = threads;
+    plan.heap_capacity =
+        config_.heap_override != 0
+            ? config_.heap_override
+            : static_cast<Bytes>(config_.heap_factor *
+                                 static_cast<double>(
+                                     minHeapFor(factory, cache_key)));
+    plan.app = factory();
+    plan.seed = runSeed(plan.app->appName(), threads,
+                        /*calibration=*/false);
+    if (!config_.timeline_path.empty()) {
+        plan.timeline_file = claimArtifactPath(
+            config_.timeline_path, plan.app->appName(), threads);
+    }
+    if (config_.metrics_interval > 0) {
+        std::string templ = config_.metrics_path;
+        if (templ.empty()) {
+            templ = config_.timeline_path.empty()
+                        ? "metrics-{app}-t{threads}.csv"
+                        : config_.timeline_path + ".metrics.csv";
+        }
+        plan.metrics_file =
+            claimArtifactPath(templ, plan.app->appName(), threads);
+    }
+    return plan;
+}
+
+jvm::RunResult
+ExperimentRunner::executePlan(RunPlan &plan,
+                              const VmAttachHook &attach) const
+{
+    const std::uint32_t threads = plan.threads;
     jscale_assert(threads >= 1 &&
                       threads <= config_.machine.totalCores(),
                   "thread count ", threads, " exceeds machine cores");
+    jvm::ApplicationModel &app = *plan.app;
 
-    sim::Simulation sim(runSeed(app.appName(), threads,
-                                /*calibration=*/false));
+    sim::Simulation sim(plan.seed);
     machine::Machine mach(config_.machine);
     mach.enableCores(threads, config_.placement);
     os::Scheduler sched(sim, mach, config_.sched);
+    // Declared after sched so it is descheduled before the queue dies.
+    std::optional<sim::RecurringEvent> rotator;
     if (config_.biased_scheduling) {
         sched.setPolicy(std::make_unique<os::BiasedPolicy>(
             config_.bias_groups, config_.bias_quantum));
-        // Phase rotations must re-kick idle cores: a self-rescheduling
-        // event fires at every phase edge for the whole run. Each
-        // pending event holds the shared_ptr, keeping the rotator alive
-        // until the simulation tears the last event down.
-        struct Rotator
-        {
-            sim::Simulation &sim;
-            os::Scheduler &sched;
-            Ticks quantum;
-
-            static void
-            arm(const std::shared_ptr<Rotator> &self)
-            {
-                self->sim.scheduleAfter(
-                    static_cast<TickDelta>(self->quantum),
-                    [self] {
-                        self->sched.kickAll();
-                        arm(self);
-                    },
-                    "bias-phase-rotate");
-            }
-        };
-        Rotator::arm(std::make_shared<Rotator>(
-            Rotator{sim, sched, config_.bias_quantum}));
+        // Phase rotations must re-kick idle cores: one pooled event
+        // fires at every phase edge for the whole run.
+        rotator.emplace(
+            sim.queue(), static_cast<TickDelta>(config_.bias_quantum),
+            [&sched] { sched.kickAll(); }, "bias-phase-rotate");
+        rotator->start(sim.now() + config_.bias_quantum);
     }
 
     jvm::VmConfig vm_cfg = config_.vm;
-    vm_cfg.heap.capacity = heap_capacity;
+    vm_cfg.heap.capacity = plan.heap_capacity;
     jvm::JavaVm vm(sim, mach, sched, vm_cfg);
 
     // Telemetry taps: a timeline recorder on the probe chains and/or a
@@ -167,25 +188,13 @@ ExperimentRunner::runOnce(jvm::ApplicationModel &app, std::uint32_t threads,
     std::optional<telemetry::Timeline> timeline;
     std::optional<telemetry::TelemetryRecorder> recorder;
     std::optional<telemetry::MetricSampler> sampler;
-    std::string timeline_file;
-    std::string metrics_file;
-    if (!config_.timeline_path.empty()) {
-        timeline_file = claimArtifactPath(config_.timeline_path,
-                                          app.appName(), threads);
-        openArtifact(timeline_os, timeline_file);
+    if (!plan.timeline_file.empty()) {
+        openArtifact(timeline_os, plan.timeline_file);
         timeline.emplace(timeline_os);
         recorder.emplace(*timeline);
         recorder->attach(vm);
     }
-    if (config_.metrics_interval > 0) {
-        std::string templ = config_.metrics_path;
-        if (templ.empty()) {
-            templ = config_.timeline_path.empty()
-                        ? "metrics-{app}-t{threads}.csv"
-                        : config_.timeline_path + ".metrics.csv";
-        }
-        metrics_file =
-            claimArtifactPath(templ, app.appName(), threads);
+    if (!plan.metrics_file.empty()) {
         sampler.emplace(sim, vm, config_.metrics_interval);
         if (timeline)
             sampler->attachTimeline(&*timeline);
@@ -200,17 +209,39 @@ ExperimentRunner::runOnce(jvm::ApplicationModel &app, std::uint32_t threads,
         recorder->finish(sim.now());
         recorder->detach();
         timeline->finish();
-        r.timeline_file = timeline_file;
+        r.timeline_file = plan.timeline_file;
         r.timeline_events = timeline->events();
     }
     if (sampler) {
         std::ofstream csv;
-        openArtifact(csv, metrics_file);
+        openArtifact(csv, plan.metrics_file);
         sampler->writeCsv(csv);
-        r.metrics_file = metrics_file;
+        r.metrics_file = plan.metrics_file;
         r.metric_rows = sampler->samples().size();
     }
     return r;
+}
+
+std::vector<jvm::RunResult>
+ExperimentRunner::executePlans(std::vector<RunPlan> plans)
+{
+    const std::size_t requested =
+        config_.jobs != 0 ? config_.jobs : ThreadPool::hardwareConcurrency();
+    const std::size_t jobs = std::min(requested, plans.size());
+    if (jobs <= 1) {
+        std::vector<jvm::RunResult> results;
+        results.reserve(plans.size());
+        for (auto &plan : plans)
+            results.push_back(executePlan(plan, {}));
+        return results;
+    }
+
+    std::vector<std::function<jvm::RunResult()>> tasks;
+    tasks.reserve(plans.size());
+    for (std::size_t i = 0; i < plans.size(); ++i)
+        tasks.push_back(
+            [this, &plans, i] { return executePlan(plans[i], {}); });
+    return ParallelExecutor(jobs).run(std::move(tasks));
 }
 
 Bytes
@@ -278,25 +309,56 @@ ExperimentRunner::runCustom(const AppFactory &factory,
                             std::uint32_t threads,
                             const VmAttachHook &attach)
 {
-    const Bytes heap = config_.heap_override != 0
-                           ? config_.heap_override
-                           : static_cast<Bytes>(
-                                 config_.heap_factor *
-                                 static_cast<double>(
-                                     minHeapFor(factory, cache_key)));
-    auto app = factory();
-    return runOnce(*app, threads, heap, attach);
+    RunPlan plan = planRun(factory, cache_key, threads);
+    return executePlan(plan, attach);
 }
 
 std::vector<jvm::RunResult>
 ExperimentRunner::sweep(const std::string &app_name,
                         const std::vector<std::uint32_t> &threads)
 {
-    std::vector<jvm::RunResult> results;
-    results.reserve(threads.size());
+    const double scale = config_.workload_scale;
+    const AppFactory factory = [&app_name, scale] {
+        return workload::makeDacapoApp(app_name, scale);
+    };
+    std::vector<RunPlan> plans;
+    plans.reserve(threads.size());
     for (const auto t : threads)
-        results.push_back(runApp(app_name, t));
-    return results;
+        plans.push_back(planRun(factory, app_name, t));
+    return executePlans(std::move(plans));
+}
+
+std::map<std::string, std::vector<jvm::RunResult>>
+ExperimentRunner::sweepApps(const std::vector<std::string> &apps,
+                            const std::vector<std::uint32_t> &threads,
+                            const SweepProgress &progress)
+{
+    // Plan the full (app x threads) cross product up front — the
+    // calibration runs and artifact claims happen here, on this thread,
+    // in the same order the sequential per-app sweeps would do them —
+    // then execute the whole batch on the worker pool at once.
+    const double scale = config_.workload_scale;
+    std::vector<RunPlan> plans;
+    plans.reserve(apps.size() * threads.size());
+    for (const auto &app_name : apps) {
+        if (progress)
+            progress(app_name);
+        const AppFactory factory = [&app_name, scale] {
+            return workload::makeDacapoApp(app_name, scale);
+        };
+        for (const auto t : threads)
+            plans.push_back(planRun(factory, app_name, t));
+    }
+
+    std::vector<jvm::RunResult> flat = executePlans(std::move(plans));
+    std::map<std::string, std::vector<jvm::RunResult>> by_app;
+    std::size_t next = 0;
+    for (const auto &app_name : apps) {
+        auto &runs = by_app[app_name];
+        for (std::size_t i = 0; i < threads.size(); ++i)
+            runs.push_back(std::move(flat[next++]));
+    }
+    return by_app;
 }
 
 std::vector<jvm::RunResult>
@@ -305,16 +367,20 @@ ExperimentRunner::runReplicated(const std::string &app_name,
                                 std::uint32_t replicas)
 {
     jscale_assert(replicas >= 1, "need at least one replica");
-    std::vector<jvm::RunResult> results;
-    results.reserve(replicas);
+    const double scale = config_.workload_scale;
+    const AppFactory factory = [&app_name, scale] {
+        return workload::makeDacapoApp(app_name, scale);
+    };
+    std::vector<RunPlan> plans;
+    plans.reserve(replicas);
     const std::uint64_t base_seed = config_.seed;
     for (std::uint32_t i = 0; i < replicas; ++i) {
         // Derive a distinct campaign seed per replica; restore after.
         config_.seed = base_seed + 0x9e3779b97f4a7c15ULL * (i + 1);
-        results.push_back(runApp(app_name, threads));
+        plans.push_back(planRun(factory, app_name, threads));
     }
     config_.seed = base_seed;
-    return results;
+    return executePlans(std::move(plans));
 }
 
 } // namespace jscale::core

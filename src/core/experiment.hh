@@ -55,6 +55,15 @@ struct ExperimentConfig
     std::uint32_t bias_groups = 4;
     Ticks bias_quantum = 2 * units::MS;
 
+    /**
+     * Host worker threads for sweeps/replications (0 = one per host
+     * core, 1 = sequential). Each sweep point is an independent
+     * simulation with its own derived seed and pre-claimed artifact
+     * paths, so any jobs value produces byte-identical results —
+     * parallelism only changes wall-clock time.
+     */
+    std::uint32_t jobs = 0;
+
     /** @name Telemetry outputs */
     /** @{ */
     /**
@@ -109,6 +118,20 @@ class ExperimentRunner
     sweep(const std::string &app_name,
           const std::vector<std::uint32_t> &threads);
 
+    /** Called before an app's sweep points start executing. */
+    using SweepProgress = std::function<void(const std::string &app)>;
+
+    /**
+     * Sweep several apps over the same thread counts as one batch, so
+     * the whole (app x threads) cross product fans out across host
+     * workers instead of one app at a time. Results are keyed by app,
+     * in the same order sequential per-app sweeps would produce.
+     */
+    std::map<std::string, std::vector<jvm::RunResult>>
+    sweepApps(const std::vector<std::string> &apps,
+              const std::vector<std::uint32_t> &threads,
+              const SweepProgress &progress = {});
+
     /**
      * Run @p replicas independent repetitions (distinct derived seeds)
      * of one configuration, for confidence intervals over the
@@ -122,9 +145,33 @@ class ExperimentRunner
     std::vector<std::uint32_t> paperThreadCounts() const;
 
   private:
-    jvm::RunResult runOnce(jvm::ApplicationModel &app,
-                           std::uint32_t threads, Bytes heap_capacity,
-                           const VmAttachHook &attach);
+    /**
+     * Everything one run needs, resolved up front on the main thread:
+     * the application model, derived seed, heap size and claimed
+     * artifact paths. Once planned, executing the run touches no
+     * runner state, so plans can execute on any host thread in any
+     * order without changing what they compute.
+     */
+    struct RunPlan
+    {
+        std::unique_ptr<jvm::ApplicationModel> app;
+        std::uint32_t threads = 0;
+        Bytes heap_capacity = 0;
+        std::uint64_t seed = 0;
+        std::string timeline_file; ///< empty = no timeline
+        std::string metrics_file;  ///< empty = no metric sampling
+    };
+
+    /** Plan one run: calibrate heap, build the app, claim artifacts. */
+    RunPlan planRun(const AppFactory &factory,
+                    const std::string &cache_key, std::uint32_t threads);
+
+    /** Execute a planned run; const and safe to call concurrently. */
+    jvm::RunResult executePlan(RunPlan &plan,
+                               const VmAttachHook &attach) const;
+
+    /** Execute a batch of plans, sequentially or on a worker pool. */
+    std::vector<jvm::RunResult> executePlans(std::vector<RunPlan> plans);
 
     /** Per-run seed derived from campaign seed, app and thread count. */
     std::uint64_t runSeed(const std::string &app, std::uint32_t threads,

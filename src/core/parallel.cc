@@ -1,0 +1,45 @@
+#include "core/parallel.hh"
+
+#include <algorithm>
+#include <exception>
+#include <mutex>
+
+#include "base/thread_pool.hh"
+
+namespace jscale::core {
+
+std::vector<jvm::RunResult>
+ParallelExecutor::run(std::vector<std::function<jvm::RunResult()>> tasks)
+    const
+{
+    std::vector<jvm::RunResult> results(tasks.size());
+    if (tasks.empty())
+        return results;
+
+    std::mutex error_mutex;
+    std::exception_ptr first_error;
+    std::size_t first_error_index = tasks.size();
+
+    ThreadPool pool(std::min(jobs_, tasks.size()));
+    for (std::size_t i = 0; i < tasks.size(); ++i) {
+        pool.submit([i, &tasks, &results, &error_mutex, &first_error,
+                     &first_error_index] {
+            try {
+                results[i] = tasks[i]();
+            } catch (...) {
+                std::lock_guard<std::mutex> lock(error_mutex);
+                if (i < first_error_index) {
+                    first_error = std::current_exception();
+                    first_error_index = i;
+                }
+            }
+        });
+    }
+    pool.wait();
+
+    if (first_error)
+        std::rethrow_exception(first_error);
+    return results;
+}
+
+} // namespace jscale::core

@@ -1,0 +1,50 @@
+/**
+ * @file
+ * ParallelExecutor: fans independent, pre-planned experiment runs
+ * across host cores.
+ *
+ * The determinism contract: every task must be self-contained (its own
+ * Simulation, seed, and pre-claimed artifact paths) so that execution
+ * order and host thread assignment cannot influence what any task
+ * computes. The executor only reorders *when* tasks run; results are
+ * returned in submission order, which makes a parallel sweep
+ * byte-identical to the sequential one.
+ */
+
+#ifndef JSCALE_CORE_PARALLEL_HH
+#define JSCALE_CORE_PARALLEL_HH
+
+#include <cstddef>
+#include <functional>
+#include <vector>
+
+#include "jvm/runtime/vm.hh"
+
+namespace jscale::core {
+
+/** Executes a batch of independent run closures on a worker pool. */
+class ParallelExecutor
+{
+  public:
+    /** @param jobs host worker count (>= 1). */
+    explicit ParallelExecutor(std::size_t jobs) : jobs_(jobs) {}
+
+    /** Worker count this executor was built with. */
+    std::size_t jobs() const { return jobs_; }
+
+    /**
+     * Run every task (FIFO dispatch across the pool) and return their
+     * results indexed exactly like @p tasks. Blocks until all complete.
+     * If a task throws, the first exception (in task order) is
+     * rethrown after the batch drains.
+     */
+    std::vector<jvm::RunResult>
+    run(std::vector<std::function<jvm::RunResult()>> tasks) const;
+
+  private:
+    std::size_t jobs_;
+};
+
+} // namespace jscale::core
+
+#endif // JSCALE_CORE_PARALLEL_HH

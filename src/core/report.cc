@@ -417,6 +417,98 @@ printThreadTable(std::ostream &os, const jvm::RunResult &r)
     t.print(os);
 }
 
+stats::StatSnapshot
+runStatSnapshot(const jvm::RunResult &r)
+{
+    stats::StatSnapshot s;
+    s.add("threads", r.threads);
+    s.add("cores", r.cores);
+    s.add("heap_capacity", static_cast<double>(r.heap_capacity), "B");
+    s.add("wall_time", static_cast<double>(r.wall_time), "ticks");
+    s.add("gc_time", static_cast<double>(r.gc_time), "ticks");
+    s.add("mutator_time", static_cast<double>(r.mutatorTime()), "ticks");
+    s.add("total_tasks", r.total_tasks);
+    s.add("sim_events", r.sim_events);
+
+    s.add("gc.minor_count", r.gc.minor_count);
+    s.add("gc.full_count", r.gc.full_count);
+    s.add("gc.local_count", r.gc.local_count);
+    s.add("gc.concurrent_cycles", r.gc.concurrent_cycles);
+    s.add("gc.concurrent_failures", r.gc.concurrent_failures);
+    s.add("gc.remark_count", r.gc.remark_count);
+    s.add("gc.local_pause", static_cast<double>(r.gc.local_pause),
+          "ticks");
+    s.add("gc.total_pause", static_cast<double>(r.gc.total_pause),
+          "ticks");
+    s.add("gc.total_ttsp", static_cast<double>(r.gc.total_ttsp), "ticks");
+    s.add("gc.copied_bytes", static_cast<double>(r.gc.copied_bytes), "B");
+    s.add("gc.promoted_bytes", static_cast<double>(r.gc.promoted_bytes),
+          "B");
+    s.add("gc.reclaimed_bytes",
+          static_cast<double>(r.gc.reclaimed_bytes), "B");
+    s.add("gc.young_resizes", r.gc.young_resizes);
+    s.addSummary("gc.minor_pause", r.gc.minor_pauses, "ticks");
+    s.addSummary("gc.full_pause", r.gc.full_pauses, "ticks");
+    s.addSummary("gc.nursery_survival", r.gc.nursery_survival);
+    s.add("gc.events", static_cast<double>(r.gc.events.size()));
+
+    s.add("heap.objects_allocated", r.heap.objects_allocated);
+    s.add("heap.objects_died", r.heap.objects_died);
+    s.add("heap.bytes_allocated",
+          static_cast<double>(r.heap.bytes_allocated), "B");
+    s.add("heap.bytes_died", static_cast<double>(r.heap.bytes_died), "B");
+    s.add("heap.peak_live_bytes",
+          static_cast<double>(r.heap.peak_live_bytes), "B");
+    s.add("heap.tlab_refills", r.heap.tlab_refills);
+    s.add("heap.tlab_waste", static_cast<double>(r.heap.tlab_waste), "B");
+    s.add("heap.lifespan_weight",
+          static_cast<double>(r.heap.lifespan.totalWeight()));
+    s.add("heap.lifespan_p50",
+          static_cast<double>(r.heap.lifespan.percentile(0.5)), "B");
+
+    s.add("locks.acquisitions", r.locks.acquisitions);
+    s.add("locks.contentions", r.locks.contentions);
+    s.add("locks.block_time", static_cast<double>(r.locks.block_time),
+          "ticks");
+    s.add("locks.monitors", r.locks.monitors);
+    s.add("locks.biased", r.locks.biased_acquisitions);
+    s.add("locks.thin", r.locks.thin_acquisitions);
+    s.add("locks.fat", r.locks.fat_acquisitions);
+    s.add("locks.revocations", r.locks.bias_revocations);
+    s.add("locks.inflations", r.locks.inflations);
+    s.add("locks.waits", r.locks.waits);
+    s.add("locks.notifies", r.locks.notifies);
+
+    s.add("sched.dispatches", r.sched.dispatches);
+    s.add("sched.context_switches", r.sched.context_switches);
+    s.add("sched.migrations", r.sched.migrations);
+    s.add("sched.steals", r.sched.steals);
+    s.add("sched.preemptions", r.sched.preemptions);
+    s.add("sched.busy_ticks", static_cast<double>(r.sched.busy_ticks),
+          "ticks");
+    s.add("sched.overhead_ticks",
+          static_cast<double>(r.sched.overhead_ticks), "ticks");
+
+    for (std::size_t i = 0; i < r.thread_summaries.size(); ++i) {
+        const auto &ts = r.thread_summaries[i];
+        const std::string p = "thread." + std::to_string(i) + ".";
+        s.add(p + "cpu_time", static_cast<double>(ts.cpu_time), "ticks");
+        s.add(p + "ready_time", static_cast<double>(ts.ready_time),
+              "ticks");
+        s.add(p + "blocked_time", static_cast<double>(ts.blocked_time),
+              "ticks");
+        s.add(p + "sleep_time", static_cast<double>(ts.sleep_time),
+              "ticks");
+        s.add(p + "dispatches", ts.dispatches);
+        s.add(p + "migrations", ts.migrations);
+        s.add(p + "tasks_completed", ts.tasks_completed);
+        s.add(p + "allocations", ts.allocations);
+        s.add(p + "bytes_allocated",
+              static_cast<double>(ts.bytes_allocated), "B");
+    }
+    return s;
+}
+
 void
 printRunSummary(std::ostream &os, const jvm::RunResult &r)
 {

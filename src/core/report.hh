@@ -15,6 +15,7 @@
 #include <vector>
 
 #include "jvm/runtime/vm.hh"
+#include "stats/stats.hh"
 
 namespace jscale::core {
 
@@ -74,6 +75,14 @@ void writeGcSurvivalCsv(std::ostream &os, const SweepSet &sweeps);
  */
 void printSuspendWaitTable(std::ostream &os, const SweepSet &sweeps);
 void writeSuspendWaitCsv(std::ostream &os, const SweepSet &sweeps);
+
+/**
+ * Flatten every deterministic counter of one run into a named stat
+ * snapshot (timing, GC, heap, locks, scheduler and per-thread rows).
+ * Two runs of the same configuration must produce identical snapshots
+ * regardless of --jobs; the equivalence tests compare these dumps.
+ */
+stats::StatSnapshot runStatSnapshot(const jvm::RunResult &r);
 
 /** Free-form one-run summary (quickstart/example output). */
 void printRunSummary(std::ostream &os, const jvm::RunResult &r);

@@ -54,6 +54,8 @@ Heap::Heap(const HeapConfig &config, std::uint32_t n_mutators,
     eden_used_.assign(compartments, 0);
     eden_objects_.resize(compartments);
 
+    owner_live_head_.assign(n_mutators, kNullHandle);
+    owner_live_tail_.assign(n_mutators, kNullHandle);
     tlab_remaining_.assign(n_mutators, 0);
     owner_alloc_bytes_.assign(n_mutators, 0);
     owner_prev_clock_.assign(n_mutators, 0);
@@ -111,6 +113,33 @@ Heap::freeRecord(ObjectHandle h)
     free_list_.push_back(h);
 }
 
+void
+Heap::linkOwner(ObjectHandle h, ObjectRecord &r)
+{
+    r.owner_prev = owner_live_tail_[r.owner];
+    r.owner_next = kNullHandle;
+    if (r.owner_prev != kNullHandle)
+        rec(r.owner_prev).owner_next = h;
+    else
+        owner_live_head_[r.owner] = h;
+    owner_live_tail_[r.owner] = h;
+}
+
+void
+Heap::unlinkOwner(ObjectRecord &r)
+{
+    if (r.owner_prev != kNullHandle)
+        rec(r.owner_prev).owner_next = r.owner_next;
+    else
+        owner_live_head_[r.owner] = r.owner_next;
+    if (r.owner_next != kNullHandle)
+        rec(r.owner_next).owner_prev = r.owner_prev;
+    else
+        owner_live_tail_[r.owner] = r.owner_prev;
+    r.owner_prev = kNullHandle;
+    r.owner_next = kNullHandle;
+}
+
 AllocStatus
 Heap::allocate(MutatorIndex owner, Bytes size, Bytes ttl_owner_bytes,
                AllocSiteId site, Ticks now)
@@ -166,10 +195,11 @@ Heap::allocate(MutatorIndex owner, Bytes size, Bytes ttl_owner_bytes,
         r.pinned ? kImmortalTtl : owner_alloc_bytes_[owner] + ttl_owner_bytes;
 
     eden_objects_[comp].push_back(h);
+    linkOwner(h, r);
     if (!r.pinned)
         death_queues_[owner].push(DeathEntry{r.death_owner_bytes, h, r.id});
 
-    if (listeners_) {
+    if (listeners_ && !listeners_->empty()) {
         listeners_->dispatch(
             [&](RuntimeListener &l) { l.onObjectAlloc(r, now); });
     }
@@ -186,6 +216,7 @@ Heap::killObject(ObjectHandle h, Bytes global_at_death, Ticks now)
     ObjectRecord &r = rec(h);
     jscale_assert(!r.dead, "double death of object ", r.id);
     r.dead = true;
+    unlinkOwner(r);
     const Bytes lifespan = global_at_death > r.birth_global_bytes
                                ? global_at_death - r.birth_global_bytes
                                : 0;
@@ -194,7 +225,7 @@ Heap::killObject(ObjectHandle h, Bytes global_at_death, Ticks now)
     ++stats_.objects_died;
     stats_.bytes_died += r.size;
     stats_.lifespan.add(lifespan);
-    if (listeners_) {
+    if (listeners_ && !listeners_->empty()) {
         listeners_->dispatch(
             [&](RuntimeListener &l) { l.onObjectDeath(r, lifespan, now); });
     }
@@ -243,17 +274,19 @@ Heap::processDeaths(MutatorIndex owner, Ticks now)
 void
 Heap::killThreadObjects(MutatorIndex owner, Ticks now)
 {
-    auto kill_matching = [&](std::vector<ObjectHandle> &list) {
-        for (const ObjectHandle h : list) {
-            ObjectRecord &r = rec(h);
-            if (r.id != 0 && !r.dead && !r.pinned && r.owner == owner)
-                killObject(h, global_alloc_bytes_, now);
-        }
-    };
-    for (auto &list : eden_objects_)
-        kill_matching(list);
-    kill_matching(survivor_objects_);
-    kill_matching(old_objects_);
+    jscale_assert(owner < n_mutators_, "owner index out of range");
+    // Walk only this owner's live list — O(owner's live objects) rather
+    // than a scan of every region list. killObject unlinks as it goes,
+    // so the next handle is saved first; pinned objects stay linked
+    // (they die at VM shutdown via killAllRemaining).
+    ObjectHandle h = owner_live_head_[owner];
+    while (h != kNullHandle) {
+        ObjectRecord &r = rec(h);
+        const ObjectHandle next = r.owner_next;
+        if (!r.pinned)
+            killObject(h, global_alloc_bytes_, now);
+        h = next;
+    }
 }
 
 void
@@ -517,6 +550,31 @@ Heap::checkInvariants() const
         eden_total += used;
     jscale_assert(eden_total == eden_used_total_,
                   "eden usage mismatch");
+    // Every live object must appear exactly once on its owner's
+    // intrusive list, and the lists must hold only live objects.
+    std::uint64_t owner_listed = 0;
+    for (MutatorIndex owner = 0; owner < n_mutators_; ++owner) {
+        ObjectHandle prev = kNullHandle;
+        for (ObjectHandle h = owner_live_head_[owner]; h != kNullHandle;
+             h = pool_[h].owner_next) {
+            const ObjectRecord &r = pool_[h];
+            jscale_assert(r.id != 0 && !r.dead,
+                          "dead/freed object on owner live list");
+            jscale_assert(r.owner == owner, "object ", r.id,
+                          " on wrong owner list");
+            jscale_assert(r.owner_prev == prev,
+                          "owner list back-link mismatch at object ",
+                          r.id);
+            prev = h;
+            ++owner_listed;
+        }
+        jscale_assert(owner_live_tail_[owner] == prev,
+                      "owner list tail mismatch");
+    }
+    jscale_assert(owner_listed == live_objects_,
+                  "owner live lists disagree with live object count: ",
+                  owner_listed, " listed vs ", live_objects_);
+
     // With TLABs, eden usage includes reserved-but-unfilled buffer
     // space, so residency is a lower bound; otherwise it is exact.
     if (config_.tlab_size > 0) {

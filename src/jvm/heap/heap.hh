@@ -235,6 +235,12 @@ class Heap
      */
     void killObject(ObjectHandle h, Bytes global_at_death, Ticks now);
 
+    /** Append a freshly allocated object to its owner's live list. */
+    void linkOwner(ObjectHandle h, ObjectRecord &r);
+
+    /** Remove a dying object from its owner's live list. */
+    void unlinkOwner(ObjectRecord &r);
+
     /** Process all due deaths for @p owner. */
     void processDeaths(MutatorIndex owner, Ticks now);
 
@@ -263,6 +269,10 @@ class Heap
     std::vector<std::vector<ObjectHandle>> eden_objects_;
     std::vector<ObjectHandle> survivor_objects_;
     std::vector<ObjectHandle> old_objects_;
+
+    /** Head/tail of each owner's intrusive live-object list. */
+    std::vector<ObjectHandle> owner_live_head_;
+    std::vector<ObjectHandle> owner_live_tail_;
 
     /** Remaining TLAB space per owner (TLAB mode only). */
     std::vector<Bytes> tlab_remaining_;

@@ -72,6 +72,14 @@ struct ObjectRecord
     bool dead = false;
     /** True for immortal (application-lifetime) data. */
     bool pinned = false;
+    /**
+     * Intrusive doubly-linked list threading all *live* objects of one
+     * owner, in allocation order. Maintained by the heap: linked at
+     * allocation, unlinked at death, so thread-exit reaping walks only
+     * the owner's own objects instead of scanning every region list.
+     */
+    ObjectHandle owner_prev = kNullHandle;
+    ObjectHandle owner_next = kNullHandle;
 };
 
 } // namespace jscale::jvm

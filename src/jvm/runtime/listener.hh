@@ -172,11 +172,22 @@ class ListenerChain
     /** All current subscribers. */
     const std::vector<RuntimeListener *> &all() const { return listeners_; }
 
-    /** Invoke @p fn on every subscriber, in subscription order. */
+    /** True when nobody is subscribed (the overwhelmingly common case
+     *  on hot paths — bare experiment runs attach no tools). */
+    bool empty() const { return listeners_.empty(); }
+
+    /**
+     * Invoke @p fn on every subscriber, in subscription order. Checks
+     * empty() first so unobserved hot paths pay one branch; callers on
+     * per-allocation paths should additionally guard with empty() to
+     * skip building the closure arguments at all.
+     */
     template <typename Fn>
     void
     dispatch(Fn &&fn) const
     {
+        if (listeners_.empty()) [[likely]]
+            return;
         for (RuntimeListener *l : listeners_)
             fn(*l);
     }

@@ -41,6 +41,23 @@ class Scheduler::SliceEndEvent : public sim::Event
     machine::CoreId core_;
 };
 
+/** Pooled one-shot event waking a sleeping thread at a set time. */
+class Scheduler::TimedWakeEvent : public sim::Event
+{
+  public:
+    explicit TimedWakeEvent(Scheduler &sched) : sched_(sched) {}
+
+    void arm(OsThread *thread) { thread_ = thread; }
+    OsThread *thread() const { return thread_; }
+
+    void process() override { sched_.timedWakeFired(this); }
+    std::string name() const override { return "timed-wake"; }
+
+  private:
+    Scheduler &sched_;
+    OsThread *thread_ = nullptr;
+};
+
 Scheduler::Scheduler(sim::Simulation &sim, machine::Machine &mach,
                      const SchedulerConfig &config)
     : sim_(sim), mach_(mach), config_(config),
@@ -56,6 +73,12 @@ Scheduler::Scheduler(sim::Simulation &sim, machine::Machine &mach,
         cores_[i].slice_end = std::make_unique<SliceEndEvent>(
             *this, static_cast<machine::CoreId>(i));
     }
+    stw_parked_event_ = std::make_unique<sim::CallbackEvent>(
+        [this] {
+            if (stw_callback_)
+                stw_callback_();
+        },
+        "stw-parked");
 }
 
 Scheduler::~Scheduler()
@@ -66,6 +89,12 @@ Scheduler::~Scheduler()
         if (cs.slice_end && cs.slice_end->scheduled())
             sim_.queue().deschedule(cs.slice_end.get());
     }
+    for (auto &ev : wake_events_) {
+        if (ev->scheduled())
+            sim_.queue().deschedule(ev.get());
+    }
+    if (stw_parked_event_->scheduled())
+        sim_.queue().deschedule(stw_parked_event_.get());
 }
 
 void
@@ -180,10 +209,30 @@ Scheduler::wakeAt(OsThread *thread, Ticks when)
     // The caller is inside its burst; the Blocked outcome it is about to
     // return is recorded as Sleeping for accounting.
     thread->pending_sleep_ = true;
-    sim_.scheduleAt(when, [this, thread] {
-        if (thread->state_ == ThreadState::Sleeping)
-            wake(thread);
-    }, "timed-wake");
+    TimedWakeEvent *ev;
+    if (!wake_free_.empty()) {
+        ev = wake_free_.back();
+        wake_free_.pop_back();
+    } else {
+        wake_events_.push_back(std::make_unique<TimedWakeEvent>(*this));
+        ev = wake_events_.back().get();
+    }
+    ev->arm(thread);
+    sim_.schedule(ev, when);
+}
+
+void
+Scheduler::timedWakeFired(TimedWakeEvent *ev)
+{
+    OsThread *thread = ev->thread();
+    wake_free_.push_back(ev);
+    // The wake may be stale: the thread could have been woken early
+    // (e.g. by a notify) and even be sleeping again under a *newer*
+    // timed wake. Waking a Sleeping thread spuriously early here is
+    // indistinguishable from the old per-sleep closure behaviour, which
+    // also keyed purely off the state.
+    if (thread->state_ == ThreadState::Sleeping)
+        wake(thread);
 }
 
 void
@@ -410,11 +459,10 @@ Scheduler::maybeFireStwCallback()
     if (!stw_cb_pending_ || running_count_ > 0)
         return;
     stw_cb_pending_ = false;
-    // Flatten the call stack: fire as a zero-delay event.
-    sim_.scheduleAfter(0, [this] {
-        if (stw_callback_)
-            stw_callback_();
-    }, "stw-parked");
+    // Flatten the call stack: fire as a zero-delay event. One STW is in
+    // flight at a time, so the reusable member event is never pending
+    // here (schedule() asserts that invariant).
+    sim_.scheduleIn(stw_parked_event_.get(), 0);
 }
 
 void

@@ -147,6 +147,7 @@ class Scheduler
 
   private:
     class SliceEndEvent;
+    class TimedWakeEvent;
 
     struct CoreState
     {
@@ -167,6 +168,7 @@ class Scheduler
     void enqueueReady(OsThread *thread, machine::CoreId core_id);
     void accountStateExit(OsThread *thread, Ticks now);
     void maybeFireStwCallback();
+    void timedWakeFired(TimedWakeEvent *ev);
 
     /** Commit a state transition and publish it to the probe chain. */
     void setThreadState(OsThread *thread, ThreadState next, Ticks now);
@@ -188,6 +190,17 @@ class Scheduler
     std::function<void()> stw_callback_;
     std::function<void(OsThread *)> finished_cb_;
     SchedListenerChain listeners_;
+
+    /**
+     * Pooled timed-wake events: wakeAt() recycles fired events instead
+     * of heap-allocating a closure per sleep. Several may be pending at
+     * once (a thread woken early leaves its stale event in flight), so
+     * this is a free list, not a per-thread slot.
+     */
+    std::vector<std::unique_ptr<TimedWakeEvent>> wake_events_;
+    std::vector<TimedWakeEvent *> wake_free_;
+    /** Reusable zero-delay event flattening the STW-parked callback. */
+    std::unique_ptr<sim::CallbackEvent> stw_parked_event_;
 
     SchedulerStats stats_;
 };

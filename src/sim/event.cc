@@ -1,5 +1,7 @@
 #include "sim/event.hh"
 
+#include <algorithm>
+
 #include "base/logging.hh"
 
 namespace jscale::sim {
@@ -35,32 +37,52 @@ EventQueue::schedule(Event *ev, Ticks when)
 }
 
 void
-EventQueue::deschedule(Event *ev)
+EventQueue::cancel(Event *ev)
 {
     jscale_assert(ev != nullptr, "deschedule of null event");
     if (!ev->scheduled_)
         return;
     ev->scheduled_ = false;
-    cancelled_.insert(ev->seq_);
+    cancelled_.insert(
+        std::lower_bound(cancelled_.begin(), cancelled_.end(), ev->seq_),
+        ev->seq_);
     --live_;
+}
+
+void
+EventQueue::deschedule(Event *ev)
+{
+    jscale_assert(ev != nullptr, "deschedule of null event");
+    if (!ev->scheduled_)
+        return;
+    cancel(ev);
+    // A cancelled self-deleting event will never be popped again (the
+    // skim drops its tombstone without dereferencing it), so deleting
+    // it here is the only way it is ever reclaimed.
+    if (ev->selfDeleting())
+        delete ev;
 }
 
 void
 EventQueue::reschedule(Event *ev, Ticks when)
 {
-    deschedule(ev);
+    cancel(ev);
     schedule(ev, when);
 }
 
 void
-EventQueue::skim()
+EventQueue::skimSlow()
 {
     while (!heap_.empty()) {
-        auto it = cancelled_.find(heap_.top().seq);
-        if (it == cancelled_.end())
+        const auto it = std::lower_bound(cancelled_.begin(),
+                                         cancelled_.end(),
+                                         heap_.top().seq);
+        if (it == cancelled_.end() || *it != heap_.top().seq)
             return;
         cancelled_.erase(it);
         heap_.pop();
+        if (cancelled_.empty())
+            return;
     }
 }
 

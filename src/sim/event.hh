@@ -11,7 +11,10 @@
  * skimmed off without ever dereferencing the (possibly already
  * destroyed) event. The contract for event owners is therefore simple:
  * deschedule your events in your destructor and the queue may safely
- * outlive you.
+ * outlive you. Cancellations are rare relative to dispatches, so the
+ * set is a sorted small-vector probed by binary search, and the skim on
+ * every pop reduces to a single emptiness branch when nothing is
+ * cancelled.
  */
 
 #ifndef JSCALE_SIM_EVENT_HH
@@ -21,7 +24,6 @@
 #include <functional>
 #include <queue>
 #include <string>
-#include <unordered_set>
 #include <vector>
 
 #include "base/units.hh"
@@ -89,6 +91,28 @@ class LambdaEvent : public Event
 };
 
 /**
+ * Reusable callback event: the closure is allocated once at
+ * construction and the event can be scheduled again after each firing,
+ * so recurring uses pay no per-occurrence heap allocation (unlike a
+ * fresh LambdaEvent per tick). Owned by its creator, never the queue.
+ */
+class CallbackEvent : public Event
+{
+  public:
+    explicit CallbackEvent(std::function<void()> fn,
+                           std::string what = "callback")
+        : fn_(std::move(fn)), what_(std::move(what))
+    {}
+
+    void process() override { fn_(); }
+    std::string name() const override { return what_; }
+
+  private:
+    std::function<void()> fn_;
+    std::string what_;
+};
+
+/**
  * Deterministic min-heap of events keyed by (time, insertion sequence).
  */
 class EventQueue
@@ -106,10 +130,18 @@ class EventQueue
      */
     void schedule(Event *ev, Ticks when);
 
-    /** Remove @p ev from the queue; no-op if not scheduled. */
+    /**
+     * Remove @p ev from the queue; no-op if not scheduled. A
+     * self-deleting event is deleted here (it can never be popped
+     * again, so this is its last reachable moment); the caller must
+     * not touch it afterwards.
+     */
     void deschedule(Event *ev);
 
-    /** Deschedule (if needed) and schedule at a new time. */
+    /**
+     * Deschedule (if needed) and schedule at a new time. Unlike
+     * deschedule(), never deletes: the event is live again on exit.
+     */
     void reschedule(Event *ev, Ticks when);
 
     /** True when no live events remain. */
@@ -144,13 +176,84 @@ class EventQueue
         }
     };
 
+    /** Remove @p ev from the queue without the self-deletion step. */
+    void cancel(Event *ev);
+
     /** Drop cancelled entries off the heap top without touching them. */
-    void skim();
+    void
+    skim()
+    {
+        // Hot path: nothing cancelled, nothing to do — one branch.
+        if (cancelled_.empty()) [[likely]]
+            return;
+        skimSlow();
+    }
+
+    void skimSlow();
 
     std::priority_queue<Entry, std::vector<Entry>, std::greater<>> heap_;
-    std::unordered_set<std::uint64_t> cancelled_;
+    /** Sequence numbers of cancelled entries, kept sorted. */
+    std::vector<std::uint64_t> cancelled_;
     std::uint64_t next_seq_ = 0;
     std::size_t live_ = 0;
+};
+
+/**
+ * Self-rescheduling periodic event: fires every @p period ticks from
+ * start() until stop() or destruction. The callback is allocated once,
+ * so periodic activities (metric sampling, phase rotation) stop paying
+ * a heap-allocated closure per occurrence. The owner controls lifetime;
+ * the destructor deschedules, so it may die before the queue.
+ */
+class RecurringEvent : public Event
+{
+  public:
+    RecurringEvent(EventQueue &queue, TickDelta period,
+                   std::function<void()> fn,
+                   std::string what = "recurring")
+        : queue_(queue), period_(period), fn_(std::move(fn)),
+          what_(std::move(what))
+    {}
+
+    ~RecurringEvent() override { stop(); }
+
+    /** Schedule the first firing at absolute time @p first. */
+    void
+    start(Ticks first)
+    {
+        stopped_ = false;
+        queue_.schedule(this, first);
+    }
+
+    /** Cancel the pending firing and suppress rearming. */
+    void
+    stop()
+    {
+        stopped_ = true;
+        queue_.deschedule(this);
+    }
+
+    void
+    process() override
+    {
+        fn_();
+        // Rearm after the callback (matching the fire-then-schedule
+        // order of a hand-rolled lambda chain) unless the callback
+        // stopped this event or rescheduled it itself.
+        if (!stopped_ && !scheduled())
+            queue_.schedule(this, when() + static_cast<Ticks>(period_));
+    }
+
+    std::string name() const override { return what_; }
+
+    TickDelta period() const { return period_; }
+
+  private:
+    EventQueue &queue_;
+    TickDelta period_;
+    std::function<void()> fn_;
+    std::string what_;
+    bool stopped_ = false;
 };
 
 } // namespace jscale::sim

@@ -13,12 +13,15 @@ MetricSampler::MetricSampler(sim::Simulation &sim, jvm::JavaVm &vm,
     : sim_(sim), vm_(vm), interval_(interval)
 {
     jscale_assert(interval_ > 0, "sampling interval must be positive");
+    tick_event_ = std::make_unique<sim::RecurringEvent>(
+        sim_.queue(), static_cast<TickDelta>(interval_),
+        [this] { tick(); }, "metric-sample");
 }
 
 void
 MetricSampler::start()
 {
-    sim_.scheduleAfter(interval_, [this] { tick(); }, "metric-sample");
+    tick_event_->start(sim_.now() + interval_);
 }
 
 void
@@ -55,8 +58,7 @@ MetricSampler::tick()
         timeline_->counter(kVmPid, "locks", now,
                            {targ("blocked_now", s.lock_blocked)});
     }
-
-    sim_.scheduleAfter(interval_, [this] { tick(); }, "metric-sample");
+    // The RecurringEvent rearms itself after this callback returns.
 }
 
 const char *

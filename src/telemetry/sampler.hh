@@ -17,10 +17,12 @@
 #define JSCALE_TELEMETRY_SAMPLER_HH
 
 #include <cstdint>
+#include <memory>
 #include <ostream>
 #include <vector>
 
 #include "base/units.hh"
+#include "sim/event.hh"
 #include "stats/stats.hh"
 
 namespace jscale::sim {
@@ -100,6 +102,8 @@ class MetricSampler
     jvm::JavaVm &vm_;
     Ticks interval_;
     Timeline *timeline_ = nullptr;
+    /** Self-rescheduling tick; one closure for the whole run. */
+    std::unique_ptr<sim::RecurringEvent> tick_event_;
     std::vector<MetricSample> samples_;
     MetricSummary summary_;
 };

@@ -1,0 +1,148 @@
+/**
+ * @file
+ * Tests for the host-side worker pool and the parallel run executor:
+ * completion semantics, result ordering, exception propagation.
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+#include "base/thread_pool.hh"
+#include "core/parallel.hh"
+
+namespace {
+
+using namespace jscale;
+
+TEST(ThreadPool, RunsEveryTask)
+{
+    ThreadPool pool(4);
+    std::atomic<int> count{0};
+    for (int i = 0; i < 100; ++i)
+        pool.submit([&count] { ++count; });
+    pool.wait();
+    EXPECT_EQ(count.load(), 100);
+}
+
+TEST(ThreadPool, ZeroWorkersClampedToOne)
+{
+    ThreadPool pool(0);
+    EXPECT_EQ(pool.size(), 1u);
+    std::atomic<int> count{0};
+    pool.submit([&count] { ++count; });
+    pool.wait();
+    EXPECT_EQ(count.load(), 1);
+}
+
+TEST(ThreadPool, WaitBlocksUntilSlowTasksFinish)
+{
+    ThreadPool pool(2);
+    std::atomic<int> done{0};
+    for (int i = 0; i < 8; ++i) {
+        pool.submit([&done] {
+            std::this_thread::sleep_for(std::chrono::milliseconds(5));
+            ++done;
+        });
+    }
+    pool.wait();
+    EXPECT_EQ(done.load(), 8);
+}
+
+TEST(ThreadPool, ReusableAfterWait)
+{
+    ThreadPool pool(2);
+    std::atomic<int> count{0};
+    pool.submit([&count] { ++count; });
+    pool.wait();
+    pool.submit([&count] { ++count; });
+    pool.submit([&count] { ++count; });
+    pool.wait();
+    EXPECT_EQ(count.load(), 3);
+}
+
+TEST(ThreadPool, DestructorDrainsBacklog)
+{
+    std::atomic<int> count{0};
+    {
+        ThreadPool pool(2);
+        for (int i = 0; i < 32; ++i)
+            pool.submit([&count] { ++count; });
+        // No wait(): the destructor must drain before joining.
+    }
+    EXPECT_EQ(count.load(), 32);
+}
+
+TEST(ThreadPool, HardwareConcurrencyAtLeastOne)
+{
+    EXPECT_GE(ThreadPool::hardwareConcurrency(), 1u);
+}
+
+jvm::RunResult
+resultWithWall(Ticks wall)
+{
+    jvm::RunResult r;
+    r.wall_time = wall;
+    return r;
+}
+
+TEST(ParallelExecutor, ResultsInSubmissionOrder)
+{
+    // Tasks finish out of order (later tasks are faster); results must
+    // still land at their submission index.
+    std::vector<std::function<jvm::RunResult()>> tasks;
+    for (int i = 0; i < 16; ++i) {
+        tasks.push_back([i] {
+            std::this_thread::sleep_for(
+                std::chrono::milliseconds(16 - i));
+            return resultWithWall(static_cast<Ticks>(i));
+        });
+    }
+    const auto results = core::ParallelExecutor(8).run(std::move(tasks));
+    ASSERT_EQ(results.size(), 16u);
+    for (int i = 0; i < 16; ++i)
+        EXPECT_EQ(results[i].wall_time, static_cast<Ticks>(i));
+}
+
+TEST(ParallelExecutor, EmptyBatch)
+{
+    const auto results = core::ParallelExecutor(4).run({});
+    EXPECT_TRUE(results.empty());
+}
+
+TEST(ParallelExecutor, FirstExceptionInTaskOrderWins)
+{
+    std::vector<std::function<jvm::RunResult()>> tasks;
+    tasks.push_back([]() -> jvm::RunResult {
+        // Slow failure at index 0: must still be the one reported.
+        std::this_thread::sleep_for(std::chrono::milliseconds(20));
+        throw std::runtime_error("first");
+    });
+    tasks.push_back([]() -> jvm::RunResult {
+        throw std::runtime_error("second");
+    });
+    tasks.push_back([] { return resultWithWall(1); });
+    try {
+        core::ParallelExecutor(4).run(std::move(tasks));
+        FAIL() << "expected an exception";
+    } catch (const std::runtime_error &e) {
+        EXPECT_STREQ(e.what(), "first");
+    }
+}
+
+TEST(ParallelExecutor, SingleWorkerStillCompletes)
+{
+    std::vector<std::function<jvm::RunResult()>> tasks;
+    for (int i = 0; i < 4; ++i)
+        tasks.push_back([i] { return resultWithWall(i); });
+    const auto results = core::ParallelExecutor(1).run(std::move(tasks));
+    ASSERT_EQ(results.size(), 4u);
+    for (int i = 0; i < 4; ++i)
+        EXPECT_EQ(results[i].wall_time, static_cast<Ticks>(i));
+}
+
+} // namespace

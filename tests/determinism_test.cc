@@ -8,7 +8,11 @@
 
 #include <gtest/gtest.h>
 
+#include <sstream>
+#include <vector>
+
 #include "core/experiment.hh"
+#include "core/report.hh"
 #include "lockprof/lockprof.hh"
 #include "trace/trace.hh"
 
@@ -107,6 +111,123 @@ TEST(Determinism, BiasedSchedulingReplays)
     const auto b = run();
     EXPECT_EQ(a.wall_time, b.wall_time);
     EXPECT_EQ(a.sim_events, b.sim_events);
+}
+
+// ---------------------------------------------------------------------
+// Sequential-vs-parallel equivalence: the --jobs contract. A sweep at
+// --jobs 8 must be indistinguishable from --jobs 1 — same RunResult
+// fields, same report bytes, same full stat-registry dumps.
+// ---------------------------------------------------------------------
+
+/** Full-field comparison of two runs via their stat snapshots. */
+void
+expectRunsEqual(const jvm::RunResult &a, const jvm::RunResult &b,
+                const std::string &label)
+{
+    const auto sa = core::runStatSnapshot(a);
+    const auto sb = core::runStatSnapshot(b);
+    ASSERT_EQ(sa.values().size(), sb.values().size()) << label;
+    for (std::size_t i = 0; i < sa.values().size(); ++i) {
+        EXPECT_EQ(sa.values()[i].name, sb.values()[i].name) << label;
+        EXPECT_EQ(sa.values()[i].value, sb.values()[i].value)
+            << label << ": " << sa.values()[i].name;
+    }
+    std::ostringstream csv_a, csv_b;
+    sa.printCsv(csv_a);
+    sb.printCsv(csv_b);
+    EXPECT_EQ(csv_a.str(), csv_b.str()) << label;
+}
+
+TEST(ParallelEquivalence, SweepMatchesSequential)
+{
+    const std::vector<std::uint32_t> threads = {1, 2, 4, 8};
+    auto sweep = [&threads](std::uint32_t jobs) {
+        auto cfg = cfgWith(21);
+        cfg.jobs = jobs;
+        core::ExperimentRunner runner(cfg);
+        return runner.sweep("xalan", threads);
+    };
+    const auto seq = sweep(1);
+    const auto par = sweep(8);
+    ASSERT_EQ(seq.size(), par.size());
+    for (std::size_t i = 0; i < seq.size(); ++i) {
+        EXPECT_EQ(seq[i].threads, par[i].threads);
+        expectRunsEqual(seq[i], par[i],
+                        "xalan t" + std::to_string(seq[i].threads));
+    }
+}
+
+TEST(ParallelEquivalence, AllAppsMatchSequential)
+{
+    const std::vector<std::string> apps = {
+        "sunflow", "lusearch", "xalan", "h2", "eclipse", "jython"};
+    const std::vector<std::uint32_t> threads = {2, 4};
+    auto sweepAll = [&](std::uint32_t jobs) {
+        auto cfg = cfgWith(23);
+        cfg.jobs = jobs;
+        core::ExperimentRunner runner(cfg);
+        return runner.sweepApps(apps, threads);
+    };
+    const auto seq = sweepAll(1);
+    const auto par = sweepAll(8);
+    ASSERT_EQ(seq.size(), par.size());
+    for (const auto &app : apps) {
+        ASSERT_EQ(seq.at(app).size(), par.at(app).size()) << app;
+        for (std::size_t i = 0; i < seq.at(app).size(); ++i) {
+            expectRunsEqual(
+                seq.at(app)[i], par.at(app)[i],
+                app + " t" + std::to_string(seq.at(app)[i].threads));
+        }
+    }
+}
+
+TEST(ParallelEquivalence, CsvReportBytesIdentical)
+{
+    auto report = [](std::uint32_t jobs) {
+        auto cfg = cfgWith(25);
+        cfg.jobs = jobs;
+        core::ExperimentRunner runner(cfg);
+        core::SweepSet sweeps =
+            runner.sweepApps({"sunflow", "h2"}, {1, 2, 4});
+        std::ostringstream os;
+        core::writeScalabilityCsv(os, sweeps);
+        return os.str();
+    };
+    EXPECT_EQ(report(1), report(8));
+}
+
+TEST(ParallelEquivalence, ReplicationMatchesSequential)
+{
+    auto replicate = [](std::uint32_t jobs) {
+        auto cfg = cfgWith(27);
+        cfg.jobs = jobs;
+        core::ExperimentRunner runner(cfg);
+        return runner.runReplicated("lusearch", 4, 4);
+    };
+    const auto seq = replicate(1);
+    const auto par = replicate(8);
+    ASSERT_EQ(seq.size(), par.size());
+    // Replicas use distinct derived seeds, so they must differ from
+    // each other but match across jobs settings pairwise.
+    EXPECT_NE(seq[0].wall_time, seq[1].wall_time);
+    for (std::size_t i = 0; i < seq.size(); ++i)
+        expectRunsEqual(seq[i], par[i],
+                        "replica " + std::to_string(i));
+}
+
+TEST(ParallelEquivalence, JobsZeroUsesAllCoresAndStillMatches)
+{
+    auto sweep = [](std::uint32_t jobs) {
+        auto cfg = cfgWith(29);
+        cfg.jobs = jobs;
+        core::ExperimentRunner runner(cfg);
+        return runner.sweep("eclipse", {1, 4});
+    };
+    const auto seq = sweep(1);
+    const auto def = sweep(0); // hardware concurrency
+    ASSERT_EQ(seq.size(), def.size());
+    for (std::size_t i = 0; i < seq.size(); ++i)
+        expectRunsEqual(seq[i], def[i], "jobs0");
 }
 
 } // namespace

@@ -251,6 +251,157 @@ TEST_P(EventOrderProperty, MonotoneDispatch)
 INSTANTIATE_TEST_SUITE_P(Seeds, EventOrderProperty,
                          ::testing::Values(1, 2, 3, 42, 99, 12345));
 
+/** Self-deleting event that reports its destruction. */
+class TrackedLambdaEvent : public sim::LambdaEvent
+{
+  public:
+    TrackedLambdaEvent(int &deleted, std::function<void()> fn)
+        : LambdaEvent(std::move(fn), "tracked"), deleted_(deleted)
+    {}
+
+    ~TrackedLambdaEvent() override { ++deleted_; }
+
+  private:
+    int &deleted_;
+};
+
+TEST(EventQueue, DescheduleDeletesSelfDeletingEvent)
+{
+    // Regression: descheduling a pending self-deleting event is its
+    // last reachable moment — the queue must delete it there instead
+    // of leaking it.
+    Simulation sim;
+    int deleted = 0;
+    int fired = 0;
+    auto *ev = new TrackedLambdaEvent(deleted, [&fired] { ++fired; });
+    sim.schedule(ev, 10);
+    sim.queue().deschedule(ev);
+    EXPECT_EQ(deleted, 1);
+    sim.scheduleAfter(20, [] {}, "later");
+    sim.run();
+    EXPECT_EQ(fired, 0);
+    EXPECT_EQ(deleted, 1);
+}
+
+TEST(EventQueue, DescheduleOfUnscheduledSelfDeleterIsNoOp)
+{
+    // An idempotent second deschedule must not double-delete.
+    Simulation sim;
+    int deleted = 0;
+    auto *ev = new TrackedLambdaEvent(deleted, [] {});
+    sim.schedule(ev, 10);
+    sim.queue().deschedule(ev);
+    EXPECT_EQ(deleted, 1);
+    // ev is gone; a *different* unscheduled member event must survive
+    // repeated deschedules untouched.
+    std::vector<int> log;
+    LogEvent member(log, 1);
+    sim.queue().deschedule(&member);
+    sim.queue().deschedule(&member);
+    EXPECT_EQ(deleted, 1);
+}
+
+TEST(EventQueue, RescheduleNeverDeletes)
+{
+    // reschedule() moves a pending self-deleting event without the
+    // deschedule-time deletion: it is live again on exit.
+    Simulation sim;
+    int deleted = 0;
+    int fired = 0;
+    auto *ev = new TrackedLambdaEvent(deleted, [&fired] { ++fired; });
+    sim.schedule(ev, 100);
+    sim.queue().reschedule(ev, 5);
+    EXPECT_EQ(deleted, 0);
+    EXPECT_TRUE(ev->scheduled());
+    sim.run();
+    EXPECT_EQ(fired, 1);
+    EXPECT_EQ(deleted, 1); // deleted after firing, not before
+}
+
+TEST(EventQueue, ManyCancellationsInterleaved)
+{
+    // Stress the sorted cancellation vector: cancel a pseudo-random
+    // half of a large schedule and check exactly the survivors fire.
+    Simulation sim;
+    std::vector<int> log;
+    std::vector<std::unique_ptr<LogEvent>> events;
+    std::vector<int> expect;
+    Rng rng(99);
+    for (int i = 0; i < 500; ++i) {
+        events.push_back(std::make_unique<LogEvent>(log, i));
+        sim.schedule(events.back().get(), 1 + rng.below(50));
+    }
+    for (int i = 0; i < 500; ++i) {
+        if (rng.below(2) == 0)
+            sim.queue().deschedule(events[i].get());
+        else
+            expect.push_back(i);
+    }
+    sim.run();
+    EXPECT_EQ(log.size(), expect.size());
+    std::sort(log.begin(), log.end());
+    EXPECT_EQ(log, expect);
+    EXPECT_TRUE(sim.queue().empty());
+}
+
+TEST(CallbackEvent, ReusableAcrossFirings)
+{
+    Simulation sim;
+    int fired = 0;
+    sim::CallbackEvent ev([&fired] { ++fired; }, "reuse");
+    for (int i = 1; i <= 5; ++i) {
+        sim.schedule(&ev, sim.now() + 1);
+        sim.run();
+    }
+    EXPECT_EQ(fired, 5);
+}
+
+TEST(RecurringEvent, FiresPeriodicallyUntilStopped)
+{
+    Simulation sim;
+    std::vector<Ticks> fire_times;
+    sim::RecurringEvent tick(sim.queue(), 10,
+                             [&] { fire_times.push_back(sim.now()); },
+                             "tick");
+    tick.start(10);
+    sim.scheduleAfter(35, [&tick] { tick.stop(); }, "stopper");
+    sim.run();
+    EXPECT_EQ(fire_times, (std::vector<Ticks>{10, 20, 30}));
+    EXPECT_TRUE(sim.queue().empty());
+}
+
+TEST(RecurringEvent, DestructorDeschedules)
+{
+    Simulation sim;
+    int fired = 0;
+    {
+        sim::RecurringEvent tick(sim.queue(), 10, [&fired] { ++fired; },
+                                 "tick");
+        tick.start(10);
+    } // destroyed while scheduled
+    sim.scheduleAfter(100, [] {}, "later");
+    sim.run();
+    EXPECT_EQ(fired, 0);
+}
+
+TEST(RecurringEvent, CallbackMayStopItself)
+{
+    Simulation sim;
+    int fired = 0;
+    sim::RecurringEvent *self = nullptr;
+    sim::RecurringEvent tick(sim.queue(), 10,
+                             [&] {
+                                 if (++fired == 3)
+                                     self->stop();
+                             },
+                             "tick");
+    self = &tick;
+    tick.start(10);
+    sim.run();
+    EXPECT_EQ(fired, 3);
+    EXPECT_TRUE(sim.queue().empty());
+}
+
 TEST(EventQueue, TombstoneSafetyAfterOwnerGone)
 {
     // An owner that deschedules its event may be destroyed before the

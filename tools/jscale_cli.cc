@@ -63,6 +63,7 @@ struct CliOptions
     std::string timeline_path;
     std::string metrics_path;
     std::uint64_t metrics_interval_ms = 0;
+    std::uint32_t jobs = 0;
 };
 
 [[noreturn]] void
@@ -96,6 +97,9 @@ usage(int code)
         "  --concurrent        CMS-style concurrent old-gen collector\n"
         "  --scatter           spread enabled cores across sockets\n"
         "  --replicas <n>      repetitions with derived seeds (sweep)\n"
+        "  --jobs <n>          host worker threads for sweep/study\n"
+        "                      (0 = one per host core, 1 = sequential;\n"
+        "                      results are identical for any value)\n"
         "  --per-thread        per-thread breakdown (run command)\n"
         "  --gclog <path>      write a HotSpot-style GC log\n"
         "  --timeline <path>   write a Chrome-trace/Perfetto timeline\n"
@@ -175,6 +179,16 @@ parse(int argc, char **argv)
         } else if (arg == "--replicas") {
             o.replicas = static_cast<std::uint32_t>(
                 std::atoi(value()));
+        } else if (arg == "--jobs") {
+            // 0 legitimately means "one worker per host core", so a
+            // mistyped value must not alias to it via atoi.
+            const std::string v = value();
+            if (v.empty() ||
+                v.find_first_not_of("0123456789") != std::string::npos) {
+                std::cerr << "bad --jobs value '" << v << "'\n";
+                std::exit(2);
+            }
+            o.jobs = static_cast<std::uint32_t>(std::stoul(v));
         } else if (arg == "--per-thread") {
             o.per_thread = true;
         } else if (arg == "--gclog") {
@@ -222,6 +236,7 @@ experimentConfig(const CliOptions &o)
     cfg.timeline_path = o.timeline_path;
     cfg.metrics_path = o.metrics_path;
     cfg.metrics_interval = o.metrics_interval_ms * units::MS;
+    cfg.jobs = o.jobs;
     return cfg;
 }
 
@@ -371,12 +386,13 @@ int
 cmdStudy(const CliOptions &o)
 {
     core::ExperimentRunner runner(experimentConfig(o));
-    core::SweepSet sweeps;
     const auto threads = runner.paperThreadCounts();
-    for (const auto &app : workload::dacapoAppNames()) {
-        std::cerr << "sweeping " << app << "...\n";
-        sweeps[app] = runner.sweep(app, threads);
-    }
+    // One batch for the whole (app x threads) cross product, so --jobs
+    // parallelism spans apps instead of draining one sweep at a time.
+    core::SweepSet sweeps = runner.sweepApps(
+        workload::dacapoAppNames(), threads, [](const std::string &app) {
+            std::cerr << "sweeping " << app << "...\n";
+        });
     core::printScalabilityTable(std::cout, sweeps);
     std::cout << '\n';
     core::printWorkloadDistributionTable(std::cout, sweeps);
