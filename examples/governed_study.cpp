@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Concurrency-governor study: run sunflow (scalable) and h2
+ * (non-scalable, coarse database lock) at the machine's full thread
+ * count with the governor off, hill-climbing, and USL-guided, then
+ * print the governed-vs-ungoverned comparison and the recovered
+ * throughput at 48 threads.
+ *
+ * The point of the exercise: a non-scalable application keeps (most of)
+ * its best-case throughput even when handed every core, because the
+ * governor parks the surplus threads the paper shows are pure loss.
+ *
+ * Usage: governed_study [scale]
+ *   scale  work-volume multiplier (default 0.3; smaller = faster)
+ */
+
+#include <cstdlib>
+#include <iostream>
+#include <vector>
+
+#include "base/output.hh"
+#include "control/governor.hh"
+#include "core/experiment.hh"
+#include "core/report.hh"
+
+int
+main(int argc, char **argv)
+{
+    using namespace jscale;
+
+    double scale = 0.3;
+    if (argc > 1)
+        scale = std::atof(argv[1]);
+
+    const std::vector<std::string> apps = {"sunflow", "h2"};
+    const std::uint32_t full = 48;
+    const std::vector<std::uint32_t> threads = {full};
+
+    auto sweepWith = [&](control::GovernorMode mode) {
+        core::ExperimentConfig cfg;
+        cfg.workload_scale = scale;
+        cfg.governor.mode = mode;
+        core::ExperimentRunner runner(cfg);
+        return runner.sweepApps(apps, threads);
+    };
+
+    std::cerr << "running ungoverned baselines...\n";
+    const core::SweepSet off = sweepWith(control::GovernorMode::Off);
+    std::cerr << "running hill-climb governed...\n";
+    const core::SweepSet hill =
+        sweepWith(control::GovernorMode::HillClimb);
+    std::cerr << "running USL-guided governed...\n";
+    const core::SweepSet usl = sweepWith(control::GovernorMode::UslGuided);
+
+    std::cout << "Policy: hill climbing\n";
+    core::printGovernedComparisonTable(std::cout, off, hill);
+    std::cout << "\nPolicy: USL-guided\n";
+    core::printGovernedComparisonTable(std::cout, off, usl);
+
+    // Recovered throughput at the full thread count: how much of the
+    // ungoverned loss each policy claws back.
+    std::cout << "\nRecovered throughput at " << full << " threads:\n";
+    for (const auto &app : apps) {
+        const Ticks base = off.at(app).front().wall_time;
+        for (const auto &[name, set] :
+             {std::pair<const char *, const core::SweepSet &>{"hill",
+                                                              hill},
+              {"usl", usl}}) {
+            const jvm::RunResult &r = set.at(app).front();
+            const double delta = static_cast<double>(base) /
+                                     static_cast<double>(r.wall_time) -
+                                 1.0;
+            std::cout << "  " << app << " / " << name << ": "
+                      << formatTicks(r.wall_time) << " vs "
+                      << formatTicks(base) << " ungoverned ("
+                      << (delta >= 0 ? "+" : "")
+                      << formatPercent(delta) << ", final target "
+                      << r.governor.final_target << ", "
+                      << r.governor.parks << " parks)\n";
+        }
+    }
+    return 0;
+}

@@ -1,0 +1,109 @@
+#include "control/usl.hh"
+
+#include <cmath>
+
+namespace jscale::control {
+
+namespace {
+
+/** Coefficients this small are numerically indistinguishable from a
+ *  loss-free (Amdahl/linear) curve over any realistic thread count. */
+constexpr double kEps = 1e-12;
+
+} // namespace
+
+double
+UslModel::speedupAt(double n, double sigma, double kappa)
+{
+    const double denom = 1.0 + sigma * (n - 1.0) + kappa * n * (n - 1.0);
+    return denom > kEps ? n / denom : 0.0;
+}
+
+double
+UslFit::predict(double n) const
+{
+    return UslModel::speedupAt(n, sigma, kappa);
+}
+
+UslFit
+UslModel::fit(const std::vector<UslPoint> &pts)
+{
+    UslFit out;
+
+    // Linearized regressors: y = n/S - 1 against a = (n-1) and
+    // b = n*(n-1). The n = 1 point maps to a = b = y = 0 and cannot
+    // constrain the solve.
+    double saa = 0, sab = 0, sbb = 0, say = 0, sby = 0;
+    std::size_t informative = 0;
+    std::vector<UslPoint> used;
+    for (const UslPoint &p : pts) {
+        if (p.n < 1.0 || p.speedup <= 0.0)
+            continue;
+        used.push_back(p);
+        if (p.n <= 1.0)
+            continue;
+        const double a = p.n - 1.0;
+        const double b = p.n * (p.n - 1.0);
+        const double y = p.n / p.speedup - 1.0;
+        saa += a * a;
+        sab += a * b;
+        sbb += b * b;
+        say += a * y;
+        sby += b * y;
+        ++informative;
+    }
+    out.points = used.size();
+    if (informative < 2)
+        return out;
+
+    const double det = saa * sbb - sab * sab;
+    double sigma, kappa;
+    if (std::abs(det) > kEps * saa * sbb) {
+        sigma = (say * sbb - sby * sab) / det;
+        kappa = (saa * sby - sab * say) / det;
+    } else {
+        // Collinear regressors (e.g. only two distinct n): attribute
+        // everything to contention.
+        sigma = saa > kEps ? say / saa : 0.0;
+        kappa = 0.0;
+    }
+
+    // Clamp to the physical domain; when a clamp binds, refit the other
+    // coefficient alone so the constrained solution is still optimal.
+    if (kappa < 0.0) {
+        kappa = 0.0;
+        sigma = saa > kEps ? say / saa : 0.0;
+    } else if (sigma < 0.0) {
+        sigma = 0.0;
+        kappa = sbb > kEps ? sby / sbb : 0.0;
+    }
+    sigma = std::max(sigma, 0.0);
+    kappa = std::max(kappa, 0.0);
+
+    out.valid = true;
+    out.sigma = sigma;
+    out.kappa = kappa;
+
+    double max_n = 1.0;
+    for (const UslPoint &p : used)
+        max_n = std::max(max_n, p.n);
+    if (kappa > kEps) {
+        out.n_star =
+            sigma < 1.0 ? std::sqrt((1.0 - sigma) / kappa) : 1.0;
+        out.peak_speedup = out.predict(out.n_star);
+    } else {
+        out.n_star = 0.0; // no interior peak
+        out.peak_speedup = out.predict(max_n);
+    }
+
+    double sq = 0.0;
+    for (const UslPoint &p : used) {
+        const double d = out.predict(p.n) - p.speedup;
+        sq += d * d;
+    }
+    out.rms_residual =
+        std::sqrt(sq / static_cast<double>(used.size()));
+    return out;
+}
+
+} // namespace jscale::control

@@ -1,0 +1,83 @@
+/**
+ * @file
+ * UslModel: least-squares fitting of the Universal Scalability Law.
+ *
+ * Gunther's USL describes a speedup curve with two loss coefficients:
+ *
+ *   S(n) = n / (1 + sigma*(n - 1) + kappa*n*(n - 1))
+ *
+ * sigma is the contention (serialization) share and kappa the coherency
+ * (crosstalk) share. Unlike Amdahl's law the kappa term makes the curve
+ * *retrograde* past the optimum n* = sqrt((1 - sigma)/kappa) — exactly
+ * the knee-then-collapse shape the paper measures on the non-scalable
+ * DaCapo applications. Fitting the law to a sweep turns the observed
+ * knee into an analytical prediction the concurrency governor can act
+ * on.
+ *
+ * The fit linearizes the law: y = n/S - 1 = sigma*(n-1) + kappa*n*(n-1)
+ * is linear in (sigma, kappa), so ordinary least squares over the
+ * transformed points reduces to a closed-form 2x2 normal-equation
+ * solve. Coefficients are clamped to their physical range (>= 0, with
+ * single-parameter refits when a clamp binds).
+ */
+
+#ifndef JSCALE_CONTROL_USL_HH
+#define JSCALE_CONTROL_USL_HH
+
+#include <cstddef>
+#include <vector>
+
+namespace jscale::control {
+
+/** One measured sweep point: speedup at a thread count. */
+struct UslPoint
+{
+    double n = 1.0;       ///< thread count
+    double speedup = 1.0; ///< S(n) relative to n = 1
+};
+
+/** Result of fitting the USL to a sweep. */
+struct UslFit
+{
+    /** False when the sweep has too few usable points to solve. */
+    bool valid = false;
+    /** Contention (serialization) coefficient, clamped to [0, inf). */
+    double sigma = 0.0;
+    /** Coherency (crosstalk) coefficient, clamped to [0, inf). */
+    double kappa = 0.0;
+    /**
+     * Predicted optimal concurrency sqrt((1 - sigma)/kappa). Zero when
+     * kappa ~ 0 (no interior peak: the fitted curve rises, ever more
+     * slowly, at every finite n); 1 when sigma >= 1 (retrograde from
+     * the first added thread).
+     */
+    double n_star = 0.0;
+    /** Predicted S(n*) (or S at the largest fitted n when no peak). */
+    double peak_speedup = 0.0;
+    /** RMS of (predicted - observed) speedup over the fitted points. */
+    double rms_residual = 0.0;
+    /** Number of points the fit used. */
+    std::size_t points = 0;
+
+    /** Evaluate the fitted curve at @p n threads. */
+    double predict(double n) const;
+};
+
+/** Stateless fitting interface. */
+class UslModel
+{
+  public:
+    /** The law itself: S(n) for given coefficients. */
+    static double speedupAt(double n, double sigma, double kappa);
+
+    /**
+     * Least-squares fit over @p pts. Points with n < 1 or speedup <= 0
+     * are ignored; at least two distinct points with n > 1 are required
+     * (the n = 1 anchor carries no information in the linearized form).
+     */
+    static UslFit fit(const std::vector<UslPoint> &pts);
+};
+
+} // namespace jscale::control
+
+#endif // JSCALE_CONTROL_USL_HH

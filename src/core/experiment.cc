@@ -181,6 +181,15 @@ ExperimentRunner::executePlan(RunPlan &plan,
     vm_cfg.heap.capacity = plan.heap_capacity;
     jvm::JavaVm vm(sim, mach, sched, vm_cfg);
 
+    // Concurrency governor (admission control). Unlike the telemetry
+    // taps below it *does* steer the run — that is its job — but its
+    // decisions depend only on simulation state, never on host timing.
+    std::optional<control::ConcurrencyGovernor> governor;
+    if (config_.governor.mode != control::GovernorMode::Off) {
+        governor.emplace(sim, vm, config_.governor);
+        vm.setTaskAdmission(&*governor);
+    }
+
     // Telemetry taps: a timeline recorder on the probe chains and/or a
     // periodic metric sampler. Both are pure observers — attaching them
     // never changes the run's schedule or results.

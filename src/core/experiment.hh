@@ -23,6 +23,7 @@
 #include <vector>
 
 #include "base/units.hh"
+#include "control/governor.hh"
 #include "jvm/runtime/app.hh"
 #include "jvm/runtime/vm.hh"
 #include "machine/machine.hh"
@@ -54,6 +55,14 @@ struct ExperimentConfig
     bool biased_scheduling = false;
     std::uint32_t bias_groups = 4;
     Ticks bias_quantum = 2 * units::MS;
+
+    /**
+     * Concurrency governor (mode Off = classic ungoverned runs). Each
+     * run gets its own governor instance whose decisions derive from
+     * simulation state alone, so governed sweeps remain byte-identical
+     * at any jobs setting.
+     */
+    control::GovernorConfig governor;
 
     /**
      * Host worker threads for sweeps/replications (0 = one per host

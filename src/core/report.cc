@@ -1,6 +1,7 @@
 #include "core/report.hh"
 
 #include <algorithm>
+#include <cmath>
 
 #include "base/logging.hh"
 #include "base/output.hh"
@@ -417,6 +418,168 @@ printThreadTable(std::ostream &os, const jvm::RunResult &r)
     t.print(os);
 }
 
+namespace {
+
+/** Absolute-thread-count speedup points of one sweep. */
+std::vector<control::UslPoint>
+sweepUslPoints(const std::vector<jvm::RunResult> &sweep)
+{
+    std::vector<control::UslPoint> pts;
+    pts.reserve(sweep.size());
+    for (const auto &r : sweep) {
+        pts.push_back({static_cast<double>(r.threads),
+                       ScalabilityAnalyzer::speedup(sweep.front(), r)});
+    }
+    return pts;
+}
+
+/** Derived per-app row of the USL table. */
+struct UslRowData
+{
+    control::UslFit fit;
+    double max_n = 0.0;
+    double knee = 0.0; // thread count of the best observed speedup
+    double peak = 0.0; // best observed speedup
+    std::uint32_t rec = 0;
+    std::string cls;
+};
+
+UslRowData
+uslRowData(const std::vector<control::UslPoint> &pts)
+{
+    UslRowData d;
+    d.fit = control::UslModel::fit(pts);
+    for (const auto &p : pts) {
+        d.max_n = std::max(d.max_n, p.n);
+        if (p.speedup > d.peak) { // strict: earliest point wins ties
+            d.peak = p.speedup;
+            d.knee = p.n;
+        }
+    }
+    if (!d.fit.valid) {
+        d.cls = "unfit";
+        return d;
+    }
+    if (d.fit.n_star <= 0.0 || d.fit.n_star >= d.max_n) {
+        // No interior optimum within the measured range: the model says
+        // keep adding threads up to what was actually swept.
+        d.rec = static_cast<std::uint32_t>(std::lround(d.max_n));
+        d.cls = "beyond-sweep";
+    } else {
+        d.rec = static_cast<std::uint32_t>(
+            std::max<long>(1, std::lround(d.fit.n_star)));
+        d.cls = "in-sweep";
+    }
+    return d;
+}
+
+std::vector<UslSeries>
+sweepUslSeries(const SweepSet &sweeps)
+{
+    std::vector<UslSeries> series;
+    series.reserve(sweeps.size());
+    for (const auto &[app, sweep] : sweeps) {
+        jscale_assert(!sweep.empty(), "empty sweep for ", app);
+        series.push_back({app, sweepUslPoints(sweep)});
+    }
+    return series;
+}
+
+} // namespace
+
+void
+printUslSeriesTable(std::ostream &os, const std::vector<UslSeries> &series)
+{
+    os << "E17: USL fit per app: "
+          "S(n) = n / (1 + sigma*(n-1) + kappa*n*(n-1))\n";
+    TextTable t;
+    t.header({"app", "sigma", "kappa", "n*", "rec-threads", "peak-pred",
+              "knee-obs", "peak-obs", "rms", "knee-class"});
+    for (const auto &s : series) {
+        const UslRowData d = uslRowData(s.points);
+        if (!d.fit.valid) {
+            t.row({s.app, "-", "-", "-", "-", "-",
+                   formatFixed(d.knee, 0), formatFixed(d.peak, 2), "-",
+                   d.cls});
+            continue;
+        }
+        t.row({s.app, formatFixed(d.fit.sigma, 4),
+               formatFixed(d.fit.kappa, 6),
+               d.fit.n_star > 0.0 ? formatFixed(d.fit.n_star, 1) : "-",
+               std::to_string(d.rec), formatFixed(d.fit.peak_speedup, 2),
+               formatFixed(d.knee, 0), formatFixed(d.peak, 2),
+               formatFixed(d.fit.rms_residual, 3), d.cls});
+    }
+    t.print(os);
+}
+
+void
+printUslTable(std::ostream &os, const SweepSet &sweeps)
+{
+    printUslSeriesTable(os, sweepUslSeries(sweeps));
+}
+
+void
+writeUslCsv(std::ostream &os, const SweepSet &sweeps)
+{
+    CsvWriter csv(os);
+    csv.row({"app", "sigma", "kappa", "n_star", "recommended_threads",
+             "predicted_peak", "observed_knee", "observed_peak",
+             "rms_residual", "knee_class"});
+    for (const auto &s : sweepUslSeries(sweeps)) {
+        const UslRowData d = uslRowData(s.points);
+        if (!d.fit.valid) {
+            csv.row({s.app, "", "", "", "", "", formatFixed(d.knee, 0),
+                     formatFixed(d.peak, 4), "", d.cls});
+            continue;
+        }
+        csv.row({s.app, formatFixed(d.fit.sigma, 6),
+                 formatFixed(d.fit.kappa, 6),
+                 formatFixed(d.fit.n_star, 2), std::to_string(d.rec),
+                 formatFixed(d.fit.peak_speedup, 4),
+                 formatFixed(d.knee, 0), formatFixed(d.peak, 4),
+                 formatFixed(d.fit.rms_residual, 4), d.cls});
+    }
+}
+
+void
+printGovernedComparisonTable(std::ostream &os, const SweepSet &off,
+                             const SweepSet &on)
+{
+    os << "Governed vs. ungoverned wall time "
+          "(positive delta = governed faster)\n";
+    TextTable t;
+    t.header({"app", "threads", "wall-off", "wall-on", "delta", "policy",
+              "target", "parks"});
+    for (const auto &[app, sweep_on] : on) {
+        const auto it = off.find(app);
+        if (it == off.end())
+            continue;
+        for (const auto &r_on : sweep_on) {
+            const jvm::RunResult *r_off = nullptr;
+            for (const auto &r : it->second) {
+                if (r.threads == r_on.threads) {
+                    r_off = &r;
+                    break;
+                }
+            }
+            if (r_off == nullptr)
+                continue;
+            const double delta =
+                static_cast<double>(r_off->wall_time) /
+                    static_cast<double>(r_on.wall_time) -
+                1.0;
+            t.row({app, std::to_string(r_on.threads),
+                   formatTicks(r_off->wall_time),
+                   formatTicks(r_on.wall_time), formatPercent(delta),
+                   r_on.governor.policy,
+                   std::to_string(r_on.governor.final_target),
+                   std::to_string(r_on.governor.parks)});
+        }
+    }
+    t.print(os);
+}
+
 stats::StatSnapshot
 runStatSnapshot(const jvm::RunResult &r)
 {
@@ -484,10 +647,23 @@ runStatSnapshot(const jvm::RunResult &r)
     s.add("sched.migrations", r.sched.migrations);
     s.add("sched.steals", r.sched.steals);
     s.add("sched.preemptions", r.sched.preemptions);
+    s.add("sched.admission_parks", r.sched.admission_parks);
+    s.add("sched.admission_unparks", r.sched.admission_unparks);
     s.add("sched.busy_ticks", static_cast<double>(r.sched.busy_ticks),
           "ticks");
     s.add("sched.overhead_ticks",
           static_cast<double>(r.sched.overhead_ticks), "ticks");
+
+    s.add("gov.enabled", r.governor.enabled ? 1 : 0);
+    s.add("gov.final_target", r.governor.final_target);
+    s.add("gov.min_target", r.governor.min_target);
+    s.add("gov.max_target", r.governor.max_target);
+    s.add("gov.decisions", r.governor.decisions);
+    s.add("gov.parks", r.governor.parks);
+    s.add("gov.unparks", r.governor.unparks);
+    s.add("gov.usl_sigma", r.governor.usl_sigma);
+    s.add("gov.usl_kappa", r.governor.usl_kappa);
+    s.add("gov.usl_nstar", r.governor.usl_nstar);
 
     for (std::size_t i = 0; i < r.thread_summaries.size(); ++i) {
         const auto &ts = r.thread_summaries[i];
@@ -542,6 +718,16 @@ printRunSummary(std::ostream &os, const jvm::RunResult &r)
     t.row({"migrations", std::to_string(r.sched.migrations)});
     t.row({"preemptions", std::to_string(r.sched.preemptions)});
     t.row({"sched overhead", formatTicks(r.sched.overhead_ticks)});
+    if (r.governor.enabled) {
+        t.row({"governor policy", r.governor.policy});
+        t.row({"governor target",
+               std::to_string(r.governor.final_target) + " (seen " +
+                   std::to_string(r.governor.min_target) + "-" +
+                   std::to_string(r.governor.max_target) + ")"});
+        t.row({"admission parks",
+               std::to_string(r.governor.parks) + " / " +
+                   std::to_string(r.governor.unparks) + " unparks"});
+    }
     t.row({"sim events", std::to_string(r.sim_events)});
     t.print(os);
 }

@@ -14,6 +14,7 @@
 #include <string>
 #include <vector>
 
+#include "control/usl.hh"
 #include "jvm/runtime/vm.hh"
 #include "stats/stats.hh"
 
@@ -75,6 +76,38 @@ void writeGcSurvivalCsv(std::ostream &os, const SweepSet &sweeps);
  */
 void printSuspendWaitTable(std::ostream &os, const SweepSet &sweeps);
 void writeSuspendWaitCsv(std::ostream &os, const SweepSet &sweeps);
+
+/** One app's speedup curve as raw points (e.g. re-read from a CSV). */
+struct UslSeries
+{
+    std::string app;
+    std::vector<control::UslPoint> points;
+};
+
+/**
+ * E17 — USL model fit per app: the contention (sigma) and coherency
+ * (kappa) coefficients, the fitted optimum n*, the concrete thread
+ * recommendation (n* clamped to the sweep range), the predicted peak
+ * speedup, and the observed knee of the sweep for comparison. A fitted
+ * n* beyond the sweep's largest thread count means the knee was not
+ * reached within the measured range — the scalable classification in
+ * model form.
+ */
+void printUslTable(std::ostream &os, const SweepSet &sweeps);
+void writeUslCsv(std::ostream &os, const SweepSet &sweeps);
+
+/** Same table over raw speedup series (the `jscale usl` CSV path). */
+void printUslSeriesTable(std::ostream &os,
+                         const std::vector<UslSeries> &series);
+
+/**
+ * Governed-vs-ungoverned comparison: wall time and throughput delta per
+ * (app, threads) pair present in both sets, with the governor's final
+ * admission target. @p off must be ungoverned, @p on governed runs of
+ * the same configurations.
+ */
+void printGovernedComparisonTable(std::ostream &os, const SweepSet &off,
+                                  const SweepSet &on);
 
 /**
  * Flatten every deterministic counter of one run into a named stat

@@ -1,0 +1,87 @@
+/**
+ * @file
+ * TaskAdmission: the VM-side hook for concurrency restriction.
+ *
+ * A governor (control::ConcurrencyGovernor) implements this interface
+ * and registers itself on the JavaVm before run(). Mutator threads
+ * consult it at task-fetch boundaries — the only points where a thread
+ * holds no monitors and owns no half-executed task — and a refusal
+ * parks the thread (BurstOutcome::Blocked) until the governor wakes it
+ * through the scheduler's admission API. The interface lives in jvm so
+ * the runtime stays ignorant of any particular control policy.
+ */
+
+#ifndef JSCALE_JVM_RUNTIME_ADMISSION_HH
+#define JSCALE_JVM_RUNTIME_ADMISSION_HH
+
+#include <cstdint>
+#include <string>
+
+#include "base/units.hh"
+
+namespace jscale::jvm {
+
+class MutatorThread;
+
+/** What the governor did during one run (part of RunResult). */
+struct GovernorSummary
+{
+    bool enabled = false;
+    /** Policy name ("off", "hill", "usl"). */
+    std::string policy = "off";
+    /** Admission target when the run ended. */
+    std::uint32_t final_target = 0;
+    /** Extremes the target reached across the run. */
+    std::uint32_t min_target = 0;
+    std::uint32_t max_target = 0;
+    /** Periodic decision evaluations. */
+    std::uint64_t decisions = 0;
+    /** Threads parked at task-fetch boundaries / woken back up. */
+    std::uint64_t parks = 0;
+    std::uint64_t unparks = 0;
+    /** USL coefficients from the calibration prefix (usl policy). */
+    double usl_sigma = 0.0;
+    double usl_kappa = 0.0;
+    double usl_nstar = 0.0;
+};
+
+/**
+ * Admission-control callbacks, invoked synchronously from the
+ * simulation. Implementations must be deterministic functions of
+ * simulation state and seeded streams.
+ */
+class TaskAdmission
+{
+  public:
+    virtual ~TaskAdmission() = default;
+
+    /** The run is about to start @p n_threads mutators. */
+    virtual void onRunStart(std::uint32_t n_threads, Ticks now) = 0;
+
+    /**
+     * @p t is at a task-fetch boundary (holds no monitors). Return true
+     * to admit; false parks the thread until the governor unparks it.
+     */
+    virtual bool admitTask(MutatorThread &t, Ticks now) = 0;
+
+    /** @p t ran its End action and will never fetch again. */
+    virtual void onMutatorFinished(MutatorThread &t, Ticks now) = 0;
+
+    /** The run is over; stop periodic activity. */
+    virtual void onRunEnd(Ticks now) = 0;
+
+    /** Fill the run's governor summary. */
+    virtual void summarize(GovernorSummary &out) const = 0;
+
+    /** @name Gauges (read-only; polled by telemetry samplers) */
+    /** @{ */
+    /** Current admission target. */
+    virtual std::uint32_t admissionTarget() const = 0;
+    /** Mutators currently parked at task-fetch boundaries. */
+    virtual std::uint32_t parkedNow() const = 0;
+    /** @} */
+};
+
+} // namespace jscale::jvm
+
+#endif // JSCALE_JVM_RUNTIME_ADMISSION_HH

@@ -151,6 +151,21 @@ class RuntimeListener
     {
         (void)thread; (void)now;
     }
+
+    /**
+     * The concurrency governor re-evaluated its admission target.
+     * @p target admitted-thread goal, @p active currently admitted
+     * mutators, @p parked mutators held at task-fetch boundaries,
+     * @p tasks_delta tasks retired since the previous decision.
+     */
+    virtual void
+    onGovernorDecision(std::uint32_t target, std::uint32_t active,
+                       std::uint32_t parked, std::uint64_t tasks_delta,
+                       Ticks now)
+    {
+        (void)target; (void)active; (void)parked; (void)tasks_delta;
+        (void)now;
+    }
 };
 
 /** Fan-out helper: a registration list shared by all runtime components. */

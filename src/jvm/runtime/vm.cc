@@ -398,6 +398,10 @@ JavaVm::onMutatorFinished(MutatorThread *t, Ticks now)
     listeners_.dispatch(
         [&](RuntimeListener &l) { l.onThreadFinish(t->index(), now); });
     ++mutators_finished_;
+    // A departing mutator frees an admission slot; let the governor
+    // backfill it immediately rather than at its next decision tick.
+    if (admission_ != nullptr)
+        admission_->onMutatorFinished(*t, now);
     if (mutators_finished_ == n_threads_) {
         run_end_time_ = now;
         sim_.requestStop();
@@ -492,6 +496,8 @@ JavaVm::run(ApplicationModel &app, std::uint32_t n_threads)
     }
 
     const Ticks start = sim_.now();
+    if (admission_ != nullptr)
+        admission_->onRunStart(n_threads, start);
     for (std::uint32_t i = 0; i < n_threads; ++i) {
         listeners_.dispatch(
             [&](RuntimeListener &l) { l.onThreadStart(i, start); });
@@ -514,6 +520,8 @@ JavaVm::run(ApplicationModel &app, std::uint32_t n_threads)
 
     // Remaining (pinned) data dies at VM shutdown.
     heap_->killAllRemaining(run_end_time_);
+    if (admission_ != nullptr)
+        admission_->onRunEnd(run_end_time_);
 
     RunResult r;
     r.app_name = app.appName();
@@ -537,6 +545,8 @@ JavaVm::run(ApplicationModel &app, std::uint32_t n_threads)
     r.locks.waits = agg.waits;
     r.locks.notifies = agg.notifies;
     r.total_tasks = total_tasks_;
+    if (admission_ != nullptr)
+        admission_->summarize(r.governor);
     r.sched = sched_.schedStats();
     r.sim_events = sim_.eventsProcessed();
 

@@ -26,6 +26,7 @@
 #include "jvm/gc/gc_types.hh"
 #include "jvm/heap/heap.hh"
 #include "jvm/locks/monitor.hh"
+#include "jvm/runtime/admission.hh"
 #include "jvm/runtime/app.hh"
 #include "jvm/runtime/listener.hh"
 #include "jvm/runtime/vm_config.hh"
@@ -131,6 +132,7 @@ struct RunResult
     LockTotals locks;
     std::vector<ThreadSummary> thread_summaries;
     os::SchedulerStats sched;
+    GovernorSummary governor;
     std::uint64_t total_tasks = 0;
     std::uint64_t sim_events = 0;
 
@@ -162,6 +164,12 @@ class JavaVm
     /** Probe chain; subscribe tools before run(). */
     ListenerChain &listeners() { return listeners_; }
 
+    /** Install an admission controller (not owned); before run(). */
+    void setTaskAdmission(TaskAdmission *a) { admission_ = a; }
+
+    /** The installed admission controller, or nullptr. */
+    TaskAdmission *taskAdmission() const { return admission_; }
+
     /**
      * Execute @p app with @p n_threads application threads on the
      * machine's enabled cores. Runs the simulation to completion.
@@ -188,6 +196,27 @@ class JavaVm
 
     /** A mutator completed one application task. */
     void onTaskCompleted(MutatorIndex idx);
+
+    /**
+     * Admission check at a task-fetch boundary. True admits; false
+     * means the governor parked @p t (the caller returns Blocked).
+     */
+    bool
+    admitTask(MutatorThread *t, Ticks now)
+    {
+        if (admission_ == nullptr) [[likely]]
+            return true;
+        return admission_->admitTask(*t, now);
+    }
+    /** @} */
+
+    /** @name Live gauges the governor samples each interval */
+    /** @{ */
+    /** Tasks retired so far across all mutators. */
+    std::uint64_t tasksCompleted() const { return total_tasks_; }
+
+    /** Total stop-the-world pause accumulated so far. */
+    Ticks gcPauseSoFar() const { return gc_stats_.total_pause; }
     /** @} */
 
     /** Number of GC worker threads used by the cost model. */
@@ -221,6 +250,7 @@ class JavaVm
     os::Scheduler &sched_;
     VmConfig config_;
     ListenerChain listeners_;
+    TaskAdmission *admission_ = nullptr;
 
     std::unique_ptr<Heap> heap_;
     std::unique_ptr<GcCostModel> cost_model_;

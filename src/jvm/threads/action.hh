@@ -43,6 +43,12 @@ struct Action
         ChannelAcquire,
         /** Add `count` permits to channel `id`. */
         ChannelPost,
+        /**
+         * About to fetch work from a shared pool. The VM's admission
+         * controller (concurrency governor) may park the thread here;
+         * without one this is a one-tick no-op.
+         */
+        TaskFetch,
         /** Mark one application task as completed (bookkeeping). */
         TaskDone,
         /** Thread is finished; no further actions will be requested. */
@@ -144,6 +150,14 @@ struct Action
         a.kind = Kind::ChannelPost;
         a.id = id;
         a.count = count;
+        return a;
+    }
+
+    static Action
+    taskFetch()
+    {
+        Action a;
+        a.kind = Kind::TaskFetch;
         return a;
     }
 

@@ -54,6 +54,9 @@ MutatorThread::actionCost(const Action &a) const
       case Action::Kind::ChannelPost:
         cost = c.channel_op;
         break;
+      case Action::Kind::TaskFetch:
+        cost = 1;
+        break;
       case Action::Kind::TaskDone:
         cost = c.task_done;
         break;
@@ -179,10 +182,18 @@ MutatorThread::finishBurst(Ticks now, Ticks elapsed)
         consumeAction();
         return os::BurstOutcome::Ready;
 
+      case Action::Kind::TaskFetch:
+        consumeAction();
+        if (held_monitors_ == 0 && !vm_.admitTask(this, now))
+            return os::BurstOutcome::Blocked; // admission-parked
+        return os::BurstOutcome::Ready;
+
       case Action::Kind::TaskDone:
         ++stats_.tasks_completed;
         vm_.onTaskCompleted(index_);
         consumeAction();
+        if (held_monitors_ == 0 && !vm_.admitTask(this, now))
+            return os::BurstOutcome::Blocked; // admission-parked
         return os::BurstOutcome::Ready;
 
       case Action::Kind::End:

@@ -222,6 +222,23 @@ Scheduler::wakeAt(OsThread *thread, Ticks when)
 }
 
 void
+Scheduler::noteAdmissionPark(OsThread *thread)
+{
+    jscale_assert(thread->kind() == ThreadKind::Mutator,
+                  "admission control parks mutators only");
+    ++stats_.admission_parks;
+}
+
+void
+Scheduler::unparkAdmitted(OsThread *thread)
+{
+    jscale_assert(stats_.admission_unparks < stats_.admission_parks,
+                  "unpark without a matching admission park");
+    ++stats_.admission_unparks;
+    wake(thread);
+}
+
+void
 Scheduler::timedWakeFired(TimedWakeEvent *ev)
 {
     OsThread *thread = ev->thread();

@@ -49,6 +49,9 @@ struct SchedulerStats
     std::uint64_t migrations = 0;
     std::uint64_t steals = 0;
     std::uint64_t preemptions = 0;
+    /** Admission-control decisions (concurrency governor). */
+    std::uint64_t admission_parks = 0;
+    std::uint64_t admission_unparks = 0;
     Ticks busy_ticks = 0;
     Ticks overhead_ticks = 0;
 };
@@ -93,6 +96,17 @@ class Scheduler
      * return BurstOutcome::Blocked from the burst that called this.
      */
     void wakeAt(OsThread *thread, Ticks when);
+
+    /** @name Admission control (concurrency governor)
+     * A governor parks mutators at task-fetch boundaries: the client
+     * calls noteAdmissionPark() and returns BurstOutcome::Blocked from
+     * the same burst, and the thread stays Blocked until
+     * unparkAdmitted() re-queues it. Parks and unparks are counted in
+     * SchedulerStats so runs expose their admission activity. */
+    /** @{ */
+    void noteAdmissionPark(OsThread *thread);
+    void unparkAdmitted(OsThread *thread);
+    /** @} */
 
     /**
      * Park every thread (used by the JVM safepoint). Running threads are

@@ -274,6 +274,20 @@ TelemetryRecorder::onConcurrentMarkEnd(std::uint64_t cycle, bool aborted,
 }
 
 void
+TelemetryRecorder::onGovernorDecision(std::uint32_t target,
+                                      std::uint32_t active,
+                                      std::uint32_t parked,
+                                      std::uint64_t tasks_delta, Ticks now)
+{
+    timeline_.counter(
+        kVmPid, "governor", now,
+        {targ("target", static_cast<std::uint64_t>(target)),
+         targ("active", static_cast<std::uint64_t>(active)),
+         targ("parked", static_cast<std::uint64_t>(parked)),
+         targ("tasks", tasks_delta)});
+}
+
+void
 TelemetryRecorder::finish(Ticks end)
 {
     if (finished_)

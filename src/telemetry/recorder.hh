@@ -112,6 +112,9 @@ class TelemetryRecorder : public jvm::RuntimeListener,
     void onConcurrentMarkBegin(std::uint64_t cycle, Ticks now) override;
     void onConcurrentMarkEnd(std::uint64_t cycle, bool aborted,
                              Ticks now) override;
+    void onGovernorDecision(std::uint32_t target, std::uint32_t active,
+                            std::uint32_t parked,
+                            std::uint64_t tasks_delta, Ticks now) override;
     /** @} */
 
   private:

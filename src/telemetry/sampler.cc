@@ -37,6 +37,10 @@ MetricSampler::tick()
     s.run_queue = vm_.scheduler().totalReadyQueued();
     s.running = vm_.scheduler().runningCount();
     s.lock_blocked = vm_.monitors().totalQueuedWaiters();
+    if (const jvm::TaskAdmission *adm = vm_.taskAdmission()) {
+        s.gov_target = adm->admissionTarget();
+        s.gov_parked = adm->parkedNow();
+    }
     samples_.push_back(s);
 
     summary_.eden_used.add(static_cast<double>(s.eden_used));
@@ -45,6 +49,7 @@ MetricSampler::tick()
     summary_.run_queue.add(static_cast<double>(s.run_queue));
     summary_.running.add(static_cast<double>(s.running));
     summary_.lock_blocked.add(static_cast<double>(s.lock_blocked));
+    summary_.gov_parked.add(static_cast<double>(s.gov_parked));
 
     if (timeline_ != nullptr) {
         timeline_->counter(kVmPid, "heap", now,
@@ -57,6 +62,15 @@ MetricSampler::tick()
                             targ("running", s.running)});
         timeline_->counter(kVmPid, "locks", now,
                            {targ("blocked_now", s.lock_blocked)});
+        // The "governor" counter track belongs to the recorder (one
+        // point per decision); the sampler mirrors its own polled view
+        // on a separate track, and only when a governor is installed so
+        // ungoverned timelines keep their track set.
+        if (vm_.taskAdmission() != nullptr) {
+            timeline_->counter(kVmPid, "admission", now,
+                               {targ("target", s.gov_target),
+                                targ("parked", s.gov_parked)});
+        }
     }
     // The RecurringEvent rearms itself after this callback returns.
 }
@@ -65,7 +79,7 @@ const char *
 MetricSampler::csvHeader()
 {
     return "time_ns,eden_used,survivor_used,old_used,live_bytes,"
-           "run_queue,running,lock_blocked";
+           "run_queue,running,lock_blocked,gov_target,gov_parked";
 }
 
 void
@@ -75,7 +89,8 @@ MetricSampler::writeCsv(std::ostream &os) const
     for (const MetricSample &s : samples_) {
         os << s.at << "," << s.eden_used << "," << s.survivor_used << ","
            << s.old_used << "," << s.live_bytes << "," << s.run_queue
-           << "," << s.running << "," << s.lock_blocked << "\n";
+           << "," << s.running << "," << s.lock_blocked << ","
+           << s.gov_target << "," << s.gov_parked << "\n";
     }
 }
 

@@ -51,6 +51,10 @@ struct MetricSample
     std::uint64_t running = 0;
     /** Threads blocked on monitor acquire queues. */
     std::uint64_t lock_blocked = 0;
+    /** Governor admission target (0 when no governor is installed). */
+    std::uint64_t gov_target = 0;
+    /** Mutators admission-parked right now. */
+    std::uint64_t gov_parked = 0;
 };
 
 /** Per-column summary statistics over all samples. */
@@ -62,6 +66,7 @@ struct MetricSummary
     stats::SampleStats run_queue;
     stats::SampleStats running;
     stats::SampleStats lock_blocked;
+    stats::SampleStats gov_parked;
 };
 
 /**

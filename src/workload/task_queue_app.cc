@@ -66,8 +66,12 @@ class TaskQueueApp::WorkerSource : public BufferedSource
     emitChunk(std::vector<jvm::Action> &out)
     {
         // Fetch a chunk from the shared queue (always pays the queue
-        // round-trip, including the final empty check).
+        // round-trip, including the final empty check). The fetch
+        // marker ahead of the queue lock is the governor's admission
+        // point: a parked thread stops *before* contending for the
+        // queue, not while holding it.
         const std::uint64_t n = state_->pool.claim(state_->chunk_size);
+        out.push_back(jvm::Action::taskFetch());
         out.push_back(jvm::Action::monitorEnter(state_->queue_lock));
         out.push_back(jvm::Action::compute(
             std::max<Ticks>(params_.queue_cs, 1)));

@@ -1,0 +1,172 @@
+/**
+ * @file
+ * UslModel unit tests: synthetic round-trips, degenerate sweeps and the
+ * knee predictions the concurrency governor acts on.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "control/usl.hh"
+
+namespace {
+
+using namespace jscale;
+using control::UslFit;
+using control::UslModel;
+using control::UslPoint;
+
+/** Exact USL curve samples for known coefficients. */
+std::vector<UslPoint>
+synthetic(double sigma, double kappa,
+          const std::vector<double> &ns = {1, 2, 4, 8, 16, 32, 64})
+{
+    std::vector<UslPoint> pts;
+    for (const double n : ns)
+        pts.push_back({n, UslModel::speedupAt(n, sigma, kappa)});
+    return pts;
+}
+
+TEST(UslModel, RecoversCoefficientsFromExactCurve)
+{
+    const double sigma = 0.08;
+    const double kappa = 0.0008;
+    const UslFit fit = UslModel::fit(synthetic(sigma, kappa));
+    ASSERT_TRUE(fit.valid);
+    EXPECT_NEAR(fit.sigma, sigma, 1e-9);
+    EXPECT_NEAR(fit.kappa, kappa, 1e-9);
+    // n* = sqrt((1 - sigma)/kappa) = sqrt(0.92/0.0008) = 33.91...
+    EXPECT_NEAR(fit.n_star, std::sqrt((1.0 - sigma) / kappa), 1e-6);
+    EXPECT_NEAR(fit.rms_residual, 0.0, 1e-9);
+    EXPECT_EQ(fit.points, 7u);
+}
+
+TEST(UslModel, PredictMatchesTheLaw)
+{
+    const UslFit fit = UslModel::fit(synthetic(0.05, 0.002));
+    ASSERT_TRUE(fit.valid);
+    EXPECT_NEAR(fit.predict(1.0), 1.0, 1e-12);
+    for (const double n : {2.0, 7.0, 21.0}) {
+        EXPECT_NEAR(fit.predict(n),
+                    UslModel::speedupAt(n, fit.sigma, fit.kappa), 1e-12);
+    }
+    // The peak prediction is the curve's value at n*.
+    EXPECT_NEAR(fit.peak_speedup, fit.predict(fit.n_star), 1e-12);
+    // And n* is a genuine local maximum of the fitted curve.
+    EXPECT_GE(fit.peak_speedup, fit.predict(fit.n_star * 0.8));
+    EXPECT_GE(fit.peak_speedup, fit.predict(fit.n_star * 1.2));
+}
+
+TEST(UslModel, LinearSweepHasNoFiniteKnee)
+{
+    // Perfect scaling: S(n) = n. Both losses fit to ~0 and there is no
+    // interior optimum — n_star = 0 encodes "the more the better".
+    std::vector<UslPoint> pts;
+    for (const double n : {1.0, 2.0, 4.0, 8.0, 16.0, 48.0})
+        pts.push_back({n, n});
+    const UslFit fit = UslModel::fit(pts);
+    ASSERT_TRUE(fit.valid);
+    EXPECT_NEAR(fit.sigma, 0.0, 1e-9);
+    EXPECT_NEAR(fit.kappa, 0.0, 1e-9);
+    EXPECT_DOUBLE_EQ(fit.n_star, 0.0);
+    // With no peak, the reported maximum is the curve at the largest
+    // fitted point.
+    EXPECT_NEAR(fit.peak_speedup, 48.0, 1e-6);
+}
+
+TEST(UslModel, AmdahlSweepHasNoFiniteKnee)
+{
+    // Pure contention (kappa = 0): monotone saturation, still no knee.
+    const UslFit fit = UslModel::fit(synthetic(0.2, 0.0));
+    ASSERT_TRUE(fit.valid);
+    EXPECT_NEAR(fit.sigma, 0.2, 1e-9);
+    EXPECT_NEAR(fit.kappa, 0.0, 1e-9);
+    EXPECT_DOUBLE_EQ(fit.n_star, 0.0);
+}
+
+TEST(UslModel, RetrogradeFromTheStartClampsToOne)
+{
+    // sigma > 1 with crosstalk: adding any thread loses throughput, so
+    // the optimum is a single thread.
+    const UslFit fit = UslModel::fit(synthetic(1.3, 0.01));
+    ASSERT_TRUE(fit.valid);
+    EXPECT_GT(fit.sigma, 1.0);
+    EXPECT_DOUBLE_EQ(fit.n_star, 1.0);
+}
+
+TEST(UslModel, RetrogradeSweepPutsKneeInsideTheRange)
+{
+    // The paper's non-scalable shape: a knee at ~6 threads, collapse
+    // after. The fit must place n* inside the sweep.
+    const double sigma = 0.1;
+    const double kappa = 0.025; // n* = sqrt(0.9/0.025) = 6.0
+    const UslFit fit = UslModel::fit(synthetic(sigma, kappa));
+    ASSERT_TRUE(fit.valid);
+    EXPECT_NEAR(fit.n_star, 6.0, 1e-6);
+    // Observed: the best synthetic point is at n = 4 or 8; n* between.
+    EXPECT_GT(fit.n_star, 4.0);
+    EXPECT_LT(fit.n_star, 8.0);
+}
+
+TEST(UslModel, NegativeKappaClampsAndRefits)
+{
+    // Superlinear tail (speedup above linear at large n) drives the
+    // unconstrained kappa negative; the clamp must keep it at 0 and
+    // refit sigma alone rather than report a nonsense knee.
+    std::vector<UslPoint> pts = {
+        {1, 1.0}, {2, 1.9}, {4, 3.9}, {8, 8.2}, {16, 17.0}};
+    const UslFit fit = UslModel::fit(pts);
+    ASSERT_TRUE(fit.valid);
+    EXPECT_GE(fit.kappa, 0.0);
+    EXPECT_GE(fit.sigma, 0.0);
+    EXPECT_DOUBLE_EQ(fit.n_star, 0.0);
+}
+
+TEST(UslModel, TooFewInformativePointsIsInvalid)
+{
+    EXPECT_FALSE(UslModel::fit({}).valid);
+    EXPECT_FALSE(UslModel::fit({{1, 1.0}}).valid);
+    // n = 1 anchors carry no information in the linearized form.
+    EXPECT_FALSE(UslModel::fit({{1, 1.0}, {1, 1.0}, {2, 1.7}}).valid);
+    // Two informative points are the minimum.
+    EXPECT_TRUE(UslModel::fit({{2, 1.7}, {4, 2.9}}).valid);
+}
+
+TEST(UslModel, IgnoresUnusablePoints)
+{
+    // Zero/negative speedups and sub-one thread counts are dropped, not
+    // propagated into the solve.
+    const UslFit clean = UslModel::fit(synthetic(0.1, 0.001));
+    auto noisy = synthetic(0.1, 0.001);
+    noisy.push_back({0.5, 2.0});
+    noisy.push_back({8, 0.0});
+    noisy.push_back({16, -3.0});
+    const UslFit fit = UslModel::fit(noisy);
+    ASSERT_TRUE(fit.valid);
+    EXPECT_NEAR(fit.sigma, clean.sigma, 1e-9);
+    EXPECT_NEAR(fit.kappa, clean.kappa, 1e-9);
+}
+
+TEST(UslModel, NoisyMeasurementsStillLandNearTruth)
+{
+    // Deterministic +/-3% ripple on an n* = 24 curve: the fitted knee
+    // must stay within a few threads of the truth.
+    const double sigma = 0.02;
+    const double kappa = 0.0017; // n* = sqrt(0.98/0.0017) = 24.01
+    std::vector<UslPoint> pts;
+    int flip = 1;
+    for (const double n : {1.0, 2.0, 4.0, 8.0, 12.0, 16.0, 24.0, 32.0,
+                           48.0}) {
+        const double wobble = 1.0 + 0.03 * flip;
+        flip = -flip;
+        pts.push_back({n, UslModel::speedupAt(n, sigma, kappa) * wobble});
+    }
+    const UslFit fit = UslModel::fit(pts);
+    ASSERT_TRUE(fit.valid);
+    EXPECT_NEAR(fit.n_star, 24.0, 5.0);
+    EXPECT_GT(fit.rms_residual, 0.0);
+}
+
+} // namespace

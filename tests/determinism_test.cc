@@ -215,6 +215,52 @@ TEST(ParallelEquivalence, ReplicationMatchesSequential)
                         "replica " + std::to_string(i));
 }
 
+TEST(ParallelEquivalence, GovernedSweepMatchesSequential)
+{
+    // The governor steers each run, so this is the stronger form of the
+    // --jobs contract: admission decisions (and thus parks, targets and
+    // wall times) must be byte-identical at any parallelism.
+    const std::vector<std::uint32_t> threads = {2, 4, 8};
+    auto sweep = [&threads](std::uint32_t jobs) {
+        auto cfg = cfgWith(31);
+        cfg.jobs = jobs;
+        cfg.governor.mode = control::GovernorMode::HillClimb;
+        cfg.governor.interval = 1 * units::MS;
+        core::ExperimentRunner runner(cfg);
+        return runner.sweep("h2", threads);
+    };
+    const auto seq = sweep(1);
+    const auto par = sweep(8);
+    ASSERT_EQ(seq.size(), par.size());
+    for (std::size_t i = 0; i < seq.size(); ++i) {
+        EXPECT_EQ(seq[i].governor.enabled, par[i].governor.enabled);
+        expectRunsEqual(seq[i], par[i],
+                        "governed h2 t" +
+                            std::to_string(seq[i].threads));
+    }
+}
+
+TEST(ParallelEquivalence, GovernedCsvReportBytesIdentical)
+{
+    auto report = [](control::GovernorMode mode, std::uint32_t jobs) {
+        auto cfg = cfgWith(33);
+        cfg.jobs = jobs;
+        cfg.governor.mode = mode;
+        cfg.governor.interval = 1 * units::MS;
+        core::ExperimentRunner runner(cfg);
+        core::SweepSet sweeps =
+            runner.sweepApps({"jython", "h2"}, {2, 4});
+        std::ostringstream os;
+        core::writeScalabilityCsv(os, sweeps);
+        core::writeUslCsv(os, sweeps);
+        return os.str();
+    };
+    EXPECT_EQ(report(control::GovernorMode::HillClimb, 1),
+              report(control::GovernorMode::HillClimb, 8));
+    EXPECT_EQ(report(control::GovernorMode::UslGuided, 1),
+              report(control::GovernorMode::UslGuided, 8));
+}
+
 TEST(ParallelEquivalence, JobsZeroUsesAllCoresAndStillMatches)
 {
     auto sweep = [](std::uint32_t jobs) {

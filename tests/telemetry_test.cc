@@ -341,7 +341,7 @@ TEST(Sampler, CsvHasHeaderAndOneLinePerSample)
     std::size_t rows = 0;
     while (std::getline(is, line)) {
         ++rows;
-        EXPECT_EQ(std::count(line.begin(), line.end(), ','), 7)
+        EXPECT_EQ(std::count(line.begin(), line.end(), ','), 9)
             << line;
     }
     EXPECT_EQ(rows, sampler.samples().size());

@@ -9,12 +9,14 @@
  *   study    the complete six-app study (all paper tables)
  *   lifespan lifespan CDF across thread counts (Fig. 1c/1d)
  *   locks    per-monitor DTrace-style lock profile
+ *   usl      fit the USL model to an existing sweep CSV
  *
  * Common flags: --app <name> --threads <list> --scale <f> --seed <n>
  *               --heap-factor <f> --compartments --biased [--groups g]
- *               --adaptive --gclog <path> --csv
+ *               --adaptive --governor <policy> --gclog <path> --csv
  */
 
+#include <algorithm>
 #include <cstdint>
 #include <cstdlib>
 #include <cstring>
@@ -26,6 +28,7 @@
 #include <vector>
 
 #include "base/output.hh"
+#include "control/governor.hh"
 #include "core/analyze.hh"
 #include "core/experiment.hh"
 #include "core/plots.hh"
@@ -64,6 +67,8 @@ struct CliOptions
     std::string metrics_path;
     std::uint64_t metrics_interval_ms = 0;
     std::uint32_t jobs = 0;
+    control::GovernorMode governor = control::GovernorMode::Off;
+    std::uint64_t governor_interval_ms = 5;
 };
 
 [[noreturn]] void
@@ -82,6 +87,8 @@ usage(int code)
         "  trace     record a binary object trace (Elephant-Tracks "
         "style)\n"
         "  analyze   lifespan/site analysis of a recorded trace file\n"
+        "  usl       fit the USL model to a sweep CSV (--in) without\n"
+        "            re-running any simulation\n"
         "\n"
         "flags:\n"
         "  --app <name>        application (default xalan); see 'apps'\n"
@@ -100,6 +107,11 @@ usage(int code)
         "  --jobs <n>          host worker threads for sweep/study\n"
         "                      (0 = one per host core, 1 = sequential;\n"
         "                      results are identical for any value)\n"
+        "  --governor <p>      concurrency governor policy: off, hill\n"
+        "                      (throughput hill climbing) or usl\n"
+        "                      (calibrate, fit, clamp to n*)\n"
+        "  --governor-interval-ms <n>  governor decision interval\n"
+        "                      (default 5)\n"
         "  --per-thread        per-thread breakdown (run command)\n"
         "  --gclog <path>      write a HotSpot-style GC log\n"
         "  --timeline <path>   write a Chrome-trace/Perfetto timeline\n"
@@ -189,6 +201,27 @@ parse(int argc, char **argv)
                 std::exit(2);
             }
             o.jobs = static_cast<std::uint32_t>(std::stoul(v));
+        } else if (arg == "--governor") {
+            const std::string v = value();
+            if (!control::parseGovernorMode(v, o.governor)) {
+                std::cerr << "bad --governor policy '" << v
+                          << "' (expect off, hill or usl)\n";
+                std::exit(2);
+            }
+        } else if (arg == "--governor-interval-ms") {
+            // Strict digits: "5x" or "" must not alias to a number.
+            const std::string v = value();
+            if (v.empty() ||
+                v.find_first_not_of("0123456789") != std::string::npos) {
+                std::cerr << "bad --governor-interval-ms value '" << v
+                          << "'\n";
+                std::exit(2);
+            }
+            o.governor_interval_ms = std::stoull(v);
+            if (o.governor_interval_ms == 0) {
+                std::cerr << "--governor-interval-ms must be positive\n";
+                std::exit(2);
+            }
         } else if (arg == "--per-thread") {
             o.per_thread = true;
         } else if (arg == "--gclog") {
@@ -237,6 +270,8 @@ experimentConfig(const CliOptions &o)
     cfg.metrics_path = o.metrics_path;
     cfg.metrics_interval = o.metrics_interval_ms * units::MS;
     cfg.jobs = o.jobs;
+    cfg.governor.mode = o.governor;
+    cfg.governor.interval = o.governor_interval_ms * units::MS;
     return cfg;
 }
 
@@ -402,9 +437,13 @@ cmdStudy(const CliOptions &o)
     core::printLockContentionTable(std::cout, sweeps);
     std::cout << '\n';
     core::printMutatorGcTable(std::cout, sweeps);
+    std::cout << '\n';
+    core::printUslTable(std::cout, sweeps);
     if (o.csv) {
         std::cout << "\n";
         core::writeScalabilityCsv(std::cout, sweeps);
+        std::cout << "\n";
+        core::writeUslCsv(std::cout, sweeps);
     }
     if (!o.plots_dir.empty()) {
         const auto files = core::writeAllFigures(o.plots_dir, sweeps);
@@ -506,6 +545,114 @@ cmdAnalyze(const CliOptions &o)
     return 0;
 }
 
+/** Split one CSV line on commas (no quoting in our CSVs). */
+std::vector<std::string>
+splitCsvLine(const std::string &line)
+{
+    std::vector<std::string> fields;
+    std::stringstream ss(line);
+    std::string item;
+    while (std::getline(ss, item, ','))
+        fields.push_back(item);
+    return fields;
+}
+
+/** Parse a strictly-numeric field; exit(2) with context on garbage. */
+double
+parseCsvNumber(const std::string &field, const char *what,
+               std::size_t line_no)
+{
+    const char *begin = field.c_str();
+    char *end = nullptr;
+    const double v = std::strtod(begin, &end);
+    if (field.empty() || end != begin + field.size()) {
+        std::cerr << "bad " << what << " '" << field << "' on line "
+                  << line_no << "\n";
+        std::exit(2);
+    }
+    return v;
+}
+
+int
+cmdUsl(const CliOptions &o)
+{
+    if (o.trace_in.empty()) {
+        std::cerr << "usl requires --in <scalability-csv>\n";
+        return 2;
+    }
+    std::ifstream in(o.trace_in);
+    if (!in) {
+        std::cerr << "cannot open '" << o.trace_in << "'\n";
+        return 2;
+    }
+
+    // Locate the needed columns by name, so both writeScalabilityCsv
+    // output and hand-made measurement files fit.
+    std::string line;
+    if (!std::getline(in, line)) {
+        std::cerr << "'" << o.trace_in << "' is empty\n";
+        return 2;
+    }
+    const auto header = splitCsvLine(line);
+    constexpr std::size_t npos = static_cast<std::size_t>(-1);
+    std::size_t app_col = npos;
+    std::size_t threads_col = npos;
+    std::size_t speedup_col = npos;
+    for (std::size_t i = 0; i < header.size(); ++i) {
+        if (header[i] == "app")
+            app_col = i;
+        else if (header[i] == "threads")
+            threads_col = i;
+        else if (header[i] == "speedup")
+            speedup_col = i;
+    }
+    if (app_col == npos || threads_col == npos || speedup_col == npos) {
+        std::cerr << "'" << o.trace_in
+                  << "' needs app, threads and speedup columns\n";
+        return 2;
+    }
+    const std::size_t need =
+        std::max({app_col, threads_col, speedup_col}) + 1;
+
+    std::vector<core::UslSeries> series;
+    std::size_t line_no = 1;
+    while (std::getline(in, line)) {
+        ++line_no;
+        if (line.empty())
+            continue;
+        const auto fields = splitCsvLine(line);
+        if (fields.size() < need) {
+            std::cerr << "short row on line " << line_no << " of '"
+                      << o.trace_in << "'\n";
+            return 2;
+        }
+        const std::string &app = fields[app_col];
+        const double threads = parseCsvNumber(fields[threads_col],
+                                              "thread count", line_no);
+        const double speedup =
+            parseCsvNumber(fields[speedup_col], "speedup", line_no);
+        if (threads < 1.0 || speedup <= 0.0) {
+            std::cerr << "non-positive measurement on line " << line_no
+                      << " of '" << o.trace_in << "'\n";
+            return 2;
+        }
+        auto it = std::find_if(
+            series.begin(), series.end(),
+            [&app](const core::UslSeries &s) { return s.app == app; });
+        if (it == series.end()) {
+            series.push_back({app, {}});
+            it = series.end() - 1;
+        }
+        it->points.push_back({threads, speedup});
+    }
+    if (series.empty()) {
+        std::cerr << "'" << o.trace_in << "' has no data rows\n";
+        return 2;
+    }
+    core::printUslSeriesTable(std::cout, series);
+    return 0;
+}
+
 } // namespace
 
 int
@@ -528,6 +675,8 @@ main(int argc, char **argv)
         return cmdTrace(o);
     if (o.command == "analyze")
         return cmdAnalyze(o);
+    if (o.command == "usl")
+        return cmdUsl(o);
     std::cerr << "unknown command '" << o.command << "'\n";
     usage(2);
 }
