@@ -1,0 +1,39 @@
+/**
+ * @file
+ * Recoverable run-level errors.
+ *
+ * jscale_panic/jscale_fatal terminate the process and are reserved for
+ * internal bugs and unusable user configuration. Conditions that abort
+ * ONE simulated run but must not take the whole sweep down (watchdog
+ * no-progress timeouts, runs exceeding the simulated-time guard) throw
+ * AbortError instead; the experiment harness catches it at the run
+ * boundary and turns it into a per-run error artifact.
+ */
+
+#ifndef JSCALE_BASE_ERROR_HH
+#define JSCALE_BASE_ERROR_HH
+
+#include <stdexcept>
+#include <string>
+
+namespace jscale {
+
+/** A single run failed; the rest of the study can continue. */
+class AbortError : public std::runtime_error
+{
+  public:
+    explicit AbortError(const std::string &what)
+        : std::runtime_error(what)
+    {}
+};
+
+/** The watchdog detected no forward progress (livelock/deadlock). */
+class WatchdogError : public AbortError
+{
+  public:
+    explicit WatchdogError(const std::string &what) : AbortError(what) {}
+};
+
+} // namespace jscale
+
+#endif // JSCALE_BASE_ERROR_HH

@@ -71,6 +71,7 @@ ConcurrencyGovernor::onRunStart(std::uint32_t n_threads, Ticks now)
 {
     n_threads_ = n_threads;
     live_ = n_threads;
+    start_online_ = vm_.scheduler().onlineCores();
 
     std::uint32_t initial = n_threads;
     switch (config_.mode) {
@@ -140,6 +141,22 @@ ConcurrencyGovernor::onMutatorFinished(jvm::MutatorThread &t, Ticks now)
     unparkToTarget();
 }
 
+bool
+ConcurrencyGovernor::cancelPark(jvm::MutatorThread &t, Ticks now)
+{
+    (void)now;
+    const auto it = std::find(parked_.begin(), parked_.end(), &t);
+    if (it == parked_.end())
+        return false;
+    parked_.erase(it);
+    ++unparks_;
+    // Wake through the admission API so the scheduler's park/unpark
+    // counters stay balanced; the caller kills the thread at its next
+    // burst.
+    vm_.scheduler().unparkAdmitted(t.osThread());
+    return true;
+}
+
 void
 ConcurrencyGovernor::unparkToTarget()
 {
@@ -189,6 +206,15 @@ ConcurrencyGovernor::decide()
       case GovernorMode::UslGuided:
         decideUslGuided(tput);
         break;
+    }
+    // Capacity-aware re-targeting: when cores were lost at runtime
+    // (fault injection) there is no point admitting more mutators than
+    // online cores — drop the target with the capacity. Only engages
+    // after an actual loss so unfaulted runs are untouched.
+    const std::uint32_t online = vm_.scheduler().onlineCores();
+    if (config_.mode != GovernorMode::Off && online < start_online_ &&
+        target_ > online) {
+        setTarget(online);
     }
     unparkToTarget();
     prev_tput_ = tput;

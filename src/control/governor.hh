@@ -103,6 +103,7 @@ class ConcurrencyGovernor : public jvm::TaskAdmission
     void onRunStart(std::uint32_t n_threads, Ticks now) override;
     bool admitTask(jvm::MutatorThread &t, Ticks now) override;
     void onMutatorFinished(jvm::MutatorThread &t, Ticks now) override;
+    bool cancelPark(jvm::MutatorThread &t, Ticks now) override;
     void onRunEnd(Ticks now) override;
     void summarize(jvm::GovernorSummary &out) const override;
     std::uint32_t admissionTarget() const override { return target_; }
@@ -154,6 +155,8 @@ class ConcurrencyGovernor : public jvm::TaskAdmission
     std::unique_ptr<sim::RecurringEvent> tick_event_;
 
     std::uint32_t n_threads_ = 0;
+    /** Online cores when the run started (capacity-loss detection). */
+    std::uint32_t start_online_ = 0;
     /** Unfinished mutators (parked or admitted). */
     std::uint32_t live_ = 0;
     std::uint32_t target_ = 0;

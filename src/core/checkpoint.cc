@@ -1,0 +1,93 @@
+#include "core/checkpoint.hh"
+
+#include <filesystem>
+#include <utility>
+
+#include "base/logging.hh"
+
+namespace jscale::core {
+
+namespace {
+constexpr const char *kMagic = "jscale-checkpoint|";
+} // namespace
+
+CheckpointStore::CheckpointStore(std::string path, std::string fingerprint)
+    : path_(std::move(path)), fingerprint_(std::move(fingerprint))
+{
+    jscale_assert(!path_.empty(), "checkpoint path must not be empty");
+}
+
+std::size_t
+CheckpointStore::load()
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    done_.clear();
+    file_valid_ = false;
+    std::ifstream in(path_);
+    if (!in)
+        return 0;
+    std::string line;
+    if (!std::getline(in, line) || line != kMagic + fingerprint_) {
+        inform("checkpoint '", path_,
+               "' belongs to a different configuration; starting fresh");
+        return 0;
+    }
+    while (std::getline(in, line)) {
+        if (!line.empty())
+            done_.insert(line);
+    }
+    file_valid_ = true;
+    return done_.size();
+}
+
+bool
+CheckpointStore::completed(const std::string &key) const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return done_.count(key) > 0;
+}
+
+void
+CheckpointStore::ensureOpen()
+{
+    if (out_.is_open())
+        return;
+    const std::filesystem::path parent =
+        std::filesystem::path(path_).parent_path();
+    if (!parent.empty()) {
+        std::error_code ec;
+        std::filesystem::create_directories(parent, ec);
+    }
+    if (file_valid_) {
+        out_.open(path_, std::ios::out | std::ios::app);
+    } else {
+        // Fresh or mismatched ledger: rewrite with our header, then
+        // replay the keys already known in memory (normally none).
+        out_.open(path_, std::ios::out | std::ios::trunc);
+        if (out_) {
+            out_ << kMagic << fingerprint_ << '\n';
+            for (const auto &key : done_)
+                out_ << key << '\n';
+            out_.flush();
+            file_valid_ = true;
+        }
+    }
+    if (!out_)
+        inform("cannot write checkpoint '", path_,
+               "'; resume will not see this study's progress");
+}
+
+void
+CheckpointStore::record(const std::string &key)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (!done_.insert(key).second)
+        return;
+    ensureOpen();
+    if (out_) {
+        out_ << key << '\n';
+        out_.flush();
+    }
+}
+
+} // namespace jscale::core

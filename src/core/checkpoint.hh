@@ -1,0 +1,75 @@
+/**
+ * @file
+ * CheckpointStore: crash-safe completed-run ledger for sweeps.
+ *
+ * A checkpoint file is a line-oriented ledger: a header binding it to
+ * one campaign configuration (the fingerprint), then one line per
+ * completed run key. Runs are recorded with an append + flush as they
+ * finish, so a killed study loses at most the in-flight runs; a
+ * subsequent `--resume` invocation loads the ledger and skips every
+ * recorded key. A fingerprint mismatch (different seed, faults,
+ * governor, ...) discards the stale ledger and starts fresh — resuming
+ * across configurations would silently mix incompatible results.
+ *
+ * Format:
+ *   jscale-checkpoint|<fingerprint>
+ *   <run key>
+ *   ...
+ */
+
+#ifndef JSCALE_CORE_CHECKPOINT_HH
+#define JSCALE_CORE_CHECKPOINT_HH
+
+#include <fstream>
+#include <mutex>
+#include <set>
+#include <string>
+
+namespace jscale::core {
+
+/** The ledger. Construct, then load() once before any queries. */
+class CheckpointStore
+{
+  public:
+    /**
+     * @param path ledger file (created on first record)
+     * @param fingerprint campaign-configuration identity string
+     */
+    CheckpointStore(std::string path, std::string fingerprint);
+
+    CheckpointStore(const CheckpointStore &) = delete;
+    CheckpointStore &operator=(const CheckpointStore &) = delete;
+
+    /**
+     * Read the existing ledger. A missing file or a fingerprint
+     * mismatch yields an empty store (the stale file is replaced on
+     * the next record()). Returns the number of completed keys loaded.
+     */
+    std::size_t load();
+
+    /** Whether @p key was recorded as completed. */
+    bool completed(const std::string &key) const;
+
+    /** Append @p key to the ledger (flushed immediately; thread-safe). */
+    void record(const std::string &key);
+
+    std::size_t size() const { return done_.size(); }
+
+    const std::string &path() const { return path_; }
+
+  private:
+    /** Open the ledger for appending, writing the header if fresh. */
+    void ensureOpen();
+
+    std::string path_;
+    std::string fingerprint_;
+    std::set<std::string> done_;
+    /** True when the on-disk file matches the fingerprint. */
+    bool file_valid_ = false;
+    std::ofstream out_;
+    mutable std::mutex mutex_;
+};
+
+} // namespace jscale::core
+
+#endif // JSCALE_CORE_CHECKPOINT_HH

@@ -5,10 +5,15 @@
 #include <filesystem>
 #include <fstream>
 #include <optional>
+#include <sstream>
 
+#include "base/error.hh"
 #include "base/logging.hh"
 #include "base/thread_pool.hh"
+#include "core/checkpoint.hh"
 #include "core/parallel.hh"
+#include "fault/injector.hh"
+#include "fault/watchdog.hh"
 #include "os/policy.hh"
 #include "sim/event.hh"
 #include "sim/simulation.hh"
@@ -38,9 +43,14 @@ substitutePlaceholders(std::string path, const std::string &app,
     return path;
 }
 
-/** Open @p path for writing, creating parent directories as needed. */
-void
-openArtifact(std::ofstream &os, const std::string &path)
+/**
+ * Open @p path for writing, creating parent directories as needed.
+ * Failure is per-artifact, not fatal: the message lands in @p errors
+ * and the run (and the rest of the sweep) continues without it.
+ */
+bool
+openArtifact(std::ofstream &os, const std::string &path,
+             std::vector<std::string> &errors)
 {
     const std::filesystem::path parent =
         std::filesystem::path(path).parent_path();
@@ -49,8 +59,20 @@ openArtifact(std::ofstream &os, const std::string &path)
         std::filesystem::create_directories(parent, ec);
     }
     os.open(path, std::ios::out | std::ios::trunc);
-    if (!os)
-        jscale_fatal("cannot open telemetry output '", path, "'");
+    if (!os) {
+        errors.push_back("cannot open artifact '" + path + "'");
+        return false;
+    }
+    return true;
+}
+
+/** Record a mid-write stream failure for @p path, if any. */
+void
+checkArtifactStream(const std::ofstream &os, const std::string &path,
+                    std::vector<std::string> &errors)
+{
+    if (os.is_open() && os.fail())
+        errors.push_back("write failure on artifact '" + path + "'");
 }
 
 } // namespace
@@ -147,7 +169,35 @@ ExperimentRunner::planRun(const AppFactory &factory,
         plan.metrics_file =
             claimArtifactPath(templ, plan.app->appName(), threads);
     }
+    if (!config_.error_path.empty()) {
+        plan.error_file = claimArtifactPath(config_.error_path,
+                                            plan.app->appName(), threads);
+    }
+    {
+        std::ostringstream key;
+        key << plan.app->appName() << "|t" << threads << "|s" << std::hex
+            << plan.seed;
+        plan.checkpoint_key = key.str();
+    }
     return plan;
+}
+
+std::string
+ExperimentRunner::campaignFingerprint() const
+{
+    std::ostringstream os;
+    os << "seed=" << config_.seed << " scale=" << config_.workload_scale
+       << " heap=" << config_.heap_factor << "/" << config_.heap_override
+       << " machine=" << config_.machine.sockets << "x"
+       << config_.machine.cores_per_socket
+       << " place=" << static_cast<int>(config_.placement)
+       << " gov=" << control::governorModeName(config_.governor.mode)
+       << " faults="
+       << (config_.faults.spec.empty() ? "-" : config_.faults.spec)
+       << " watchdog=" << (config_.watchdog ? 1 : 0)
+       << " compart=" << (config_.vm.heap.compartmentalized ? 1 : 0)
+       << " biased=" << (config_.biased_scheduling ? 1 : 0);
+    return os.str();
 }
 
 jvm::RunResult
@@ -190,18 +240,43 @@ ExperimentRunner::executePlan(RunPlan &plan,
         vm.setTaskAdmission(&*governor);
     }
 
+    // Fault injection and the livelock watchdog run as ordinary sim
+    // events, so a faulted run is as deterministic as a clean one.
+    std::optional<fault::FaultInjector> injector;
+    if (!config_.faults.empty())
+        injector.emplace(sim, mach, vm, config_.faults);
+    std::optional<fault::RunWatchdog> watchdog;
+    if (config_.watchdog)
+        watchdog.emplace(sim, vm, config_.watchdog_config);
+
     // Telemetry taps: a timeline recorder on the probe chains and/or a
     // periodic metric sampler. Both are pure observers — attaching them
-    // never changes the run's schedule or results.
+    // never changes the run's schedule or results. An artifact that
+    // cannot be opened (or fails mid-write) is reported per-run and the
+    // run continues without it.
+    std::vector<std::string> artifact_errors;
     std::ofstream timeline_os;
     std::optional<telemetry::Timeline> timeline;
     std::optional<telemetry::TelemetryRecorder> recorder;
     std::optional<telemetry::MetricSampler> sampler;
-    if (!plan.timeline_file.empty()) {
-        openArtifact(timeline_os, plan.timeline_file);
+    if (!plan.timeline_file.empty() &&
+        openArtifact(timeline_os, plan.timeline_file, artifact_errors)) {
         timeline.emplace(timeline_os);
         recorder.emplace(*timeline);
         recorder->attach(vm);
+        if (injector) {
+            timeline->processName(telemetry::kFaultsPid, "faults");
+            timeline->threadName(telemetry::kFaultsPid, 0, "injections");
+            telemetry::Timeline *tl = &*timeline;
+            injector->setProbe([tl](const char *kind, bool recovery,
+                                    const std::string &detail, Ticks now) {
+                tl->instant(telemetry::kFaultsPid, 0,
+                            std::string(kind) +
+                                (recovery ? ".recover" : ".inject"),
+                            "fault", now,
+                            {telemetry::targ("detail", detail)});
+            });
+        }
     }
     if (!plan.metrics_file.empty()) {
         sampler.emplace(sim, vm, config_.metrics_interval);
@@ -212,22 +287,35 @@ ExperimentRunner::executePlan(RunPlan &plan,
 
     if (attach)
         attach(vm);
+    if (injector)
+        injector->arm(sim.now());
+    if (watchdog)
+        watchdog->start(sim.now());
     jvm::RunResult r = vm.run(app, threads);
 
+    if (injector) {
+        r.faults = injector->summary();
+        r.faults.tasks_reassigned = vm.tasksReassigned();
+    }
     if (recorder) {
         recorder->finish(sim.now());
         recorder->detach();
         timeline->finish();
+        checkArtifactStream(timeline_os, plan.timeline_file,
+                            artifact_errors);
         r.timeline_file = plan.timeline_file;
         r.timeline_events = timeline->events();
     }
     if (sampler) {
         std::ofstream csv;
-        openArtifact(csv, plan.metrics_file);
-        sampler->writeCsv(csv);
-        r.metrics_file = plan.metrics_file;
-        r.metric_rows = sampler->samples().size();
+        if (openArtifact(csv, plan.metrics_file, artifact_errors)) {
+            sampler->writeCsv(csv);
+            checkArtifactStream(csv, plan.metrics_file, artifact_errors);
+            r.metrics_file = plan.metrics_file;
+            r.metric_rows = sampler->samples().size();
+        }
     }
+    r.artifact_errors = std::move(artifact_errors);
     return r;
 }
 
@@ -236,21 +324,74 @@ ExperimentRunner::executePlans(std::vector<RunPlan> plans)
 {
     const std::size_t requested =
         config_.jobs != 0 ? config_.jobs : ThreadPool::hardwareConcurrency();
-    const std::size_t jobs = std::min(requested, plans.size());
-    if (jobs <= 1) {
-        std::vector<jvm::RunResult> results;
-        results.reserve(plans.size());
-        for (auto &plan : plans)
-            results.push_back(executePlan(plan, {}));
-        return results;
+    const std::size_t jobs =
+        std::max<std::size_t>(1, std::min(requested, plans.size()));
+
+    // Checkpoint ledger: skip runs already recorded complete for this
+    // exact campaign configuration. The skip happens here, after
+    // planning, so artifact-path claiming (and therefore de-collision
+    // suffixes) is identical with and without resume.
+    std::optional<CheckpointStore> store;
+    if (!config_.checkpoint_path.empty()) {
+        store.emplace(config_.checkpoint_path, campaignFingerprint());
+        const std::size_t known = store->load();
+        if (config_.resume && known > 0)
+            inform("resume: checkpoint '", store->path(), "' lists ",
+                   known, " completed run(s)");
     }
 
     std::vector<std::function<jvm::RunResult()>> tasks;
     tasks.reserve(plans.size());
-    for (std::size_t i = 0; i < plans.size(); ++i)
-        tasks.push_back(
-            [this, &plans, i] { return executePlan(plans[i], {}); });
-    return ParallelExecutor(jobs).run(std::move(tasks));
+    for (std::size_t i = 0; i < plans.size(); ++i) {
+        const bool skip = config_.resume && store &&
+                          store->completed(plans[i].checkpoint_key);
+        tasks.push_back([this, &plans, i, skip]() -> jvm::RunResult {
+            if (skip) {
+                jvm::RunResult marker;
+                marker.app_name = plans[i].app->appName();
+                marker.threads = plans[i].threads;
+                marker.skipped = true;
+                return marker;
+            }
+            return executePlan(plans[i], {});
+        });
+    }
+
+    // Isolated execution for every batch (sequential included), so a
+    // run that aborts fails the same way at any jobs setting: it
+    // becomes an error artifact plus a failed() marker, and the rest
+    // of the batch completes.
+    std::vector<RunOutcome> outcomes =
+        ParallelExecutor(jobs).runIsolated(std::move(tasks));
+
+    std::vector<jvm::RunResult> results;
+    results.reserve(plans.size());
+    for (std::size_t i = 0; i < outcomes.size(); ++i) {
+        RunOutcome &o = outcomes[i];
+        if (o.ok) {
+            if (store && !o.result.skipped)
+                store->record(plans[i].checkpoint_key);
+            results.push_back(std::move(o.result));
+            continue;
+        }
+        inform("run ", plans[i].checkpoint_key, " failed: ", o.error);
+        if (!plans[i].error_file.empty()) {
+            std::vector<std::string> open_errors;
+            std::ofstream err_os;
+            if (openArtifact(err_os, plans[i].error_file, open_errors)) {
+                err_os << "run: " << plans[i].checkpoint_key << '\n'
+                       << "error: " << o.error << '\n';
+            } else {
+                inform(open_errors.front());
+            }
+        }
+        jvm::RunResult marker;
+        marker.app_name = plans[i].app->appName();
+        marker.threads = plans[i].threads;
+        marker.run_error = o.error;
+        results.push_back(std::move(marker));
+    }
+    return results;
 }
 
 Bytes

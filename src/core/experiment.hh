@@ -24,6 +24,8 @@
 
 #include "base/units.hh"
 #include "control/governor.hh"
+#include "fault/fault.hh"
+#include "fault/watchdog.hh"
 #include "jvm/runtime/app.hh"
 #include "jvm/runtime/vm.hh"
 #include "machine/machine.hh"
@@ -72,6 +74,32 @@ struct ExperimentConfig
      * parallelism only changes wall-clock time.
      */
     std::uint32_t jobs = 0;
+
+    /** @name Robustness: fault injection, watchdog, checkpointing */
+    /** @{ */
+    /**
+     * Fault schedule injected into every run (empty = none). The plan
+     * executes as ordinary simulation events, so a faulted sweep stays
+     * byte-identical at any jobs setting.
+     */
+    fault::FaultPlan faults;
+    /** Arm the sim-time livelock watchdog on every run. */
+    bool watchdog = false;
+    fault::WatchdogConfig watchdog_config;
+    /**
+     * Completed-run ledger (empty = no checkpointing). With resume,
+     * runs recorded complete under the same campaign fingerprint are
+     * skipped and returned as RunResult::skipped markers.
+     */
+    std::string checkpoint_path;
+    bool resume = false;
+    /**
+     * Per-run error-artifact path template for failed (aborted) runs;
+     * "{app}"/"{threads}" placeholders as for timelines. Empty
+     * disables error artifacts.
+     */
+    std::string error_path = "jscale-errors/{app}-t{threads}.error.txt";
+    /** @} */
 
     /** @name Telemetry outputs */
     /** @{ */
@@ -169,6 +197,9 @@ class ExperimentRunner
         std::uint64_t seed = 0;
         std::string timeline_file; ///< empty = no timeline
         std::string metrics_file;  ///< empty = no metric sampling
+        std::string error_file;    ///< empty = no error artifact
+        /** Checkpoint-ledger identity of this run. */
+        std::string checkpoint_key;
     };
 
     /** Plan one run: calibrate heap, build the app, claim artifacts. */
@@ -179,8 +210,17 @@ class ExperimentRunner
     jvm::RunResult executePlan(RunPlan &plan,
                                const VmAttachHook &attach) const;
 
-    /** Execute a batch of plans, sequentially or on a worker pool. */
+    /**
+     * Execute a batch of plans with per-run error isolation: a run
+     * that aborts (watchdog, sim-time guard) is written out as an
+     * error artifact and returned as a RunResult::failed() marker
+     * while the rest of the batch completes. Honors checkpointing and
+     * resume when configured.
+     */
     std::vector<jvm::RunResult> executePlans(std::vector<RunPlan> plans);
+
+    /** Campaign-configuration identity for the checkpoint ledger. */
+    std::string campaignFingerprint() const;
 
     /** Per-run seed derived from campaign seed, app and thread count. */
     std::uint64_t runSeed(const std::string &app, std::uint32_t threads,

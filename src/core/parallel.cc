@@ -42,4 +42,36 @@ ParallelExecutor::run(std::vector<std::function<jvm::RunResult()>> tasks)
     return results;
 }
 
+std::vector<RunOutcome>
+ParallelExecutor::runIsolated(
+    std::vector<std::function<jvm::RunResult()>> tasks) const
+{
+    std::vector<RunOutcome> outcomes(tasks.size());
+    if (tasks.empty())
+        return outcomes;
+
+    const auto runOne = [&tasks, &outcomes](std::size_t i) {
+        try {
+            outcomes[i].result = tasks[i]();
+            outcomes[i].ok = true;
+        } catch (const std::exception &e) {
+            outcomes[i].error = e.what();
+        } catch (...) {
+            outcomes[i].error = "unknown error";
+        }
+    };
+
+    const std::size_t jobs = std::min(jobs_, tasks.size());
+    if (jobs <= 1) {
+        for (std::size_t i = 0; i < tasks.size(); ++i)
+            runOne(i);
+        return outcomes;
+    }
+    ThreadPool pool(jobs);
+    for (std::size_t i = 0; i < tasks.size(); ++i)
+        pool.submit([i, &runOne] { runOne(i); });
+    pool.wait();
+    return outcomes;
+}
+
 } // namespace jscale::core

@@ -16,11 +16,21 @@
 
 #include <cstddef>
 #include <functional>
+#include <string>
 #include <vector>
 
 #include "jvm/runtime/vm.hh"
 
 namespace jscale::core {
+
+/** One isolated task's result: either a RunResult or an error. */
+struct RunOutcome
+{
+    jvm::RunResult result;
+    /** True when the task completed; false = @p error describes why. */
+    bool ok = false;
+    std::string error;
+};
 
 /** Executes a batch of independent run closures on a worker pool. */
 class ParallelExecutor
@@ -40,6 +50,16 @@ class ParallelExecutor
      */
     std::vector<jvm::RunResult>
     run(std::vector<std::function<jvm::RunResult()>> tasks) const;
+
+    /**
+     * Like run(), but a throwing task never takes the batch down: its
+     * exception is captured as that slot's RunOutcome::error and every
+     * other task still executes. Jobs == 1 degenerates to a sequential
+     * loop with the same isolation, so sequential and parallel batches
+     * fail identically.
+     */
+    std::vector<RunOutcome>
+    runIsolated(std::vector<std::function<jvm::RunResult()>> tasks) const;
 
   private:
     std::size_t jobs_;

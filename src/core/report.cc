@@ -19,6 +19,18 @@ threadsLabel(const jvm::RunResult &r)
            "C";
 }
 
+/** Sweep points that actually ran (neither resume-skipped nor failed). */
+std::vector<jvm::RunResult>
+measuredRuns(const std::vector<jvm::RunResult> &sweep)
+{
+    std::vector<jvm::RunResult> out;
+    for (const auto &r : sweep) {
+        if (!r.skipped && !r.failed())
+            out.push_back(r);
+    }
+    return out;
+}
+
 } // namespace
 
 void
@@ -31,15 +43,28 @@ printScalabilityTable(std::ostream &os, const SweepSet &sweeps)
               "gc-share", "class"});
     for (const auto &[app, sweep] : sweeps) {
         jscale_assert(!sweep.empty(), "empty sweep for ", app);
-        const bool scalable = ScalabilityAnalyzer::isScalable(sweep);
+        const auto measured = measuredRuns(sweep);
+        const char *cls =
+            measured.size() >= 2
+                ? (ScalabilityAnalyzer::isScalable(measured)
+                       ? "scalable"
+                       : "non-scalable")
+                : "n/a";
         for (const auto &r : sweep) {
+            // Checkpoint-resumed or failed points have no measurements;
+            // show their status instead of fabricating numbers.
+            if (r.skipped || r.failed()) {
+                t.row({app, std::to_string(r.threads), "-", "-", "-",
+                       "-", "-", r.skipped ? "skipped" : "failed"});
+                continue;
+            }
             t.row({app, std::to_string(r.threads),
                    formatTicks(r.wall_time),
-                   formatFixed(
-                       ScalabilityAnalyzer::speedup(sweep.front(), r), 2),
+                   formatFixed(ScalabilityAnalyzer::speedup(
+                                   measured.front(), r),
+                               2),
                    formatTicks(r.mutatorTime()), formatTicks(r.gc_time),
-                   formatPercent(ScalabilityAnalyzer::gcShare(r)),
-                   scalable ? "scalable" : "non-scalable"});
+                   formatPercent(ScalabilityAnalyzer::gcShare(r)), cls});
         }
     }
     t.print(os);
@@ -52,12 +77,18 @@ writeScalabilityCsv(std::ostream &os, const SweepSet &sweeps)
     csv.row({"app", "threads", "wall_ns", "speedup", "mutator_ns",
              "gc_ns", "gc_share", "scalable"});
     for (const auto &[app, sweep] : sweeps) {
-        const bool scalable = ScalabilityAnalyzer::isScalable(sweep);
-        for (const auto &r : sweep) {
+        // Machine-readable output carries measured points only:
+        // skipped/failed runs have no numbers downstream tools could use.
+        const auto measured = measuredRuns(sweep);
+        if (measured.empty())
+            continue;
+        const bool scalable = measured.size() >= 2 &&
+                              ScalabilityAnalyzer::isScalable(measured);
+        for (const auto &r : measured) {
             csv.row({app, std::to_string(r.threads),
                      std::to_string(r.wall_time),
                      formatFixed(ScalabilityAnalyzer::speedup(
-                                     sweep.front(), r),
+                                     measured.front(), r),
                                  4),
                      std::to_string(r.mutatorTime()),
                      std::to_string(r.gc_time),
@@ -665,6 +696,20 @@ runStatSnapshot(const jvm::RunResult &r)
     s.add("gov.usl_kappa", r.governor.usl_kappa);
     s.add("gov.usl_nstar", r.governor.usl_nstar);
 
+    s.add("faults.injections", r.faults.injections);
+    s.add("faults.recoveries", r.faults.recoveries);
+    s.add("faults.cores_offlined", r.faults.cores_offlined);
+    s.add("faults.cores_onlined", r.faults.cores_onlined);
+    s.add("faults.slowdowns", r.faults.slowdowns);
+    s.add("faults.preempt_bursts", r.faults.preempt_bursts);
+    s.add("faults.lock_holders_preempted",
+          r.faults.lock_holders_preempted);
+    s.add("faults.mutators_killed", r.faults.mutators_killed);
+    s.add("faults.mutators_stalled", r.faults.mutators_stalled);
+    s.add("faults.heap_spikes", r.faults.heap_spikes);
+    s.add("faults.gc_worker_losses", r.faults.gc_worker_losses);
+    s.add("faults.tasks_reassigned", r.faults.tasks_reassigned);
+
     for (std::size_t i = 0; i < r.thread_summaries.size(); ++i) {
         const auto &ts = r.thread_summaries[i];
         const std::string p = "thread." + std::to_string(i) + ".";
@@ -728,6 +773,28 @@ printRunSummary(std::ostream &os, const jvm::RunResult &r)
                std::to_string(r.governor.parks) + " / " +
                    std::to_string(r.governor.unparks) + " unparks"});
     }
+    if (r.faults.any()) {
+        t.row({"fault injections",
+               std::to_string(r.faults.injections) + " (" +
+                   std::to_string(r.faults.recoveries) + " recovered)"});
+        t.row({"cores offlined",
+               std::to_string(r.faults.cores_offlined) + " / " +
+                   std::to_string(r.faults.cores_onlined) +
+                   " re-onlined"});
+        t.row({"mutators killed",
+               std::to_string(r.faults.mutators_killed) + " (" +
+                   std::to_string(r.faults.tasks_reassigned) +
+                   " tasks reassigned)"});
+        t.row({"mutators stalled",
+               std::to_string(r.faults.mutators_stalled)});
+        t.row({"lock holders preempted",
+               std::to_string(r.faults.lock_holders_preempted)});
+        t.row({"heap spikes", std::to_string(r.faults.heap_spikes)});
+        t.row({"gc worker losses",
+               std::to_string(r.faults.gc_worker_losses)});
+    }
+    for (const auto &err : r.artifact_errors)
+        t.row({"artifact error", err});
     t.row({"sim events", std::to_string(r.sim_events)});
     t.print(os);
 }

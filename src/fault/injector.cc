@@ -1,0 +1,285 @@
+#include "fault/injector.hh"
+
+#include <algorithm>
+#include <sstream>
+
+#include "base/logging.hh"
+#include "machine/machine.hh"
+#include "os/scheduler.hh"
+#include "sim/event.hh"
+#include "sim/simulation.hh"
+
+namespace jscale::fault {
+
+namespace {
+
+std::string
+joinIds(const std::vector<std::uint32_t> &ids)
+{
+    std::ostringstream os;
+    for (std::size_t i = 0; i < ids.size(); ++i) {
+        if (i > 0)
+            os << ',';
+        os << ids[i];
+    }
+    return os.str();
+}
+
+} // namespace
+
+FaultInjector::FaultInjector(sim::Simulation &sim, machine::Machine &mach,
+                             jvm::JavaVm &vm, FaultPlan plan)
+    : sim_(sim), mach_(mach), vm_(vm), plan_(std::move(plan))
+{}
+
+FaultInjector::~FaultInjector()
+{
+    for (auto &ev : events_)
+        sim_.queue().deschedule(ev.get());
+}
+
+void
+FaultInjector::schedule(Ticks when, std::function<void()> fn,
+                        const char *what)
+{
+    events_.push_back(
+        std::make_unique<sim::CallbackEvent>(std::move(fn), what));
+    sim_.schedule(events_.back().get(), when);
+}
+
+void
+FaultInjector::emit(const char *kind, bool recovery,
+                    const std::string &detail, Ticks now)
+{
+    if (recovery)
+        ++summary_.recoveries;
+    else
+        ++summary_.injections;
+    if (probe_)
+        probe_(kind, recovery, detail, now);
+}
+
+std::vector<std::uint32_t>
+FaultInjector::pickCores(std::uint32_t want) const
+{
+    // Highest-numbered online cores first: with the paper's compact
+    // socket fill these are the last-enabled ones, so low intensities
+    // perturb the "extra" capacity before the primary socket.
+    std::vector<std::uint32_t> out;
+    const auto total = static_cast<std::uint32_t>(mach_.cores().size());
+    for (std::uint32_t id = total; id > 0 && out.size() < want; --id) {
+        if (mach_.core(id - 1).enabled())
+            out.push_back(id - 1);
+    }
+    return out;
+}
+
+void
+FaultInjector::arm(Ticks start)
+{
+    for (const FaultSpec &f : plan_.faults) {
+        const Ticks at = start + f.at;
+        switch (f.kind) {
+          case FaultKind::CoreOffline: {
+            auto state = std::make_shared<CoreFault>();
+            schedule(at, [this, f, state] { injectCoreOffline(f, state); },
+                     "fault-coreoff");
+            if (f.duration > 0) {
+                schedule(at + f.duration,
+                         [this, state] { recoverCoreOffline(state); },
+                         "fault-coreoff-recover");
+            }
+            break;
+          }
+          case FaultKind::CoreSlowdown: {
+            auto state = std::make_shared<CoreFault>();
+            schedule(at, [this, f, state] { injectSlowdown(f, state); },
+                     "fault-slow");
+            if (f.duration > 0) {
+                schedule(at + f.duration,
+                         [this, state] { recoverSlowdown(state); },
+                         "fault-slow-recover");
+            }
+            break;
+          }
+          case FaultKind::PreemptLockHolders:
+            for (std::uint32_t i = 0; i < f.count; ++i) {
+                schedule(at + static_cast<Ticks>(i) * f.period,
+                         [this, f] { injectPreempt(f); }, "fault-preempt");
+            }
+            break;
+          case FaultKind::MutatorKill:
+            schedule(at, [this, f] { injectKill(f); }, "fault-kill");
+            break;
+          case FaultKind::MutatorStall:
+            schedule(at, [this, f] { injectStall(f); }, "fault-stall");
+            break;
+          case FaultKind::HeapPressure:
+            schedule(at, [this, f] { injectHeapPressure(f); },
+                     "fault-heap");
+            if (f.duration > 0) {
+                const Bytes bytes = f.bytes;
+                schedule(at + f.duration,
+                         [this, bytes] { recoverHeapPressure(bytes); },
+                         "fault-heap-recover");
+            }
+            break;
+          case FaultKind::GcWorkerLoss: {
+            auto saved = std::make_shared<std::uint32_t>(0);
+            schedule(at, [this, f, saved] { injectGcWorkerLoss(f, saved); },
+                     "fault-gcworkers");
+            if (f.duration > 0) {
+                schedule(at + f.duration,
+                         [this, saved] { recoverGcWorkerLoss(saved); },
+                         "fault-gcworkers-recover");
+            }
+            break;
+          }
+        }
+    }
+}
+
+void
+FaultInjector::injectCoreOffline(const FaultSpec &f,
+                                 const std::shared_ptr<CoreFault> &state)
+{
+    os::Scheduler &sched = vm_.scheduler();
+    for (const std::uint32_t id : pickCores(f.count)) {
+        if (sched.setCoreOnline(id, false))
+            state->cores.push_back(id);
+    }
+    summary_.cores_offlined += state->cores.size();
+    emit("coreoff", false, "cores " + joinIds(state->cores) + " offline",
+         sim_.now());
+}
+
+void
+FaultInjector::recoverCoreOffline(const std::shared_ptr<CoreFault> &state)
+{
+    os::Scheduler &sched = vm_.scheduler();
+    for (const std::uint32_t id : state->cores) {
+        if (sched.setCoreOnline(id, true))
+            ++summary_.cores_onlined;
+    }
+    emit("coreoff", true, "cores " + joinIds(state->cores) + " online",
+         sim_.now());
+    state->cores.clear();
+}
+
+void
+FaultInjector::injectSlowdown(const FaultSpec &f,
+                              const std::shared_ptr<CoreFault> &state)
+{
+    os::Scheduler &sched = vm_.scheduler();
+    state->cores = pickCores(f.count);
+    for (const std::uint32_t id : state->cores)
+        sched.setCoreSpeed(id, f.factor);
+    summary_.slowdowns += state->cores.size();
+    std::ostringstream os;
+    os << "cores " << joinIds(state->cores) << " at x" << f.factor;
+    emit("slow", false, os.str(), sim_.now());
+}
+
+void
+FaultInjector::recoverSlowdown(const std::shared_ptr<CoreFault> &state)
+{
+    os::Scheduler &sched = vm_.scheduler();
+    for (const std::uint32_t id : state->cores)
+        sched.setCoreSpeed(id, 1.0);
+    emit("slow", true, "cores " + joinIds(state->cores) + " at full speed",
+         sim_.now());
+    state->cores.clear();
+}
+
+void
+FaultInjector::injectPreempt(const FaultSpec &f)
+{
+    const std::uint32_t hit =
+        vm_.scheduler().preemptLockHolders(f.duration);
+    ++summary_.preempt_bursts;
+    summary_.lock_holders_preempted += hit;
+    emit("preempt", false,
+         std::to_string(hit) + " lock holder(s) preempted for " +
+             formatTicks(f.duration),
+         sim_.now());
+}
+
+void
+FaultInjector::injectKill(const FaultSpec &f)
+{
+    const Ticks now = sim_.now();
+    std::vector<std::uint32_t> killed;
+    for (std::uint32_t idx = vm_.mutatorCount();
+         idx > 0 && killed.size() < f.count; --idx) {
+        if (vm_.killMutator(idx - 1, now))
+            killed.push_back(idx - 1);
+    }
+    summary_.mutators_killed += killed.size();
+    emit("kill", false, "mutators " + joinIds(killed) + " killed", now);
+}
+
+void
+FaultInjector::injectStall(const FaultSpec &f)
+{
+    const Ticks now = sim_.now();
+    const Ticks until = now + f.duration;
+    std::vector<std::uint32_t> stalled;
+    for (std::uint32_t idx = vm_.mutatorCount();
+         idx > 0 && stalled.size() < f.count; --idx) {
+        if (vm_.stallMutator(idx - 1, until))
+            stalled.push_back(idx - 1);
+    }
+    summary_.mutators_stalled += stalled.size();
+    emit("stall", false,
+         "mutators " + joinIds(stalled) + " stalled until " +
+             formatTicks(until),
+         now);
+}
+
+void
+FaultInjector::injectHeapPressure(const FaultSpec &f)
+{
+    pressure_ += f.bytes;
+    vm_.heap().setExternalPressure(pressure_);
+    ++summary_.heap_spikes;
+    emit("heap", false, formatBytes(pressure_) + " external pressure",
+         sim_.now());
+}
+
+void
+FaultInjector::recoverHeapPressure(Bytes bytes)
+{
+    pressure_ = pressure_ > bytes ? pressure_ - bytes : 0;
+    vm_.heap().setExternalPressure(pressure_);
+    emit("heap", true, formatBytes(pressure_) + " external pressure",
+         sim_.now());
+}
+
+void
+FaultInjector::injectGcWorkerLoss(const FaultSpec &f,
+                                  const std::shared_ptr<std::uint32_t> &saved)
+{
+    const std::uint32_t current = vm_.activeGcWorkers();
+    *saved = current;
+    const std::uint32_t remaining =
+        current > f.count ? current - f.count : 1;
+    vm_.setGcWorkers(remaining);
+    ++summary_.gc_worker_losses;
+    emit("gcworkers", false,
+         "GC workers " + std::to_string(current) + " -> " +
+             std::to_string(remaining),
+         sim_.now());
+}
+
+void
+FaultInjector::recoverGcWorkerLoss(
+    const std::shared_ptr<std::uint32_t> &saved)
+{
+    if (*saved == 0)
+        return; // recovery fired before injection (degenerate plan)
+    vm_.setGcWorkers(*saved);
+    emit("gcworkers", true,
+         "GC workers restored to " + std::to_string(*saved), sim_.now());
+}
+
+} // namespace jscale::fault

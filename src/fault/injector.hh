@@ -1,0 +1,117 @@
+/**
+ * @file
+ * FaultInjector: executes a FaultPlan against a running VM.
+ *
+ * arm() schedules every injection (and its recovery) as ordinary
+ * simulation events, so faults participate in the deterministic
+ * (time, sequence) event order like any other activity — an identical
+ * plan and seed produce byte-identical runs at any host parallelism.
+ *
+ * Victim selection is deterministic and happens at fire time: the
+ * highest-numbered online cores and the highest-indexed alive mutators
+ * are hit first, and the underlying runtime APIs refuse to take the
+ * last core offline or kill the last alive mutator, so a plan can be
+ * harsher than the machine and degrade instead of wedging the run.
+ *
+ * Every injection and recovery is reported through the optional probe
+ * (the experiment runner bridges it onto a "faults" timeline track) and
+ * tallied in a jvm::FaultSummary for the run report.
+ */
+
+#ifndef JSCALE_FAULT_INJECTOR_HH
+#define JSCALE_FAULT_INJECTOR_HH
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "base/units.hh"
+#include "fault/fault.hh"
+#include "jvm/runtime/vm.hh"
+
+namespace jscale::sim {
+class Simulation;
+class CallbackEvent;
+} // namespace jscale::sim
+
+namespace jscale::machine {
+class Machine;
+} // namespace jscale::machine
+
+namespace jscale::fault {
+
+/** The plan executor. Construct after the VM, arm() before run(). */
+class FaultInjector
+{
+  public:
+    /**
+     * Injection/recovery notification: spec-grammar kind name, whether
+     * this is the recovery edge, a short detail string, and the fire
+     * time.
+     */
+    using Probe = std::function<void(const char *kind, bool recovery,
+                                     const std::string &detail,
+                                     Ticks now)>;
+
+    FaultInjector(sim::Simulation &sim, machine::Machine &mach,
+                  jvm::JavaVm &vm, FaultPlan plan);
+    ~FaultInjector();
+
+    FaultInjector(const FaultInjector &) = delete;
+    FaultInjector &operator=(const FaultInjector &) = delete;
+
+    /** Schedule the plan's events relative to run start @p start. */
+    void arm(Ticks start);
+
+    void setProbe(Probe probe) { probe_ = std::move(probe); }
+
+    const FaultPlan &plan() const { return plan_; }
+
+    /** Injection tallies (copied into RunResult by the harness). */
+    const jvm::FaultSummary &summary() const { return summary_; }
+
+  private:
+    /** Offlined cores awaiting recovery (shared inject/recover state). */
+    struct CoreFault
+    {
+        std::vector<std::uint32_t> cores;
+    };
+
+    void schedule(Ticks when, std::function<void()> fn,
+                  const char *what);
+    void emit(const char *kind, bool recovery, const std::string &detail,
+              Ticks now);
+
+    void injectCoreOffline(const FaultSpec &f,
+                           const std::shared_ptr<CoreFault> &state);
+    void recoverCoreOffline(const std::shared_ptr<CoreFault> &state);
+    void injectSlowdown(const FaultSpec &f,
+                        const std::shared_ptr<CoreFault> &state);
+    void recoverSlowdown(const std::shared_ptr<CoreFault> &state);
+    void injectPreempt(const FaultSpec &f);
+    void injectKill(const FaultSpec &f);
+    void injectStall(const FaultSpec &f);
+    void injectHeapPressure(const FaultSpec &f);
+    void recoverHeapPressure(Bytes bytes);
+    void injectGcWorkerLoss(const FaultSpec &f,
+                            const std::shared_ptr<std::uint32_t> &saved);
+    void recoverGcWorkerLoss(const std::shared_ptr<std::uint32_t> &saved);
+
+    /** Highest-numbered online cores, at most @p want of them. */
+    std::vector<std::uint32_t> pickCores(std::uint32_t want) const;
+
+    sim::Simulation &sim_;
+    machine::Machine &mach_;
+    jvm::JavaVm &vm_;
+    FaultPlan plan_;
+    Probe probe_;
+    jvm::FaultSummary summary_;
+    /** Sum of active heap-pressure reservations. */
+    Bytes pressure_ = 0;
+    std::vector<std::unique_ptr<sim::CallbackEvent>> events_;
+};
+
+} // namespace jscale::fault
+
+#endif // JSCALE_FAULT_INJECTOR_HH

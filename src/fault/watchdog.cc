@@ -1,0 +1,73 @@
+#include "fault/watchdog.hh"
+
+#include <sstream>
+
+#include "base/error.hh"
+#include "base/logging.hh"
+#include "jvm/runtime/vm.hh"
+#include "os/scheduler.hh"
+#include "os/thread.hh"
+#include "sim/simulation.hh"
+
+namespace jscale::fault {
+
+RunWatchdog::RunWatchdog(sim::Simulation &sim, jvm::JavaVm &vm,
+                         const WatchdogConfig &config)
+    : sim_(sim), vm_(vm), config_(config),
+      tick_(sim.queue(), static_cast<TickDelta>(config.interval),
+            [this] { check(); }, "watchdog-check")
+{
+    jscale_assert(config_.interval > 0,
+                  "watchdog interval must be positive");
+    jscale_assert(config_.stalled_limit >= 1,
+                  "watchdog needs at least one stalled interval");
+}
+
+void
+RunWatchdog::start(Ticks now)
+{
+    tick_.start(now + config_.interval);
+}
+
+void
+RunWatchdog::check()
+{
+    ++checks_;
+    const std::uint64_t actions = vm_.mutatorActionsExecuted();
+    const std::uint64_t gcs = vm_.gcEventsCompleted();
+    const std::uint32_t finished = vm_.mutatorsFinished();
+    const bool progressed = actions != last_actions_ ||
+                            gcs != last_gcs_ ||
+                            finished != last_finished_;
+    last_actions_ = actions;
+    last_gcs_ = gcs;
+    last_finished_ = finished;
+    if (progressed) {
+        stalled_ = 0;
+        return;
+    }
+    if (++stalled_ < config_.stalled_limit)
+        return;
+    // Stop the tick before throwing so the event is not left scheduled
+    // while the stack unwinds out of the event loop.
+    tick_.stop();
+    throw WatchdogError(diagnostic());
+}
+
+std::string
+RunWatchdog::diagnostic() const
+{
+    std::ostringstream os;
+    os << "watchdog: no forward progress for "
+       << formatTicks(static_cast<Ticks>(stalled_) * config_.interval)
+       << " of simulated time (actions=" << last_actions_
+       << ", collections=" << last_gcs_ << ", finished="
+       << last_finished_ << "); thread states:";
+    for (const auto &t : vm_.scheduler().threads()) {
+        os << ' ' << t->name() << '='
+           << os::threadStateName(t->state());
+    }
+    return os.str();
+}
+
+} // namespace jscale::fault

@@ -77,6 +77,16 @@ class GcCostModel
 
     std::uint32_t gcThreads() const { return gc_threads_; }
 
+    /**
+     * Degrade (or restore) the parallel worker count at runtime (fault
+     * injection: GC-worker loss). Clamped to at least one worker so the
+     * collector always makes progress.
+     */
+    void setGcThreads(std::uint32_t n)
+    {
+        gc_threads_ = n < 1 ? 1 : n;
+    }
+
   private:
     GcCostParams params_;
     const machine::Machine &mach_;

@@ -82,6 +82,18 @@ Heap::compartmentUsed(MutatorIndex owner) const
 }
 
 Bytes
+Heap::effectiveCompartmentCapacity() const
+{
+    const Bytes cap = compartmentCapacity();
+    const Bytes per_comp =
+        external_pressure_ / static_cast<Bytes>(eden_used_.size());
+    // Never squeeze a compartment below a quarter of its capacity: the
+    // spike degrades throughput (more frequent GCs), it must not starve
+    // allocation entirely.
+    return cap - std::min(per_comp, cap - cap / 4);
+}
+
+Bytes
 Heap::ownerAllocatedBytes(MutatorIndex owner) const
 {
     jscale_assert(owner < n_mutators_, "owner index out of range");
@@ -154,7 +166,8 @@ Heap::allocate(MutatorIndex owner, Bytes size, Bytes ttl_owner_bytes,
         // the old TLAB).
         if (size > tlab_remaining_[owner]) {
             const Bytes reserve = std::max(config_.tlab_size, size);
-            if (eden_used_[comp] + reserve > compartmentCapacity())
+            if (eden_used_[comp] + reserve >
+                effectiveCompartmentCapacity())
                 return AllocStatus::NeedsGc;
             stats_.tlab_waste += tlab_remaining_[owner];
             ++stats_.tlab_refills;
@@ -164,7 +177,7 @@ Heap::allocate(MutatorIndex owner, Bytes size, Bytes ttl_owner_bytes,
         }
         tlab_remaining_[owner] -= size;
     } else {
-        if (eden_used_[comp] + size > compartmentCapacity())
+        if (eden_used_[comp] + size > effectiveCompartmentCapacity())
             return AllocStatus::NeedsGc;
         eden_used_[comp] += size;
         eden_used_total_ += size;

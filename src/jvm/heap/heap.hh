@@ -158,6 +158,24 @@ class Heap
     Bytes compartmentCapacity() const;
     /** Eden bytes used by @p owner's compartment. */
     Bytes compartmentUsed(MutatorIndex owner) const;
+    /**
+     * Compartment capacity minus the external-pressure reservation —
+     * what allocation checks actually test against.
+     */
+    Bytes effectiveCompartmentCapacity() const;
+    /** @} */
+
+    /** @name Fault injection: external heap pressure */
+    /** @{ */
+    /**
+     * Reserve @p bytes of eden capacity as if another tenant were using
+     * them (heap-pressure spike): allocations hit the GC trigger
+     * earlier, but the reservation is clamped to 3/4 of eden so the run
+     * degrades instead of livelocking, and OutOfMemory checks ignore it
+     * (a transient spike must never be fatal). Pass 0 to recover.
+     */
+    void setExternalPressure(Bytes bytes) { external_pressure_ = bytes; }
+    Bytes externalPressure() const { return external_pressure_; }
     /** @} */
 
     /**
@@ -259,6 +277,8 @@ class Heap
      *  (single entry otherwise). */
     std::vector<Bytes> eden_used_;
     Bytes eden_used_total_ = 0;
+    /** Fault-injected eden reservation (heap-pressure spike). */
+    Bytes external_pressure_ = 0;
     Bytes survivor_used_ = 0;
     /** Old usage includes dead-but-uncompacted bytes until a full GC. */
     Bytes old_used_ = 0;

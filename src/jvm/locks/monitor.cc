@@ -170,6 +170,29 @@ Monitor::notify(MonitorWaiter *waiter, std::uint32_t count, Ticks now)
     }
 }
 
+bool
+Monitor::cancelWaiter(MonitorWaiter *waiter)
+{
+    bool removed = false;
+    for (auto it = queue_.begin(); it != queue_.end();) {
+        if (it->waiter == waiter) {
+            it = queue_.erase(it);
+            removed = true;
+        } else {
+            ++it;
+        }
+    }
+    for (auto it = waitset_.begin(); it != waitset_.end();) {
+        if (*it == waiter) {
+            it = waitset_.erase(it);
+            removed = true;
+        } else {
+            ++it;
+        }
+    }
+    return removed;
+}
+
 WaitChannel::WaitChannel(ChannelId id, std::string name,
                          std::uint64_t permits, os::Scheduler &sched)
     : id_(id), name_(std::move(name)), sched_(sched), permits_(permits)
@@ -200,6 +223,33 @@ WaitChannel::post(std::uint64_t n, Ticks now)
         sched_.wake(w->osThread());
     }
     permits_ += n;
+}
+
+bool
+WaitChannel::cancelWaiter(MonitorWaiter *waiter)
+{
+    bool removed = false;
+    for (auto it = queue_.begin(); it != queue_.end();) {
+        if (*it == waiter) {
+            it = queue_.erase(it);
+            removed = true;
+        } else {
+            ++it;
+        }
+    }
+    return removed;
+}
+
+bool
+MonitorTable::cancelWaiter(MonitorWaiter *waiter)
+{
+    bool removed = false;
+    for (const auto &m : monitors_)
+        removed = m->cancelWaiter(waiter) || removed;
+    for (const auto &ch : channels_)
+        removed = ch->cancelWaiter(waiter) || removed;
+    blocked_on_.erase(waiter);
+    return removed;
 }
 
 MonitorId

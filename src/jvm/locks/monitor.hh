@@ -130,6 +130,13 @@ class Monitor
      */
     void notify(MonitorWaiter *waiter, std::uint32_t count, Ticks now);
 
+    /**
+     * Remove @p waiter from the acquire queue and/or waitset without
+     * granting (thread kill). Returns true if the waiter was parked
+     * here. Ownership is unaffected — a killed owner must release().
+     */
+    bool cancelWaiter(MonitorWaiter *waiter);
+
     /** Current owner (nullptr when free). */
     MonitorWaiter *owner() const { return owner_; }
 
@@ -191,6 +198,9 @@ class WaitChannel
 
     /** Add @p n permits; wakes up to @p n blocked waiters. */
     void post(std::uint64_t n, Ticks now);
+
+    /** Remove @p waiter from the queue without granting (thread kill). */
+    bool cancelWaiter(MonitorWaiter *waiter);
 
     /** Permits currently available. */
     std::uint64_t permits() const { return permits_; }
@@ -264,6 +274,13 @@ class MonitorTable
     /** Monitor a thread currently blocks on, if any. */
     const Monitor *blockedOn(const MonitorWaiter *waiter) const;
     /** @} */
+
+    /**
+     * Remove @p waiter from every monitor queue/waitset and channel
+     * queue and drop its wait-for edge (thread kill). Returns true if
+     * the waiter was parked anywhere.
+     */
+    bool cancelWaiter(MonitorWaiter *waiter);
 
   private:
     os::Scheduler &sched_;

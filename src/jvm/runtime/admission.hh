@@ -67,6 +67,20 @@ class TaskAdmission
     /** @p t ran its End action and will never fetch again. */
     virtual void onMutatorFinished(MutatorThread &t, Ticks now) = 0;
 
+    /**
+     * @p t is being killed (fault injection) while possibly parked. An
+     * implementation that holds @p t parked must remove it and wake it
+     * (keeping its park/unpark books balanced) and return true; the
+     * default reports "not parked here".
+     */
+    virtual bool
+    cancelPark(MutatorThread &t, Ticks now)
+    {
+        (void)t;
+        (void)now;
+        return false;
+    }
+
     /** The run is over; stop periodic activity. */
     virtual void onRunEnd(Ticks now) = 0;
 

@@ -4,6 +4,7 @@
 #include <cmath>
 #include <set>
 
+#include "base/error.hh"
 #include "base/logging.hh"
 
 namespace jscale::jvm {
@@ -26,6 +27,9 @@ JavaVm::JavaVm(sim::Simulation &sim, machine::Machine &mach,
 {
     jscale_assert(mach_.enabledCores() > 0,
                   "enable cores before constructing the VM");
+    jscale_assert(config_.max_run_time > 0,
+                  "max_run_time must be positive");
+    max_run_time_ = config_.max_run_time;
     monitors_ = std::make_unique<MonitorTable>(sched_, &listeners_);
 }
 
@@ -70,7 +74,7 @@ JavaVm::requestGc(MutatorThread *t, Ticks now)
         const MinorWork w = heap_->collectCompartment(t->index(), now);
         const Bytes pending = t->pendingAllocBytes();
         if (heap_->compartmentUsed(t->index()) + pending <=
-            heap_->compartmentCapacity()) {
+            heap_->effectiveCompartmentCapacity()) {
             const Ticks pause = cost_model_->localPause(w);
             ++gc_stats_.local_count;
             gc_stats_.local_pause += pause;
@@ -415,6 +419,114 @@ JavaVm::onTaskCompleted(MutatorIndex idx)
     ++total_tasks_;
 }
 
+void
+JavaVm::onTaskAbandoned(MutatorIndex idx)
+{
+    (void)idx;
+    ++tasks_reassigned_;
+}
+
+bool
+JavaVm::mutatorAlive(std::uint32_t idx) const
+{
+    if (idx >= mutators_.size())
+        return false;
+    const MutatorThread *t = mutators_[idx].get();
+    return !t->finished() && !t->killPending();
+}
+
+bool
+JavaVm::killMutator(std::uint32_t idx, Ticks now)
+{
+    if (!mutatorAlive(idx))
+        return false;
+    // Count kill-pending threads as already dead: aliveMutators() only
+    // tracks finished threads, so a burst of same-tick kills would
+    // otherwise take every mutator. The run must still be able to
+    // complete, so at least one survivor is always left.
+    std::uint32_t survivors = 0;
+    for (std::uint32_t i = 0; i < mutators_.size(); ++i) {
+        if (mutatorAlive(i))
+            ++survivors;
+    }
+    if (survivors <= 1)
+        return false;
+    MutatorThread *t = mutators_[idx].get();
+    t->requestKill();
+    os::OsThread *os = t->osThread();
+    switch (os->state()) {
+      case os::ThreadState::Running:
+      case os::ThreadState::Ready:
+        // The kill executes at the thread's next burst boundary.
+        break;
+      case os::ThreadState::Sleeping:
+        sched_.wake(os);
+        break;
+      case os::ThreadState::Blocked:
+        // Extract the thread from whatever structure holds it, then
+        // wake it so the kill executes promptly.
+        if (t->awaitingGc()) {
+            std::erase(gc_waiters_, t);
+            t->cancelGcWait();
+            sched_.wake(os);
+        } else if (t->awaitingGrant()) {
+            monitors_->cancelWaiter(t);
+            t->cancelGrantWait();
+            sched_.wake(os);
+        } else if (admission_ != nullptr &&
+                   admission_->cancelPark(*t, now)) {
+            // Woken through the admission API so the scheduler's
+            // park/unpark counters stay balanced.
+        } else {
+            sched_.wake(os);
+        }
+        break;
+      default:
+        return false;
+    }
+    return true;
+}
+
+bool
+JavaVm::stallMutator(std::uint32_t idx, Ticks until)
+{
+    if (idx >= mutators_.size())
+        return false;
+    MutatorThread *t = mutators_[idx].get();
+    if (t->finished() || t->killPending())
+        return false;
+    // Parked/waiting threads are already off-CPU; stalling them again
+    // would race their wake protocols. Stall only schedulable states.
+    const os::ThreadState s = t->osThread()->state();
+    if (s != os::ThreadState::Running && s != os::ThreadState::Ready)
+        return false;
+    sched_.stallThread(t->osThread(), until);
+    return true;
+}
+
+void
+JavaVm::setGcWorkers(std::uint32_t n)
+{
+    jscale_assert(cost_model_ != nullptr,
+                  "setGcWorkers only valid during run()");
+    cost_model_->setGcThreads(n);
+}
+
+std::uint32_t
+JavaVm::activeGcWorkers() const
+{
+    return cost_model_ ? cost_model_->gcThreads() : gcThreads();
+}
+
+std::uint64_t
+JavaVm::mutatorActionsExecuted() const
+{
+    std::uint64_t total = 0;
+    for (const auto &mt : mutators_)
+        total += mt->mutStats().actions_executed;
+    return total;
+}
+
 RunResult
 JavaVm::run(ApplicationModel &app, std::uint32_t n_threads)
 {
@@ -511,11 +623,14 @@ JavaVm::run(ApplicationModel &app, std::uint32_t n_threads)
 
     sim_.run(start + max_run_time_);
     if (mutators_finished_ != n_threads_) {
-        jscale_fatal("application '", app.appName(), "' did not finish ",
-                     "within ", formatTicks(max_run_time_),
-                     " of simulated time (deadlock or undersized heap?): ",
-                     mutators_finished_, "/", n_threads_,
-                     " threads finished");
+        // Abort this run only: a sweep harness catches AbortError at
+        // the run boundary and isolates it as a per-run error artifact.
+        throw AbortError(
+            "application '" + app.appName() + "' did not finish within " +
+            formatTicks(max_run_time_) +
+            " of simulated time (deadlock or undersized heap?): " +
+            std::to_string(mutators_finished_) + "/" +
+            std::to_string(n_threads_) + " threads finished");
     }
 
     // Remaining (pinned) data dies at VM shutdown.

@@ -107,6 +107,37 @@ struct LockTotals
     std::uint64_t notifies = 0;
 };
 
+/**
+ * Counts of injected faults and their recoveries in one run (filled by
+ * fault::FaultInjector; all zero when no FaultPlan was active).
+ */
+struct FaultSummary
+{
+    /** Total injection events fired. */
+    std::uint64_t injections = 0;
+    /** Total recovery events fired (online, speed restore, ...). */
+    std::uint64_t recoveries = 0;
+    std::uint64_t cores_offlined = 0;
+    std::uint64_t cores_onlined = 0;
+    /** Transient core-slowdown injections. */
+    std::uint64_t slowdowns = 0;
+    /** Lock-holder preemption bursts (and victims across them). */
+    std::uint64_t preempt_bursts = 0;
+    std::uint64_t lock_holders_preempted = 0;
+    std::uint64_t mutators_killed = 0;
+    std::uint64_t mutators_stalled = 0;
+    std::uint64_t heap_spikes = 0;
+    std::uint64_t gc_worker_losses = 0;
+    /** In-flight tasks abandoned by killed mutators. */
+    std::uint64_t tasks_reassigned = 0;
+
+    bool
+    any() const
+    {
+        return injections > 0;
+    }
+};
+
 /** Everything measured in one application run. */
 struct RunResult
 {
@@ -133,6 +164,7 @@ struct RunResult
     std::vector<ThreadSummary> thread_summaries;
     os::SchedulerStats sched;
     GovernorSummary governor;
+    FaultSummary faults;
     std::uint64_t total_tasks = 0;
     std::uint64_t sim_events = 0;
 
@@ -144,6 +176,24 @@ struct RunResult
     std::string metrics_file;
     std::uint64_t timeline_events = 0;
     std::uint64_t metric_rows = 0;
+    /**
+     * Artifacts that failed to write (one message per failure). The run
+     * itself is still valid; the report surfaces these per-artifact.
+     */
+    std::vector<std::string> artifact_errors;
+    /** @} */
+
+    /** @name Run-isolation status (filled by the experiment harness) */
+    /** @{ */
+    /**
+     * Non-empty = the run aborted (watchdog, sim-time guard); only
+     * app_name/threads are meaningful then.
+     */
+    std::string run_error;
+    /** The run was skipped because a checkpoint marked it complete. */
+    bool skipped = false;
+
+    bool failed() const { return !run_error.empty(); }
     /** @} */
 };
 
@@ -222,6 +272,73 @@ class JavaVm
     /** Number of GC worker threads used by the cost model. */
     std::uint32_t gcThreads() const;
 
+    /** @name Fault injection (driven by fault::FaultInjector) */
+    /** @{ */
+    /** Registered mutators (valid once run() started). */
+    std::uint32_t
+    mutatorCount() const
+    {
+        return static_cast<std::uint32_t>(mutators_.size());
+    }
+
+    /** Unfinished mutators. */
+    std::uint32_t
+    aliveMutators() const
+    {
+        return n_threads_ - mutators_finished_;
+    }
+
+    /** Mutator @p idx exists, has not finished and is not kill-pending. */
+    bool mutatorAlive(std::uint32_t idx) const;
+
+    /**
+     * Kill mutator @p idx: it releases its monitors, abandons any
+     * in-flight task (counted in tasksReassigned()), its heap objects
+     * die through the normal thread-exit path, and it is removed from
+     * whatever wait structure held it (GC waiters, monitor queues,
+     * admission park list). Refuses — returning false — when the
+     * thread is already finished or kill-pending, or when it is the
+     * last alive mutator (the run must still be able to complete).
+     */
+    bool killMutator(std::uint32_t idx, Ticks now);
+
+    /**
+     * Hold mutator @p idx off-CPU until @p until (kill/stall fault).
+     * No-op (returning false) for finished mutators.
+     */
+    bool stallMutator(std::uint32_t idx, Ticks until);
+
+    /**
+     * Degrade (or restore) the GC worker count used to price future
+     * collections — GC-worker loss: the collector gets slower instead
+     * of wedging. Clamped to at least one worker.
+     */
+    void setGcWorkers(std::uint32_t n);
+
+    /** Current GC worker count (reflects setGcWorkers). */
+    std::uint32_t activeGcWorkers() const;
+
+    /** A killed mutator abandoned an in-flight task. */
+    void onTaskAbandoned(MutatorIndex idx);
+
+    std::uint64_t tasksReassigned() const { return tasks_reassigned_; }
+    /** @} */
+
+    /** @name Progress gauges (sampled by the run watchdog) */
+    /** @{ */
+    /** Actions executed so far across all mutators. */
+    std::uint64_t mutatorActionsExecuted() const;
+
+    std::uint32_t mutatorsFinished() const { return mutators_finished_; }
+
+    /** Completed stop-the-world collections so far. */
+    std::uint64_t
+    gcEventsCompleted() const
+    {
+        return gc_stats_.events.size();
+    }
+    /** @} */
+
   private:
     void performGcAtSafepoint();
     void finishGc(GcKind kind, const MinorWork &minor,
@@ -278,9 +395,11 @@ class JavaVm
 
     GcRunStats gc_stats_;
     std::uint64_t total_tasks_ = 0;
+    /** In-flight tasks abandoned by killed mutators. */
+    std::uint64_t tasks_reassigned_ = 0;
 
-    /** Guard against runaway/deadlocked workloads. */
-    Ticks max_run_time_ = 600 * units::SEC;
+    /** Guard against runaway/deadlocked workloads (VmConfig). */
+    Ticks max_run_time_ = 0;
 };
 
 } // namespace jscale::jvm

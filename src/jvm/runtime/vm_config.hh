@@ -121,6 +121,12 @@ struct VmConfig
     HelperConfig helpers;
     /** Spawn helper threads (disable for microbenchmark purity). */
     bool enable_helpers = true;
+    /**
+     * Simulated-time guard: a run not finished within this budget
+     * throws AbortError (runaway/deadlocked workload). The experiment
+     * harness isolates the abort as a per-run failure.
+     */
+    Ticks max_run_time = 600 * units::SEC;
 };
 
 } // namespace jscale::jvm

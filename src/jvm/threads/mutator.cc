@@ -90,6 +90,9 @@ Ticks
 MutatorThread::planBurst(Ticks now, Ticks limit)
 {
     (void)now;
+    (void)limit;
+    if (kill_pending_)
+        return 1; // minimal burst; finishBurst performs the kill
     if (!have_action_)
         fetchAction();
     if (remaining_cost_ == 0) {
@@ -101,8 +104,33 @@ MutatorThread::planBurst(Ticks now, Ticks limit)
 }
 
 os::BurstOutcome
+MutatorThread::executeKill(Ticks now)
+{
+    jscale_assert(kill_pending_ && !finished_, "stray kill");
+    // Release held monitors in reverse acquisition order so queued
+    // waiters are handed off instead of wedging behind a dead owner.
+    for (auto it = held_ids_.rbegin(); it != held_ids_.rend(); ++it)
+        vm_.monitors().monitor(*it).release(this, now);
+    held_ids_.clear();
+    held_monitors_ = 0;
+    // An in-flight (non-End) action is an abandoned task: report it so
+    // the run accounts for the re-enqueue.
+    if (have_action_ && current_.kind != Action::Kind::End)
+        vm_.onTaskAbandoned(index_);
+    have_action_ = false;
+    remaining_cost_ = 0;
+    kill_pending_ = false;
+    killed_ = true;
+    finished_ = true;
+    vm_.onMutatorFinished(this, now);
+    return os::BurstOutcome::Finished;
+}
+
+os::BurstOutcome
 MutatorThread::finishBurst(Ticks now, Ticks elapsed)
 {
+    if (kill_pending_)
+        return executeKill(now);
     jscale_assert(have_action_, "burst finished without an action");
     jscale_assert(elapsed <= remaining_cost_, "burst over-ran action cost");
     remaining_cost_ -= elapsed;
@@ -134,6 +162,7 @@ MutatorThread::finishBurst(Ticks now, Ticks elapsed)
         Monitor &m = vm_.monitors().monitor(current_.id);
         if (m.acquire(this, now)) {
             ++held_monitors_;
+            held_ids_.push_back(current_.id);
             consumeAction();
             return os::BurstOutcome::Ready;
         }
@@ -145,6 +174,7 @@ MutatorThread::finishBurst(Ticks now, Ticks elapsed)
         jscale_assert(held_monitors_ > 0, "exit without held monitor");
         vm_.monitors().monitor(current_.id).release(this, now);
         --held_monitors_;
+        std::erase(held_ids_, current_.id);
         consumeAction();
         return os::BurstOutcome::Ready;
 
@@ -152,6 +182,7 @@ MutatorThread::finishBurst(Ticks now, Ticks elapsed)
         Monitor &m = vm_.monitors().monitor(current_.id);
         jscale_assert(held_monitors_ > 0, "wait without held monitor");
         --held_monitors_;
+        std::erase(held_ids_, current_.id);
         awaiting_grant_ = true;
         m.waitOn(this, now); // releases; re-grant consumes the action
         return os::BurstOutcome::Blocked;
@@ -215,6 +246,7 @@ MutatorThread::monitorGranted(MonitorId monitor)
                   "unexpected monitor grant");
     awaiting_grant_ = false;
     ++held_monitors_;
+    held_ids_.push_back(monitor);
     consumeAction();
 }
 
@@ -236,6 +268,20 @@ MutatorThread::gcWaitOver()
     awaiting_gc_ = false;
     // The pending Allocate action is retried on the next burst;
     // planBurst re-arms the slow-path cost because remaining_cost_ == 0.
+}
+
+void
+MutatorThread::cancelGcWait()
+{
+    jscale_assert(awaiting_gc_, "cancelGcWait without a pending GC wait");
+    awaiting_gc_ = false;
+}
+
+void
+MutatorThread::cancelGrantWait()
+{
+    jscale_assert(awaiting_grant_, "cancelGrantWait without a grant wait");
+    awaiting_grant_ = false;
 }
 
 } // namespace jscale::jvm

@@ -14,6 +14,7 @@
 #include <cstdint>
 #include <memory>
 #include <string>
+#include <vector>
 
 #include "base/units.hh"
 #include "jvm/locks/monitor.hh"
@@ -78,6 +79,34 @@ class MutatorThread : public os::SchedClient, public MonitorWaiter
     bool finished() const { return finished_; }
     const MutatorStats &mutStats() const { return stats_; }
 
+    /** @name Fault injection (mutator kill) */
+    /** @{ */
+    /**
+     * Mark the thread for termination at its next burst: held monitors
+     * are released in reverse acquisition order, the in-flight action is
+     * abandoned (counted as a reassigned task when one was live), and
+     * the thread finishes — its heap objects die through the normal
+     * thread-exit lifespan machinery. The VM is responsible for waking a
+     * blocked thread so the kill executes.
+     */
+    void requestKill() { kill_pending_ = true; }
+
+    bool killPending() const { return kill_pending_; }
+    bool killed() const { return killed_; }
+
+    /** Blocked waiting for a GC (used by the VM's kill path). */
+    bool awaitingGc() const { return awaiting_gc_; }
+
+    /** Blocked in a monitor/channel queue (kill path). */
+    bool awaitingGrant() const { return awaiting_grant_; }
+
+    /** Clear a cancelled GC wait (the VM removed us from the waiters). */
+    void cancelGcWait();
+
+    /** Clear a cancelled monitor/channel wait (queue entry removed). */
+    void cancelGrantWait();
+    /** @} */
+
   private:
     /** Fetch the next action and price it. */
     void fetchAction();
@@ -87,6 +116,9 @@ class MutatorThread : public os::SchedClient, public MonitorWaiter
 
     /** Price an action's CPU cost (always >= 1 tick). */
     Ticks actionCost(const Action &a) const;
+
+    /** Perform a pending kill at a burst boundary. */
+    os::BurstOutcome executeKill(Ticks now);
 
     JavaVm &vm_;
     MutatorIndex index_;
@@ -105,6 +137,11 @@ class MutatorThread : public os::SchedClient, public MonitorWaiter
     bool finished_ = false;
     /** Monitors currently owned by this thread. */
     std::uint32_t held_monitors_ = 0;
+    /** Ids of held monitors in acquisition order (kill release path). */
+    std::vector<MonitorId> held_ids_;
+    /** Fault injection: terminate at the next burst boundary. */
+    bool kill_pending_ = false;
+    bool killed_ = false;
 
     MutatorStats stats_;
 };

@@ -88,6 +88,21 @@ Machine::enableCores(std::uint32_t n, EnablePolicy policy)
     enabled_count_ = n;
 }
 
+bool
+Machine::setCoreOnline(CoreId id, bool online)
+{
+    Core &c = core(id);
+    if (c.enabled() == online)
+        return true;
+    if (!online && enabled_count_ <= 1)
+        return false; // never offline the last core
+    c.setEnabled(online);
+    enabled_count_ += online ? 1 : -1;
+    if (online)
+        c.setSpeedFactor(1.0);
+    return true;
+}
+
 std::vector<CoreId>
 Machine::enabledCoreIds() const
 {

@@ -75,11 +75,20 @@ class Core
     /** Enable or disable the core (experiment setup only). */
     void setEnabled(bool e) { enabled_ = e; }
 
+    /**
+     * Current speed factor in (0, 1]: 1.0 is nominal frequency, lower
+     * values model transient throttling (fault injection). Affects how
+     * the scheduler stretches planned bursts, not cyclesToTicks.
+     */
+    double speedFactor() const { return speed_factor_; }
+    void setSpeedFactor(double f) { speed_factor_ = f; }
+
   private:
     CoreId id_;
     NodeId socket_;
     double freq_ghz_;
     bool enabled_ = false;
+    double speed_factor_ = 1.0;
 };
 
 /**
@@ -126,6 +135,14 @@ class Machine
      */
     void enableCores(std::uint32_t n,
                      EnablePolicy policy = EnablePolicy::Compact);
+
+    /**
+     * Take one core offline or bring it back online at runtime (fault
+     * injection). Unlike enableCores this flips a single core and keeps
+     * the enabled count consistent; no-op if already in that state.
+     * Returns false when the request would offline the last online core.
+     */
+    bool setCoreOnline(CoreId id, bool online);
 
     /** Number of currently enabled cores. */
     std::uint32_t enabledCores() const { return enabled_count_; }

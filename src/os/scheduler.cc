@@ -1,6 +1,7 @@
 #include "os/scheduler.hh"
 
 #include <algorithm>
+#include <cmath>
 
 #include "base/logging.hh"
 
@@ -203,12 +204,8 @@ Scheduler::wake(OsThread *thread)
 }
 
 void
-Scheduler::wakeAt(OsThread *thread, Ticks when)
+Scheduler::armTimedWake(OsThread *thread, Ticks when)
 {
-    jscale_assert(when >= sim_.now(), "wakeAt in the past");
-    // The caller is inside its burst; the Blocked outcome it is about to
-    // return is recorded as Sleeping for accounting.
-    thread->pending_sleep_ = true;
     TimedWakeEvent *ev;
     if (!wake_free_.empty()) {
         ev = wake_free_.back();
@@ -219,6 +216,16 @@ Scheduler::wakeAt(OsThread *thread, Ticks when)
     }
     ev->arm(thread);
     sim_.schedule(ev, when);
+}
+
+void
+Scheduler::wakeAt(OsThread *thread, Ticks when)
+{
+    jscale_assert(when >= sim_.now(), "wakeAt in the past");
+    // The caller is inside its burst; the Blocked outcome it is about to
+    // return is recorded as Sleeping for accounting.
+    thread->pending_sleep_ = true;
+    armTimedWake(thread, when);
 }
 
 void
@@ -255,7 +262,35 @@ Scheduler::timedWakeFired(TimedWakeEvent *ev)
 void
 Scheduler::enqueueReady(OsThread *thread, machine::CoreId core_id)
 {
+    // An offline core (fault injection) accepts no work; redirect to the
+    // least-loaded online core so displaced threads keep making progress.
+    if (!mach_.core(core_id).enabled())
+        core_id = migrationTarget(core_id);
     cores_[core_id].ready.push_back(thread);
+}
+
+machine::CoreId
+Scheduler::migrationTarget(machine::CoreId from) const
+{
+    const machine::NodeId socket = mach_.socketOf(from);
+    machine::CoreId best_id = 0;
+    std::size_t best_len = 0;
+    bool best_local = false;
+    bool have = false;
+    for (const auto id : mach_.enabledCoreIds()) {
+        const std::size_t len = cores_[id].ready.size();
+        const bool local = mach_.socketOf(id) == socket;
+        // Prefer same-socket targets, then shortest queue, lowest id.
+        if (!have || (local && !best_local) ||
+            (local == best_local && len < best_len)) {
+            best_id = id;
+            best_len = len;
+            best_local = local;
+            have = true;
+        }
+    }
+    jscale_assert(have, "no online core to migrate to");
+    return best_id;
 }
 
 OsThread *
@@ -375,8 +410,19 @@ Scheduler::dispatch(machine::CoreId core_id, OsThread *thread, bool stolen)
     cs.dispatched_at = now;
     cs.overhead = overhead;
     cs.planned = planned;
+    // A throttled core (fault injection) stretches the burst in wall
+    // time; sliceEnd converts elapsed wall time back to logical work.
+    // The factor is captured here so a mid-burst recovery never bends a
+    // burst already in flight.
+    cs.speed = mach_.core(core_id).speedFactor();
+    Ticks wall = planned;
+    if (cs.speed < 1.0) {
+        wall = static_cast<Ticks>(std::llround(
+            static_cast<double>(planned) / cs.speed));
+        wall = std::max(wall, planned);
+    }
     ++running_count_;
-    sim_.schedule(cs.slice_end.get(), now + overhead + planned);
+    sim_.schedule(cs.slice_end.get(), now + overhead + wall);
 
     // A stop-the-world request may have raced in via the policy kick
     // path; keep the invariant that no dispatch happens while stopped.
@@ -391,10 +437,18 @@ Scheduler::sliceEnd(machine::CoreId core_id)
     jscale_assert(thread != nullptr, "slice end on idle core ", core_id);
     const Ticks now = sim_.now();
     const Ticks elapsed_total = now - cs.dispatched_at;
-    const Ticks work = elapsed_total > cs.overhead
-                           ? elapsed_total - cs.overhead
-                           : 0;
-    jscale_assert(work <= cs.planned, "burst overran its plan");
+    Ticks work = elapsed_total > cs.overhead
+                     ? elapsed_total - cs.overhead
+                     : 0;
+    if (cs.speed < 1.0) {
+        // Throttled core: wall time elapsed covers less logical work.
+        work = std::min<Ticks>(
+            cs.planned,
+            static_cast<Ticks>(std::llround(
+                static_cast<double>(work) * cs.speed)));
+    } else {
+        jscale_assert(work <= cs.planned, "burst overran its plan");
+    }
 
     cs.running = nullptr;
     --running_count_;
@@ -417,8 +471,17 @@ Scheduler::sliceEnd(machine::CoreId core_id)
 
     switch (outcome) {
       case BurstOutcome::Ready:
-        setThreadState(thread, ThreadState::Ready, now);
-        enqueueReady(thread, core_id);
+        if (thread->forced_sleep_until_ > now) {
+            // Forced stall (fault injection): hold the thread off-core
+            // as if the host OS had descheduled it.
+            setThreadState(thread, ThreadState::Sleeping, now);
+            armTimedWake(thread, thread->forced_sleep_until_);
+            ++stats_.forced_stalls;
+        } else {
+            setThreadState(thread, ThreadState::Ready, now);
+            enqueueReady(thread, core_id);
+        }
+        thread->forced_sleep_until_ = 0;
         break;
       case BurstOutcome::Blocked:
         setThreadState(thread,
@@ -426,9 +489,11 @@ Scheduler::sliceEnd(machine::CoreId core_id)
                                               : ThreadState::Blocked,
                        now);
         thread->pending_sleep_ = false;
+        thread->forced_sleep_until_ = 0;
         break;
       case BurstOutcome::Finished:
         setThreadState(thread, ThreadState::Finished, now);
+        thread->forced_sleep_until_ = 0;
         ++finished_count_;
         if (finished_cb_)
             finished_cb_(thread);
@@ -457,17 +522,119 @@ Scheduler::stopTheWorld(std::function<void()> all_parked)
         });
     }
     for (const auto id : mach_.enabledCoreIds()) {
-        CoreState &cs = cores_[id];
-        if (!cs.running)
-            continue;
-        // Truncate the running burst at its next safepoint poll.
-        const Ticks poll = now + static_cast<Ticks>(rng_.range(
-            static_cast<std::int64_t>(config_.min_poll_latency),
-            static_cast<std::int64_t>(config_.max_poll_latency)));
-        if (cs.slice_end->scheduled() && cs.slice_end->when() > poll)
-            sim_.queue().reschedule(cs.slice_end.get(), poll);
+        if (cores_[id].running)
+            truncateAtPoll(id);
     }
     maybeFireStwCallback();
+}
+
+void
+Scheduler::truncateAtPoll(machine::CoreId core_id)
+{
+    CoreState &cs = cores_[core_id];
+    jscale_assert(cs.running != nullptr,
+                  "truncateAtPoll on idle core ", core_id);
+    // Truncate the running burst at its next safepoint poll.
+    const Ticks poll = sim_.now() + static_cast<Ticks>(rng_.range(
+        static_cast<std::int64_t>(config_.min_poll_latency),
+        static_cast<std::int64_t>(config_.max_poll_latency)));
+    if (cs.slice_end->scheduled() && cs.slice_end->when() > poll)
+        sim_.queue().reschedule(cs.slice_end.get(), poll);
+}
+
+bool
+Scheduler::setCoreOnline(machine::CoreId core_id, bool online)
+{
+    CoreState &cs = cores_[core_id];
+    if (online) {
+        if (!mach_.setCoreOnline(core_id, true))
+            return false;
+        ++stats_.core_onlines;
+        // Queued threads whose home is this core flow back naturally at
+        // their next wake; kick so an idle comeback core can steal work
+        // or dispatch immediately.
+        kickAll();
+        return true;
+    }
+    if (!mach_.setCoreOnline(core_id, false))
+        return false; // last online core: fault skipped
+    ++stats_.core_offlines;
+    // Migrate the ready queue FIFO-intact so displaced threads are
+    // re-admitted in their original order.
+    if (!cs.ready.empty()) {
+        const machine::CoreId target = migrationTarget(core_id);
+        stats_.displaced_threads += cs.ready.size();
+        auto &dst = cores_[target].ready;
+        dst.insert(dst.end(), cs.ready.begin(), cs.ready.end());
+        cs.ready.clear();
+    }
+    // The running burst (if any) is truncated at its next poll; the
+    // sliceEnd re-enqueue then redirects away from the offline core.
+    if (cs.running)
+        truncateAtPoll(core_id);
+    if (!world_stopped_)
+        kickAll();
+    return true;
+}
+
+void
+Scheduler::setCoreSpeed(machine::CoreId core_id, double factor)
+{
+    jscale_assert(factor > 0.0 && factor <= 1.0,
+                  "core speed factor must be in (0, 1], got ", factor);
+    mach_.core(core_id).setSpeedFactor(factor);
+}
+
+std::uint32_t
+Scheduler::preemptLockHolders(Ticks hold_for)
+{
+    const Ticks now = sim_.now();
+    std::uint32_t hit = 0;
+    for (const auto id : mach_.enabledCoreIds()) {
+        CoreState &cs = cores_[id];
+        if (!cs.running || !cs.running->client()->urgent())
+            continue;
+        cs.running->forced_sleep_until_ = now + hold_for;
+        truncateAtPoll(id);
+        ++stats_.forced_preemptions;
+        ++hit;
+    }
+    return hit;
+}
+
+void
+Scheduler::stallThread(OsThread *thread, Ticks until)
+{
+    const Ticks now = sim_.now();
+    if (until <= now)
+        return;
+    switch (thread->state_) {
+      case ThreadState::Running: {
+        thread->forced_sleep_until_ = until;
+        const machine::CoreId core_id = thread->last_core_;
+        if (cores_[core_id].running == thread)
+            truncateAtPoll(core_id);
+        break;
+      }
+      case ThreadState::Ready: {
+        // Pull the thread out of whichever run queue holds it.
+        for (auto &cs : cores_) {
+            auto it = std::find(cs.ready.begin(), cs.ready.end(), thread);
+            if (it != cs.ready.end()) {
+                cs.ready.erase(it);
+                break;
+            }
+        }
+        accountStateExit(thread, now);
+        setThreadState(thread, ThreadState::Sleeping, now);
+        armTimedWake(thread, until);
+        ++stats_.forced_stalls;
+        break;
+      }
+      default:
+        // Blocked/Sleeping/New/Finished threads are already off-core.
+        break;
+    }
 }
 
 void

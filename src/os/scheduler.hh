@@ -52,6 +52,13 @@ struct SchedulerStats
     /** Admission-control decisions (concurrency governor). */
     std::uint64_t admission_parks = 0;
     std::uint64_t admission_unparks = 0;
+    /** Fault-injection activity (core offline/online, displacements,
+     *  forced lock-holder preemptions and stalls). */
+    std::uint64_t core_offlines = 0;
+    std::uint64_t core_onlines = 0;
+    std::uint64_t displaced_threads = 0;
+    std::uint64_t forced_preemptions = 0;
+    std::uint64_t forced_stalls = 0;
     Ticks busy_ticks = 0;
     Ticks overhead_ticks = 0;
 };
@@ -139,6 +146,45 @@ class Scheduler
         finished_cb_ = std::move(cb);
     }
 
+    /** @name Fault injection
+     * Runtime capacity faults. All are ordinary simulation-driven calls
+     * (no host randomness), so faulted runs stay deterministic. */
+    /** @{ */
+    /**
+     * Take @p core offline (online=false) or bring it back. Offlining
+     * truncates the core's running burst at its next safepoint poll,
+     * migrates the ready queue FIFO-intact to the least-loaded online
+     * core, and future wakes redirect away from the core. Returns false
+     * if the last online core would go away (the fault is skipped).
+     */
+    bool setCoreOnline(machine::CoreId core, bool online);
+
+    /**
+     * Throttle @p core to @p factor of nominal speed (0 < factor <= 1).
+     * Takes effect at the next dispatch on that core; factor 1.0
+     * restores nominal behaviour (and the exact unfaulted timing).
+     */
+    void setCoreSpeed(machine::CoreId core, double factor);
+
+    /**
+     * Preempt every running lock-holder (client()->urgent()) as if the
+     * host OS descheduled it: the burst is truncated at its next poll
+     * and the thread is held off-core for @p hold_for. Returns the
+     * number of threads hit.
+     */
+    std::uint32_t preemptLockHolders(Ticks hold_for);
+
+    /**
+     * Forcibly keep @p thread off-core until @p until (mutator stall).
+     * Running threads are truncated at the next poll first; blocked or
+     * sleeping threads are left alone (already suspended).
+     */
+    void stallThread(OsThread *thread, Ticks until);
+
+    /** Number of cores currently online. */
+    std::uint32_t onlineCores() const { return mach_.enabledCores(); }
+    /** @} */
+
     /** Re-examine all idle cores (used after policy phase rotations). */
     void kickAll();
 
@@ -171,6 +217,8 @@ class Scheduler
         Ticks dispatched_at = 0;
         Ticks overhead = 0;
         Ticks planned = 0;
+        /** Core speed factor captured at dispatch (burst stretching). */
+        double speed = 1.0;
         std::unique_ptr<SliceEndEvent> slice_end;
     };
 
@@ -183,6 +231,12 @@ class Scheduler
     void accountStateExit(OsThread *thread, Ticks now);
     void maybeFireStwCallback();
     void timedWakeFired(TimedWakeEvent *ev);
+    /** Schedule a pooled timed wake for @p thread at @p when. */
+    void armTimedWake(OsThread *thread, Ticks when);
+    /** Truncate @p core's running burst at its next safepoint poll. */
+    void truncateAtPoll(machine::CoreId core_id);
+    /** Least-loaded online core to absorb work from @p from. */
+    machine::CoreId migrationTarget(machine::CoreId from) const;
 
     /** Commit a state transition and publish it to the probe chain. */
     void setThreadState(OsThread *thread, ThreadState next, Ticks now);

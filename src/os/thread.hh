@@ -138,6 +138,10 @@ class OsThread
     /** Set by Scheduler::wakeAt; turns the next Blocked outcome into a
      *  timed sleep for accounting purposes. */
     bool pending_sleep_ = false;
+    /** Fault injection: when > 0 the thread is held off-core until this
+     *  time the next time a burst of its ends Ready (forced stall /
+     *  lock-holder preemption). Consumed by the scheduler. */
+    Ticks forced_sleep_until_ = 0;
     ThreadState state_ = ThreadState::New;
 
     /** Timestamp of the last state-entry, for accounting. */

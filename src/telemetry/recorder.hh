@@ -47,6 +47,7 @@ enum TrackGroup : std::uint32_t
     kCoresPid = 1,
     kThreadsPid = 2,
     kVmPid = 3,
+    kFaultsPid = 4,
 };
 
 /** Tracks within the "vm" group. */

@@ -1,0 +1,147 @@
+/**
+ * @file
+ * Checkpoint/resume tests: the CheckpointStore ledger itself, and the
+ * experiment harness skipping completed runs on --resume while a
+ * changed configuration (fingerprint mismatch) starts fresh.
+ */
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "core/checkpoint.hh"
+#include "core/experiment.hh"
+
+namespace {
+
+using namespace jscale;
+
+class CheckpointTest : public ::testing::Test
+{
+  protected:
+    void SetUp() override { std::filesystem::remove(path_); }
+    void TearDown() override { std::filesystem::remove(path_); }
+
+    const std::string path_ = "checkpoint_test.ledger";
+};
+
+TEST_F(CheckpointTest, RecordedKeysSurviveReload)
+{
+    {
+        core::CheckpointStore store(path_, "fp-1");
+        EXPECT_EQ(store.load(), 0u);
+        store.record("xalan|t4|s1");
+        store.record("xalan|t8|s2");
+        store.record("xalan|t4|s1"); // duplicate is a no-op
+        EXPECT_EQ(store.size(), 2u);
+    }
+    core::CheckpointStore reloaded(path_, "fp-1");
+    EXPECT_EQ(reloaded.load(), 2u);
+    EXPECT_TRUE(reloaded.completed("xalan|t4|s1"));
+    EXPECT_TRUE(reloaded.completed("xalan|t8|s2"));
+    EXPECT_FALSE(reloaded.completed("xalan|t16|s3"));
+}
+
+TEST_F(CheckpointTest, FingerprintMismatchStartsFresh)
+{
+    {
+        core::CheckpointStore store(path_, "fp-1");
+        store.load();
+        store.record("xalan|t4|s1");
+    }
+    core::CheckpointStore other(path_, "fp-2");
+    EXPECT_EQ(other.load(), 0u);
+    EXPECT_FALSE(other.completed("xalan|t4|s1"));
+    // Recording under the new fingerprint rewrites the ledger.
+    other.record("h2|t2|s9");
+    core::CheckpointStore reread(path_, "fp-2");
+    EXPECT_EQ(reread.load(), 1u);
+    EXPECT_TRUE(reread.completed("h2|t2|s9"));
+}
+
+TEST_F(CheckpointTest, MissingFileLoadsEmpty)
+{
+    core::CheckpointStore store(path_, "fp-1");
+    EXPECT_EQ(store.load(), 0u);
+    EXPECT_EQ(store.size(), 0u);
+}
+
+core::ExperimentConfig
+checkpointedCfg(const std::string &path, bool resume)
+{
+    core::ExperimentConfig cfg;
+    cfg.workload_scale = 0.05;
+    cfg.heap_override = 32 * units::MiB; // calibration-free, faster
+    cfg.checkpoint_path = path;
+    cfg.resume = resume;
+    return cfg;
+}
+
+TEST_F(CheckpointTest, ResumeSkipsCompletedRuns)
+{
+    // First campaign: both points run and are recorded.
+    {
+        core::ExperimentRunner runner(checkpointedCfg(path_, false));
+        const auto results = runner.sweep("sunflow", {2, 4});
+        ASSERT_EQ(results.size(), 2u);
+        for (const auto &r : results) {
+            EXPECT_FALSE(r.skipped);
+            EXPECT_GT(r.total_tasks, 0u);
+        }
+    }
+    // Second campaign, same configuration, --resume: both are skipped.
+    {
+        core::ExperimentRunner runner(checkpointedCfg(path_, true));
+        const auto results = runner.sweep("sunflow", {2, 4});
+        ASSERT_EQ(results.size(), 2u);
+        for (const auto &r : results) {
+            EXPECT_TRUE(r.skipped);
+            EXPECT_EQ(r.app_name, "sunflow");
+            EXPECT_FALSE(r.failed());
+        }
+        EXPECT_EQ(results[0].threads, 2u);
+        EXPECT_EQ(results[1].threads, 4u);
+    }
+    // A new point in the same campaign still runs.
+    {
+        core::ExperimentRunner runner(checkpointedCfg(path_, true));
+        const auto results = runner.sweep("sunflow", {2, 8});
+        ASSERT_EQ(results.size(), 2u);
+        EXPECT_TRUE(results[0].skipped);
+        EXPECT_FALSE(results[1].skipped);
+        EXPECT_GT(results[1].total_tasks, 0u);
+    }
+}
+
+TEST_F(CheckpointTest, ChangedSeedInvalidatesTheLedger)
+{
+    {
+        core::ExperimentRunner runner(checkpointedCfg(path_, false));
+        runner.sweep("sunflow", {2});
+    }
+    core::ExperimentConfig cfg = checkpointedCfg(path_, true);
+    cfg.seed = 4711; // different campaign fingerprint
+    core::ExperimentRunner runner(cfg);
+    const auto results = runner.sweep("sunflow", {2});
+    ASSERT_EQ(results.size(), 1u);
+    EXPECT_FALSE(results[0].skipped);
+    EXPECT_GT(results[0].total_tasks, 0u);
+}
+
+TEST_F(CheckpointTest, WithoutResumeTheLedgerOnlyRecords)
+{
+    {
+        core::ExperimentRunner runner(checkpointedCfg(path_, false));
+        runner.sweep("sunflow", {2});
+    }
+    // resume=false: runs execute again even though they are recorded.
+    core::ExperimentRunner runner(checkpointedCfg(path_, false));
+    const auto results = runner.sweep("sunflow", {2});
+    ASSERT_EQ(results.size(), 1u);
+    EXPECT_FALSE(results[0].skipped);
+    EXPECT_GT(results[0].total_tasks, 0u);
+}
+
+} // namespace

@@ -1,0 +1,123 @@
+/**
+ * @file
+ * ParallelExecutor regression tests: exception safety of run() (first
+ * error in task order, pool never wedges) and per-task isolation of
+ * runIsolated() (failed slots carry the error, the batch completes).
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "base/error.hh"
+#include "core/parallel.hh"
+
+namespace {
+
+using namespace jscale;
+
+jvm::RunResult
+resultWithTasks(std::uint64_t tasks)
+{
+    jvm::RunResult r;
+    r.total_tasks = tasks;
+    return r;
+}
+
+TEST(ParallelExecutor, RunRethrowsFirstErrorInTaskOrder)
+{
+    std::atomic<int> completed{0};
+    std::vector<std::function<jvm::RunResult()>> tasks;
+    for (int i = 0; i < 8; ++i) {
+        tasks.push_back([i, &completed]() -> jvm::RunResult {
+            if (i == 2)
+                throw std::runtime_error("boom-2");
+            if (i == 5)
+                throw std::runtime_error("boom-5");
+            ++completed;
+            return resultWithTasks(static_cast<std::uint64_t>(i));
+        });
+    }
+    try {
+        core::ParallelExecutor(4).run(std::move(tasks));
+        FAIL() << "expected the first task error to be rethrown";
+    } catch (const std::runtime_error &e) {
+        EXPECT_STREQ(e.what(), "boom-2");
+    }
+    // Every non-throwing task still ran: a thrown task must not take
+    // the pool (or its siblings) down with it.
+    EXPECT_EQ(completed.load(), 6);
+}
+
+TEST(ParallelExecutor, RunIsolatedCapturesEachErrorInPlace)
+{
+    std::vector<std::function<jvm::RunResult()>> tasks;
+    for (int i = 0; i < 6; ++i) {
+        tasks.push_back([i]() -> jvm::RunResult {
+            if (i % 2 == 1)
+                throw AbortError("task " + std::to_string(i) +
+                                 " aborted");
+            return resultWithTasks(static_cast<std::uint64_t>(i + 100));
+        });
+    }
+    const auto outcomes =
+        core::ParallelExecutor(3).runIsolated(std::move(tasks));
+    ASSERT_EQ(outcomes.size(), 6u);
+    for (int i = 0; i < 6; ++i) {
+        if (i % 2 == 1) {
+            EXPECT_FALSE(outcomes[i].ok) << i;
+            EXPECT_EQ(outcomes[i].error,
+                      "task " + std::to_string(i) + " aborted");
+        } else {
+            EXPECT_TRUE(outcomes[i].ok) << i;
+            EXPECT_EQ(outcomes[i].result.total_tasks,
+                      static_cast<std::uint64_t>(i + 100));
+        }
+    }
+}
+
+TEST(ParallelExecutor, RunIsolatedSequentialMatchesParallel)
+{
+    auto make = [] {
+        std::vector<std::function<jvm::RunResult()>> tasks;
+        for (int i = 0; i < 5; ++i) {
+            tasks.push_back([i]() -> jvm::RunResult {
+                if (i == 4)
+                    throw std::runtime_error("tail failure");
+                return resultWithTasks(static_cast<std::uint64_t>(i));
+            });
+        }
+        return tasks;
+    };
+    const auto seq = core::ParallelExecutor(1).runIsolated(make());
+    const auto par = core::ParallelExecutor(4).runIsolated(make());
+    ASSERT_EQ(seq.size(), par.size());
+    for (std::size_t i = 0; i < seq.size(); ++i) {
+        EXPECT_EQ(seq[i].ok, par[i].ok) << i;
+        EXPECT_EQ(seq[i].error, par[i].error) << i;
+        EXPECT_EQ(seq[i].result.total_tasks, par[i].result.total_tasks)
+            << i;
+    }
+}
+
+TEST(ParallelExecutor, NonStdExceptionBecomesUnknownError)
+{
+    std::vector<std::function<jvm::RunResult()>> tasks;
+    tasks.push_back([]() -> jvm::RunResult { throw 42; });
+    const auto outcomes =
+        core::ParallelExecutor(1).runIsolated(std::move(tasks));
+    ASSERT_EQ(outcomes.size(), 1u);
+    EXPECT_FALSE(outcomes[0].ok);
+    EXPECT_EQ(outcomes[0].error, "unknown error");
+}
+
+TEST(ParallelExecutor, EmptyBatchesAreNoOps)
+{
+    EXPECT_TRUE(core::ParallelExecutor(4).run({}).empty());
+    EXPECT_TRUE(core::ParallelExecutor(4).runIsolated({}).empty());
+}
+
+} // namespace

@@ -1,0 +1,200 @@
+/**
+ * @file
+ * Fault-injection integration tests: injected faults are visible in the
+ * run's counters, runs degrade gracefully instead of wedging, faulted
+ * sweeps stay byte-identical at any host parallelism, and the
+ * concurrency governor re-targets after capacity loss.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "base/units.hh"
+#include "control/governor.hh"
+#include "core/experiment.hh"
+#include "core/report.hh"
+#include "fault/fault.hh"
+
+namespace {
+
+using namespace jscale;
+
+core::ExperimentConfig
+faultedCfg(const std::string &spec, double scale = 0.05)
+{
+    core::ExperimentConfig cfg;
+    cfg.workload_scale = scale;
+    std::string err;
+    if (!fault::FaultPlan::parse(spec, cfg.faults, err))
+        ADD_FAILURE() << "bad test fault spec: " << err;
+    return cfg;
+}
+
+std::string
+snapshotText(const jvm::RunResult &r)
+{
+    std::ostringstream os;
+    core::runStatSnapshot(r).print(os);
+    return os.str();
+}
+
+TEST(FaultInjection, CoreOfflineMigratesAndRecovers)
+{
+    // Two cores go away at 2 ms and return at 7 ms; the scheduler must
+    // migrate the displaced threads and the run must complete the same
+    // amount of work as the unfaulted baseline (no kills involved).
+    core::ExperimentRunner clean(faultedCfg(""));
+    const jvm::RunResult base = clean.runApp("xalan", 8);
+
+    core::ExperimentRunner faulted(faultedCfg("coreoff@2:n=2:for=5"));
+    const jvm::RunResult r = faulted.runApp("xalan", 8);
+
+    EXPECT_EQ(r.faults.cores_offlined, 2u);
+    EXPECT_EQ(r.faults.cores_onlined, 2u);
+    EXPECT_GE(r.faults.injections, 1u);
+    EXPECT_GE(r.faults.recoveries, 1u);
+    // Eight threads time-share six cores while the fault holds: the
+    // displaced threads keep running (extra context switches), and the
+    // run still completes exactly the baseline amount of work.
+    EXPECT_GT(r.sched.context_switches, base.sched.context_switches);
+    EXPECT_EQ(r.total_tasks, base.total_tasks);
+    EXPECT_GT(r.wall_time, 0u);
+}
+
+TEST(FaultInjection, MutatorKillIsCountedAndRunCompletes)
+{
+    core::ExperimentRunner runner(faultedCfg("kill@3:n=2"));
+    const jvm::RunResult r = runner.runApp("xalan", 4);
+    EXPECT_EQ(r.faults.mutators_killed, 2u);
+    EXPECT_TRUE(r.faults.any());
+    EXPECT_GT(r.total_tasks, 0u);
+    EXPECT_GT(r.wall_time, 0u);
+    EXPECT_FALSE(r.failed());
+}
+
+TEST(FaultInjection, KillNeverTakesTheLastMutator)
+{
+    // Asking for more kills than threads: the injector must leave at
+    // least one mutator alive so the run can still finish.
+    core::ExperimentRunner runner(faultedCfg("kill@2:n=8"));
+    const jvm::RunResult r = runner.runApp("sunflow", 2);
+    EXPECT_LE(r.faults.mutators_killed, 1u);
+    EXPECT_GT(r.total_tasks, 0u);
+    EXPECT_FALSE(r.failed());
+}
+
+TEST(FaultInjection, TransientFaultsAllRegisterAndRecover)
+{
+    core::ExperimentRunner runner(faultedCfg(
+        "slow@1:n=2:factor=0.5:for=2,stall@1:n=1:for=1,"
+        "heap@1:mb=2:for=2,gcworkers@1:n=1:for=2,"
+        "preempt@2:n=2:every=0.5:for=0.2"));
+    const jvm::RunResult r = runner.runApp("lusearch", 8);
+    EXPECT_GE(r.faults.slowdowns, 1u);
+    EXPECT_GE(r.faults.mutators_stalled, 1u);
+    EXPECT_GE(r.faults.heap_spikes, 1u);
+    EXPECT_GE(r.faults.gc_worker_losses, 1u);
+    EXPECT_GE(r.faults.preempt_bursts, 1u);
+    EXPECT_GE(r.faults.recoveries, 3u);
+    EXPECT_GT(r.total_tasks, 0u);
+    EXPECT_FALSE(r.failed());
+}
+
+TEST(FaultInjection, FaultedSweepByteIdenticalAcrossJobs)
+{
+    const std::string spec =
+        "slow@1:n=2:factor=0.5:for=3,coreoff@2:n=1:for=4,"
+        "stall@2:for=2,heap@1:mb=2:for=3,kill@4";
+    const std::vector<std::uint32_t> threads = {2, 4, 8};
+
+    auto capture = [&](std::uint32_t jobs) {
+        core::ExperimentConfig cfg = faultedCfg(spec);
+        cfg.jobs = jobs;
+        core::ExperimentRunner runner(cfg);
+        std::vector<std::string> out;
+        for (const auto &r : runner.sweep("xalan", threads))
+            out.push_back(snapshotText(r));
+        return out;
+    };
+    const auto sequential = capture(1);
+    const auto parallel = capture(8);
+    ASSERT_EQ(sequential.size(), parallel.size());
+    for (std::size_t i = 0; i < sequential.size(); ++i)
+        EXPECT_EQ(sequential[i], parallel[i]) << "point " << i;
+}
+
+TEST(FaultInjection, IntensityPlanIsDeterministicAcrossRuns)
+{
+    // Short horizon so the generated schedule lands inside a 0.05-scale
+    // run (the 300 ms default assumes full-scale workloads).
+    core::ExperimentConfig cfg =
+        faultedCfg("intensity=0.5:seed=9:horizon=5");
+    core::ExperimentRunner a(cfg);
+    core::ExperimentRunner b(cfg);
+    const auto ra = a.runApp("h2", 8);
+    const auto rb = b.runApp("h2", 8);
+    EXPECT_EQ(snapshotText(ra), snapshotText(rb));
+    EXPECT_TRUE(ra.faults.any());
+}
+
+TEST(FaultGovernor, GovernorRetargetsAfterCapacityLoss)
+{
+    // Half the enabled cores go away for good at 3 ms. The governor's
+    // capacity clamp must pull the admission target at or below the
+    // surviving core count.
+    core::ExperimentConfig cfg = faultedCfg("coreoff@3:n=8");
+    cfg.governor.mode = control::GovernorMode::HillClimb;
+    cfg.governor.interval = 1 * units::MS;
+    core::ExperimentRunner runner(cfg);
+    const jvm::RunResult r = runner.runApp("h2", 16);
+
+    EXPECT_TRUE(r.governor.enabled);
+    EXPECT_EQ(r.faults.cores_offlined, 8u);
+    EXPECT_LE(r.governor.final_target, 8u);
+    // Parking stays balanced: nobody is left parked at run end.
+    EXPECT_EQ(r.governor.parks, r.governor.unparks);
+    EXPECT_FALSE(r.failed());
+}
+
+TEST(FaultGovernor, LastRunnableMutatorNeverParkedWithCoresOffline)
+{
+    // Two threads, one core gone permanently, aggressive governor: the
+    // admission floor must keep at least one mutator runnable so the
+    // run finishes.
+    core::ExperimentConfig cfg = faultedCfg("coreoff@1:n=1");
+    cfg.governor.mode = control::GovernorMode::HillClimb;
+    cfg.governor.interval = 1 * units::MS;
+    core::ExperimentRunner runner(cfg);
+    const jvm::RunResult r = runner.runApp("sunflow", 2);
+
+    EXPECT_GE(r.governor.min_target, 1u);
+    EXPECT_EQ(r.governor.parks, r.governor.unparks);
+    EXPECT_GT(r.total_tasks, 0u);
+    EXPECT_FALSE(r.failed());
+}
+
+TEST(FaultGovernor, GovernedFaultedSweepByteIdenticalAcrossJobs)
+{
+    auto capture = [](std::uint32_t jobs) {
+        core::ExperimentConfig cfg =
+            faultedCfg("coreoff@2:n=2:for=4,slow@1:factor=0.5:for=3");
+        cfg.governor.mode = control::GovernorMode::HillClimb;
+        cfg.governor.interval = 1 * units::MS;
+        cfg.jobs = jobs;
+        core::ExperimentRunner runner(cfg);
+        std::vector<std::string> out;
+        for (const auto &r : runner.sweep("jython", {4, 8}))
+            out.push_back(snapshotText(r));
+        return out;
+    };
+    const auto sequential = capture(1);
+    const auto parallel = capture(4);
+    ASSERT_EQ(sequential.size(), parallel.size());
+    for (std::size_t i = 0; i < sequential.size(); ++i)
+        EXPECT_EQ(sequential[i], parallel[i]) << "point " << i;
+}
+
+} // namespace

@@ -10,10 +10,13 @@
  *   lifespan lifespan CDF across thread counts (Fig. 1c/1d)
  *   locks    per-monitor DTrace-style lock profile
  *   usl      fit the USL model to an existing sweep CSV
+ *   faults   parse and print a fault-injection schedule
+ *   resilience  E18: throughput vs. fault intensity, gov vs. ungov
  *
  * Common flags: --app <name> --threads <list> --scale <f> --seed <n>
  *               --heap-factor <f> --compartments --biased [--groups g]
  *               --adaptive --governor <policy> --gclog <path> --csv
+ *               --faults <spec> --watchdog --checkpoint <path> --resume
  */
 
 #include <algorithm>
@@ -27,12 +30,15 @@
 #include <string>
 #include <vector>
 
+#include "base/error.hh"
 #include "base/output.hh"
 #include "control/governor.hh"
 #include "core/analyze.hh"
 #include "core/experiment.hh"
 #include "core/plots.hh"
 #include "core/report.hh"
+#include "core/resilience.hh"
+#include "fault/fault.hh"
 #include "jvm/gc/gclog.hh"
 #include "lockprof/lockprof.hh"
 #include "trace/trace.hh"
@@ -69,6 +75,14 @@ struct CliOptions
     std::uint32_t jobs = 0;
     control::GovernorMode governor = control::GovernorMode::Off;
     std::uint64_t governor_interval_ms = 5;
+    std::string faults_spec;
+    fault::FaultPlan fault_plan;
+    bool watchdog = false;
+    std::uint64_t watchdog_interval_ms = 1000;
+    std::string checkpoint_path;
+    bool resume = false;
+    std::vector<double> intensities = {0.0, 0.25, 0.5, 0.75, 1.0};
+    std::uint64_t horizon_ms = 0; // 0 = auto (3/4 of probe run)
 };
 
 [[noreturn]] void
@@ -89,6 +103,9 @@ usage(int code)
         "  analyze   lifespan/site analysis of a recorded trace file\n"
         "  usl       fit the USL model to a sweep CSV (--in) without\n"
         "            re-running any simulation\n"
+        "  faults    parse a --faults schedule and print it (dry run)\n"
+        "  resilience  E18: throughput and GC/lock shares vs. fault\n"
+        "            intensity, governed vs. ungoverned\n"
         "\n"
         "flags:\n"
         "  --app <name>        application (default xalan); see 'apps'\n"
@@ -120,6 +137,20 @@ usage(int code)
         "                      every n ms into a CSV time series\n"
         "  --metrics <path>    metrics CSV path (default derives from\n"
         "                      --timeline)\n"
+        "  --faults <spec>     deterministic fault schedule, e.g.\n"
+        "                      \"coreoff@100:n=2:for=200,kill@250\" or\n"
+        "                      \"intensity=0.5:horizon=300\"; see "
+        "'faults'\n"
+        "  --watchdog          arm the sim-time livelock watchdog\n"
+        "  --watchdog-interval-ms <n>  watchdog check interval\n"
+        "                      (default 1000 simulated ms)\n"
+        "  --checkpoint <path> record completed runs in a ledger file\n"
+        "  --resume            skip runs already recorded complete\n"
+        "                      (requires --checkpoint)\n"
+        "  --intensities <l>   resilience x-axis, comma-separated\n"
+        "                      fractions (default 0,0.25,0.5,0.75,1)\n"
+        "  --horizon-ms <n>    resilience fault window in simulated ms\n"
+        "                      (default: auto, 3/4 of an unfaulted run)\n"
         "  --out <path>        trace output file (trace command)\n"
         "  --in <path>         trace input file (analyze command)\n"
         "  --plots <dir>       write gnuplot figures (study command)\n"
@@ -222,6 +253,64 @@ parse(int argc, char **argv)
                 std::cerr << "--governor-interval-ms must be positive\n";
                 std::exit(2);
             }
+        } else if (arg == "--faults") {
+            o.faults_spec = value();
+            std::string err;
+            if (!fault::FaultPlan::parse(o.faults_spec, o.fault_plan,
+                                         err)) {
+                std::cerr << "bad --faults spec: " << err << "\n";
+                std::exit(2);
+            }
+        } else if (arg == "--watchdog") {
+            o.watchdog = true;
+        } else if (arg == "--watchdog-interval-ms") {
+            const std::string v = value();
+            if (v.empty() ||
+                v.find_first_not_of("0123456789") != std::string::npos) {
+                std::cerr << "bad --watchdog-interval-ms value '" << v
+                          << "'\n";
+                std::exit(2);
+            }
+            o.watchdog_interval_ms = std::stoull(v);
+            if (o.watchdog_interval_ms == 0) {
+                std::cerr << "--watchdog-interval-ms must be positive\n";
+                std::exit(2);
+            }
+        } else if (arg == "--checkpoint") {
+            o.checkpoint_path = value();
+        } else if (arg == "--resume") {
+            o.resume = true;
+        } else if (arg == "--intensities") {
+            o.intensities.clear();
+            std::stringstream ss(value());
+            std::string item;
+            while (std::getline(ss, item, ',')) {
+                char *end = nullptr;
+                const double v = std::strtod(item.c_str(), &end);
+                if (item.empty() || end != item.c_str() + item.size() ||
+                    v < 0.0 || v > 1.0) {
+                    std::cerr << "bad intensity '" << item
+                              << "' (expect fractions in [0, 1])\n";
+                    std::exit(2);
+                }
+                o.intensities.push_back(v);
+            }
+            if (o.intensities.empty()) {
+                std::cerr << "empty --intensities list\n";
+                std::exit(2);
+            }
+        } else if (arg == "--horizon-ms") {
+            const std::string v = value();
+            if (v.empty() ||
+                v.find_first_not_of("0123456789") != std::string::npos) {
+                std::cerr << "bad --horizon-ms value '" << v << "'\n";
+                std::exit(2);
+            }
+            o.horizon_ms = std::stoull(v);
+            if (o.horizon_ms == 0) {
+                std::cerr << "--horizon-ms must be positive\n";
+                std::exit(2);
+            }
         } else if (arg == "--per-thread") {
             o.per_thread = true;
         } else if (arg == "--gclog") {
@@ -248,7 +337,25 @@ parse(int argc, char **argv)
             usage(2);
         }
     }
+    if (o.resume && o.checkpoint_path.empty()) {
+        std::cerr << "--resume requires --checkpoint <path>\n";
+        std::exit(2);
+    }
     return o;
+}
+
+/** Exit 2 unless @p app names a modeled application. */
+void
+requireValidApp(const std::string &app)
+{
+    const auto names = workload::dacapoAppNames();
+    if (std::find(names.begin(), names.end(), app) != names.end())
+        return;
+    std::cerr << "unknown app '" << app << "'; modeled apps:";
+    for (const auto &name : names)
+        std::cerr << " " << name;
+    std::cerr << "\n";
+    std::exit(2);
 }
 
 core::ExperimentConfig
@@ -272,6 +379,11 @@ experimentConfig(const CliOptions &o)
     cfg.jobs = o.jobs;
     cfg.governor.mode = o.governor;
     cfg.governor.interval = o.governor_interval_ms * units::MS;
+    cfg.faults = o.fault_plan;
+    cfg.watchdog = o.watchdog;
+    cfg.watchdog_config.interval = o.watchdog_interval_ms * units::MS;
+    cfg.checkpoint_path = o.checkpoint_path;
+    cfg.resume = o.resume;
     return cfg;
 }
 
@@ -325,6 +437,7 @@ gcLogHook(const CliOptions &o,
 int
 cmdRun(const CliOptions &o)
 {
+    requireValidApp(o.app);
     core::ExperimentRunner runner(experimentConfig(o));
     std::unique_ptr<std::ofstream> log_stream;
     std::unique_ptr<jvm::GcLogWriter> writer;
@@ -376,6 +489,7 @@ cmdRun(const CliOptions &o)
 int
 cmdSweep(const CliOptions &o)
 {
+    requireValidApp(o.app);
     core::ExperimentRunner runner(experimentConfig(o));
     if (o.replicas > 1) {
         // Replicated mode: mean and 95% CI over derived seeds.
@@ -456,6 +570,7 @@ cmdStudy(const CliOptions &o)
 int
 cmdLifespan(const CliOptions &o)
 {
+    requireValidApp(o.app);
     core::ExperimentRunner runner(experimentConfig(o));
     std::vector<jvm::RunResult> sweep = runner.sweep(o.app, o.threads);
     core::printLifespanCdfTable(std::cout, o.app, sweep);
@@ -469,6 +584,7 @@ cmdLifespan(const CliOptions &o)
 int
 cmdLocks(const CliOptions &o)
 {
+    requireValidApp(o.app);
     core::ExperimentRunner runner(experimentConfig(o));
     lockprof::LockProfiler profiler;
     const jvm::RunResult r = runner.runApp(
@@ -483,6 +599,7 @@ cmdLocks(const CliOptions &o)
 int
 cmdTrace(const CliOptions &o)
 {
+    requireValidApp(o.app);
     std::ofstream out(o.trace_out, std::ios::binary);
     if (!out) {
         std::cerr << "cannot open '" << o.trace_out << "'\n";
@@ -653,30 +770,80 @@ cmdUsl(const CliOptions &o)
     return 0;
 }
 
+int
+cmdFaults(const CliOptions &o)
+{
+    if (o.faults_spec.empty()) {
+        std::cerr << "faults requires --faults <spec>\n";
+        return 2;
+    }
+    // Already validated by parse(); print the expanded schedule.
+    std::cout << o.fault_plan.describe() << "\n";
+    return 0;
+}
+
+int
+cmdResilience(const CliOptions &o)
+{
+    requireValidApp(o.app);
+    core::ResilienceConfig cfg;
+    cfg.app = o.app;
+    cfg.threads = o.threads.front();
+    cfg.intensities = o.intensities;
+    cfg.horizon = o.horizon_ms * units::MS;
+    // --governor selects the governed arm's policy; the study itself
+    // toggles governed vs. ungoverned, so off falls back to hill.
+    cfg.governed_mode = o.governor != control::GovernorMode::Off
+                            ? o.governor
+                            : control::GovernorMode::HillClimb;
+    cfg.base = experimentConfig(o);
+    cfg.base.faults = {};
+    cfg.base.governor.mode = control::GovernorMode::Off;
+
+    const auto points = core::runResilienceStudy(cfg);
+    core::printResilienceTable(std::cout, points);
+    if (o.csv) {
+        std::cout << "\n";
+        core::writeResilienceCsv(std::cout, points);
+    }
+    return 0;
+}
+
 } // namespace
 
 int
 main(int argc, char **argv)
 {
     const CliOptions o = parse(argc, argv);
-    if (o.command == "apps")
-        return cmdApps();
-    if (o.command == "run")
-        return cmdRun(o);
-    if (o.command == "sweep")
-        return cmdSweep(o);
-    if (o.command == "study")
-        return cmdStudy(o);
-    if (o.command == "lifespan")
-        return cmdLifespan(o);
-    if (o.command == "locks")
-        return cmdLocks(o);
-    if (o.command == "trace")
-        return cmdTrace(o);
-    if (o.command == "analyze")
-        return cmdAnalyze(o);
-    if (o.command == "usl")
-        return cmdUsl(o);
+    try {
+        if (o.command == "apps")
+            return cmdApps();
+        if (o.command == "run")
+            return cmdRun(o);
+        if (o.command == "sweep")
+            return cmdSweep(o);
+        if (o.command == "study")
+            return cmdStudy(o);
+        if (o.command == "lifespan")
+            return cmdLifespan(o);
+        if (o.command == "locks")
+            return cmdLocks(o);
+        if (o.command == "trace")
+            return cmdTrace(o);
+        if (o.command == "analyze")
+            return cmdAnalyze(o);
+        if (o.command == "usl")
+            return cmdUsl(o);
+        if (o.command == "faults")
+            return cmdFaults(o);
+        if (o.command == "resilience")
+            return cmdResilience(o);
+    } catch (const AbortError &e) {
+        // A single-run command hit the watchdog or the sim-time guard.
+        // Batch commands isolate these per run and never get here.
+        std::cerr << "aborted: " << e.what() << "\n";
+        return 1;
+    }
     std::cerr << "unknown command '" << o.command << "'\n";
     usage(2);
 }
