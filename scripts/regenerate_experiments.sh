@@ -3,14 +3,19 @@
 # into ./experiment-output. Usage: scripts/regenerate_experiments.sh
 # [-j N] [build-dir] [scale]
 #
-# Sweeps fan out across host cores: pass -j N (or set JOBS=N) to pick
-# the worker count, JOBS=1 for fully sequential. Results are identical
-# for any value — parallelism only changes wall-clock time.
+# Benches fan out as real shell-level children: pass -j N (or set
+# JOBS=N) to pick how many benches run concurrently, JOBS=1 for fully
+# sequential; the default is one bench per host core. Each bench runs
+# its own sweep sequentially (--jobs 1), so the host is never
+# oversubscribed and results are identical for any -j value —
+# parallelism only changes wall-clock time.
 #
 # Each bench's stdout goes to $OUT/<name>.txt and its stderr to
-# $OUT/<name>.log; a bench that exits non-zero is reported FAIL (with
-# its log tail) instead of being silently swallowed, and the script
-# exits 1 if any bench failed.
+# $OUT/<name>.log. Every child is reaped with its own `wait <pid>` so
+# each bench's exit status is observed individually — a bench that
+# exits non-zero is reported FAIL (with its log tail) instead of being
+# silently swallowed by a bare `wait`, and the script exits 1 if any
+# bench failed.
 JOBS=${JOBS:-0}
 if [ "$1" = "-j" ]; then
     JOBS=$2
@@ -21,31 +26,72 @@ SCALE=${2:-1.0}
 OUT=experiment-output
 mkdir -p "$OUT"
 
+case $JOBS in
+    ''|*[!0-9]*)
+        echo "error: -j expects a number, got '$JOBS'" >&2
+        exit 2
+        ;;
+esac
+if [ "$JOBS" -eq 0 ]; then
+    JOBS=$(nproc 2> /dev/null || echo 1)
+fi
+
 if ! ls "$BUILD"/bench/bench_* > /dev/null 2>&1; then
     echo "error: no benches under '$BUILD/bench' (build first?)" >&2
     exit 1
 fi
 
 failures=0
-for b in "$BUILD"/bench/bench_*; do
-    name=$(basename "$b")
+running=0
+pids=
+names=
+
+# Start one bench in the background and record its pid/name (two
+# space-separated lists kept in lockstep — POSIX sh has no arrays).
+launch() {
+    bench=$1
+    name=$(basename "$bench")
     if [ "$name" = "bench_micro_kernel" ]; then
-        "$b" --benchmark_min_time=0.1 \
-            > "$OUT/$name.txt" 2> "$OUT/$name.log"
-        status=$?
+        "$bench" --benchmark_min_time=0.1 \
+            > "$OUT/$name.txt" 2> "$OUT/$name.log" &
     else
-        "$b" --scale "$SCALE" --csv --jobs "$JOBS" \
-            > "$OUT/$name.txt" 2> "$OUT/$name.log"
-        status=$?
+        "$bench" --scale "$SCALE" --csv --jobs 1 \
+            > "$OUT/$name.txt" 2> "$OUT/$name.log" &
     fi
-    if [ "$status" -eq 0 ]; then
-        echo "PASS $name -> $OUT/$name.txt"
-    else
-        failures=$((failures + 1))
-        echo "FAIL $name (exit $status); stderr tail:"
-        tail -n 5 "$OUT/$name.log" | sed 's/^/    /'
+    pids="$pids $!"
+    names="$names $name"
+    running=$((running + 1))
+}
+
+# Reap every recorded child with a per-pid wait, in launch order, so
+# individual exit statuses survive and the report stays deterministic.
+reap_batch() {
+    for pid in $pids; do
+        names=${names# }
+        name=${names%% *}
+        names=${names#"$name"}
+        wait "$pid"
+        status=$?
+        if [ "$status" -eq 0 ]; then
+            echo "PASS $name -> $OUT/$name.txt"
+        else
+            failures=$((failures + 1))
+            echo "FAIL $name (exit $status); stderr tail:"
+            tail -n 5 "$OUT/$name.log" | sed 's/^/    /'
+        fi
+    done
+    pids=
+    names=
+    running=0
+}
+
+for b in "$BUILD"/bench/bench_*; do
+    launch "$b"
+    if [ "$running" -ge "$JOBS" ]; then
+        reap_batch
     fi
 done
+reap_batch
 
 if [ "$failures" -ne 0 ]; then
     echo "$failures bench(es) failed; see $OUT/*.log" >&2

@@ -1,0 +1,393 @@
+#include "check/fuzz.hh"
+
+#include <fstream>
+#include <optional>
+#include <ostream>
+#include <sstream>
+
+#include "base/random.hh"
+#include "check/random_app.hh"
+#include "control/governor.hh"
+#include "fault/fault.hh"
+#include "fault/injector.hh"
+#include "jvm/runtime/vm.hh"
+#include "machine/machine.hh"
+#include "os/scheduler.hh"
+#include "sim/simulation.hh"
+
+namespace jscale::check {
+
+const char *
+sabotageName(Sabotage s)
+{
+    switch (s) {
+      case Sabotage::None: return "none";
+      case Sabotage::DupAlloc: return "dup-alloc";
+      case Sabotage::PhantomDeath: return "phantom-death";
+      case Sabotage::DoubleRelease: return "double-release";
+    }
+    return "?";
+}
+
+bool
+parseSabotage(const std::string &name, Sabotage &out)
+{
+    for (const Sabotage s :
+         {Sabotage::None, Sabotage::DupAlloc, Sabotage::PhantomDeath,
+          Sabotage::DoubleRelease}) {
+        if (name == sabotageName(s)) {
+            out = s;
+            return true;
+        }
+    }
+    return false;
+}
+
+std::string
+FuzzCase::describe() const
+{
+    std::ostringstream os;
+    os.precision(17);
+    os << "seed=" << seed << " threads=" << threads << " tasks=" << tasks
+       << " monitors=" << monitors << " heap=" << heap << " tlab=" << tlab
+       << " intensity=" << fault_intensity
+       << " governed=" << (governed ? 1 : 0)
+       << " sabotage=" << sabotageName(sabotage);
+    return os.str();
+}
+
+bool
+FuzzCase::parse(const std::string &line, FuzzCase &out, std::string &err)
+{
+    FuzzCase c;
+    std::istringstream is(line);
+    std::string tok;
+    bool saw_seed = false;
+    while (is >> tok) {
+        const auto eq = tok.find('=');
+        if (eq == std::string::npos) {
+            err = "malformed token '" + tok + "' (expected key=value)";
+            return false;
+        }
+        const std::string key = tok.substr(0, eq);
+        const std::string val = tok.substr(eq + 1);
+        try {
+            if (key == "seed") {
+                c.seed = std::stoull(val);
+                saw_seed = true;
+            } else if (key == "threads") {
+                c.threads = static_cast<std::uint32_t>(std::stoul(val));
+            } else if (key == "tasks") {
+                c.tasks = static_cast<std::uint32_t>(std::stoul(val));
+            } else if (key == "monitors") {
+                c.monitors = static_cast<std::uint32_t>(std::stoul(val));
+            } else if (key == "heap") {
+                c.heap = std::stoull(val);
+            } else if (key == "tlab") {
+                c.tlab = std::stoull(val);
+            } else if (key == "intensity") {
+                c.fault_intensity = std::stod(val);
+            } else if (key == "governed") {
+                c.governed = val != "0";
+            } else if (key == "sabotage") {
+                if (!parseSabotage(val, c.sabotage)) {
+                    err = "unknown sabotage '" + val + "'";
+                    return false;
+                }
+            } else {
+                err = "unknown key '" + key + "'";
+                return false;
+            }
+        } catch (const std::exception &) {
+            err = "bad value for '" + key + "': " + val;
+            return false;
+        }
+    }
+    if (!saw_seed) {
+        err = "case line has no seed";
+        return false;
+    }
+    if (c.threads == 0 || c.tasks == 0 || c.monitors == 0 ||
+        c.heap < units::MiB) {
+        err = "degenerate case (threads/tasks/monitors must be >= 1, "
+              "heap >= 1 MiB)";
+        return false;
+    }
+    out = c;
+    return true;
+}
+
+FuzzCase
+caseForSeed(std::uint64_t seed)
+{
+    Rng rng(seed * 7919 + 17);
+    FuzzCase c;
+    c.seed = seed;
+    c.threads = 1 + static_cast<std::uint32_t>(rng.below(8));
+    c.tasks = 20 + static_cast<std::uint32_t>(rng.below(121));
+    c.monitors = 1 + static_cast<std::uint32_t>(rng.below(5));
+    c.heap = (3 + rng.below(4)) * units::MiB;
+    c.tlab = rng.chance(0.3) ? 8 * units::KiB : 0;
+    c.fault_intensity = rng.chance(0.4) ? (rng.chance(0.5) ? 0.3 : 0.6)
+                                        : 0.0;
+    c.governed = rng.chance(0.25);
+    return c;
+}
+
+namespace {
+
+/**
+ * Event-stream saboteur: re-delivers or fabricates one event directly
+ * into the oracle suite. Registered after the suite on the listener
+ * chain, so the suite always observes the genuine event first.
+ */
+class Saboteur : public jvm::RuntimeListener
+{
+  public:
+    Saboteur(OracleSuite &suite, Sabotage kind)
+        : suite_(suite), kind_(kind)
+    {}
+
+    void
+    onObjectAlloc(const jvm::ObjectRecord &obj, Ticks now) override
+    {
+        if (fired_)
+            return;
+        if (kind_ == Sabotage::DupAlloc) {
+            fired_ = true;
+            suite_.onObjectAlloc(obj, now);
+        } else if (kind_ == Sabotage::PhantomDeath) {
+            fired_ = true;
+            suite_.onObjectDeath(obj, /*lifespan=*/0, now);
+        }
+    }
+
+    void
+    onMonitorRelease(jvm::MutatorIndex thread, jvm::MonitorId monitor,
+                     Ticks now) override
+    {
+        if (!fired_ && kind_ == Sabotage::DoubleRelease) {
+            fired_ = true;
+            suite_.onMonitorRelease(thread, monitor, now);
+        }
+    }
+
+  private:
+    OracleSuite &suite_;
+    Sabotage kind_;
+    bool fired_ = false;
+};
+
+} // namespace
+
+std::string
+FuzzOutcome::diagnosis() const
+{
+    if (!violations.empty())
+        return violations.front().format();
+    if (run_failed)
+        return "run aborted: " + run_error;
+    return "clean";
+}
+
+FuzzOutcome
+runFuzzCase(const FuzzCase &c)
+{
+    FuzzOutcome out;
+    out.fuzz_case = c;
+
+    sim::Simulation sim(c.seed);
+    machine::Machine mach(machine::Machine::testMachine_2p8c());
+    mach.enableCores(std::min<std::uint32_t>(c.threads, 8));
+    os::Scheduler sched(sim, mach);
+
+    jvm::VmConfig cfg;
+    cfg.heap.capacity = c.heap;
+    cfg.heap.tlab_size = c.tlab;
+    cfg.enable_helpers = false;
+
+    jvm::JavaVm vm(sim, mach, sched, cfg);
+
+    std::optional<control::ConcurrencyGovernor> governor;
+    if (c.governed) {
+        control::GovernorConfig gc;
+        gc.mode = control::GovernorMode::HillClimb;
+        gc.interval = units::MS;
+        governor.emplace(sim, vm, gc);
+        vm.setTaskAdmission(&*governor);
+    }
+
+    std::optional<fault::FaultInjector> injector;
+    if (c.fault_intensity > 0.0) {
+        injector.emplace(sim, mach, vm,
+                         fault::FaultPlan::fromIntensity(
+                             c.fault_intensity, c.seed, 30 * units::MS));
+    }
+
+    OracleConfig ocfg;
+    ocfg.throw_on_violation = false;
+    OracleSuite suite(ocfg);
+    suite.attach(vm);
+
+    Saboteur saboteur(suite, c.sabotage);
+    if (c.sabotage != Sabotage::None)
+        vm.listeners().add(&saboteur);
+
+    RandomApp app(c.seed, c.monitors, c.tasks);
+    try {
+        if (injector)
+            injector->arm(sim.now());
+        const jvm::RunResult r = vm.run(app, c.threads);
+        suite.finishRun(sim.now());
+        if (r.failed()) {
+            out.run_failed = true;
+            out.run_error = r.run_error;
+        }
+    } catch (const AbortError &e) {
+        out.run_failed = true;
+        out.run_error = e.what();
+    }
+
+    if (c.sabotage != Sabotage::None)
+        vm.listeners().remove(&saboteur);
+    suite.detach();
+
+    out.violations = suite.violations();
+    out.checks = suite.checksPerformed();
+    out.sim_time = sim.now();
+    return out;
+}
+
+FuzzCase
+shrinkCase(const FuzzCase &c, std::uint32_t budget,
+           std::uint32_t *runs_used)
+{
+    FuzzCase best = c;
+    std::uint32_t used = 0;
+
+    // Candidate reductions, most aggressive first. Returns false when
+    // the rule cannot shrink the case any further.
+    const auto mutate = [](FuzzCase &m, int rule) -> bool {
+        switch (rule) {
+          case 0:
+            if (m.tasks <= 1)
+                return false;
+            m.tasks /= 2;
+            return true;
+          case 1:
+            if (m.threads <= 1)
+                return false;
+            m.threads /= 2;
+            return true;
+          case 2:
+            if (m.fault_intensity == 0.0)
+                return false;
+            m.fault_intensity = 0.0; // drop the whole fault schedule
+            return true;
+          case 3:
+            if (!m.governed)
+                return false;
+            m.governed = false;
+            return true;
+          case 4:
+            if (m.monitors <= 1)
+                return false;
+            m.monitors /= 2;
+            return true;
+          case 5:
+            if (m.tlab == 0)
+                return false;
+            m.tlab = 0;
+            return true;
+          default:
+            return false;
+        }
+    };
+
+    bool progressed = true;
+    while (progressed && used < budget) {
+        progressed = false;
+        for (int rule = 0; rule <= 5 && used < budget; ++rule) {
+            FuzzCase candidate = best;
+            if (!mutate(candidate, rule))
+                continue;
+            ++used;
+            if (!runFuzzCase(candidate).clean()) {
+                best = candidate;
+                progressed = true;
+                break; // restart from the most aggressive rule
+            }
+        }
+    }
+    if (runs_used != nullptr)
+        *runs_used = used;
+    return best;
+}
+
+FuzzReport
+runFuzzCampaign(const std::vector<std::uint64_t> &seeds, Sabotage sabotage,
+                std::uint32_t shrink_budget, std::ostream *out)
+{
+    FuzzReport report;
+    for (const std::uint64_t seed : seeds) {
+        FuzzCase c = caseForSeed(seed);
+        c.sabotage = sabotage;
+        FuzzOutcome o = runFuzzCase(c);
+        ++report.cases_run;
+        report.total_checks += o.checks;
+        if (!o.clean()) {
+            if (out != nullptr) {
+                *out << "FAIL seed " << seed << ": " << o.diagnosis()
+                     << "\n";
+            }
+            report.failures.push_back(std::move(o));
+        } else if (out != nullptr && report.cases_run % 25 == 0) {
+            *out << "... " << report.cases_run << "/" << seeds.size()
+                 << " cases clean\n";
+        }
+    }
+    if (report.failed()) {
+        if (out != nullptr)
+            *out << "shrinking first failure...\n";
+        report.shrunk = shrinkCase(report.failures.front().fuzz_case,
+                                   shrink_budget, &report.shrink_runs);
+    }
+    return report;
+}
+
+void
+writeReproducer(std::ostream &os, const FuzzReport &report)
+{
+    os << "jscale-fuzz-repro v1\n";
+    os << "case " << report.shrunk.describe() << "\n";
+    os << "# shrunk from: " << report.failures.front().fuzz_case.describe()
+       << " in " << report.shrink_runs << " run(s)\n";
+    const FuzzOutcome proof = runFuzzCase(report.shrunk);
+    for (const InvariantViolation &v : proof.violations)
+        os << "# violation: " << v.format() << "\n";
+    if (proof.run_failed)
+        os << "# run error: " << proof.run_error << "\n";
+}
+
+bool
+readReproducer(const std::string &path, FuzzCase &out, std::string &err)
+{
+    std::ifstream in(path);
+    if (!in) {
+        err = "cannot open '" + path + "'";
+        return false;
+    }
+    std::string line;
+    if (!std::getline(in, line) || line != "jscale-fuzz-repro v1") {
+        err = "'" + path + "' is not a jscale-fuzz-repro v1 file";
+        return false;
+    }
+    while (std::getline(in, line)) {
+        if (line.rfind("case ", 0) == 0)
+            return FuzzCase::parse(line.substr(5), out, err);
+    }
+    err = "'" + path + "' has no case line";
+    return false;
+}
+
+} // namespace jscale::check

@@ -1,0 +1,95 @@
+/**
+ * @file
+ * Golden-run regression store: a text format for fingerprinted stat
+ * snapshots per app/sweep point, plus a field-level differ.
+ *
+ * The simulator is deterministic, so a recorded snapshot must
+ * reproduce bit-for-bit on the same configuration: any drift is either
+ * an intended behaviour change (re-record) or a regression (CI fails
+ * with the exact fields that moved). Values round-trip through text at
+ * max precision, so verify compares doubles exactly — there is no
+ * tolerance, by design.
+ *
+ * This layer is pure format + diff; the CLI drives the experiment
+ * harness to produce and re-produce the snapshots.
+ */
+
+#ifndef JSCALE_CHECK_GOLDEN_HH
+#define JSCALE_CHECK_GOLDEN_HH
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "stats/stats.hh"
+
+namespace jscale::check {
+
+/** One recorded sweep point. */
+struct GoldenRun
+{
+    std::string app;
+    std::uint32_t threads = 0;
+    stats::StatSnapshot stats;
+
+    /** "app@threads" label used in diffs. */
+    std::string label() const;
+};
+
+/** A golden file: provenance key=value pairs plus recorded runs. */
+struct GoldenFile
+{
+    /** Recording configuration (app list, threads, seed, fingerprint). */
+    std::vector<std::pair<std::string, std::string>> config;
+    std::vector<GoldenRun> runs;
+
+    /** First value recorded for @p key, or "" when absent. */
+    std::string configValue(const std::string &key) const;
+};
+
+/** One divergent field between a recorded and a fresh snapshot. */
+struct FieldDiff
+{
+    /** Which sweep point ("app@threads", or "" for file-level). */
+    std::string run;
+    std::string field;
+    /** "value" | "missing" (in fresh) | "extra" (only in fresh). */
+    std::string kind;
+    double expected = 0.0;
+    double actual = 0.0;
+
+    /** One-line human-readable rendering. */
+    std::string format() const;
+};
+
+/** Serialize in the "jscale-golden v1" text format. */
+void writeGolden(std::ostream &os, const GoldenFile &file);
+
+/** Parse a golden file. Returns false (with @p err) on malformed input. */
+bool readGolden(std::istream &is, GoldenFile &out, std::string &err);
+
+/** Convenience: read from @p path. */
+bool readGoldenFile(const std::string &path, GoldenFile &out,
+                    std::string &err);
+
+/**
+ * Compare two snapshots field-by-field (exact double equality).
+ * @p run labels the diffs.
+ */
+std::vector<FieldDiff> diffSnapshots(const std::string &run,
+                                     const stats::StatSnapshot &expected,
+                                     const stats::StatSnapshot &actual);
+
+/**
+ * Compare a recorded file against freshly produced runs. Runs are
+ * matched by (app, threads); missing or surplus sweep points are
+ * file-level diffs.
+ */
+std::vector<FieldDiff> diffGolden(const GoldenFile &expected,
+                                  const std::vector<GoldenRun> &actual);
+
+} // namespace jscale::check
+
+#endif // JSCALE_CHECK_GOLDEN_HH

@@ -10,6 +10,7 @@
 #include "base/error.hh"
 #include "base/logging.hh"
 #include "base/thread_pool.hh"
+#include "check/oracle.hh"
 #include "core/checkpoint.hh"
 #include "core/parallel.hh"
 #include "fault/injector.hh"
@@ -195,6 +196,7 @@ ExperimentRunner::campaignFingerprint() const
        << " faults="
        << (config_.faults.spec.empty() ? "-" : config_.faults.spec)
        << " watchdog=" << (config_.watchdog ? 1 : 0)
+       << " oracles=" << (config_.oracles ? 1 : 0)
        << " compart=" << (config_.vm.heap.compartmentalized ? 1 : 0)
        << " biased=" << (config_.biased_scheduling ? 1 : 0);
     return os.str();
@@ -249,6 +251,16 @@ ExperimentRunner::executePlan(RunPlan &plan,
     if (config_.watchdog)
         watchdog.emplace(sim, vm, config_.watchdog_config);
 
+    // Invariant oracles: pure observers on the probe chains that abort
+    // the run (OracleError, an AbortError) at the first violated
+    // simulator contract. Armed before any attach hook so test taps
+    // see the same chain order as production tools.
+    std::optional<check::OracleSuite> oracles;
+    if (config_.oracles) {
+        oracles.emplace();
+        oracles->attach(vm);
+    }
+
     // Telemetry taps: a timeline recorder on the probe chains and/or a
     // periodic metric sampler. Both are pure observers — attaching them
     // never changes the run's schedule or results. An artifact that
@@ -293,6 +305,8 @@ ExperimentRunner::executePlan(RunPlan &plan,
         watchdog->start(sim.now());
     jvm::RunResult r = vm.run(app, threads);
 
+    if (oracles)
+        oracles->finishRun(sim.now());
     if (injector) {
         r.faults = injector->summary();
         r.faults.tasks_reassigned = vm.tasksReassigned();

@@ -87,6 +87,13 @@ struct ExperimentConfig
     bool watchdog = false;
     fault::WatchdogConfig watchdog_config;
     /**
+     * Arm the invariant oracle suite (check::OracleSuite) on every run.
+     * A violation aborts that run the way a watchdog timeout does: an
+     * error artifact plus a failed() marker, with the rest of the
+     * sweep completing.
+     */
+    bool oracles = false;
+    /**
      * Completed-run ledger (empty = no checkpointing). With resume,
      * runs recorded complete under the same campaign fingerprint are
      * skipped and returned as RunResult::skipped markers.
@@ -181,6 +188,14 @@ class ExperimentRunner
     /** The paper's thread/core settings, clipped to this machine. */
     std::vector<std::uint32_t> paperThreadCounts() const;
 
+    /**
+     * Campaign-configuration identity string. Keys the checkpoint
+     * ledger and is embedded in golden-run files so a verify against a
+     * differently configured campaign fails fast instead of diffing
+     * unrelated numbers.
+     */
+    std::string campaignFingerprint() const;
+
   private:
     /**
      * Everything one run needs, resolved up front on the main thread:
@@ -218,9 +233,6 @@ class ExperimentRunner
      * resume when configured.
      */
     std::vector<jvm::RunResult> executePlans(std::vector<RunPlan> plans);
-
-    /** Campaign-configuration identity for the checkpoint ledger. */
-    std::string campaignFingerprint() const;
 
     /** Per-run seed derived from campaign seed, app and thread count. */
     std::uint64_t runSeed(const std::string &app, std::uint32_t threads,

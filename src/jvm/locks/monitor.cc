@@ -171,13 +171,19 @@ Monitor::notify(MonitorWaiter *waiter, std::uint32_t count, Ticks now)
 }
 
 bool
-Monitor::cancelWaiter(MonitorWaiter *waiter)
+Monitor::cancelWaiter(MonitorWaiter *waiter, Ticks now)
 {
     bool removed = false;
     for (auto it = queue_.begin(); it != queue_.end();) {
         if (it->waiter == waiter) {
             it = queue_.erase(it);
             removed = true;
+            if (listeners_) {
+                listeners_->dispatch([&](RuntimeListener &l) {
+                    l.onMonitorWaiterCancelled(waiter->mutatorIndex(),
+                                               id_, now);
+                });
+            }
         } else {
             ++it;
         }
@@ -241,11 +247,11 @@ WaitChannel::cancelWaiter(MonitorWaiter *waiter)
 }
 
 bool
-MonitorTable::cancelWaiter(MonitorWaiter *waiter)
+MonitorTable::cancelWaiter(MonitorWaiter *waiter, Ticks now)
 {
     bool removed = false;
     for (const auto &m : monitors_)
-        removed = m->cancelWaiter(waiter) || removed;
+        removed = m->cancelWaiter(waiter, now) || removed;
     for (const auto &ch : channels_)
         removed = ch->cancelWaiter(waiter) || removed;
     blocked_on_.erase(waiter);

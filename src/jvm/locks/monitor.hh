@@ -134,8 +134,10 @@ class Monitor
      * Remove @p waiter from the acquire queue and/or waitset without
      * granting (thread kill). Returns true if the waiter was parked
      * here. Ownership is unaffected — a killed owner must release().
+     * Acquire-queue removals fire onMonitorWaiterCancelled so FIFO
+     * observers drop the queue entry.
      */
-    bool cancelWaiter(MonitorWaiter *waiter);
+    bool cancelWaiter(MonitorWaiter *waiter, Ticks now);
 
     /** Current owner (nullptr when free). */
     MonitorWaiter *owner() const { return owner_; }
@@ -280,7 +282,7 @@ class MonitorTable
      * queue and drop its wait-for edge (thread kill). Returns true if
      * the waiter was parked anywhere.
      */
-    bool cancelWaiter(MonitorWaiter *waiter);
+    bool cancelWaiter(MonitorWaiter *waiter, Ticks now);
 
   private:
     os::Scheduler &sched_;

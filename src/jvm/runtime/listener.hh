@@ -78,6 +78,21 @@ class RuntimeListener
     }
 
     /**
+     * A queued (contended) waiter was removed from a monitor's acquire
+     * queue without ever being granted — the thread-kill path extracts
+     * blocked threads from whatever structure holds them. Without this
+     * event an observer modeling the FIFO handoff order (one
+     * onMonitorContended per queue entry, granted in order) would
+     * wrongly expect the cancelled thread to be granted next.
+     */
+    virtual void
+    onMonitorWaiterCancelled(MutatorIndex thread, MonitorId monitor,
+                             Ticks now)
+    {
+        (void)thread; (void)monitor; (void)now;
+    }
+
+    /**
      * The VM requested a global safepoint (stop-the-world); the
      * scheduler starts truncating running threads at their polls.
      */

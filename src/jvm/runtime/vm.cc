@@ -470,7 +470,7 @@ JavaVm::killMutator(std::uint32_t idx, Ticks now)
             t->cancelGcWait();
             sched_.wake(os);
         } else if (t->awaitingGrant()) {
-            monitors_->cancelWaiter(t);
+            monitors_->cancelWaiter(t, now);
             t->cancelGrantWait();
             sched_.wake(os);
         } else if (admission_ != nullptr &&

@@ -32,6 +32,8 @@
 
 #include "base/error.hh"
 #include "base/output.hh"
+#include "check/fuzz.hh"
+#include "check/golden.hh"
 #include "control/governor.hh"
 #include "core/analyze.hh"
 #include "core/experiment.hh"
@@ -83,6 +85,16 @@ struct CliOptions
     bool resume = false;
     std::vector<double> intensities = {0.0, 0.25, 0.5, 0.75, 1.0};
     std::uint64_t horizon_ms = 0; // 0 = auto (3/4 of probe run)
+    /** Arm the invariant oracle suite on every run. */
+    bool oracles = false;
+    /** Generic --out path (fuzz reproducer, golden store). */
+    std::string out_path;
+    /** "record" or "verify" (golden command). */
+    std::string golden_action;
+    std::uint64_t fuzz_seeds = 20;
+    std::uint64_t shrink_budget = 64;
+    check::Sabotage sabotage = check::Sabotage::None;
+    std::string replay_path;
 };
 
 [[noreturn]] void
@@ -106,6 +118,11 @@ usage(int code)
         "  faults    parse a --faults schedule and print it (dry run)\n"
         "  resilience  E18: throughput and GC/lock shares vs. fault\n"
         "            intensity, governed vs. ungoverned\n"
+        "  fuzz      seeded random workloads x faults x governors with\n"
+        "            the invariant oracles armed; failures are shrunk\n"
+        "            to a minimal replayable reproducer (--out)\n"
+        "  golden    record: snapshot a sweep into a golden file;\n"
+        "            verify: re-run and fail on any field-level drift\n"
         "\n"
         "flags:\n"
         "  --app <name>        application (default xalan); see 'apps'\n"
@@ -151,7 +168,18 @@ usage(int code)
         "                      fractions (default 0,0.25,0.5,0.75,1)\n"
         "  --horizon-ms <n>    resilience fault window in simulated ms\n"
         "                      (default: auto, 3/4 of an unfaulted run)\n"
-        "  --out <path>        trace output file (trace command)\n"
+        "  --oracles           arm the invariant oracle suite on every\n"
+        "                      run; a violation aborts that run with a\n"
+        "                      diagnosed message\n"
+        "  --seeds <n>         fuzz campaign size (default 20)\n"
+        "  --shrink-budget <n> max re-runs spent shrinking a fuzz\n"
+        "                      failure (default 64, range 1..10000)\n"
+        "  --sabotage <kind>   seed a bug into the fuzz event stream:\n"
+        "                      none, dup-alloc, phantom-death or\n"
+        "                      double-release (oracle self-test)\n"
+        "  --replay <path>     re-run a fuzz reproducer file\n"
+        "  --out <path>        output file (trace, fuzz reproducer,\n"
+        "                      golden store)\n"
         "  --in <path>         trace input file (analyze command)\n"
         "  --plots <dir>       write gnuplot figures (study command)\n"
         "  --csv               emit CSV after the tables\n";
@@ -188,7 +216,12 @@ parse(int argc, char **argv)
     o.command = argv[1];
     if (o.command == "--help" || o.command == "-h")
         usage(0);
-    for (int i = 2; i < argc; ++i) {
+    int first_flag = 2;
+    if (o.command == "golden" && argc > 2 && argv[2][0] != '-') {
+        o.golden_action = argv[2];
+        first_flag = 3;
+    }
+    for (int i = first_flag; i < argc; ++i) {
         const std::string arg = argv[i];
         auto value = [&]() -> const char * {
             if (i + 1 >= argc) {
@@ -322,8 +355,46 @@ parse(int argc, char **argv)
         } else if (arg == "--metrics-interval-ms") {
             o.metrics_interval_ms =
                 static_cast<std::uint64_t>(std::atoll(value()));
+        } else if (arg == "--oracles") {
+            o.oracles = true;
+        } else if (arg == "--seeds") {
+            const std::string v = value();
+            if (v.empty() ||
+                v.find_first_not_of("0123456789") != std::string::npos) {
+                std::cerr << "bad --seeds value '" << v << "'\n";
+                std::exit(2);
+            }
+            o.fuzz_seeds = std::stoull(v);
+            if (o.fuzz_seeds == 0) {
+                std::cerr << "--seeds must be positive\n";
+                std::exit(2);
+            }
+        } else if (arg == "--shrink-budget") {
+            const std::string v = value();
+            if (v.empty() ||
+                v.find_first_not_of("0123456789") != std::string::npos) {
+                std::cerr << "bad --shrink-budget value '" << v << "'\n";
+                std::exit(2);
+            }
+            o.shrink_budget = std::stoull(v);
+            if (o.shrink_budget < 1 || o.shrink_budget > 10000) {
+                std::cerr << "--shrink-budget " << o.shrink_budget
+                          << " out of range (expect 1..10000 re-runs)\n";
+                std::exit(2);
+            }
+        } else if (arg == "--sabotage") {
+            const std::string v = value();
+            if (!check::parseSabotage(v, o.sabotage)) {
+                std::cerr << "bad --sabotage kind '" << v
+                          << "' (expect none, dup-alloc, phantom-death "
+                             "or double-release)\n";
+                std::exit(2);
+            }
+        } else if (arg == "--replay") {
+            o.replay_path = value();
         } else if (arg == "--out") {
             o.trace_out = value();
+            o.out_path = o.trace_out;
         } else if (arg == "--plots") {
             o.plots_dir = value();
         } else if (arg == "--in") {
@@ -384,6 +455,7 @@ experimentConfig(const CliOptions &o)
     cfg.watchdog_config.interval = o.watchdog_interval_ms * units::MS;
     cfg.checkpoint_path = o.checkpoint_path;
     cfg.resume = o.resume;
+    cfg.oracles = o.oracles;
     return cfg;
 }
 
@@ -809,6 +881,183 @@ cmdResilience(const CliOptions &o)
     return 0;
 }
 
+int
+cmdFuzz(const CliOptions &o)
+{
+    if (!o.replay_path.empty()) {
+        check::FuzzCase c;
+        std::string err;
+        if (!check::readReproducer(o.replay_path, c, err)) {
+            std::cerr << "bad reproducer: " << err << "\n";
+            return 2;
+        }
+        std::cout << "replaying " << c.describe() << "\n";
+        const check::FuzzOutcome out = check::runFuzzCase(c);
+        for (const auto &v : out.violations)
+            std::cout << "violation: " << v.format() << "\n";
+        if (out.run_failed)
+            std::cout << "run error: " << out.run_error << "\n";
+        if (out.clean()) {
+            std::cout << "replay ran clean (" << out.checks
+                      << " checks)\n";
+            return 0;
+        }
+        return 1;
+    }
+
+    std::vector<std::uint64_t> seeds;
+    seeds.reserve(o.fuzz_seeds);
+    // The campaign seed list derives from --seed, so two campaigns
+    // with the same flags cover the same cases.
+    for (std::uint64_t i = 0; i < o.fuzz_seeds; ++i)
+        seeds.push_back(o.seed + i);
+    const check::FuzzReport report = check::runFuzzCampaign(
+        seeds, o.sabotage, static_cast<std::uint32_t>(o.shrink_budget),
+        &std::cerr);
+    std::cout << report.cases_run << " case(s), " << report.total_checks
+              << " invariant checks, " << report.failures.size()
+              << " failure(s)\n";
+    if (!report.failed())
+        return 0;
+
+    const check::FuzzOutcome &first = report.failures.front();
+    std::cout << "first failure: " << first.fuzz_case.describe() << "\n"
+              << "  " << first.diagnosis() << "\n"
+              << "shrunk (" << report.shrink_runs
+              << " re-runs): " << report.shrunk.describe() << "\n";
+    const std::string path =
+        o.out_path.empty() ? "jscale-fuzz.repro" : o.out_path;
+    std::ofstream repro(path);
+    if (!repro) {
+        std::cerr << "cannot open '" << path << "'\n";
+    } else {
+        check::writeReproducer(repro, report);
+        std::cout << "reproducer -> " << path
+                  << " (replay with: jscale fuzz --replay " << path
+                  << ")\n";
+    }
+    return 1;
+}
+
+int
+cmdGolden(const CliOptions &o)
+{
+    const std::string path =
+        o.out_path.empty() ? "jscale.golden" : o.out_path;
+    if (o.golden_action == "record") {
+        requireValidApp(o.app);
+        core::ExperimentRunner runner(experimentConfig(o));
+        check::GoldenFile file;
+        std::ostringstream threads_csv;
+        for (std::size_t i = 0; i < o.threads.size(); ++i)
+            threads_csv << (i ? "," : "") << o.threads[i];
+        file.config.emplace_back("app", o.app);
+        file.config.emplace_back("threads", threads_csv.str());
+        file.config.emplace_back("seed", std::to_string(o.seed));
+        {
+            std::ostringstream scale;
+            scale.precision(17);
+            scale << o.scale;
+            file.config.emplace_back("scale", scale.str());
+        }
+        file.config.emplace_back("fingerprint",
+                                 runner.campaignFingerprint());
+        for (const jvm::RunResult &r : runner.sweep(o.app, o.threads)) {
+            if (r.failed()) {
+                std::cerr << "cannot record: run at " << r.threads
+                          << " threads failed: " << r.run_error << "\n";
+                return 1;
+            }
+            check::GoldenRun run;
+            run.app = r.app_name;
+            run.threads = r.threads;
+            run.stats = core::runStatSnapshot(r);
+            file.runs.push_back(std::move(run));
+        }
+        std::ofstream out(path);
+        if (!out) {
+            std::cerr << "cannot open '" << path << "'\n";
+            return 2;
+        }
+        check::writeGolden(out, file);
+        std::cout << "recorded " << file.runs.size() << " run(s) -> "
+                  << path << "\n";
+        return 0;
+    }
+    if (o.golden_action == "verify") {
+        check::GoldenFile file;
+        std::string err;
+        if (!check::readGoldenFile(path, file, err)) {
+            std::cerr << "bad golden file: " << err << "\n";
+            return 2;
+        }
+        // The sweep definition comes from the file; remaining knobs
+        // (compartments, governor, ...) come from the CLI and are
+        // cross-checked through the recorded fingerprint.
+        CliOptions ro = o;
+        ro.app = file.configValue("app");
+        const std::string threads_s = file.configValue("threads");
+        const std::string seed_s = file.configValue("seed");
+        const std::string scale_s = file.configValue("scale");
+        if (ro.app.empty() || threads_s.empty() || seed_s.empty() ||
+            scale_s.empty()) {
+            std::cerr << "bad golden file: missing app/threads/seed/"
+                         "scale config entries\n";
+            return 2;
+        }
+        requireValidApp(ro.app);
+        ro.threads = parseThreadList(threads_s);
+        try {
+            ro.seed = std::stoull(seed_s);
+            ro.scale = std::stod(scale_s);
+        } catch (const std::exception &) {
+            std::cerr << "bad golden file: malformed seed/scale\n";
+            return 2;
+        }
+        core::ExperimentRunner runner(experimentConfig(ro));
+        const std::string recorded = file.configValue("fingerprint");
+        if (recorded != runner.campaignFingerprint()) {
+            std::cerr << "configuration drift:\n  recorded: " << recorded
+                      << "\n  current:  " << runner.campaignFingerprint()
+                      << "\n(pass the flags the file was recorded with)\n";
+            return 1;
+        }
+        std::vector<check::GoldenRun> fresh;
+        for (const jvm::RunResult &r : runner.sweep(ro.app, ro.threads)) {
+            if (r.failed()) {
+                std::cerr << "verify run at " << r.threads
+                          << " threads failed: " << r.run_error << "\n";
+                return 1;
+            }
+            check::GoldenRun run;
+            run.app = r.app_name;
+            run.threads = r.threads;
+            run.stats = core::runStatSnapshot(r);
+            fresh.push_back(std::move(run));
+        }
+        const auto diffs = check::diffGolden(file, fresh);
+        if (diffs.empty()) {
+            std::cout << "golden verify OK: " << file.runs.size()
+                      << " run(s) bit-identical (" << path << ")\n";
+            return 0;
+        }
+        std::cout << "golden verify FAILED: " << diffs.size()
+                  << " field(s) drifted (" << path << ")\n";
+        const std::size_t shown =
+            std::min<std::size_t>(diffs.size(), 20);
+        for (std::size_t i = 0; i < shown; ++i)
+            std::cout << "  " << diffs[i].format() << "\n";
+        if (shown < diffs.size()) {
+            std::cout << "  ... and " << diffs.size() - shown
+                      << " more\n";
+        }
+        return 1;
+    }
+    std::cerr << "golden requires an action: jscale golden "
+                 "record|verify [flags]\n";
+    return 2;
+}
+
 } // namespace
 
 int
@@ -838,6 +1087,10 @@ main(int argc, char **argv)
             return cmdFaults(o);
         if (o.command == "resilience")
             return cmdResilience(o);
+        if (o.command == "fuzz")
+            return cmdFuzz(o);
+        if (o.command == "golden")
+            return cmdGolden(o);
     } catch (const AbortError &e) {
         // A single-run command hit the watchdog or the sim-time guard.
         // Batch commands isolate these per run and never get here.
