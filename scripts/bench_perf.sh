@@ -28,9 +28,11 @@ CORES=$(nproc 2> /dev/null || getconf _NPROCESSORS_ONLN 2> /dev/null ||
 if [ "$SMOKE" -eq 1 ]; then
     MIN_TIME=0.05
     STUDY="sweep --app xalan --threads 1,2,4 --scale 0.1 --csv"
+    PROFRUN="run --app h2 --threads 8 --scale 0.1"
 else
     MIN_TIME=0.5
     STUDY="study --scale 0.5 --csv"
+    PROFRUN="run --app h2 --threads 32 --scale 0.5"
 fi
 
 TMP=$(mktemp -d)
@@ -75,6 +77,27 @@ SPEEDUP=$(awk "BEGIN { if ($PAR_S > 0)
 echo "study wall clock: ${SEQ_S}s sequential, ${PAR_S}s at" \
      "$CORES jobs (speedup ${SPEEDUP}x)"
 
+# Profiler overhead: the attribution layer is a pure observer, so a
+# profiled run must cost only bookkeeping on top of the plain run.
+echo "== profiler overhead: $PROFRUN =="
+T0=$(now_s)
+# shellcheck disable=SC2086
+"$BUILD/tools/jscale" $PROFRUN \
+    > /dev/null 2>&1 || exit 1
+T1=$(now_s)
+PLAIN_S=$(awk "BEGIN { printf \"%.3f\", $T1 - $T0 }")
+T0=$(now_s)
+# shellcheck disable=SC2086
+"$BUILD/tools/jscale" $PROFRUN --profile \
+    > /dev/null 2>&1 || exit 1
+T1=$(now_s)
+PROF_S=$(awk "BEGIN { printf \"%.3f\", $T1 - $T0 }")
+OVERHEAD=$(awk "BEGIN { if ($PLAIN_S > 0)
+                            printf \"%.3f\", $PROF_S / $PLAIN_S - 1;
+                        else printf \"0\" }")
+echo "profiler overhead: ${PLAIN_S}s plain, ${PROF_S}s profiled" \
+     "(+$(awk "BEGIN { printf \"%.1f\", $OVERHEAD * 100 }")%)"
+
 {
     printf '{\n'
     printf '  "host_cores": %s,\n' "$CORES"
@@ -85,6 +108,12 @@ echo "study wall clock: ${SEQ_S}s sequential, ${PAR_S}s at" \
     printf '    "jobs_n_seconds": %s,\n' "$PAR_S"
     printf '    "speedup": %s,\n' "$SPEEDUP"
     printf '    "identical_output": true\n'
+    printf '  },\n'
+    printf '  "profile_overhead": {\n'
+    printf '    "command": "%s",\n' "$PROFRUN"
+    printf '    "plain_seconds": %s,\n' "$PLAIN_S"
+    printf '    "profiled_seconds": %s,\n' "$PROF_S"
+    printf '    "relative_overhead": %s\n' "$OVERHEAD"
     printf '  },\n'
     printf '  "micro":\n'
     sed 's/^/  /' "$TMP/micro.json"

@@ -47,6 +47,26 @@ OracleSuite::attach(jvm::JavaVm &vm)
 
     vm.listeners().add(this);
     vm.scheduler().listeners().add(this);
+
+    // The latency-conservation oracle rides its own attribution
+    // profiler: the sink reconciles each task's bucket sum against the
+    // task's wall time, both in integer simulation ticks.
+    if (config_.latency) {
+        profiler_.setTaskSink([this](const jvm::SlowTaskRecord &rec) {
+            ++checks_;
+            Ticks sum = 0;
+            for (std::size_t i = 0; i < jvm::kWaitBucketCount; ++i)
+                sum += rec.buckets[i];
+            if (sum != rec.wall()) {
+                std::ostringstream os;
+                os << "task " << rec.task << " (thread " << rec.thread
+                   << "): buckets sum to " << formatTicks(sum)
+                   << " but wall time is " << formatTicks(rec.wall());
+                report("latency-conservation", os.str(), rec.end);
+            }
+        });
+        profiler_.attach(vm);
+    }
     attached_ = true;
 }
 
@@ -55,6 +75,7 @@ OracleSuite::detach()
 {
     if (!attached_)
         return;
+    profiler_.detach();
     vm_->listeners().remove(this);
     vm_->scheduler().listeners().remove(this);
     attached_ = false;
@@ -678,6 +699,8 @@ OracleSuite::onWorldResumed(Ticks now)
 void
 OracleSuite::finishRun(Ticks now)
 {
+    if (config_.latency)
+        profiler_.finishRun(now);
     if (config_.heap) {
         ++checks_;
         if (!live_.empty()) {

@@ -26,7 +26,10 @@
  *   5. event-queue ordering — observed `now` is monotonic across both
  *      probe chains, safepoints pair begin/reached with exact ttsp,
  *      GC phases partition [safepoint, finish] without gap or overlap,
- *      and no allocation lands inside a stop-the-world window.
+ *      and no allocation lands inside a stop-the-world window;
+ *   6. latency conservation — every task's wait-state attribution
+ *      buckets (profile::TaskProfiler) sum to the task's wall time
+ *      exactly, in integer simulation ticks.
  *
  * Each failure is reported as a diagnosed InvariantViolation naming
  * the object/monitor/thread and the simulation time.
@@ -45,6 +48,7 @@
 #include "base/units.hh"
 #include "jvm/runtime/listener.hh"
 #include "os/sched_listener.hh"
+#include "profile/profiler.hh"
 
 namespace jscale::jvm {
 class JavaVm;
@@ -59,8 +63,8 @@ namespace jscale::check {
 struct InvariantViolation
 {
     /** Which oracle fired: "heap-conservation", "monitor-exclusion",
-     *  "monitor-fifo", "sched-conservation", "lifespan-monotonic" or
-     *  "event-ordering". */
+     *  "monitor-fifo", "sched-conservation", "lifespan-monotonic",
+     *  "event-ordering" or "latency-conservation". */
     std::string oracle;
     /** Diagnosis naming the object/monitor/thread involved. */
     std::string message;
@@ -95,6 +99,12 @@ struct OracleConfig
     bool scheduler = true;
     bool lifespan = true;
     bool ordering = true;
+    /**
+     * Latency conservation: attach a TaskProfiler and verify that every
+     * attributed task's wait-state buckets sum to its wall time exactly
+     * (integer sim-time, no slop).
+     */
+    bool latency = true;
 
     /** Run Heap::checkInvariants() (deep O(objects) audit) at every
      *  stop-the-world collection end. */
@@ -252,6 +262,10 @@ class OracleSuite final : public jvm::RuntimeListener,
     jvm::JavaVm *vm_ = nullptr;
     const os::Scheduler *sched_ = nullptr;
     bool attached_ = false;
+
+    /** Latency-conservation oracle: an embedded attribution profiler
+     *  whose task sink reconciles bucket sums against wall time. */
+    profile::TaskProfiler profiler_;
 
     /** TLAB reservation makes reclaim exceed dead-object bytes. */
     bool reclaim_accounting_ = true;

@@ -1,0 +1,207 @@
+#include "core/blame.hh"
+
+#include <algorithm>
+#include <utility>
+
+#include "base/logging.hh"
+#include "base/output.hh"
+#include "core/report.hh"
+
+namespace jscale::core {
+
+namespace {
+
+/** Share of one bucket in a cell's aggregate task wall time. */
+double
+bucketShare(const jvm::ProfileSummary &p, jvm::WaitBucket b)
+{
+    const Ticks total = p.total();
+    if (total == 0)
+        return 0.0;
+    return static_cast<double>(
+               p.bucket_total[static_cast<std::size_t>(b)]) /
+           static_cast<double>(total);
+}
+
+std::string
+cellStatus(const jvm::RunResult &r)
+{
+    if (r.failed())
+        return "failed";
+    if (r.skipped)
+        return "skipped";
+    return "ok";
+}
+
+} // namespace
+
+BlameStudy
+runBlameStudy(const BlameConfig &config)
+{
+    ExperimentConfig cfg = config.base;
+    cfg.profile = true;
+    cfg.profile_topk = config.topk;
+    ExperimentRunner runner(std::move(cfg));
+
+    std::vector<std::uint32_t> threads = config.threads;
+    if (threads.empty())
+        threads = runner.paperThreadCounts();
+
+    // One batch over the whole (app x threads) cross product, so the
+    // study parallelizes across cells exactly like an E1 sweep.
+    const SweepSet sweeps = runner.sweepApps(
+        config.apps, threads, [](const std::string &app) {
+            inform("blame study: planning ", app);
+        });
+
+    BlameStudy study;
+    for (const std::string &app : config.apps) {
+        const auto it = sweeps.find(app);
+        jscale_assert(it != sweeps.end(), "missing sweep for ", app);
+        const std::vector<jvm::RunResult> &sweep = it->second;
+
+        // Speedup curve for the USL cross-reference, anchored at the
+        // smallest measured thread count.
+        std::vector<control::UslPoint> usl_points;
+        const jvm::RunResult *base_run = nullptr;
+        for (const jvm::RunResult &r : sweep) {
+            if (!r.skipped && !r.failed() && r.wall_time > 0) {
+                base_run = &r;
+                break;
+            }
+        }
+        for (const jvm::RunResult &r : sweep) {
+            if (base_run != nullptr && !r.skipped && !r.failed() &&
+                r.wall_time > 0) {
+                usl_points.push_back(
+                    {static_cast<double>(r.threads),
+                     static_cast<double>(base_run->wall_time) /
+                         static_cast<double>(r.wall_time)});
+            }
+        }
+
+        BlameAppFit fit;
+        fit.app = app;
+        fit.usl = control::UslModel::fit(usl_points);
+        for (auto rit = sweep.rbegin(); rit != sweep.rend(); ++rit) {
+            if (!rit->skipped && !rit->failed() &&
+                rit->profile.enabled) {
+                fit.dominant = rit->profile.dominantWait();
+                break;
+            }
+        }
+        study.fits.push_back(std::move(fit));
+
+        for (const jvm::RunResult &r : sweep) {
+            BlamePoint point;
+            point.app = app;
+            point.threads = r.threads;
+            point.run = r;
+            study.points.push_back(std::move(point));
+        }
+    }
+    return study;
+}
+
+void
+printBlameStudyTable(std::ostream &os, const BlameStudy &study)
+{
+    os << "E20 — blame decomposition vs. threads (shares of aggregate "
+          "task wall time)\n";
+    TextTable t;
+    t.header({"app", "threads", "status", "cpu", "runq", "lock", "gc-stw",
+              "ttsp", "alloc", "gov", "other", "dominant", "p50", "p99"});
+    for (const BlamePoint &p : study.points) {
+        const jvm::RunResult &r = p.run;
+        if (r.skipped || r.failed() || !r.profile.enabled) {
+            t.row({p.app, std::to_string(p.threads), cellStatus(r), "-",
+                   "-", "-", "-", "-", "-", "-", "-", "-", "-", "-"});
+            continue;
+        }
+        const jvm::ProfileSummary &prof = r.profile;
+        // "runq" folds pure run-queue wait with waitset/channel parks
+        // and "other" collects the residual buckets, keeping the table
+        // readable; the CSV carries every bucket separately.
+        const double runq =
+            bucketShare(prof, jvm::WaitBucket::RunQueue) +
+            bucketShare(prof, jvm::WaitBucket::Waitset) +
+            bucketShare(prof, jvm::WaitBucket::Channel);
+        const double other =
+            bucketShare(prof, jvm::WaitBucket::Stall) +
+            bucketShare(prof, jvm::WaitBucket::Other);
+        t.row({p.app, std::to_string(p.threads), cellStatus(r),
+               formatPercent(bucketShare(prof, jvm::WaitBucket::Cpu)),
+               formatPercent(runq),
+               formatPercent(bucketShare(prof, jvm::WaitBucket::Lock)),
+               formatPercent(bucketShare(prof, jvm::WaitBucket::GcStw)),
+               formatPercent(bucketShare(prof, jvm::WaitBucket::Ttsp)),
+               formatPercent(
+                   bucketShare(prof, jvm::WaitBucket::AllocStall)),
+               formatPercent(
+                   bucketShare(prof, jvm::WaitBucket::Governor)),
+               formatPercent(other),
+               jvm::waitBucketName(prof.dominantWait()),
+               formatTicks(prof.latency.quantile(0.5)),
+               formatTicks(prof.latency.quantile(0.99))});
+    }
+    t.print(os);
+
+    os << "USL cross-reference (E17): fitted knee vs. the wait state "
+          "dominating at the largest sweep point\n";
+    TextTable f;
+    f.header({"app", "sigma", "kappa", "n*", "dominant wait"});
+    for (const BlameAppFit &fit : study.fits) {
+        f.row({fit.app,
+               fit.usl.valid ? formatFixed(fit.usl.sigma, 4) : "-",
+               fit.usl.valid ? formatFixed(fit.usl.kappa, 6) : "-",
+               fit.usl.valid && fit.usl.n_star > 0
+                   ? formatFixed(fit.usl.n_star, 1)
+                   : "-",
+               jvm::waitBucketName(fit.dominant)});
+    }
+    f.print(os);
+}
+
+void
+writeBlameStudyCsv(std::ostream &os, const BlameStudy &study)
+{
+    os << "app,threads,status,wall_ticks,tasks";
+    for (std::size_t i = 0; i < jvm::kWaitBucketCount; ++i) {
+        os << ",share_"
+           << jvm::waitBucketName(static_cast<jvm::WaitBucket>(i));
+    }
+    os << ",dominant,p50_ns,p90_ns,p99_ns,p999_ns,max_ns,usl_n_star\n";
+
+    for (const BlamePoint &p : study.points) {
+        const jvm::RunResult &r = p.run;
+        double n_star = 0.0;
+        for (const BlameAppFit &fit : study.fits) {
+            if (fit.app == p.app && fit.usl.valid) {
+                n_star = fit.usl.n_star;
+                break;
+            }
+        }
+        os << p.app << ',' << p.threads << ',' << cellStatus(r) << ','
+           << r.wall_time << ',' << r.profile.tasks;
+        for (std::size_t i = 0; i < jvm::kWaitBucketCount; ++i) {
+            os << ','
+               << formatFixed(
+                      bucketShare(r.profile,
+                                  static_cast<jvm::WaitBucket>(i)),
+                      6);
+        }
+        const bool measured =
+            !r.skipped && !r.failed() && r.profile.enabled;
+        os << ','
+           << (measured ? jvm::waitBucketName(r.profile.dominantWait())
+                        : "-")
+           << ',' << r.profile.latency.quantile(0.5) << ','
+           << r.profile.latency.quantile(0.9) << ','
+           << r.profile.latency.quantile(0.99) << ','
+           << r.profile.latency.quantile(0.999) << ','
+           << r.profile.latency.max() << ',' << formatFixed(n_star, 2)
+           << '\n';
+    }
+}
+
+} // namespace jscale::core

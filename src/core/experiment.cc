@@ -16,8 +16,10 @@
 #include "fault/injector.hh"
 #include "fault/watchdog.hh"
 #include "os/policy.hh"
+#include "profile/profiler.hh"
 #include "sim/event.hh"
 #include "sim/simulation.hh"
+#include "telemetry/profile_tracks.hh"
 #include "telemetry/recorder.hh"
 #include "telemetry/sampler.hh"
 #include "telemetry/timeline.hh"
@@ -197,6 +199,7 @@ ExperimentRunner::campaignFingerprint() const
        << (config_.faults.spec.empty() ? "-" : config_.faults.spec)
        << " watchdog=" << (config_.watchdog ? 1 : 0)
        << " oracles=" << (config_.oracles ? 1 : 0)
+       << " profile=" << (config_.profile ? 1 : 0)
        << " compart=" << (config_.vm.heap.compartmentalized ? 1 : 0)
        << " biased=" << (config_.biased_scheduling ? 1 : 0);
     return os.str();
@@ -261,6 +264,16 @@ ExperimentRunner::executePlan(RunPlan &plan,
         oracles->attach(vm);
     }
 
+    // Wait-state attribution profiler: another pure observer on the
+    // probe chains. Its blame totals, histograms and slowest-task
+    // records land in RunResult::profile; the run's primary stats stay
+    // byte-identical to an unprofiled run.
+    std::optional<profile::TaskProfiler> profiler;
+    if (config_.profile) {
+        profiler.emplace();
+        profiler->attach(vm);
+    }
+
     // Telemetry taps: a timeline recorder on the probe chains and/or a
     // periodic metric sampler. Both are pure observers — attaching them
     // never changes the run's schedule or results. An artifact that
@@ -307,13 +320,22 @@ ExperimentRunner::executePlan(RunPlan &plan,
 
     if (oracles)
         oracles->finishRun(sim.now());
+    if (profiler) {
+        profiler->finishRun(sim.now());
+        r.profile = profiler->summary(config_.profile_topk);
+    }
     if (injector) {
         r.faults = injector->summary();
         r.faults.tasks_reassigned = vm.tasksReassigned();
     }
+    // Final sampler row before the timeline closes (it mirrors there).
+    if (sampler)
+        sampler->finish(sim.now());
     if (recorder) {
         recorder->finish(sim.now());
         recorder->detach();
+        if (profiler)
+            telemetry::emitProfileTracks(*timeline, r.profile, sim.now());
         timeline->finish();
         checkArtifactStream(timeline_os, plan.timeline_file,
                             artifact_errors);

@@ -108,6 +108,18 @@ struct ExperimentConfig
     std::string error_path = "jscale-errors/{app}-t{threads}.error.txt";
     /** @} */
 
+    /** @name Latency attribution (profile::TaskProfiler) */
+    /** @{ */
+    /**
+     * Attach the wait-state attribution profiler to every run, filling
+     * RunResult::profile. A pure observer: profiled runs stay
+     * byte-identical in primary stats to unprofiled runs.
+     */
+    bool profile = false;
+    /** Slowest-task records kept per run (blame table + timeline). */
+    std::uint32_t profile_topk = 5;
+    /** @} */
+
     /** @name Telemetry outputs */
     /** @{ */
     /**

@@ -1,5 +1,6 @@
 #include "core/plots.hh"
 
+#include <algorithm>
 #include <fstream>
 
 #include "base/logging.hh"
@@ -160,6 +161,53 @@ writeMutatorGcFigure(const std::string &dir, const SweepSet &sweeps)
 }
 
 std::vector<std::string>
+writeBlameFigure(const std::string &dir, const std::string &app,
+                 const std::vector<jvm::RunResult> &sweep)
+{
+    const std::string stem = dir + "/e20_blame_" + app;
+    const std::string dat = stem + ".dat";
+    const std::string gp = stem + ".gp";
+
+    std::ofstream d = openOut(dat);
+    d << "# threads";
+    for (std::size_t i = 0; i < jvm::kWaitBucketCount; ++i)
+        d << ' ' << jvm::waitBucketName(static_cast<jvm::WaitBucket>(i));
+    d << '\n';
+    for (const auto &r : sweep) {
+        if (r.skipped || r.failed() || !r.profile.enabled)
+            continue;
+        const Ticks total = r.profile.total();
+        const double denom =
+            total > 0 ? static_cast<double>(total) : 1.0;
+        d << r.threads;
+        for (std::size_t i = 0; i < jvm::kWaitBucketCount; ++i) {
+            d << ' '
+              << static_cast<double>(r.profile.bucket_total[i]) / denom;
+        }
+        d << '\n';
+    }
+
+    std::ofstream g = openOut(gp);
+    prologue(g, stem + ".png",
+             "E20: wait-state blame shares vs. threads: " + app,
+             "threads (= enabled cores)",
+             "share of aggregate task wall time");
+    g << "set style data histograms\n"
+      << "set style histogram rowstacked\n"
+      << "set style fill solid 0.8 border -1\n"
+      << "set yrange [0:1]\n";
+    g << "plot";
+    for (std::size_t i = 0; i < jvm::kWaitBucketCount; ++i) {
+        g << (i == 0 ? " " : ", ") << "'" << dat << "' using "
+          << (i + 2) << (i == 0 ? ":xtic(1)" : "") << " title '"
+          << jvm::waitBucketName(static_cast<jvm::WaitBucket>(i))
+          << "'";
+    }
+    g << '\n';
+    return {dat, gp};
+}
+
+std::vector<std::string>
 writeAllFigures(const std::string &dir, const SweepSet &sweeps)
 {
     std::vector<std::string> files;
@@ -179,6 +227,15 @@ writeAllFigures(const std::string &dir, const SweepSet &sweeps)
     }
     if (!scalable.empty())
         append(writeMutatorGcFigure(dir, scalable));
+    for (const auto &[app, sweep] : sweeps) {
+        const bool profiled =
+            std::any_of(sweep.begin(), sweep.end(),
+                        [](const jvm::RunResult &r) {
+                            return r.profile.enabled;
+                        });
+        if (profiled)
+            append(writeBlameFigure(dir, app, sweep));
+    }
     return files;
 }
 

@@ -39,6 +39,16 @@ writeLifespanFigure(const std::string &dir, const std::string &app,
 std::vector<std::string>
 writeMutatorGcFigure(const std::string &dir, const SweepSet &sweeps);
 
+/**
+ * Write the E20 blame figure for one app: stacked wait-bucket shares of
+ * aggregate task wall time per thread count, so the dominant-wait flip
+ * is visible as the band that grows with the ladder. Only cells whose
+ * runs were profiled contribute rows.
+ */
+std::vector<std::string>
+writeBlameFigure(const std::string &dir, const std::string &app,
+                 const std::vector<jvm::RunResult> &sweep);
+
 /** Write every paper figure for a full six-app sweep set. */
 std::vector<std::string>
 writeAllFigures(const std::string &dir, const SweepSet &sweeps);

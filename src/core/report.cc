@@ -730,6 +730,146 @@ runStatSnapshot(const jvm::RunResult &r)
     return s;
 }
 
+namespace {
+
+/** Tail-quantile cells (p50/p90/p99/p999/max) of one histogram. */
+std::vector<std::string>
+quantileCells(const stats::LatencyHistogram &h)
+{
+    if (h.count() == 0)
+        return {"-", "-", "-", "-", "-"};
+    return {formatTicks(h.quantile(0.50)), formatTicks(h.quantile(0.90)),
+            formatTicks(h.quantile(0.99)), formatTicks(h.quantile(0.999)),
+            formatTicks(h.max())};
+}
+
+} // namespace
+
+void
+printBlameTable(std::ostream &os, const jvm::RunResult &r)
+{
+    const jvm::ProfileSummary &p = r.profile;
+    os << "wait-state blame: " << r.app_name << " @ " << r.threads
+       << " threads / " << r.cores << " cores\n";
+    if (!p.enabled) {
+        os << "  (profiling disabled; run with --profile)\n";
+        return;
+    }
+    const Ticks total = p.total();
+    const double denom = total > 0 ? static_cast<double>(total) : 1.0;
+    TextTable t;
+    t.header({"bucket", "total", "share", "p50", "p90", "p99", "p999",
+              "max"});
+    for (std::size_t i = 0; i < jvm::kWaitBucketCount; ++i) {
+        if (p.bucket_total[i] == 0)
+            continue;
+        std::vector<std::string> row = {
+            jvm::waitBucketName(static_cast<jvm::WaitBucket>(i)),
+            formatTicks(p.bucket_total[i]),
+            formatPercent(static_cast<double>(p.bucket_total[i]) / denom)};
+        for (auto &cell : quantileCells(p.bucket_hist[i]))
+            row.push_back(std::move(cell));
+        t.row(std::move(row));
+    }
+    {
+        std::vector<std::string> row = {"task wall", formatTicks(total),
+                                        formatPercent(total > 0 ? 1.0
+                                                                : 0.0)};
+        for (auto &cell : quantileCells(p.latency))
+            row.push_back(std::move(cell));
+        t.row(std::move(row));
+    }
+    t.print(os);
+    os << "  tasks " << p.tasks << " (" << p.tasks_discarded
+       << " discarded), dominant wait: "
+       << jvm::waitBucketName(p.dominantWait()) << "\n";
+
+    if (!p.slowest.empty()) {
+        os << "slowest tasks:\n";
+        TextTable st;
+        st.header({"task", "thread", "wall", "cpu", "dominant wait",
+                   "wait share"});
+        for (const jvm::SlowTaskRecord &rec : p.slowest) {
+            std::size_t worst = 1;
+            for (std::size_t i = 1; i < jvm::kWaitBucketCount; ++i) {
+                if (rec.buckets[i] > rec.buckets[worst])
+                    worst = i;
+            }
+            const Ticks wall = rec.wall();
+            st.row({std::to_string(rec.task),
+                    std::to_string(rec.thread), formatTicks(wall),
+                    formatTicks(rec.buckets[0]),
+                    jvm::waitBucketName(
+                        static_cast<jvm::WaitBucket>(worst)),
+                    formatPercent(
+                        wall > 0 ? static_cast<double>(wall -
+                                                       rec.buckets[0]) /
+                                       static_cast<double>(wall)
+                                 : 0.0)});
+        }
+        st.print(os);
+    }
+
+    if (!p.lock_waits.empty()) {
+        os << "hottest monitors (by task lock-wait):\n";
+        TextTable lt;
+        lt.header({"monitor", "wait", "blocks"});
+        for (const jvm::MonitorWaitTotal &m : p.lock_waits) {
+            lt.row({std::to_string(m.monitor), formatTicks(m.wait),
+                    std::to_string(m.blocks)});
+        }
+        lt.print(os);
+    }
+}
+
+void
+writeBlameCsv(std::ostream &os, const jvm::RunResult &r)
+{
+    const jvm::ProfileSummary &p = r.profile;
+    const Ticks total = p.total();
+    const double denom = total > 0 ? static_cast<double>(total) : 1.0;
+    os << "app,threads,bucket,total_ns,share,tasks,p50_ns,p90_ns,p99_ns,"
+          "p999_ns,max_ns\n";
+    const auto emit = [&](const char *name, Ticks bucket_total,
+                          const stats::LatencyHistogram &h,
+                          double share) {
+        os << r.app_name << "," << r.threads << "," << name << ","
+           << bucket_total << "," << formatFixed(share, 6) << ","
+           << h.count() << "," << h.quantile(0.50) << ","
+           << h.quantile(0.90) << "," << h.quantile(0.99) << ","
+           << h.quantile(0.999) << "," << h.max() << "\n";
+    };
+    for (std::size_t i = 0; i < jvm::kWaitBucketCount; ++i) {
+        emit(jvm::waitBucketName(static_cast<jvm::WaitBucket>(i)),
+             p.bucket_total[i], p.bucket_hist[i],
+             static_cast<double>(p.bucket_total[i]) / denom);
+    }
+    emit("task-wall", total, p.latency, total > 0 ? 1.0 : 0.0);
+}
+
+void
+writeProfileHistogramCsv(std::ostream &os, const jvm::RunResult &r)
+{
+    const jvm::ProfileSummary &p = r.profile;
+    os << "app,threads,histogram,bucket_index,lower_edge_ns,count\n";
+    const auto emit = [&](const char *name,
+                          const stats::LatencyHistogram &h) {
+        for (std::size_t i = 0; i < stats::LatencyHistogram::kBuckets;
+             ++i) {
+            if (h.bucket(i) == 0)
+                continue;
+            os << r.app_name << "," << r.threads << "," << name << ","
+               << i << "," << stats::LatencyHistogram::bucketLowerEdge(i)
+               << "," << h.bucket(i) << "\n";
+        }
+    };
+    emit("task-wall", p.latency);
+    for (std::size_t i = 0; i < jvm::kWaitBucketCount; ++i) {
+        emit(jvm::waitBucketName(static_cast<jvm::WaitBucket>(i)),
+             p.bucket_hist[i]);
+    }
+}
+
 void
 printRunSummary(std::ostream &os, const jvm::RunResult &r)
 {
@@ -792,6 +932,17 @@ printRunSummary(std::ostream &os, const jvm::RunResult &r)
         t.row({"heap spikes", std::to_string(r.faults.heap_spikes)});
         t.row({"gc worker losses",
                std::to_string(r.faults.gc_worker_losses)});
+    }
+    if (r.profile.enabled) {
+        t.row({"profiled tasks",
+               std::to_string(r.profile.tasks) + " (" +
+                   std::to_string(r.profile.tasks_discarded) +
+                   " discarded)"});
+        t.row({"dominant wait",
+               jvm::waitBucketName(r.profile.dominantWait())});
+        t.row({"task wall p50 / p99",
+               formatTicks(r.profile.latency.quantile(0.5)) + " / " +
+                   formatTicks(r.profile.latency.quantile(0.99))});
     }
     for (const auto &err : r.artifact_errors)
         t.row({"artifact error", err});

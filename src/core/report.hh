@@ -110,6 +110,24 @@ void printGovernedComparisonTable(std::ostream &os, const SweepSet &off,
                                   const SweepSet &on);
 
 /**
+ * Per-run wait-state blame (requires a profiled run, see
+ * ExperimentConfig::profile): one row per attribution bucket with its
+ * total time, share of aggregate task wall time and tail quantiles of
+ * the per-task distribution, plus the slowest-task and hottest-monitor
+ * breakdowns. The CSV emits every bucket (zero rows included) so the
+ * column/row set is configuration-independent.
+ */
+void printBlameTable(std::ostream &os, const jvm::RunResult &r);
+void writeBlameCsv(std::ostream &os, const jvm::RunResult &r);
+
+/**
+ * Raw log-bucketed histogram dump of a profiled run: one row per
+ * non-empty histogram bucket, for the end-to-end task latency
+ * distribution and each wait bucket's per-task distribution.
+ */
+void writeProfileHistogramCsv(std::ostream &os, const jvm::RunResult &r);
+
+/**
  * Flatten every deterministic counter of one run into a named stat
  * snapshot (timing, GC, heap, locks, scheduler and per-thread rows).
  * Two runs of the same configuration must produce identical snapshots

@@ -140,6 +140,11 @@ Monitor::waitOn(MonitorWaiter *waiter, Ticks now)
         ++stats_.inflations;
     }
     waitset_.push_back(waiter);
+    if (listeners_) {
+        listeners_->dispatch([&](RuntimeListener &l) {
+            l.onMonitorWaitParked(waiter->mutatorIndex(), id_, now);
+        });
+    }
     releaseInternal(waiter, now);
 }
 
@@ -200,20 +205,26 @@ Monitor::cancelWaiter(MonitorWaiter *waiter, Ticks now)
 }
 
 WaitChannel::WaitChannel(ChannelId id, std::string name,
-                         std::uint64_t permits, os::Scheduler &sched)
-    : id_(id), name_(std::move(name)), sched_(sched), permits_(permits)
+                         std::uint64_t permits, os::Scheduler &sched,
+                         const ListenerChain *listeners)
+    : id_(id), name_(std::move(name)), sched_(sched),
+      listeners_(listeners), permits_(permits)
 {
 }
 
 bool
 WaitChannel::acquire(MonitorWaiter *waiter, Ticks now)
 {
-    (void)now;
     if (permits_ > 0) {
         --permits_;
         return true;
     }
     queue_.push_back(waiter);
+    if (listeners_) {
+        listeners_->dispatch([&](RuntimeListener &l) {
+            l.onChannelBlocked(waiter->mutatorIndex(), id_, now);
+        });
+    }
     return false;
 }
 
@@ -311,8 +322,8 @@ ChannelId
 MonitorTable::createChannel(const std::string &name, std::uint64_t permits)
 {
     const auto id = static_cast<ChannelId>(channels_.size());
-    channels_.push_back(
-        std::make_unique<WaitChannel>(id, name, permits, sched_));
+    channels_.push_back(std::make_unique<WaitChannel>(
+        id, name, permits, sched_, listeners_));
     return id;
 }
 

@@ -190,7 +190,7 @@ class WaitChannel
 {
   public:
     WaitChannel(ChannelId id, std::string name, std::uint64_t permits,
-                os::Scheduler &sched);
+                os::Scheduler &sched, const ListenerChain *listeners);
 
     ChannelId id() const { return id_; }
     const std::string &name() const { return name_; }
@@ -214,6 +214,7 @@ class WaitChannel
     ChannelId id_;
     std::string name_;
     os::Scheduler &sched_;
+    const ListenerChain *listeners_;
     std::uint64_t permits_;
     std::deque<MonitorWaiter *> queue_;
 };

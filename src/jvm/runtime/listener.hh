@@ -168,6 +168,60 @@ class RuntimeListener
     }
 
     /**
+     * A task retired at a mutator's TaskDone boundary. @p task is the
+     * global completion sequence number (1-based, simulation order);
+     * per-mutator windows between consecutive onTaskEnd events are the
+     * unit of latency attribution.
+     */
+    virtual void
+    onTaskEnd(MutatorIndex thread, std::uint64_t task, Ticks now)
+    {
+        (void)thread; (void)task; (void)now;
+    }
+
+    /**
+     * A mutator is about to park waiting for a collection it requested:
+     * globally (blocked until the stop-the-world cycle completes) or on
+     * a compartment-local pause (@p local). Fires before the thread's
+     * Blocked/Sleeping transition, so wait-state observers can classify
+     * the upcoming block as an allocation stall.
+     */
+    virtual void
+    onGcWaitBegin(MutatorIndex thread, bool local, Ticks now)
+    {
+        (void)thread; (void)local; (void)now;
+    }
+
+    /**
+     * A thread entered a monitor's wait set (Object.wait): it is about
+     * to block until notified. Distinct from onMonitorContended, which
+     * marks blocking on the acquire queue.
+     */
+    virtual void
+    onMonitorWaitParked(MutatorIndex thread, MonitorId monitor, Ticks now)
+    {
+        (void)thread; (void)monitor; (void)now;
+    }
+
+    /** A thread found a channel (semaphore) empty and is about to
+     *  block on it. */
+    virtual void
+    onChannelBlocked(MutatorIndex thread, ChannelId channel, Ticks now)
+    {
+        (void)thread; (void)channel; (void)now;
+    }
+
+    /**
+     * The admission governor denied a task boundary: the thread is
+     * about to park at its task-fetch point until re-admitted.
+     */
+    virtual void
+    onAdmissionParked(MutatorIndex thread, Ticks now)
+    {
+        (void)thread; (void)now;
+    }
+
+    /**
      * The concurrency governor re-evaluated its admission target.
      * @p target admitted-thread goal, @p active currently admitted
      * mutators, @p parked mutators held at task-fetch boundaries,

@@ -9,6 +9,25 @@
 
 namespace jscale::jvm {
 
+const char *
+waitBucketName(WaitBucket b)
+{
+    switch (b) {
+      case WaitBucket::Cpu: return "cpu";
+      case WaitBucket::RunQueue: return "runq";
+      case WaitBucket::Ttsp: return "ttsp";
+      case WaitBucket::GcStw: return "gc-stw";
+      case WaitBucket::Lock: return "lock";
+      case WaitBucket::Waitset: return "waitset";
+      case WaitBucket::Channel: return "channel";
+      case WaitBucket::AllocStall: return "alloc-stall";
+      case WaitBucket::Governor: return "governor";
+      case WaitBucket::Stall: return "stall";
+      case WaitBucket::Other: return "other";
+    }
+    return "?";
+}
+
 MonitorId
 AppContext::createMonitor(const std::string &name)
 {
@@ -78,6 +97,9 @@ JavaVm::requestGc(MutatorThread *t, Ticks now)
             const Ticks pause = cost_model_->localPause(w);
             ++gc_stats_.local_count;
             gc_stats_.local_pause += pause;
+            listeners_.dispatch([&](RuntimeListener &l) {
+                l.onGcWaitBegin(t->index(), /*local=*/true, now);
+            });
             t->gcWaitOver();
             sched_.wakeAt(t->osThread(), now + pause);
             return;
@@ -87,6 +109,9 @@ JavaVm::requestGc(MutatorThread *t, Ticks now)
     }
 
     gc_waiters_.push_back(t);
+    listeners_.dispatch([&](RuntimeListener &l) {
+        l.onGcWaitBegin(t->index(), /*local=*/false, now);
+    });
     if (gc_in_progress_)
         return; // the in-flight collection will serve this thread too
     gc_in_progress_ = true;
@@ -413,10 +438,12 @@ JavaVm::onMutatorFinished(MutatorThread *t, Ticks now)
 }
 
 void
-JavaVm::onTaskCompleted(MutatorIndex idx)
+JavaVm::onTaskCompleted(MutatorIndex idx, Ticks now)
 {
-    (void)idx;
     ++total_tasks_;
+    listeners_.dispatch([&](RuntimeListener &l) {
+        l.onTaskEnd(idx, total_tasks_, now);
+    });
 }
 
 void

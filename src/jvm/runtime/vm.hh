@@ -138,6 +138,113 @@ struct FaultSummary
     }
 };
 
+/**
+ * Wait-state attribution buckets: every tick of a task's wall time is
+ * assigned to exactly one bucket, so per-task bucket sums reconcile to
+ * task wall time integer-exactly (the latency-conservation invariant).
+ */
+enum class WaitBucket : std::uint8_t
+{
+    /** On-CPU execution (includes dispatch/preemption overhead). */
+    Cpu = 0,
+    /** Runnable but waiting in a core's run queue. */
+    RunQueue,
+    /** Runnable while a safepoint is being brought to stop. */
+    Ttsp,
+    /** Parked across a stop-the-world GC pause. */
+    GcStw,
+    /** Blocked on a monitor's acquire queue (lock contention). */
+    Lock,
+    /** Parked in a monitor's wait set (Object.wait). */
+    Waitset,
+    /** Blocked on an empty channel (semaphore). */
+    Channel,
+    /** Parked waiting for a collection it requested (alloc stall). */
+    AllocStall,
+    /** Parked by the admission governor at a task-fetch boundary. */
+    Governor,
+    /** Slept or stalled for other reasons (fault stalls, timed waits). */
+    Stall,
+    /** Blocked for a cause no probe announced. */
+    Other,
+};
+
+constexpr std::size_t kWaitBucketCount =
+    static_cast<std::size_t>(WaitBucket::Other) + 1;
+
+/** Short stable name of @p b ("cpu", "runq", "ttsp", ...). */
+const char *waitBucketName(WaitBucket b);
+
+/** Lock wait attributed to one monitor across all profiled tasks. */
+struct MonitorWaitTotal
+{
+    MonitorId monitor = 0;
+    /** Total acquire-queue block time charged to this monitor. */
+    Ticks wait = 0;
+    /** Closed blocking episodes behind the total. */
+    std::uint64_t blocks = 0;
+};
+
+/** One of the top-K slowest tasks, with its full blame breakdown. */
+struct SlowTaskRecord
+{
+    /** Global completion sequence number (1-based). */
+    std::uint64_t task = 0;
+    MutatorIndex thread = 0;
+    Ticks start = 0;
+    Ticks end = 0;
+    Ticks buckets[kWaitBucketCount] = {};
+
+    Ticks wall() const { return end - start; }
+};
+
+/**
+ * Per-run latency attribution (filled by profile::TaskProfiler when
+ * profiling is enabled; otherwise enabled == false and all zero).
+ * Deliberately not part of the primary stat snapshot: profiled runs
+ * stay byte-identical to unprofiled runs in primary stats.
+ */
+struct ProfileSummary
+{
+    bool enabled = false;
+    /** Tasks attributed (completed inside a profiled window). */
+    std::uint64_t tasks = 0;
+    /** In-flight windows discarded (killed mutators, run epilogue). */
+    std::uint64_t tasks_discarded = 0;
+    /** Total ticks per bucket across all attributed tasks. */
+    Ticks bucket_total[kWaitBucketCount] = {};
+    /** End-to-end task latency distribution. */
+    stats::LatencyHistogram latency;
+    /** Per-bucket time distributions (one histogram per wait state). */
+    stats::LatencyHistogram bucket_hist[kWaitBucketCount];
+    /** The K slowest tasks, slowest first (K = profile_topk). */
+    std::vector<SlowTaskRecord> slowest;
+    /** Per-monitor lock wait, largest first. */
+    std::vector<MonitorWaitTotal> lock_waits;
+
+    /** Sum of all bucket totals == sum of attributed task wall time. */
+    Ticks
+    total() const
+    {
+        Ticks t = 0;
+        for (std::size_t i = 0; i < kWaitBucketCount; ++i)
+            t += bucket_total[i];
+        return t;
+    }
+
+    /** The non-Cpu bucket with the largest total (blame verdict). */
+    WaitBucket
+    dominantWait() const
+    {
+        std::size_t best = static_cast<std::size_t>(WaitBucket::RunQueue);
+        for (std::size_t i = 1; i < kWaitBucketCount; ++i) {
+            if (bucket_total[i] > bucket_total[best])
+                best = i;
+        }
+        return static_cast<WaitBucket>(best);
+    }
+};
+
 /** Everything measured in one application run. */
 struct RunResult
 {
@@ -165,6 +272,7 @@ struct RunResult
     os::SchedulerStats sched;
     GovernorSummary governor;
     FaultSummary faults;
+    ProfileSummary profile;
     std::uint64_t total_tasks = 0;
     std::uint64_t sim_events = 0;
 
@@ -245,7 +353,7 @@ class JavaVm
     void onMutatorFinished(MutatorThread *t, Ticks now);
 
     /** A mutator completed one application task. */
-    void onTaskCompleted(MutatorIndex idx);
+    void onTaskCompleted(MutatorIndex idx, Ticks now);
 
     /**
      * Admission check at a task-fetch boundary. True admits; false
@@ -256,7 +364,14 @@ class JavaVm
     {
         if (admission_ == nullptr) [[likely]]
             return true;
-        return admission_->admitTask(*t, now);
+        if (admission_->admitTask(*t, now))
+            return true;
+        // Announce the cause before the caller's Blocked transition so
+        // wait-state observers can attribute the park to the governor.
+        listeners_.dispatch([&](RuntimeListener &l) {
+            l.onAdmissionParked(t->index(), now);
+        });
+        return false;
     }
     /** @} */
 

@@ -221,7 +221,7 @@ MutatorThread::finishBurst(Ticks now, Ticks elapsed)
 
       case Action::Kind::TaskDone:
         ++stats_.tasks_completed;
-        vm_.onTaskCompleted(index_);
+        vm_.onTaskCompleted(index_, now);
         consumeAction();
         if (held_monitors_ == 0 && !vm_.admitTask(this, now))
             return os::BurstOutcome::Blocked; // admission-parked

@@ -1,0 +1,332 @@
+#include "profile/profiler.hh"
+
+#include <algorithm>
+
+#include "base/logging.hh"
+
+namespace jscale::profile {
+
+void
+TaskProfiler::attach(jvm::JavaVm &vm)
+{
+    jscale_assert(vm_ == nullptr, "profiler already attached");
+    vm_ = &vm;
+    vm.listeners().add(this);
+    vm.scheduler().listeners().add(this);
+}
+
+void
+TaskProfiler::detach()
+{
+    if (vm_ == nullptr)
+        return;
+    vm_->listeners().remove(this);
+    vm_->scheduler().listeners().remove(this);
+    vm_ = nullptr;
+}
+
+TaskProfiler::MutatorState &
+TaskProfiler::state(jvm::MutatorIndex idx)
+{
+    if (idx >= mutators_.size())
+        mutators_.resize(idx + 1);
+    return mutators_[idx];
+}
+
+void
+TaskProfiler::switchBucket(MutatorState &m, jvm::WaitBucket next,
+                           Ticks now)
+{
+    const Ticks span = now - m.seg_since;
+    const auto cur = static_cast<std::size_t>(m.bucket);
+    m.buckets[cur] += span;
+    if (m.bucket == jvm::WaitBucket::Lock) {
+        auto &[wait, blocks] = lock_waits_[m.block_monitor];
+        wait += span;
+        if (next != jvm::WaitBucket::Lock)
+            ++blocks;
+    }
+    m.seg_since = now;
+    m.bucket = next;
+}
+
+jvm::WaitBucket
+TaskProfiler::readyBucket() const
+{
+    switch (stw_) {
+      case StwPhase::Stopping: return jvm::WaitBucket::Ttsp;
+      case StwPhase::Paused: return jvm::WaitBucket::GcStw;
+      case StwPhase::Running: break;
+    }
+    return jvm::WaitBucket::RunQueue;
+}
+
+void
+TaskProfiler::reclassifyReady(Ticks now)
+{
+    const jvm::WaitBucket next = readyBucket();
+    for (MutatorState &m : mutators_) {
+        if (!m.live || m.finished)
+            continue;
+        switch (m.bucket) {
+          case jvm::WaitBucket::RunQueue:
+          case jvm::WaitBucket::Ttsp:
+          case jvm::WaitBucket::GcStw:
+            switchBucket(m, next, now);
+            break;
+          default:
+            break;
+        }
+    }
+}
+
+void
+TaskProfiler::discardWindow(MutatorState &m, Ticks now)
+{
+    switchBucket(m, m.bucket, now);
+    if (now > m.task_start)
+        ++tasks_discarded_;
+    m.task_start = now;
+    std::fill(std::begin(m.buckets), std::end(m.buckets), 0);
+}
+
+void
+TaskProfiler::onThreadStart(jvm::MutatorIndex thread, Ticks now)
+{
+    MutatorState &m = state(thread);
+    m.live = true;
+    m.task_start = now;
+    m.seg_since = now;
+    m.bucket = jvm::WaitBucket::RunQueue;
+}
+
+void
+TaskProfiler::onThreadFinish(jvm::MutatorIndex thread, Ticks now)
+{
+    MutatorState &m = state(thread);
+    if (!m.live || m.finished)
+        return;
+    discardWindow(m, now);
+    m.finished = true;
+}
+
+void
+TaskProfiler::onTaskEnd(jvm::MutatorIndex thread, std::uint64_t task,
+                        Ticks now)
+{
+    MutatorState &m = state(thread);
+    if (!m.live || m.finished)
+        return;
+    switchBucket(m, m.bucket, now); // close the open segment
+
+    jvm::SlowTaskRecord rec;
+    rec.task = task;
+    rec.thread = thread;
+    rec.start = m.task_start;
+    rec.end = now;
+    std::copy(std::begin(m.buckets), std::end(m.buckets),
+              std::begin(rec.buckets));
+
+    ++tasks_;
+    latency_.add(rec.wall());
+    for (std::size_t i = 0; i < jvm::kWaitBucketCount; ++i) {
+        bucket_total_[i] += m.buckets[i];
+        bucket_hist_[i].add(m.buckets[i]);
+    }
+
+    if (sink_)
+        sink_(rec);
+
+    // Keep the slowest records, wall-time descending, sequence-number
+    // ascending on ties — a total order, so retention is deterministic.
+    const auto slower = [](const jvm::SlowTaskRecord &a,
+                           const jvm::SlowTaskRecord &b) {
+        if (a.wall() != b.wall())
+            return a.wall() > b.wall();
+        return a.task < b.task;
+    };
+    slowest_.insert(
+        std::upper_bound(slowest_.begin(), slowest_.end(), rec, slower),
+        rec);
+    if (slowest_.size() > kSlowKeep)
+        slowest_.resize(kSlowKeep);
+
+    // Open the next window.
+    m.task_start = now;
+    std::fill(std::begin(m.buckets), std::end(m.buckets), 0);
+}
+
+void
+TaskProfiler::onMonitorContended(jvm::MutatorIndex thread,
+                                 jvm::MonitorId monitor, Ticks now)
+{
+    MutatorState &m = state(thread);
+    if (!m.live || m.finished)
+        return;
+    if (m.bucket == jvm::WaitBucket::Waitset) {
+        // notify() moved the thread from the wait set to the acquire
+        // queue while it stays Blocked: reclassify mid-block.
+        switchBucket(m, jvm::WaitBucket::Lock, now);
+        m.block_monitor = monitor;
+        return;
+    }
+    m.pending = Cause::Lock;
+    m.pending_monitor = monitor;
+}
+
+void
+TaskProfiler::onMonitorWaitParked(jvm::MutatorIndex thread,
+                                  jvm::MonitorId monitor, Ticks now)
+{
+    (void)now;
+    MutatorState &m = state(thread);
+    m.pending = Cause::Waitset;
+    m.pending_monitor = monitor;
+}
+
+void
+TaskProfiler::onChannelBlocked(jvm::MutatorIndex thread,
+                               jvm::ChannelId channel, Ticks now)
+{
+    (void)channel; (void)now;
+    state(thread).pending = Cause::Channel;
+}
+
+void
+TaskProfiler::onGcWaitBegin(jvm::MutatorIndex thread, bool local,
+                            Ticks now)
+{
+    (void)local; (void)now;
+    state(thread).pending = Cause::AllocStall;
+}
+
+void
+TaskProfiler::onAdmissionParked(jvm::MutatorIndex thread, Ticks now)
+{
+    (void)now;
+    state(thread).pending = Cause::Governor;
+}
+
+void
+TaskProfiler::onSafepointReached(std::uint64_t sequence, Ticks ttsp,
+                                 Ticks now)
+{
+    (void)sequence; (void)ttsp;
+    stw_ = StwPhase::Paused;
+    reclassifyReady(now);
+}
+
+void
+TaskProfiler::onThreadState(const os::OsThread &t, os::ThreadState prev,
+                            Ticks now)
+{
+    (void)prev;
+    if (t.kind() != os::ThreadKind::Mutator)
+        return;
+    MutatorState &m = state(static_cast<jvm::MutatorIndex>(t.id()));
+    if (!m.live || m.finished)
+        return;
+
+    jvm::WaitBucket next;
+    switch (t.state()) {
+      case os::ThreadState::Running:
+        next = jvm::WaitBucket::Cpu;
+        break;
+      case os::ThreadState::Ready:
+        next = readyBucket();
+        break;
+      case os::ThreadState::Blocked:
+        switch (m.pending) {
+          case Cause::Lock:
+            next = jvm::WaitBucket::Lock;
+            m.block_monitor = m.pending_monitor;
+            break;
+          case Cause::Waitset: next = jvm::WaitBucket::Waitset; break;
+          case Cause::Channel: next = jvm::WaitBucket::Channel; break;
+          case Cause::AllocStall:
+            next = jvm::WaitBucket::AllocStall;
+            break;
+          case Cause::Governor: next = jvm::WaitBucket::Governor; break;
+          case Cause::None: next = jvm::WaitBucket::Other; break;
+          default: next = jvm::WaitBucket::Other; break;
+        }
+        m.pending = Cause::None;
+        break;
+      case os::ThreadState::Sleeping:
+        // A local (compartment) collection parks its requester in a
+        // timed sleep; anything else sleeping is a generic stall.
+        next = m.pending == Cause::AllocStall
+                   ? jvm::WaitBucket::AllocStall
+                   : jvm::WaitBucket::Stall;
+        m.pending = Cause::None;
+        break;
+      case os::ThreadState::Finished:
+        discardWindow(m, now);
+        m.finished = true;
+        return;
+      case os::ThreadState::New:
+        return;
+      default:
+        return;
+    }
+    switchBucket(m, next, now);
+}
+
+void
+TaskProfiler::onWorldStopRequested(Ticks now)
+{
+    stw_ = StwPhase::Stopping;
+    reclassifyReady(now);
+}
+
+void
+TaskProfiler::onWorldResumed(Ticks now)
+{
+    stw_ = StwPhase::Running;
+    reclassifyReady(now);
+}
+
+void
+TaskProfiler::finishRun(Ticks now)
+{
+    for (MutatorState &m : mutators_) {
+        if (!m.live || m.finished)
+            continue;
+        discardWindow(m, now);
+        m.finished = true;
+    }
+}
+
+jvm::ProfileSummary
+TaskProfiler::summary(std::uint32_t topk) const
+{
+    jvm::ProfileSummary s;
+    s.enabled = true;
+    s.tasks = tasks_;
+    s.tasks_discarded = tasks_discarded_;
+    std::copy(std::begin(bucket_total_), std::end(bucket_total_),
+              std::begin(s.bucket_total));
+    s.latency = latency_;
+    for (std::size_t i = 0; i < jvm::kWaitBucketCount; ++i)
+        s.bucket_hist[i] = bucket_hist_[i];
+    const std::size_t k =
+        std::min<std::size_t>(topk, slowest_.size());
+    s.slowest.assign(slowest_.begin(), slowest_.begin() + k);
+    for (const auto &[monitor, totals] : lock_waits_) {
+        jvm::MonitorWaitTotal w;
+        w.monitor = monitor;
+        w.wait = totals.first;
+        w.blocks = totals.second;
+        s.lock_waits.push_back(w);
+    }
+    std::sort(s.lock_waits.begin(), s.lock_waits.end(),
+              [](const jvm::MonitorWaitTotal &a,
+                 const jvm::MonitorWaitTotal &b) {
+                  if (a.wait != b.wait)
+                      return a.wait > b.wait;
+                  return a.monitor < b.monitor;
+              });
+    return s;
+}
+
+} // namespace jscale::profile

@@ -1,0 +1,168 @@
+/**
+ * @file
+ * TaskProfiler: per-task latency attribution over the probe chains.
+ *
+ * Rides the RuntimeListener and SchedulerListener chains as a pure
+ * observer — the runtime pays nothing when no profiler is attached and
+ * never branches on profiling state. Every mutator's timeline is cut
+ * into contiguous segments, each classified into one WaitBucket from
+ * the thread's scheduler state plus the most recent cause probe
+ * (monitor contention, wait-set park, channel block, GC wait,
+ * admission park). Segments are closed and re-opened on every
+ * classification change, so the buckets of one task window sum to the
+ * window's wall time *by construction* — an integer-exact invariant
+ * the check layer's latency-conservation oracle enforces.
+ *
+ * Task windows run from thread start (or the previous TaskDone) to the
+ * next TaskDone. The epilogue after a thread's last task and the
+ * in-flight window of a killed mutator are discarded (counted in
+ * tasks_discarded), never attributed.
+ */
+
+#ifndef JSCALE_PROFILE_PROFILER_HH
+#define JSCALE_PROFILE_PROFILER_HH
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <vector>
+
+#include "base/units.hh"
+#include "jvm/runtime/listener.hh"
+#include "jvm/runtime/vm.hh"
+#include "os/sched_listener.hh"
+
+namespace jscale::profile {
+
+/**
+ * The attribution observer. Construct, attach(vm) before run(), call
+ * finishRun() after, then read summary(). One profiler observes one
+ * run, like the tracer and lock profiler it sits beside.
+ */
+class TaskProfiler : public jvm::RuntimeListener,
+                     public os::SchedulerListener
+{
+  public:
+    TaskProfiler() = default;
+
+    /** Subscribe to @p vm's runtime + scheduler probe chains. */
+    void attach(jvm::JavaVm &vm);
+
+    /** Unsubscribe (safe to call repeatedly). */
+    void detach();
+
+    /**
+     * Install a per-task callback, fired at every attributed task
+     * completion with the task's full bucket breakdown — the hook the
+     * conservation oracle and telemetry counter tracks ride.
+     */
+    void
+    setTaskSink(std::function<void(const jvm::SlowTaskRecord &)> sink)
+    {
+        sink_ = std::move(sink);
+    }
+
+    /** Close any open windows (end of run; open windows discard). */
+    void finishRun(Ticks now);
+
+    /** Aggregate results; @p topk bounds the slowest-task list. */
+    jvm::ProfileSummary summary(std::uint32_t topk = 5) const;
+
+    /** @name RuntimeListener probes (cause + task boundaries) */
+    /** @{ */
+    void onThreadStart(jvm::MutatorIndex thread, Ticks now) override;
+    void onThreadFinish(jvm::MutatorIndex thread, Ticks now) override;
+    void onTaskEnd(jvm::MutatorIndex thread, std::uint64_t task,
+                   Ticks now) override;
+    void onMonitorContended(jvm::MutatorIndex thread,
+                            jvm::MonitorId monitor, Ticks now) override;
+    void onMonitorWaitParked(jvm::MutatorIndex thread,
+                             jvm::MonitorId monitor, Ticks now) override;
+    void onChannelBlocked(jvm::MutatorIndex thread,
+                          jvm::ChannelId channel, Ticks now) override;
+    void onGcWaitBegin(jvm::MutatorIndex thread, bool local,
+                       Ticks now) override;
+    void onAdmissionParked(jvm::MutatorIndex thread, Ticks now) override;
+    void onSafepointReached(std::uint64_t sequence, Ticks ttsp,
+                            Ticks now) override;
+    /** @} */
+
+    /** @name SchedulerListener probes (state machine + STW phases) */
+    /** @{ */
+    void onThreadState(const os::OsThread &t, os::ThreadState prev,
+                       Ticks now) override;
+    void onWorldStopRequested(Ticks now) override;
+    void onWorldResumed(Ticks now) override;
+    /** @} */
+
+  private:
+    /** Cause probes remembered until the matching Blocked/Sleeping
+     *  transition consumes them. */
+    enum class Cause : std::uint8_t
+    {
+        None,
+        Lock,
+        Waitset,
+        Channel,
+        AllocStall,
+        Governor,
+    };
+
+    /** Global stop-the-world progress, for classifying Ready time. */
+    enum class StwPhase : std::uint8_t { Running, Stopping, Paused };
+
+    struct MutatorState
+    {
+        bool live = false;
+        bool finished = false;
+        /** Start of the current task window. */
+        Ticks task_start = 0;
+        /** Start of the current (open) segment. */
+        Ticks seg_since = 0;
+        /** Classification of the open segment. */
+        jvm::WaitBucket bucket = jvm::WaitBucket::RunQueue;
+        /** Pending block cause announced by the runtime probes. */
+        Cause pending = Cause::None;
+        jvm::MonitorId pending_monitor = 0;
+        /** Monitor charged while the open segment is Lock. */
+        jvm::MonitorId block_monitor = 0;
+        /** Per-bucket accumulation of the current window. */
+        Ticks buckets[jvm::kWaitBucketCount] = {};
+    };
+
+    MutatorState &state(jvm::MutatorIndex idx);
+
+    /** Close the open segment at @p now and reclassify to @p next. */
+    void switchBucket(MutatorState &m, jvm::WaitBucket next, Ticks now);
+
+    /** Bucket for Ready time under the current STW phase. */
+    jvm::WaitBucket readyBucket() const;
+
+    /** Re-classify every thread currently in a Ready-class bucket. */
+    void reclassifyReady(Ticks now);
+
+    /** Close the window of @p m at @p now without attributing it. */
+    void discardWindow(MutatorState &m, Ticks now);
+
+    std::vector<MutatorState> mutators_;
+    StwPhase stw_ = StwPhase::Running;
+
+    std::uint64_t tasks_ = 0;
+    std::uint64_t tasks_discarded_ = 0;
+    Ticks bucket_total_[jvm::kWaitBucketCount] = {};
+    stats::LatencyHistogram latency_;
+    stats::LatencyHistogram bucket_hist_[jvm::kWaitBucketCount];
+    /** monitor id -> (wait, blocks); ordered for deterministic output. */
+    std::map<jvm::MonitorId, std::pair<Ticks, std::uint64_t>> lock_waits_;
+    /** All attributed tasks' slow-task records, kept bounded. */
+    std::vector<jvm::SlowTaskRecord> slowest_;
+    /** Bound on slowest_ retention (generous; summary() trims to K). */
+    static constexpr std::size_t kSlowKeep = 64;
+
+    std::function<void(const jvm::SlowTaskRecord &)> sink_;
+    jvm::JavaVm *vm_ = nullptr;
+};
+
+} // namespace jscale::profile
+
+#endif // JSCALE_PROFILE_PROFILER_HH

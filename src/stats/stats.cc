@@ -137,6 +137,76 @@ LogHistogram::cdf(const std::vector<std::uint64_t> &thresholds) const
     return out;
 }
 
+std::size_t
+LatencyHistogram::bucketIndex(std::uint64_t value)
+{
+    // The first two power-of-two groups are exact: one value per bucket.
+    if (value < 2 * kSubBuckets)
+        return static_cast<std::size_t>(value);
+    const int exp = static_cast<int>(std::bit_width(value)) -
+                    static_cast<int>(kSubBits) - 1;
+    return static_cast<std::size_t>(exp + 1) * kSubBuckets +
+           static_cast<std::size_t>((value >> exp) - kSubBuckets);
+}
+
+std::uint64_t
+LatencyHistogram::bucketLowerEdge(std::size_t i)
+{
+    if (i < 2 * kSubBuckets)
+        return i;
+    const std::size_t exp = i / kSubBuckets - 1;
+    const std::uint64_t sub = i % kSubBuckets;
+    return (kSubBuckets + sub) << exp;
+}
+
+void
+LatencyHistogram::add(std::uint64_t value, std::uint64_t weight)
+{
+    if (weight == 0)
+        return;
+    buckets_[bucketIndex(value)] += weight;
+    total_ += weight;
+    sum_ += value * weight;
+    min_ = std::min(min_, value);
+    max_ = std::max(max_, value);
+}
+
+std::uint64_t
+LatencyHistogram::quantile(double p) const
+{
+    jscale_assert(p >= 0.0 && p <= 1.0, "quantile requires p in [0,1]");
+    if (total_ == 0)
+        return 0;
+    // Rank statistics on integer weights: ceil(p * total), min rank 1.
+    std::uint64_t target = static_cast<std::uint64_t>(
+        std::ceil(p * static_cast<double>(total_)));
+    target = std::clamp<std::uint64_t>(target, 1, total_);
+    std::uint64_t cum = 0;
+    for (std::size_t i = 0; i < kBuckets; ++i) {
+        cum += buckets_[i];
+        if (cum >= target)
+            return std::clamp(bucketLowerEdge(i), min(), max());
+    }
+    return max_;
+}
+
+void
+LatencyHistogram::merge(const LatencyHistogram &other)
+{
+    for (std::size_t i = 0; i < kBuckets; ++i)
+        buckets_[i] += other.buckets_[i];
+    total_ += other.total_;
+    sum_ += other.sum_;
+    min_ = std::min(min_, other.min_);
+    max_ = std::max(max_, other.max_);
+}
+
+void
+LatencyHistogram::reset()
+{
+    *this = LatencyHistogram();
+}
+
 void
 StatSnapshot::add(const std::string &name, double value,
                   const std::string &unit)

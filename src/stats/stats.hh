@@ -139,6 +139,76 @@ class LogHistogram
     std::uint64_t total_ = 0;
 };
 
+/**
+ * HDR-style log-bucketed latency histogram over non-negative 64-bit
+ * tick values. Each power-of-two range is split into 2^kSubBits linear
+ * sub-buckets, so relative quantile error is bounded by 1/2^kSubBits
+ * (~3%) while the structure stays a fixed-size integer array — adding,
+ * merging and quantile queries are all deterministic, which keeps
+ * profiled runs byte-identical across `--jobs` shard orders.
+ *
+ * Values below 2^(kSubBits+1) are recorded exactly (one value per
+ * bucket). Quantiles return the *lower edge* of the containing bucket —
+ * a deterministic integer, never an interpolated double.
+ */
+class LatencyHistogram
+{
+  public:
+    /** Linear sub-buckets per power of two: 32. */
+    static constexpr std::size_t kSubBits = 5;
+    static constexpr std::size_t kSubBuckets = 1ULL << kSubBits;
+    /** Total bucket count covering the full uint64 range. */
+    static constexpr std::size_t kBuckets =
+        kSubBuckets * (65 - kSubBits);
+
+    /** Record a value with optional weight. */
+    void add(std::uint64_t value, std::uint64_t weight = 1);
+
+    /** Total weight recorded. */
+    std::uint64_t count() const { return total_; }
+
+    /** Exact sum of recorded values (weighted). */
+    std::uint64_t sum() const { return sum_; }
+
+    /** Exact minimum recorded value (0 when empty). */
+    std::uint64_t min() const { return total_ ? min_ : 0; }
+
+    /** Exact maximum recorded value (0 when empty). */
+    std::uint64_t max() const { return max_; }
+
+    /** Weight in bucket @p i. */
+    std::uint64_t bucket(std::size_t i) const { return buckets_[i]; }
+
+    /** Index of the bucket holding @p value. */
+    static std::size_t bucketIndex(std::uint64_t value);
+
+    /** Inclusive lower edge of bucket @p i. */
+    static std::uint64_t bucketLowerEdge(std::size_t i);
+
+    /**
+     * p-quantile (p in [0,1]): the lower edge of the first bucket whose
+     * cumulative weight reaches ceil(p * count), clamped to the exact
+     * min/max. Returns 0 when empty. Deterministic integer result.
+     */
+    std::uint64_t quantile(double p) const;
+
+    /**
+     * Element-wise merge — associative and commutative, so any shard
+     * merge order yields a byte-identical histogram.
+     */
+    void merge(const LatencyHistogram &other);
+
+    /** Clear all state. */
+    void reset();
+
+  private:
+    std::uint64_t buckets_[kBuckets] = {};
+    std::uint64_t total_ = 0;
+    std::uint64_t sum_ = 0;
+    std::uint64_t min_ = std::numeric_limits<std::uint64_t>::max();
+    std::uint64_t max_ = 0;
+};
+
 /** One named scalar in a StatSnapshot. */
 struct StatValue
 {

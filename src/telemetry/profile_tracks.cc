@@ -1,0 +1,61 @@
+#include "telemetry/profile_tracks.hh"
+
+#include <string>
+
+#include "jvm/runtime/vm.hh"
+#include "telemetry/recorder.hh"
+#include "telemetry/timeline.hh"
+
+namespace jscale::telemetry {
+
+void
+emitProfileTracks(Timeline &timeline, const jvm::ProfileSummary &profile,
+                  Ticks end)
+{
+    if (!profile.enabled)
+        return;
+
+    timeline.processName(kProfilePid, "profile");
+
+    // Blame decomposition as a counter track: one series per non-empty
+    // bucket, two points so the bands span the whole run.
+    TraceArgs blame;
+    for (std::size_t i = 0; i < jvm::kWaitBucketCount; ++i) {
+        if (profile.bucket_total[i] == 0)
+            continue;
+        blame.push_back(
+            targ(jvm::waitBucketName(static_cast<jvm::WaitBucket>(i)),
+                 static_cast<std::uint64_t>(profile.bucket_total[i])));
+    }
+    if (!blame.empty()) {
+        timeline.counter(kProfilePid, "blame", 0, blame);
+        timeline.counter(kProfilePid, "blame", end, blame);
+    }
+
+    // Top-K slowest tasks: one track each, span args carry the full
+    // bucket breakdown so the tail is inspectable in Perfetto.
+    std::uint32_t rank = 1;
+    for (const jvm::SlowTaskRecord &rec : profile.slowest) {
+        timeline.threadName(kProfilePid, rank,
+                            "slow #" + std::to_string(rank));
+        TraceArgs args;
+        args.push_back(targ("task", rec.task));
+        args.push_back(targ("thread",
+                            static_cast<std::uint64_t>(rec.thread)));
+        args.push_back(targ("wall_ns",
+                            static_cast<std::uint64_t>(rec.wall())));
+        for (std::size_t i = 0; i < jvm::kWaitBucketCount; ++i) {
+            if (rec.buckets[i] == 0)
+                continue;
+            args.push_back(
+                targ(jvm::waitBucketName(static_cast<jvm::WaitBucket>(i)),
+                     static_cast<std::uint64_t>(rec.buckets[i])));
+        }
+        timeline.span(kProfilePid, rank,
+                      "task " + std::to_string(rec.task), "slow-task",
+                      rec.start, rec.end, args);
+        ++rank;
+    }
+}
+
+} // namespace jscale::telemetry

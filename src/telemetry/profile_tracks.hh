@@ -1,0 +1,43 @@
+/**
+ * @file
+ * Profile-to-timeline bridge: renders a run's wait-state attribution
+ * (jvm::ProfileSummary) into its own Perfetto track group.
+ *
+ * Emitted tracks, all under the "profile" process (kProfilePid):
+ *
+ *   - one counter track "blame" with one series per wait bucket, two
+ *     points (run start and end) so Perfetto draws the run's total
+ *     blame decomposition as flat bands;
+ *   - one span track per slowest task ("slow #<rank>"), carrying the
+ *     task's full bucket breakdown as span args, so the top-K tail
+ *     tasks can be inspected next to the core/thread tracks they
+ *     overlap.
+ *
+ * Pure rendering: reads the summary, writes trace events, touches no
+ * simulation state.
+ */
+
+#ifndef JSCALE_TELEMETRY_PROFILE_TRACKS_HH
+#define JSCALE_TELEMETRY_PROFILE_TRACKS_HH
+
+#include "base/units.hh"
+
+namespace jscale::jvm {
+struct ProfileSummary;
+} // namespace jscale::jvm
+
+namespace jscale::telemetry {
+
+class Timeline;
+
+/**
+ * Render @p profile into @p timeline. @p end is the run's final
+ * simulation time (closes the blame counter bands). No-op when the
+ * summary is disabled.
+ */
+void emitProfileTracks(Timeline &timeline,
+                       const jvm::ProfileSummary &profile, Ticks end);
+
+} // namespace jscale::telemetry
+
+#endif // JSCALE_TELEMETRY_PROFILE_TRACKS_HH

@@ -48,6 +48,7 @@ enum TrackGroup : std::uint32_t
     kThreadsPid = 2,
     kVmPid = 3,
     kFaultsPid = 4,
+    kProfilePid = 5,
 };
 
 /** Tracks within the "vm" group. */

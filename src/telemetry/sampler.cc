@@ -27,7 +27,21 @@ MetricSampler::start()
 void
 MetricSampler::tick()
 {
-    const Ticks now = sim_.now();
+    sample(sim_.now());
+    // The RecurringEvent rearms itself after this callback returns.
+}
+
+void
+MetricSampler::finish(Ticks end)
+{
+    if (!samples_.empty() && samples_.back().at >= end)
+        return;
+    sample(end);
+}
+
+void
+MetricSampler::sample(Ticks now)
+{
     MetricSample s;
     s.at = now;
     s.eden_used = vm_.heap().edenUsed();
@@ -72,7 +86,6 @@ MetricSampler::tick()
                                 targ("parked", s.gov_parked)});
         }
     }
-    // The RecurringEvent rearms itself after this callback returns.
 }
 
 const char *

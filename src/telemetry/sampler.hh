@@ -86,6 +86,14 @@ class MetricSampler
     /** Schedule the first tick at now + interval. */
     void start();
 
+    /**
+     * Flush one final row at @p end (the run's last simulation time).
+     * Runs whose length is not an exact multiple of the interval used
+     * to lose everything after the last periodic tick; finish() closes
+     * that gap. No-op when a row at @p end already exists.
+     */
+    void finish(Ticks end);
+
     /** All samples, in time order. */
     const std::vector<MetricSample> &samples() const { return samples_; }
 
@@ -102,6 +110,9 @@ class MetricSampler
 
   private:
     void tick();
+
+    /** Poll every gauge into one row at @p now. */
+    void sample(Ticks now);
 
     sim::Simulation &sim_;
     jvm::JavaVm &vm_;

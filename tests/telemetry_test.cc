@@ -360,6 +360,38 @@ TEST(Sampler, ObservesHeapAndSchedulerActivity)
     EXPECT_GT(sampler.summary().running.max(), 0.0);
 }
 
+TEST(Sampler, FinishFlushesFinalRowAtRunEnd)
+{
+    VmHarness h(4, smallHeapConfig());
+    const Ticks interval = 1 * units::MS;
+    telemetry::MetricSampler sampler(h.sim, h.vm, interval);
+    sampler.start();
+    TinyApp app(busyParams());
+    const jvm::RunResult r = h.vm.run(app, 4);
+
+    // Regression: runs whose length is not a multiple of the interval
+    // used to lose everything after the last periodic tick. finish()
+    // must append exactly one row at the run's final time.
+    const std::size_t periodic = sampler.samples().size();
+    ASSERT_GT(periodic, 0u);
+    EXPECT_LT(sampler.samples().back().at, r.wall_time);
+
+    sampler.finish(h.sim.now());
+    ASSERT_EQ(sampler.samples().size(), periodic + 1);
+    EXPECT_EQ(sampler.samples().back().at, r.wall_time);
+
+    // Idempotent: a second finish at the same time adds nothing.
+    sampler.finish(h.sim.now());
+    EXPECT_EQ(sampler.samples().size(), periodic + 1);
+
+    // The final row lands in the CSV dump.
+    std::ostringstream os;
+    sampler.writeCsv(os);
+    const std::string csv = os.str();
+    const std::string last_row = std::to_string(r.wall_time) + ",";
+    EXPECT_NE(csv.find("\n" + last_row), std::string::npos);
+}
+
 TEST(Sampler, IsAPureObserver)
 {
     TinyAppParams p = busyParams();

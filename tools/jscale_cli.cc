@@ -36,6 +36,7 @@
 #include "check/golden.hh"
 #include "control/governor.hh"
 #include "core/analyze.hh"
+#include "core/blame.hh"
 #include "core/experiment.hh"
 #include "core/plots.hh"
 #include "core/report.hh"
@@ -54,7 +55,13 @@ struct CliOptions
 {
     std::string command;
     std::string app = "xalan";
+    /** True when --app was passed (the profile study defaults to the
+     *  full six-app set unless narrowed explicitly). */
+    bool app_set = false;
     std::vector<std::uint32_t> threads = {8};
+    /** True when --threads was passed (the profile study defaults to
+     *  the paper ladder unless overridden explicitly). */
+    bool threads_set = false;
     double scale = 1.0;
     std::uint64_t seed = 42;
     double heap_factor = 3.0;
@@ -87,6 +94,10 @@ struct CliOptions
     std::uint64_t horizon_ms = 0; // 0 = auto (3/4 of probe run)
     /** Arm the invariant oracle suite on every run. */
     bool oracles = false;
+    /** Attach the wait-state attribution profiler on every run. */
+    bool profile = false;
+    /** Slowest-task records kept per profiled run. */
+    std::uint32_t profile_topk = 5;
     /** Generic --out path (fuzz reproducer, golden store). */
     std::string out_path;
     /** "record" or "verify" (golden command). */
@@ -118,6 +129,9 @@ usage(int code)
         "  faults    parse a --faults schedule and print it (dry run)\n"
         "  resilience  E18: throughput and GC/lock shares vs. fault\n"
         "            intensity, governed vs. ungoverned\n"
+        "  profile   E20: wait-state blame decomposition vs. threads\n"
+        "            per app, with tail histograms and the USL knee\n"
+        "            cross-reference\n"
         "  fuzz      seeded random workloads x faults x governors with\n"
         "            the invariant oracles armed; failures are shrunk\n"
         "            to a minimal replayable reproducer (--out)\n"
@@ -171,6 +185,12 @@ usage(int code)
         "  --oracles           arm the invariant oracle suite on every\n"
         "                      run; a violation aborts that run with a\n"
         "                      diagnosed message\n"
+        "  --profile           attach the wait-state attribution\n"
+        "                      profiler (blame buckets + latency\n"
+        "                      histograms); primary stats stay\n"
+        "                      byte-identical to unprofiled runs\n"
+        "  --profile-topk <n>  slowest-task records kept per run\n"
+        "                      (default 5; alias --topk)\n"
         "  --seeds <n>         fuzz campaign size (default 20)\n"
         "  --shrink-budget <n> max re-runs spent shrinking a fuzz\n"
         "                      failure (default 64, range 1..10000)\n"
@@ -232,8 +252,10 @@ parse(int argc, char **argv)
         };
         if (arg == "--app") {
             o.app = value();
+            o.app_set = true;
         } else if (arg == "--threads") {
             o.threads = parseThreadList(value());
+            o.threads_set = true;
         } else if (arg == "--scale") {
             o.scale = std::atof(value());
         } else if (arg == "--seed") {
@@ -357,6 +379,22 @@ parse(int argc, char **argv)
                 static_cast<std::uint64_t>(std::atoll(value()));
         } else if (arg == "--oracles") {
             o.oracles = true;
+        } else if (arg == "--profile") {
+            o.profile = true;
+        } else if (arg == "--profile-topk" || arg == "--topk") {
+            // Strict digits: "5x" or "" must not alias to a number.
+            const std::string v = value();
+            if (v.empty() ||
+                v.find_first_not_of("0123456789") != std::string::npos) {
+                std::cerr << "bad " << arg << " value '" << v << "'\n";
+                std::exit(2);
+            }
+            o.profile_topk =
+                static_cast<std::uint32_t>(std::stoul(v));
+            if (o.profile_topk == 0) {
+                std::cerr << arg << " must be positive\n";
+                std::exit(2);
+            }
         } else if (arg == "--seeds") {
             const std::string v = value();
             if (v.empty() ||
@@ -456,6 +494,8 @@ experimentConfig(const CliOptions &o)
     cfg.checkpoint_path = o.checkpoint_path;
     cfg.resume = o.resume;
     cfg.oracles = o.oracles;
+    cfg.profile = o.profile;
+    cfg.profile_topk = o.profile_topk;
     return cfg;
 }
 
@@ -519,6 +559,16 @@ cmdRun(const CliOptions &o)
     if (o.per_thread) {
         std::cout << "\n";
         core::printThreadTable(std::cout, r);
+    }
+    if (r.profile.enabled) {
+        std::cout << "\n";
+        core::printBlameTable(std::cout, r);
+        if (o.csv) {
+            std::cout << "\n";
+            core::writeBlameCsv(std::cout, r);
+            std::cout << "\n";
+            core::writeProfileHistogramCsv(std::cout, r);
+        }
     }
     if (r.locks.acquisitions > 0) {
         std::cout << "lock states: " << r.locks.biased_acquisitions
@@ -882,6 +932,45 @@ cmdResilience(const CliOptions &o)
 }
 
 int
+cmdProfile(const CliOptions &o)
+{
+    core::BlameConfig cfg;
+    // Default: the full six-app study over the paper thread ladder;
+    // --app / --threads narrow it explicitly.
+    if (o.app_set) {
+        requireValidApp(o.app);
+        cfg.apps = {o.app};
+    }
+    if (o.threads_set)
+        cfg.threads = o.threads;
+    cfg.topk = o.profile_topk;
+    cfg.base = experimentConfig(o);
+
+    const core::BlameStudy study = core::runBlameStudy(cfg);
+    core::printBlameStudyTable(std::cout, study);
+    if (o.csv) {
+        std::cout << "\n";
+        core::writeBlameStudyCsv(std::cout, study);
+    }
+    if (!o.plots_dir.empty()) {
+        std::vector<std::string> files;
+        for (const std::string &app : cfg.apps) {
+            std::vector<jvm::RunResult> sweep;
+            for (const core::BlamePoint &p : study.points) {
+                if (p.app == app)
+                    sweep.push_back(p.run);
+            }
+            const auto more =
+                core::writeBlameFigure(o.plots_dir, app, sweep);
+            files.insert(files.end(), more.begin(), more.end());
+        }
+        std::cerr << "wrote " << files.size() << " figure files to "
+                  << o.plots_dir << "\n";
+    }
+    return 0;
+}
+
+int
 cmdFuzz(const CliOptions &o)
 {
     if (!o.replay_path.empty()) {
@@ -1087,6 +1176,8 @@ main(int argc, char **argv)
             return cmdFaults(o);
         if (o.command == "resilience")
             return cmdResilience(o);
+        if (o.command == "profile")
+            return cmdProfile(o);
         if (o.command == "fuzz")
             return cmdFuzz(o);
         if (o.command == "golden")
