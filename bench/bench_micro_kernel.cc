@@ -25,6 +25,21 @@ namespace {
 
 using namespace jscale;
 
+/**
+ * Stamp the *simulator's* build type into the benchmark context. The
+ * stock "library_build_type" field only describes how libbenchmark
+ * itself was compiled (a distro debug build on some hosts), so
+ * bench_perf.sh keys its debug-baseline refusal off this field instead.
+ */
+const int kRegisterBuildType = [] {
+#ifdef NDEBUG
+    benchmark::AddCustomContext("jscale_build_type", "optimized");
+#else
+    benchmark::AddCustomContext("jscale_build_type", "debug");
+#endif
+    return 0;
+}();
+
 void
 BM_EventQueueScheduleDispatch(benchmark::State &state)
 {
@@ -42,24 +57,77 @@ BENCHMARK(BM_EventQueueScheduleDispatch);
 void
 BM_EventQueueDeepHeap(benchmark::State &state)
 {
+    // Drain throughput at a given backlog depth. Events are reusable
+    // CallbackEvents (the simulator's own hot-path idiom since the
+    // pooled-event rework) so the timed region measures the queue, not
+    // 1M heap frees; the per-event allocate/delete path is covered by
+    // BM_EventQueueChurnLambda.
     const std::int64_t depth = state.range(0);
+    std::uint64_t fired = 0;
+    std::vector<std::unique_ptr<sim::CallbackEvent>> events;
+    events.reserve(static_cast<std::size_t>(depth));
+    for (std::int64_t i = 0; i < depth; ++i) {
+        events.push_back(std::make_unique<sim::CallbackEvent>(
+            [&fired] { ++fired; }, "bench"));
+    }
     for (auto _ : state) {
         state.PauseTiming();
         sim::Simulation sim(1);
         Rng rng(7);
-        std::uint64_t fired = 0;
-        for (std::int64_t i = 0; i < depth; ++i) {
-            sim.scheduleAfter(
-                static_cast<TickDelta>(rng.below(1000000) + 1),
-                [&fired] { ++fired; }, "bench");
-        }
+        for (auto &ev : events)
+            sim.queue().schedule(ev.get(), rng.below(1000000) + 1);
         state.ResumeTiming();
         sim.run();
         benchmark::DoNotOptimize(fired);
     }
     state.SetItemsProcessed(state.iterations() * depth);
 }
-BENCHMARK(BM_EventQueueDeepHeap)->Arg(1024)->Arg(65536);
+BENCHMARK(BM_EventQueueDeepHeap)
+    ->Arg(1024)
+    ->Arg(65536)
+    ->Arg(262144)
+    ->Arg(1 << 20);
+
+void
+BM_EventQueueBucketResize(benchmark::State &state)
+{
+    // Worst case for the calendar's window tuning: alternate dense
+    // near-term bursts with sparse far-future stragglers so every few
+    // thousand dispatches the pending span shifts by orders of
+    // magnitude and the queue must re-tune its bucket width.
+    constexpr std::int64_t kBurst = 4096;
+    std::uint64_t fired = 0;
+    std::vector<std::unique_ptr<sim::CallbackEvent>> events;
+    for (std::int64_t i = 0; i < kBurst + 8; ++i) {
+        events.push_back(std::make_unique<sim::CallbackEvent>(
+            [&fired] { ++fired; }, "resize"));
+    }
+    for (auto _ : state) {
+        state.PauseTiming();
+        sim::Simulation sim(1);
+        Rng rng(11);
+        std::size_t n = 0;
+        // Dense burst within a 4k-tick window...
+        for (std::int64_t i = 0; i < kBurst; ++i)
+            sim.queue().schedule(events[n++].get(), rng.below(4096) + 1);
+        // ...plus far-future events 6 decades out, so the first
+        // rebucket's width is wildly wrong for the dense region and
+        // each straggler forces another re-tune as the window crawls.
+        for (std::int64_t i = 0; i < 8; ++i) {
+            sim.queue().schedule(events[n++].get(),
+                                 (i + 1) * 1000000000ULL);
+        }
+        state.ResumeTiming();
+        sim.run();
+        state.PauseTiming();
+        state.counters["rebuckets"] = static_cast<double>(
+            sim.queue().rebucketCount());
+        state.ResumeTiming();
+        benchmark::DoNotOptimize(fired);
+    }
+    state.SetItemsProcessed(state.iterations() * (kBurst + 8));
+}
+BENCHMARK(BM_EventQueueBucketResize);
 
 void
 BM_EventQueueChurnCancel(benchmark::State &state)
@@ -214,7 +282,7 @@ BM_HeapThreadExitKill(benchmark::State &state)
     }
     state.SetItemsProcessed(state.iterations() * objects);
 }
-BENCHMARK(BM_HeapThreadExitKill)->Arg(10000)->Arg(100000);
+BENCHMARK(BM_HeapThreadExitKill)->Arg(10000)->Arg(100000)->Arg(1000000);
 
 void
 BM_HeapAllocateDeath(benchmark::State &state)

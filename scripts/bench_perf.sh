@@ -26,7 +26,7 @@ fi
 CORES=$(nproc 2> /dev/null || getconf _NPROCESSORS_ONLN 2> /dev/null ||
             echo 1)
 if [ "$SMOKE" -eq 1 ]; then
-    MIN_TIME=0.05
+    MIN_TIME=0.15
     STUDY="sweep --app xalan --threads 1,2,4 --scale 0.1 --csv"
     PROFRUN="run --app h2 --threads 8 --scale 0.1"
 else
@@ -43,6 +43,18 @@ echo "== micro-benchmarks (min_time=${MIN_TIME}s) =="
     --benchmark_format=json \
     --benchmark_min_time="$MIN_TIME" \
     > "$TMP/micro.json" || exit 1
+
+# Refuse to write a baseline from a debug build: debug rates are not
+# comparable to release rates, and a debug-tainted BENCH_kernel.json
+# would poison every future ratchet comparison. The bench binary stamps
+# its own build type into the JSON context (the stock
+# library_build_type field only describes libbenchmark itself).
+if ! grep -q '"jscale_build_type": "optimized"' "$TMP/micro.json"; then
+    echo "FAIL: bench_micro_kernel is a debug build; refusing to" \
+         "write a $OUT baseline (rebuild with" \
+         "-DCMAKE_BUILD_TYPE=Release)" >&2
+    exit 1
+fi
 
 now_s() {
     date +%s.%N

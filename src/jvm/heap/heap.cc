@@ -30,7 +30,8 @@ gcKindName(GcKind k)
 
 Heap::Heap(const HeapConfig &config, std::uint32_t n_mutators,
            const ListenerChain *listeners)
-    : config_(config), n_mutators_(n_mutators), listeners_(listeners)
+    : config_(config), n_mutators_(n_mutators), listeners_(listeners),
+      ledger_(n_mutators)
 {
     jscale_assert(n_mutators >= 1, "heap requires at least one mutator");
     jscale_assert(config.capacity >= 1 * units::MiB,
@@ -54,8 +55,6 @@ Heap::Heap(const HeapConfig &config, std::uint32_t n_mutators,
     eden_used_.assign(compartments, 0);
     eden_objects_.resize(compartments);
 
-    owner_live_head_.assign(n_mutators, kNullHandle);
-    owner_live_tail_.assign(n_mutators, kNullHandle);
     tlab_remaining_.assign(n_mutators, 0);
     owner_alloc_bytes_.assign(n_mutators, 0);
     owner_prev_clock_.assign(n_mutators, 0);
@@ -106,52 +105,6 @@ Heap::liveObjects() const
     return live_objects_;
 }
 
-ObjectHandle
-Heap::newRecord()
-{
-    if (!free_list_.empty()) {
-        const ObjectHandle h = free_list_.back();
-        free_list_.pop_back();
-        return h;
-    }
-    pool_.emplace_back();
-    return static_cast<ObjectHandle>(pool_.size() - 1);
-}
-
-void
-Heap::freeRecord(ObjectHandle h)
-{
-    rec(h) = ObjectRecord{}; // id 0 marks the slot invalid
-    free_list_.push_back(h);
-}
-
-void
-Heap::linkOwner(ObjectHandle h, ObjectRecord &r)
-{
-    r.owner_prev = owner_live_tail_[r.owner];
-    r.owner_next = kNullHandle;
-    if (r.owner_prev != kNullHandle)
-        rec(r.owner_prev).owner_next = h;
-    else
-        owner_live_head_[r.owner] = h;
-    owner_live_tail_[r.owner] = h;
-}
-
-void
-Heap::unlinkOwner(ObjectRecord &r)
-{
-    if (r.owner_prev != kNullHandle)
-        rec(r.owner_prev).owner_next = r.owner_next;
-    else
-        owner_live_head_[r.owner] = r.owner_next;
-    if (r.owner_next != kNullHandle)
-        rec(r.owner_next).owner_prev = r.owner_prev;
-    else
-        owner_live_tail_[r.owner] = r.owner_prev;
-    r.owner_prev = kNullHandle;
-    r.owner_next = kNullHandle;
-}
-
 AllocStatus
 Heap::allocate(MutatorIndex owner, Bytes size, Bytes ttl_owner_bytes,
                AllocSiteId site, Ticks now)
@@ -192,27 +145,20 @@ Heap::allocate(MutatorIndex owner, Bytes size, Bytes ttl_owner_bytes,
     ++stats_.objects_allocated;
     stats_.bytes_allocated += size;
 
-    const ObjectHandle h = newRecord();
-    ObjectRecord &r = rec(h);
-    r.id = next_object_id_++;
-    r.owner = owner;
-    r.site = site;
-    r.size = size;
-    r.birth_global_bytes = global_alloc_bytes_;
-    r.birth_time = now;
-    r.age = 0;
-    r.region = Region::Eden;
-    r.dead = false;
-    r.pinned = ttl_owner_bytes == kImmortalTtl;
-    r.death_owner_bytes =
-        r.pinned ? kImmortalTtl : owner_alloc_bytes_[owner] + ttl_owner_bytes;
+    const ObjectId id = next_object_id_++;
+    const bool pinned = ttl_owner_bytes == kImmortalTtl;
+    const Bytes death_owner =
+        pinned ? kImmortalTtl : owner_alloc_bytes_[owner] + ttl_owner_bytes;
+    const ObjectHandle h =
+        ledger_.alloc(id, owner, site, size, global_alloc_bytes_, now,
+                      death_owner, pinned);
 
     eden_objects_[comp].push_back(h);
-    linkOwner(h, r);
-    if (!r.pinned)
-        death_queues_[owner].push(DeathEntry{r.death_owner_bytes, h, r.id});
+    if (!pinned)
+        death_queues_[owner].push(DeathEntry{death_owner, h, id});
 
     if (listeners_ && !listeners_->empty()) {
+        const ObjectRecord r = ledger_.view(h);
         listeners_->dispatch(
             [&](RuntimeListener &l) { l.onObjectAlloc(r, now); });
     }
@@ -226,19 +172,20 @@ Heap::allocate(MutatorIndex owner, Bytes size, Bytes ttl_owner_bytes,
 void
 Heap::killObject(ObjectHandle h, Bytes global_at_death, Ticks now)
 {
-    ObjectRecord &r = rec(h);
-    jscale_assert(!r.dead, "double death of object ", r.id);
-    r.dead = true;
-    unlinkOwner(r);
-    const Bytes lifespan = global_at_death > r.birth_global_bytes
-                               ? global_at_death - r.birth_global_bytes
-                               : 0;
-    live_bytes_ -= r.size;
+    jscale_assert(!ledger_.dead(h), "double death of object ",
+                  ledger_.id(h));
+    ledger_.markDead(h);
+    const Bytes birth = ledger_.birthGlobal(h);
+    const Bytes lifespan =
+        global_at_death > birth ? global_at_death - birth : 0;
+    const Bytes size = ledger_.size(h);
+    live_bytes_ -= size;
     --live_objects_;
     ++stats_.objects_died;
-    stats_.bytes_died += r.size;
+    stats_.bytes_died += size;
     stats_.lifespan.add(lifespan);
     if (listeners_ && !listeners_->empty()) {
+        const ObjectRecord r = ledger_.view(h);
         listeners_->dispatch(
             [&](RuntimeListener &l) { l.onObjectDeath(r, lifespan, now); });
     }
@@ -263,11 +210,10 @@ Heap::processDeaths(MutatorIndex owner, Ticks now)
     while (!q.empty() && q.top().threshold <= clock) {
         const DeathEntry e = q.top();
         q.pop();
-        ObjectRecord &r = rec(e.handle);
         // Stale entries: the object was already killed out-of-band
         // (thread exit) and possibly reclaimed/reused; the id check
         // rejects both cases.
-        if (r.id != e.id || r.dead)
+        if (ledger_.id(e.handle) != e.id || ledger_.dead(e.handle))
             continue;
         Bytes global_at_death = global_alloc_bytes_;
         if (owner_span > 0 && e.threshold >= prev_clock) {
@@ -282,24 +228,31 @@ Heap::processDeaths(MutatorIndex owner, Ticks now)
     }
     owner_prev_clock_[owner] = clock;
     owner_prev_global_[owner] = global_alloc_bytes_;
+    // TTL deaths leave stale pairs on the owner's roster; compact once
+    // they dominate so thread-exit sweeps stay linear in live objects.
+    ledger_.maybeCompactRoster(owner);
 }
 
 void
 Heap::killThreadObjects(MutatorIndex owner, Ticks now)
 {
     jscale_assert(owner < n_mutators_, "owner index out of range");
-    // Walk only this owner's live list — O(owner's live objects) rather
-    // than a scan of every region list. killObject unlinks as it goes,
-    // so the next handle is saved first; pinned objects stay linked
-    // (they die at VM shutdown via killAllRemaining).
-    ObjectHandle h = owner_live_head_[owner];
-    while (h != kNullHandle) {
-        ObjectRecord &r = rec(h);
-        const ObjectHandle next = r.owner_next;
-        if (!r.pinned)
-            killObject(h, global_alloc_bytes_, now);
-        h = next;
+    // One linear sweep over the owner's roster, in allocation order
+    // (matching the old intrusive-list walk): stale pairs are skipped,
+    // live objects are killed in place, and the roster is rebuilt with
+    // just the pinned survivors (they die at VM shutdown via
+    // killAllRemaining).
+    std::vector<ObjectLedger::RosterEntry> survivors;
+    for (const ObjectLedger::RosterEntry &e : ledger_.roster(owner)) {
+        if (!ledger_.rosterMatches(e))
+            continue;
+        if (ledger_.pinned(e.handle)) {
+            survivors.push_back(e);
+            continue;
+        }
+        killObject(e.handle, global_alloc_bytes_, now);
     }
+    ledger_.replaceRoster(owner, std::move(survivors));
 }
 
 void
@@ -307,8 +260,7 @@ Heap::killAllRemaining(Ticks now)
 {
     auto kill_all = [&](std::vector<ObjectHandle> &list) {
         for (const ObjectHandle h : list) {
-            ObjectRecord &r = rec(h);
-            if (r.id != 0 && !r.dead)
+            if (ledger_.id(h) != 0 && !ledger_.dead(h))
                 killObject(h, global_alloc_bytes_, now);
         }
     };
@@ -328,34 +280,35 @@ Heap::collectMinor(Ticks now, std::int32_t compartment)
 
     auto scan = [&](std::vector<ObjectHandle> &list) {
         for (const ObjectHandle h : list) {
-            ObjectRecord &r = rec(h);
+            const Bytes size = ledger_.size(h);
             ++w.scanned_objects;
-            w.scanned_bytes += r.size;
-            if (r.dead) {
-                w.reclaimed_bytes += r.size;
-                freeRecord(h);
+            w.scanned_bytes += size;
+            if (ledger_.dead(h)) {
+                w.reclaimed_bytes += size;
+                ledger_.free(h);
                 continue;
             }
-            ++r.age;
+            ledger_.bumpAge(h);
+            const std::uint8_t age = ledger_.age(h);
+            const bool pinned = ledger_.pinned(h);
             const bool overflow =
-                new_survivor_bytes + r.size > survivor_capacity_;
-            const bool promote = r.pinned ||
-                                 r.age >= config_.tenure_threshold ||
-                                 overflow;
+                new_survivor_bytes + size > survivor_capacity_;
+            const bool promote =
+                pinned || age >= config_.tenure_threshold || overflow;
             if (promote) {
-                if (overflow && !r.pinned &&
-                    r.age < config_.tenure_threshold) {
+                if (overflow && !pinned &&
+                    age < config_.tenure_threshold) {
                     w.survivor_overflow = true;
                 }
-                r.region = Region::Old;
+                ledger_.setRegion(h, Region::Old);
                 old_objects_.push_back(h);
-                old_used_ += r.size;
-                w.promoted_bytes += r.size;
+                old_used_ += size;
+                w.promoted_bytes += size;
             } else {
-                r.region = Region::Survivor;
+                ledger_.setRegion(h, Region::Survivor);
                 new_survivor.push_back(h);
-                new_survivor_bytes += r.size;
-                w.copied_bytes += r.size;
+                new_survivor_bytes += size;
+                w.copied_bytes += size;
             }
         }
         list.clear();
@@ -401,30 +354,30 @@ Heap::collectFull(Ticks now)
     new_old.reserve(old_objects_.size());
     Bytes live = 0;
     for (const ObjectHandle h : old_objects_) {
-        ObjectRecord &r = rec(h);
         ++w.scanned_objects;
-        if (r.dead) {
-            w.reclaimed_bytes += r.size;
-            freeRecord(h);
+        const Bytes size = ledger_.size(h);
+        if (ledger_.dead(h)) {
+            w.reclaimed_bytes += size;
+            ledger_.free(h);
             continue;
         }
         new_old.push_back(h);
-        live += r.size;
+        live += size;
     }
 
     // Evacuate the entire nursery into the old generation.
     auto evacuate = [&](std::vector<ObjectHandle> &list) {
         for (const ObjectHandle h : list) {
-            ObjectRecord &r = rec(h);
             ++w.scanned_objects;
-            if (r.dead) {
-                w.reclaimed_bytes += r.size;
-                freeRecord(h);
+            const Bytes size = ledger_.size(h);
+            if (ledger_.dead(h)) {
+                w.reclaimed_bytes += size;
+                ledger_.free(h);
                 continue;
             }
-            r.region = Region::Old;
+            ledger_.setRegion(h, Region::Old);
             new_old.push_back(h);
-            live += r.size;
+            live += size;
         }
         list.clear();
     };
@@ -455,25 +408,26 @@ Heap::collectCompartment(MutatorIndex owner, Ticks now)
     std::vector<ObjectHandle> retained;
     Bytes retained_bytes = 0;
     for (const ObjectHandle h : eden_objects_[comp]) {
-        ObjectRecord &r = rec(h);
+        const Bytes size = ledger_.size(h);
         ++w.scanned_objects;
-        w.scanned_bytes += r.size;
-        if (r.dead) {
-            w.reclaimed_bytes += r.size;
-            freeRecord(h);
+        w.scanned_bytes += size;
+        if (ledger_.dead(h)) {
+            w.reclaimed_bytes += size;
+            ledger_.free(h);
             continue;
         }
-        ++r.age;
-        if (r.pinned || r.age >= config_.tenure_threshold) {
-            r.region = Region::Old;
+        ledger_.bumpAge(h);
+        if (ledger_.pinned(h) ||
+            ledger_.age(h) >= config_.tenure_threshold) {
+            ledger_.setRegion(h, Region::Old);
             old_objects_.push_back(h);
-            old_used_ += r.size;
-            w.promoted_bytes += r.size;
+            old_used_ += size;
+            w.promoted_bytes += size;
         } else {
             // In-place compaction: the object stays in its compartment.
             retained.push_back(h);
-            retained_bytes += r.size;
-            w.copied_bytes += r.size;
+            retained_bytes += size;
+            w.copied_bytes += size;
         }
     }
     eden_objects_[comp] = std::move(retained);
@@ -492,15 +446,15 @@ Heap::sweepOld(Ticks now)
     new_old.reserve(old_objects_.size());
     Bytes live = 0;
     for (const ObjectHandle h : old_objects_) {
-        ObjectRecord &r = rec(h);
         ++w.scanned_objects;
-        if (r.dead) {
-            w.reclaimed_bytes += r.size;
-            freeRecord(h);
+        const Bytes size = ledger_.size(h);
+        if (ledger_.dead(h)) {
+            w.reclaimed_bytes += size;
+            ledger_.free(h);
             continue;
         }
         new_old.push_back(h);
-        live += r.size;
+        live += size;
     }
     old_objects_ = std::move(new_old);
     old_used_ = live;
@@ -522,24 +476,24 @@ Heap::checkInvariants() const
     Bytes eden_resident = 0;
     auto walk = [&](const std::vector<ObjectHandle> &list, Region region) {
         for (const ObjectHandle h : list) {
-            const ObjectRecord &r = pool_[h];
-            if (r.id == 0)
+            if (ledger_.id(h) == 0)
                 continue; // freed slot awaiting removal by GC
-            jscale_assert(r.region == region, "object ", r.id,
-                          " in wrong region list");
-            if (!r.dead) {
-                live += r.size;
+            const Bytes size = ledger_.size(h);
+            jscale_assert(ledger_.region(h) == region, "object ",
+                          ledger_.id(h), " in wrong region list");
+            if (!ledger_.dead(h)) {
+                live += size;
                 ++live_count;
             }
             switch (region) {
               case Region::Eden:
-                eden_resident += r.size;
+                eden_resident += size;
                 break;
               case Region::Survivor:
-                survivor_resident += r.size;
+                survivor_resident += size;
                 break;
               case Region::Old:
-                old_resident += r.size;
+                old_resident += size;
                 break;
             }
         }
@@ -563,29 +517,26 @@ Heap::checkInvariants() const
         eden_total += used;
     jscale_assert(eden_total == eden_used_total_,
                   "eden usage mismatch");
-    // Every live object must appear exactly once on its owner's
-    // intrusive list, and the lists must hold only live objects.
+    // Every live object must appear exactly once (by matching id) on
+    // its owner's roster, and the roster live census must agree.
     std::uint64_t owner_listed = 0;
     for (MutatorIndex owner = 0; owner < n_mutators_; ++owner) {
-        ObjectHandle prev = kNullHandle;
-        for (ObjectHandle h = owner_live_head_[owner]; h != kNullHandle;
-             h = pool_[h].owner_next) {
-            const ObjectRecord &r = pool_[h];
-            jscale_assert(r.id != 0 && !r.dead,
-                          "dead/freed object on owner live list");
-            jscale_assert(r.owner == owner, "object ", r.id,
-                          " on wrong owner list");
-            jscale_assert(r.owner_prev == prev,
-                          "owner list back-link mismatch at object ",
-                          r.id);
-            prev = h;
-            ++owner_listed;
+        std::uint64_t matched = 0;
+        for (const ObjectLedger::RosterEntry &e : ledger_.roster(owner)) {
+            if (!ledger_.rosterMatches(e))
+                continue; // stale pair: slot died or was reused
+            jscale_assert(ledger_.owner(e.handle) == owner, "object ",
+                          e.id, " on wrong owner roster");
+            ++matched;
         }
-        jscale_assert(owner_live_tail_[owner] == prev,
-                      "owner list tail mismatch");
+        jscale_assert(matched == ledger_.rosterLive(owner),
+                      "roster live census mismatch for owner ", owner,
+                      ": ", matched, " matched vs ",
+                      ledger_.rosterLive(owner), " counted");
+        owner_listed += matched;
     }
     jscale_assert(owner_listed == live_objects_,
-                  "owner live lists disagree with live object count: ",
+                  "owner rosters disagree with live object count: ",
                   owner_listed, " listed vs ", live_objects_);
 
     // With TLABs, eden usage includes reserved-but-unfilled buffer

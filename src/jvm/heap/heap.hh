@@ -30,6 +30,7 @@
 
 #include "base/units.hh"
 #include "jvm/gc/gc_types.hh"
+#include "jvm/heap/ledger.hh"
 #include "jvm/object/object.hh"
 #include "jvm/runtime/listener.hh"
 #include "stats/stats.hh"
@@ -241,23 +242,12 @@ class Heap
         std::priority_queue<DeathEntry, std::vector<DeathEntry>,
                             std::greater<>>;
 
-    ObjectHandle newRecord();
-    void freeRecord(ObjectHandle h);
-    ObjectRecord &rec(ObjectHandle h) { return pool_[h]; }
-    const ObjectRecord &rec(ObjectHandle h) const { return pool_[h]; }
-
     /**
      * Mark an object dead, record its lifespan, notify listeners.
      * @p global_at_death is the (possibly interpolated) global
      * allocated-bytes clock at the death point.
      */
     void killObject(ObjectHandle h, Bytes global_at_death, Ticks now);
-
-    /** Append a freshly allocated object to its owner's live list. */
-    void linkOwner(ObjectHandle h, ObjectRecord &r);
-
-    /** Remove a dying object from its owner's live list. */
-    void unlinkOwner(ObjectRecord &r);
 
     /** Process all due deaths for @p owner. */
     void processDeaths(MutatorIndex owner, Ticks now);
@@ -283,16 +273,12 @@ class Heap
     /** Old usage includes dead-but-uncompacted bytes until a full GC. */
     Bytes old_used_ = 0;
 
-    std::vector<ObjectRecord> pool_;
-    std::vector<ObjectHandle> free_list_;
+    /** Columnar per-object bookkeeping + per-owner rosters. */
+    ObjectLedger ledger_;
     /** Eden object lists, one per compartment. */
     std::vector<std::vector<ObjectHandle>> eden_objects_;
     std::vector<ObjectHandle> survivor_objects_;
     std::vector<ObjectHandle> old_objects_;
-
-    /** Head/tail of each owner's intrusive live-object list. */
-    std::vector<ObjectHandle> owner_live_head_;
-    std::vector<ObjectHandle> owner_live_tail_;
 
     /** Remaining TLAB space per owner (TLAB mode only). */
     std::vector<Bytes> tlab_remaining_;

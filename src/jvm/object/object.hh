@@ -47,9 +47,10 @@ constexpr ObjectHandle kNullHandle =
     std::numeric_limits<ObjectHandle>::max();
 
 /**
- * Per-object bookkeeping record. Records live in a pooled arena inside
- * the heap; handles remain valid until the record is reclaimed by a
- * collection after the object's death.
+ * Record-shaped snapshot of one object's bookkeeping. The heap stores
+ * object state in the columnar ObjectLedger (see jvm/heap/ledger.hh);
+ * this AoS form is materialized on demand for listener probes, which
+ * want one coherent record per alloc/death notification.
  */
 struct ObjectRecord
 {
@@ -72,14 +73,6 @@ struct ObjectRecord
     bool dead = false;
     /** True for immortal (application-lifetime) data. */
     bool pinned = false;
-    /**
-     * Intrusive doubly-linked list threading all *live* objects of one
-     * owner, in allocation order. Maintained by the heap: linked at
-     * allocation, unlinked at death, so thread-exit reaping walks only
-     * the owner's own objects instead of scanning every region list.
-     */
-    ObjectHandle owner_prev = kNullHandle;
-    ObjectHandle owner_next = kNullHandle;
 };
 
 } // namespace jscale::jvm

@@ -419,4 +419,95 @@ TEST(EventQueue, TombstoneSafetyAfterOwnerGone)
     EXPECT_TRUE(log.empty());
 }
 
+TEST(EventQueue, CancelHeadOfNonCurrentBucket)
+{
+    // Regression for the calendar layout: cancel the head event of a
+    // bucket the cursor has not reached yet (the queue starts with
+    // 1-tick buckets, so distinct ticks land in distinct buckets of
+    // the initial window). The tombstone must be skimmed when the
+    // cursor arrives, without disturbing the bucket's other entries.
+    EventQueue q;
+    std::vector<int> log;
+    LogEvent a(log, 1), head(log, 2), follower(log, 3), c(log, 4);
+    LogEvent far(log, 5);
+    q.schedule(&a, 100);        // snaps the window to t=100
+    q.schedule(&head, 105);     // head of the (future) t=105 bucket
+    q.schedule(&follower, 105); // second entry of the same bucket
+    q.schedule(&c, 107);
+    q.schedule(&far, 100000);   // beyond the window: overflow store
+    Event *first = q.pop();
+    ASSERT_EQ(first, &a);
+    q.deschedule(&head);        // cancel a non-current bucket's head
+    while (Event *ev = q.pop())
+        ev->process();
+    EXPECT_EQ(log, (std::vector<int>{3, 4, 5}));
+    EXPECT_FALSE(head.scheduled());
+}
+
+TEST(EventQueue, CancelHeadOfOverflowedBucket)
+{
+    // Same regression, but the cancelled head lives beyond the current
+    // window (overflow store) when cancelled, and the queue must drop
+    // it during redistribution rather than dispatch.
+    Simulation sim;
+    std::vector<int> log;
+    LogEvent near1(log, 1);
+    LogEvent far1(log, 2);
+    LogEvent far2(log, 3);
+    sim.schedule(&near1, 5);
+    sim.schedule(&far1, 1'000'000);     // far beyond the initial window
+    sim.schedule(&far2, 1'000'001);
+    sim.queue().deschedule(&far1);      // cancel the overflow head
+    sim.run();
+    EXPECT_EQ(log, (std::vector<int>{1, 3}));
+    EXPECT_FALSE(far1.scheduled());
+}
+
+TEST(EventQueue, RebucketRetunesWindowToPendingSpan)
+{
+    // Introspection: a deep backlog must grow the calendar (more lanes,
+    // wider buckets) instead of crawling one initial-width day at a
+    // time; rebucketCount records the re-tunes.
+    EventQueue q;
+    std::vector<int> log;
+    std::vector<std::unique_ptr<LogEvent>> events;
+    Rng rng(19);
+    // One near event anchors the window; everything else lands far
+    // beyond it in the overflow store.
+    for (int i = 0; i < 4096; ++i) {
+        events.push_back(std::make_unique<LogEvent>(log, i));
+        const Ticks when =
+            i == 0 ? 1 : 32 + rng.below(Ticks{1} << 30);
+        q.schedule(events.back().get(), when);
+    }
+    // The first pops drain the anchor and force the deep overflow
+    // through a rebucket: ~1 entry per lane, lane width matched to the
+    // head-of-backlog event spacing.
+    for (int i = 0; i < 64; ++i)
+        q.pop()->process();
+    EXPECT_GE(q.rebucketCount(), 1u);
+    EXPECT_GE(q.laneCount(), 1024u);
+    EXPECT_GT(q.bucketWidth(), 1u);
+    while (Event *ev = q.pop())
+        ev->process();
+    EXPECT_EQ(log.size(), 4096u);
+    EXPECT_TRUE(q.empty());
+}
+
+TEST(EventQueue, ScheduleBehindCursorStillDispatchesFirst)
+{
+    // The min-heap accepted events scheduled before the earliest
+    // pending time; the calendar clamps them into the current bucket,
+    // where they must still sort ahead of later-timed entries.
+    EventQueue q;
+    std::vector<int> log;
+    LogEvent a(log, 1), past(log, 2);
+    q.schedule(&a, 100);  // snaps the window to t=100
+    q.schedule(&past, 10); // behind the cursor: clamped, sorts first
+    EXPECT_EQ(q.nextTime(), 10u);
+    EXPECT_EQ(q.pop(), &past);
+    EXPECT_EQ(q.pop(), &a);
+    EXPECT_EQ(q.pop(), nullptr);
+}
+
 } // namespace
