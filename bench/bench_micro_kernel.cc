@@ -20,6 +20,7 @@
 #include "sim/event.hh"
 #include "sim/simulation.hh"
 #include "stats/stats.hh"
+#include "traffic/arrival.hh"
 
 namespace {
 
@@ -339,6 +340,51 @@ BM_LogHistogramAdd(benchmark::State &state)
         static_cast<std::int64_t>(hist.totalWeight()));
 }
 BENCHMARK(BM_LogHistogramAdd);
+
+void
+BM_ArrivalGapSampling(benchmark::State &state)
+{
+    // Raw injection-schedule throughput: sampling the next inter-arrival
+    // gap is on the hot path of every open-loop event, once per offered
+    // request. The bursty process is the costliest (phase bookkeeping on
+    // top of the exponential draw).
+    traffic::ArrivalSpec spec;
+    std::string err;
+    const bool ok = traffic::ArrivalSpec::parse(
+        "burst:rate=100000:factor=8:on_ms=2:off_ms=8", spec, err);
+    if (!ok) {
+        state.SkipWithError(err.c_str());
+        return;
+    }
+    traffic::ArrivalProcess proc(spec, Rng(29));
+    Ticks now = 0;
+    for (auto _ : state) {
+        now += proc.nextGap(now);
+        benchmark::DoNotOptimize(now);
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ArrivalGapSampling);
+
+void
+BM_OpenLoopInjection(benchmark::State &state)
+{
+    // End-to-end open-loop run: arrival events, bounded admission,
+    // request dispatch and the per-request latency pipeline, measured in
+    // completed requests per second of host time.
+    core::ExperimentConfig cfg;
+    cfg.workload_scale = 0.05;
+    cfg.arrivals = "poisson:rate=2000:requests=500";
+    std::uint64_t completed = 0;
+    for (auto _ : state) {
+        core::ExperimentRunner runner(cfg);
+        const jvm::RunResult r = runner.runApp("sunflow", 4);
+        completed += r.traffic.completed;
+        benchmark::DoNotOptimize(r.traffic.completed);
+    }
+    state.SetItemsProcessed(static_cast<std::int64_t>(completed));
+}
+BENCHMARK(BM_OpenLoopInjection)->Unit(benchmark::kMillisecond);
 
 void
 BM_FullApplicationRun(benchmark::State &state)

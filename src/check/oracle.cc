@@ -33,6 +33,7 @@ OracleSuite::attach(jvm::JavaVm &vm)
     jscale_assert(!attached_, "OracleSuite attached twice");
     vm_ = &vm;
     sched_ = &vm.scheduler();
+    group_ = vm.config().tenant;
 
     // Self-configure gates the run's configuration makes unsound:
     // TLAB reservation reclaims more than the dead-object bytes, and
@@ -63,6 +64,29 @@ OracleSuite::attach(jvm::JavaVm &vm)
                    << "): buckets sum to " << formatTicks(sum)
                    << " but wall time is " << formatTicks(rec.wall());
                 report("latency-conservation", os.str(), rec.end);
+            }
+            // Open-loop service-window alignment: when the thread is
+            // serving a dispatched request, the window just closed must
+            // open exactly at the dispatch stamp — that alignment is
+            // what makes sojourn == queueing + attributed buckets.
+            if (config_.traffic) {
+                ServingModel &sv = servingModel(rec.thread);
+                if (sv.active) {
+                    ++checks_;
+                    if (rec.start != sv.dispatch) {
+                        std::ostringstream os;
+                        os << "request " << sv.request << " (thread "
+                           << rec.thread << "): service window opens at "
+                           << formatTicks(rec.start)
+                           << " but the request was dispatched at "
+                           << formatTicks(sv.dispatch);
+                        report("request-conservation", os.str(),
+                               rec.end);
+                    }
+                    sv.window_seen = true;
+                    sv.window_end = rec.end;
+                    settleServing(rec.thread, rec.end);
+                }
             }
         });
         profiler_.attach(vm);
@@ -181,6 +205,33 @@ OracleSuite::coreModel(std::size_t id)
     if (cores_.size() <= id)
         cores_.resize(id + 1);
     return cores_[id];
+}
+
+OracleSuite::ServingModel &
+OracleSuite::servingModel(jvm::MutatorIndex thread)
+{
+    if (serving_.size() <= thread)
+        serving_.resize(thread + 1);
+    return serving_[thread];
+}
+
+void
+OracleSuite::settleServing(jvm::MutatorIndex thread, Ticks now)
+{
+    ServingModel &sv = serving_[thread];
+    if (!sv.active || !sv.window_seen || !sv.completed)
+        return;
+    ++checks_;
+    if (sv.window_end != sv.completion) {
+        std::ostringstream os;
+        os << "request " << sv.request << " (thread " << thread
+           << "): service window closes at "
+           << formatTicks(sv.window_end)
+           << " but the completion was stamped at "
+           << formatTicks(sv.completion);
+        report("request-conservation", os.str(), now);
+    }
+    sv = ServingModel{};
 }
 
 // ---------------------------------------------------------------------
@@ -578,11 +629,11 @@ OracleSuite::onDispatch(const os::OsThread &t, machine::CoreId core,
     if (!config_.scheduler)
         return;
     ++checks_;
-    if (world_stopped_) {
+    if (groupStopped(t.group())) {
         std::ostringstream os;
         os << "thread " << t.id() << " ('" << t.name()
-           << "') dispatched on core " << core
-           << " while the world is stopped";
+           << "') of group " << t.group() << " dispatched on core "
+           << core << " while that group's world is stopped";
         report("sched-conservation", os.str(), now);
     }
     CoreModel &c = coreModel(core);
@@ -633,6 +684,11 @@ OracleSuite::onThreadState(const os::OsThread &t, os::ThreadState prev,
     observeTime(now);
     if (!config_.scheduler)
         return;
+    // Foreign-group threads still obey the state machine and core
+    // bookkeeping, but their ready waits span neighbours' pauses the
+    // stop-credit model cannot see.
+    if (t.group() != group_)
+        config_.starvation = false;
     ThreadModel &m = threadModel(t.id());
     const os::ThreadState next = t.state();
     ++checks_;
@@ -661,35 +717,210 @@ OracleSuite::onThreadState(const os::OsThread &t, os::ThreadState prev,
 }
 
 void
-OracleSuite::onWorldStopRequested(Ticks now)
+OracleSuite::onWorldStopRequested(std::uint32_t group, Ticks now)
 {
     observeTime(now);
+    if (group >= group_stopped_.size())
+        group_stopped_.resize(group + 1, false);
     if (config_.ordering) {
         ++checks_;
-        if (world_stopped_) {
-            report("event-ordering",
-                   "nested stop-the-world request", now);
+        if (group_stopped_[group]) {
+            std::ostringstream os;
+            os << "nested stop-the-world request for group " << group;
+            report("event-ordering", os.str(), now);
         }
     }
-    world_stopped_ = true;
-    stop_began_ = now;
+    group_stopped_[group] = true;
+    if (group == group_) {
+        world_stopped_ = true;
+        stop_began_ = now;
+    } else {
+        // A co-hosted tenant's pauses interleave with ours; the single
+        // stop-credit model under the starvation bound is unsound.
+        config_.starvation = false;
+    }
 }
 
 void
-OracleSuite::onWorldResumed(Ticks now)
+OracleSuite::onWorldResumed(std::uint32_t group, Ticks now)
 {
     observeTime(now);
     if (config_.ordering) {
         ++checks_;
-        if (!world_stopped_) {
-            report("event-ordering",
-                   "world resumed without a stop request", now);
+        if (!groupStopped(group)) {
+            std::ostringstream os;
+            os << "group " << group
+               << " resumed without a stop request";
+            report("event-ordering", os.str(), now);
         }
     }
+    if (group < group_stopped_.size())
+        group_stopped_[group] = false;
+    if (group != group_)
+        return;
     if (world_stopped_)
         stopped_accum_ += now - stop_began_;
     world_stopped_ = false;
     at_safepoint_ = false;
+}
+
+// ---------------------------------------------------------------------
+// Request conservation (open-loop traffic)
+// ---------------------------------------------------------------------
+
+void
+OracleSuite::onRequestArrival(std::uint32_t tenant, std::uint64_t request,
+                              Ticks now)
+{
+    (void)tenant; // probes arrive on our own VM's chain only
+    observeTime(now);
+    if (!config_.traffic)
+        return;
+    ++checks_;
+    RequestModel r;
+    r.arrival = now;
+    if (!requests_.emplace(request, r).second) {
+        std::ostringstream os;
+        os << "request " << request << " admitted twice";
+        report("request-conservation", os.str(), now);
+        return;
+    }
+    ++requests_admitted_;
+}
+
+void
+OracleSuite::onRequestShed(std::uint32_t tenant, std::uint64_t request,
+                           Ticks now)
+{
+    (void)tenant;
+    observeTime(now);
+    if (!config_.traffic)
+        return;
+    ++checks_;
+    auto it = requests_.find(request);
+    if (it == requests_.end()) {
+        // Drop-newest rejects at the door, before admission: track the
+        // id so a later dispatch of a shed request is still caught.
+        RequestModel r;
+        r.arrival = now;
+        r.shed = true;
+        requests_.emplace(request, r);
+        ++requests_shed_;
+        return;
+    }
+    RequestModel &r = it->second;
+    if (r.shed || r.dispatched || r.completed) {
+        std::ostringstream os;
+        os << "request " << request << " shed after it was already "
+           << (r.shed ? "shed" : r.completed ? "completed" : "dispatched");
+        report("request-conservation", os.str(), now);
+        return;
+    }
+    r.shed = true;
+    ++requests_shed_;
+}
+
+void
+OracleSuite::onRequestDispatched(std::uint32_t tenant,
+                                 std::uint64_t request,
+                                 jvm::MutatorIndex thread, Ticks now)
+{
+    (void)tenant;
+    observeTime(now);
+    if (!config_.traffic)
+        return;
+    ++checks_;
+    auto it = requests_.find(request);
+    if (it == requests_.end()) {
+        std::ostringstream os;
+        os << "request " << request
+           << " dispatched without being admitted";
+        report("request-conservation", os.str(), now);
+        return;
+    }
+    RequestModel &r = it->second;
+    if (r.shed) {
+        std::ostringstream os;
+        os << "shed request " << request << " dispatched to thread "
+           << thread;
+        report("request-conservation", os.str(), now);
+    }
+    if (r.dispatched) {
+        std::ostringstream os;
+        os << "request " << request << " dispatched twice";
+        report("request-conservation", os.str(), now);
+    }
+    if (now < r.arrival) {
+        std::ostringstream os;
+        os << "request " << request << " dispatched at "
+           << formatTicks(now) << ", before its arrival at "
+           << formatTicks(r.arrival);
+        report("request-conservation", os.str(), now);
+    }
+    r.dispatched = true;
+    r.dispatch = now;
+    ServingModel &sv = servingModel(thread);
+    if (sv.active) {
+        std::ostringstream os;
+        os << "thread " << thread << " dispatched request " << request
+           << " while still serving request " << sv.request;
+        report("request-conservation", os.str(), now);
+    }
+    sv = ServingModel{};
+    sv.active = true;
+    sv.request = request;
+    sv.dispatch = now;
+}
+
+void
+OracleSuite::onRequestCompleted(std::uint32_t tenant,
+                                std::uint64_t request,
+                                jvm::MutatorIndex thread, Ticks now)
+{
+    (void)tenant;
+    observeTime(now);
+    if (!config_.traffic)
+        return;
+    ++checks_;
+    auto it = requests_.find(request);
+    if (it == requests_.end()) {
+        std::ostringstream os;
+        os << "request " << request
+           << " completed without being admitted";
+        report("request-conservation", os.str(), now);
+        return;
+    }
+    RequestModel &r = it->second;
+    if (!r.dispatched || r.shed || r.completed) {
+        std::ostringstream os;
+        os << "request " << request << " completed but was "
+           << (r.completed ? "already completed"
+                           : r.shed ? "shed" : "never dispatched");
+        report("request-conservation", os.str(), now);
+        return;
+    }
+    if (now < r.dispatch) {
+        std::ostringstream os;
+        os << "request " << request << " completed at "
+           << formatTicks(now) << ", before its dispatch at "
+           << formatTicks(r.dispatch);
+        report("request-conservation", os.str(), now);
+    }
+    r.completed = true;
+    ++requests_completed_;
+    ServingModel &sv = servingModel(thread);
+    if (!sv.active || sv.request != request) {
+        std::ostringstream os;
+        os << "request " << request << " completed on thread " << thread
+           << " which is serving "
+           << (sv.active ? "request " + std::to_string(sv.request)
+                         : std::string("nothing"));
+        report("request-conservation", os.str(), now);
+        return;
+    }
+    sv.completed = true;
+    sv.completion = now;
+    settleServing(thread, now);
 }
 
 // ---------------------------------------------------------------------
@@ -746,6 +977,32 @@ OracleSuite::finishRun(Ticks now)
                 threads_[i].state == os::ThreadState::Ready) {
                 checkReadyWait(i, now, false);
             }
+        }
+    }
+    if (config_.traffic && !requests_.empty()) {
+        ++checks_;
+        std::uint64_t undispatched = 0;
+        std::uint64_t incomplete = 0;
+        for (const auto &[id, r] : requests_) {
+            if (r.shed)
+                continue;
+            if (!r.dispatched)
+                ++undispatched;
+            else if (!r.completed)
+                ++incomplete;
+        }
+        if (incomplete > 0) {
+            std::ostringstream os;
+            os << incomplete
+               << " request(s) dispatched but never completed";
+            report("request-conservation", os.str(), now);
+        }
+        if (undispatched > 0) {
+            std::ostringstream os;
+            os << undispatched
+               << " admitted request(s) neither shed nor dispatched "
+               << "at run end";
+            report("request-conservation", os.str(), now);
         }
     }
     if (config_.monitors) {

@@ -29,7 +29,15 @@
  *      and no allocation lands inside a stop-the-world window;
  *   6. latency conservation — every task's wait-state attribution
  *      buckets (profile::TaskProfiler) sum to the task's wall time
- *      exactly, in integer simulation ticks.
+ *      exactly, in integer simulation ticks;
+ *   7. request conservation (open-loop traffic) — request boundaries
+ *      are well-ordered per request (arrival <= dispatch <=
+ *      completion), shed requests are never dispatched, no worker
+ *      serves two requests at once, the profiled service window opens
+ *      exactly at the dispatch stamp and closes exactly at the
+ *      completion stamp (so sojourn == queueing + attributed service
+ *      buckets, integer-exactly), and every admitted request is either
+ *      shed or completed by run end.
  *
  * Each failure is reported as a diagnosed InvariantViolation naming
  * the object/monitor/thread and the simulation time.
@@ -64,7 +72,8 @@ struct InvariantViolation
 {
     /** Which oracle fired: "heap-conservation", "monitor-exclusion",
      *  "monitor-fifo", "sched-conservation", "lifespan-monotonic",
-     *  "event-ordering" or "latency-conservation". */
+     *  "event-ordering", "latency-conservation" or
+     *  "request-conservation". */
     std::string oracle;
     /** Diagnosis naming the object/monitor/thread involved. */
     std::string message;
@@ -105,6 +114,14 @@ struct OracleConfig
      * (integer sim-time, no slop).
      */
     bool latency = true;
+    /**
+     * Request conservation (open-loop traffic): per-request lifecycle
+     * ordering, shed-never-dispatched, one request in flight per
+     * worker, and service-window alignment against the latency
+     * profiler (window == [dispatch, completion] exactly). Inert on
+     * closed-loop runs — no request probes ever fire.
+     */
+    bool traffic = true;
 
     /** Run Heap::checkInvariants() (deep O(objects) audit) at every
      *  stop-the-world collection end. */
@@ -197,6 +214,16 @@ class OracleSuite final : public jvm::RuntimeListener,
     void onGcPhase(std::uint64_t sequence, jvm::GcKind kind,
                    const char *phase, Ticks begin, Ticks end) override;
     void onGcEnd(const jvm::GcEvent &event, Ticks now) override;
+    void onRequestArrival(std::uint32_t tenant, std::uint64_t request,
+                          Ticks now) override;
+    void onRequestShed(std::uint32_t tenant, std::uint64_t request,
+                       Ticks now) override;
+    void onRequestDispatched(std::uint32_t tenant, std::uint64_t request,
+                             jvm::MutatorIndex thread,
+                             Ticks now) override;
+    void onRequestCompleted(std::uint32_t tenant, std::uint64_t request,
+                            jvm::MutatorIndex thread,
+                            Ticks now) override;
     /** @} */
 
     /** @name SchedulerListener probes */
@@ -207,8 +234,8 @@ class OracleSuite final : public jvm::RuntimeListener,
                     Ticks started, bool preempted, Ticks now) override;
     void onThreadState(const os::OsThread &t, os::ThreadState prev,
                        Ticks now) override;
-    void onWorldStopRequested(Ticks now) override;
-    void onWorldResumed(Ticks now) override;
+    void onWorldStopRequested(std::uint32_t group, Ticks now) override;
+    void onWorldResumed(std::uint32_t group, Ticks now) override;
     /** @} */
 
   private:
@@ -254,9 +281,44 @@ class OracleSuite final : public jvm::RuntimeListener,
         bool mutator = false;
     };
 
+    /** One open-loop request's observed lifecycle. */
+    struct RequestModel
+    {
+        Ticks arrival = 0;
+        Ticks dispatch = 0;
+        bool dispatched = false;
+        bool shed = false;
+        bool completed = false;
+    };
+
+    /** The request a worker thread is currently serving. */
+    struct ServingModel
+    {
+        bool active = false;
+        std::uint64_t request = 0;
+        Ticks dispatch = 0;
+        /** onRequestCompleted has stamped the completion time. */
+        bool completed = false;
+        Ticks completion = 0;
+        /** The profiler's closed window has been cross-checked. */
+        bool window_seen = false;
+        Ticks window_end = 0;
+    };
+
     MonitorModel &monitorModel(jvm::MonitorId id);
     ThreadModel &threadModel(std::size_t id);
     CoreModel &coreModel(std::size_t id);
+    ServingModel &servingModel(jvm::MutatorIndex thread);
+
+    /** Reconcile a closed serving record once both the completion probe
+     *  and the profiler window have been observed. */
+    void settleServing(jvm::MutatorIndex thread, Ticks now);
+
+    /** Is scheduling group @p g inside a stop-the-world window? */
+    bool groupStopped(std::uint32_t g) const
+    {
+        return g < group_stopped_.size() && group_stopped_[g];
+    }
 
     OracleConfig config_;
     jvm::JavaVm *vm_ = nullptr;
@@ -294,9 +356,24 @@ class OracleSuite final : public jvm::RuntimeListener,
     std::size_t max_thread_id_ = 0;
     /** @} */
 
+    /** @name Request-conservation state (open-loop traffic) */
+    /** @{ */
+    std::unordered_map<std::uint64_t, RequestModel> requests_;
+    std::vector<ServingModel> serving_;
+    std::uint64_t requests_admitted_ = 0;
+    std::uint64_t requests_shed_ = 0;
+    std::uint64_t requests_completed_ = 0;
+    /** @} */
+
     /** @name Ordering / safepoint / GC state */
     /** @{ */
     Ticks last_now_ = 0;
+    /** The attached VM's scheduling group (tenant); set by attach(). */
+    std::uint32_t group_ = 0;
+    /** Per-group stop-the-world windows (shared scheduler). Index is
+     *  the scheduling group; world_stopped_ mirrors our own group's
+     *  entry for the safepoint/GC pairing checks. */
+    std::vector<bool> group_stopped_;
     bool world_stopped_ = false;
     bool at_safepoint_ = false;
     Ticks stop_began_ = 0;

@@ -201,7 +201,9 @@ ExperimentRunner::campaignFingerprint() const
        << " oracles=" << (config_.oracles ? 1 : 0)
        << " profile=" << (config_.profile ? 1 : 0)
        << " compart=" << (config_.vm.heap.compartmentalized ? 1 : 0)
-       << " biased=" << (config_.biased_scheduling ? 1 : 0);
+       << " biased=" << (config_.biased_scheduling ? 1 : 0)
+       << " arrivals="
+       << (config_.arrivals.empty() ? "-" : config_.arrivals);
     return os.str();
 }
 
@@ -235,6 +237,30 @@ ExperimentRunner::executePlan(RunPlan &plan,
     jvm::VmConfig vm_cfg = config_.vm;
     vm_cfg.heap.capacity = plan.heap_capacity;
     jvm::JavaVm vm(sim, mach, sched, vm_cfg);
+
+    // Open-loop traffic: a seeded arrival process injects requests into
+    // the engine's admission queue and workers serve them through an
+    // accept loop, replacing the closed loop's pre-filled task pool.
+    // The engine is constructed first so its embedded service-window
+    // profiler sits ahead of the oracles on the probe chains (the
+    // request-conservation oracle relies on completion probes firing
+    // before its own profiler closes the window).
+    std::unique_ptr<traffic::RequestModel> request_model;
+    std::optional<traffic::TrafficEngine> engine;
+    std::optional<traffic::OpenLoopApp> open_loop;
+    if (!config_.arrivals.empty()) {
+        traffic::ArrivalSpec arrival;
+        std::string err;
+        const bool ok =
+            traffic::ArrivalSpec::parse(config_.arrivals, arrival, err);
+        jscale_assert(ok, "bad arrival spec: ", err);
+        request_model =
+            traffic::makeRequestModel(app.appName(), err);
+        jscale_assert(request_model != nullptr, err);
+        engine.emplace(vm, arrival);
+        open_loop.emplace(*request_model, *engine);
+    }
+    jvm::ApplicationModel &run_app = open_loop ? *open_loop : app;
 
     // Concurrency governor (admission control). Unlike the telemetry
     // taps below it *does* steer the run — that is its job — but its
@@ -316,8 +342,10 @@ ExperimentRunner::executePlan(RunPlan &plan,
         injector->arm(sim.now());
     if (watchdog)
         watchdog->start(sim.now());
-    jvm::RunResult r = vm.run(app, threads);
+    jvm::RunResult r = vm.run(run_app, threads);
 
+    if (engine)
+        r.traffic = engine->summary();
     if (oracles)
         oracles->finishRun(sim.now());
     if (profiler) {
@@ -497,6 +525,109 @@ ExperimentRunner::runCustom(const AppFactory &factory,
 {
     RunPlan plan = planRun(factory, cache_key, threads);
     return executePlan(plan, attach);
+}
+
+std::vector<jvm::RunResult>
+ExperimentRunner::runTenants(const std::vector<traffic::TenantSpec> &specs)
+{
+    jscale_assert(!specs.empty(), "need at least one tenant");
+    std::uint32_t total_threads = 0;
+    std::ostringstream ident;
+    for (const traffic::TenantSpec &spec : specs) {
+        total_threads += spec.threads;
+        ident << spec.describe() << ";";
+    }
+    const std::uint32_t cores =
+        std::min(total_threads, config_.machine.totalCores());
+
+    sim::Simulation sim(runSeed(ident.str(), total_threads,
+                                /*calibration=*/false));
+    machine::Machine mach(config_.machine);
+    mach.enableCores(cores, config_.placement);
+    os::Scheduler sched(sim, mach, config_.sched);
+
+    traffic::TenantHost host(sim, mach, sched);
+    for (const traffic::TenantSpec &spec : specs) {
+        jvm::VmConfig vm_cfg = config_.vm;
+        vm_cfg.heap.capacity =
+            config_.heap_override != 0
+                ? config_.heap_override
+                : static_cast<Bytes>(config_.heap_factor *
+                                     static_cast<double>(
+                                         minHeapRequirement(spec.app)));
+        std::string err;
+        const bool ok = host.addTenant(spec, vm_cfg, err);
+        jscale_assert(ok, err);
+    }
+
+    // Per-tenant observers: each VM gets its own oracle suite and
+    // attribution profiler — the probe chains are per VM, so neighbour
+    // tenants are invisible to them apart from the shared scheduler
+    // stream (which both filter by scheduling group).
+    std::vector<std::unique_ptr<check::OracleSuite>> oracles;
+    std::vector<std::unique_ptr<profile::TaskProfiler>> profilers;
+    for (std::size_t i = 0; i < host.tenantCount(); ++i) {
+        if (config_.oracles) {
+            oracles.push_back(std::make_unique<check::OracleSuite>());
+            oracles.back()->attach(host.vm(i));
+        }
+        if (config_.profile) {
+            profilers.push_back(std::make_unique<profile::TaskProfiler>());
+            profilers.back()->attach(host.vm(i));
+        }
+    }
+
+    // Metric sampling: one sampler on tenant 0's VM, with per-tenant
+    // queue-depth and in-flight gauges appended — the columns exist
+    // only on multi-tenant runs, so single-tenant CSV schemas never
+    // change shape.
+    std::vector<std::string> artifact_errors;
+    std::optional<telemetry::MetricSampler> sampler;
+    std::string metrics_file;
+    if (config_.metrics_interval > 0) {
+        std::string templ = config_.metrics_path;
+        if (templ.empty())
+            templ = "metrics-{app}-t{threads}.csv";
+        metrics_file =
+            claimArtifactPath(templ, "tenants", total_threads);
+        sampler.emplace(sim, host.vm(0), config_.metrics_interval);
+        if (host.tenantCount() > 1) {
+            for (std::size_t i = 0; i < host.tenantCount(); ++i) {
+                traffic::TrafficEngine *eng = &host.engine(i);
+                const std::string prefix =
+                    "tenant" + std::to_string(i) + "_" + specs[i].app;
+                sampler->addGauge(prefix + "_queued",
+                                  [eng] { return eng->queueDepth(); });
+                sampler->addGauge(prefix + "_inflight",
+                                  [eng] { return eng->inflightCount(); });
+            }
+        }
+        sampler->start();
+    }
+
+    std::vector<jvm::RunResult> results = host.run();
+
+    for (auto &suite : oracles)
+        suite->finishRun(sim.now());
+    for (std::size_t i = 0; i < profilers.size(); ++i) {
+        profilers[i]->finishRun(sim.now());
+        results[i].profile = profilers[i]->summary(config_.profile_topk);
+    }
+    if (sampler) {
+        sampler->finish(sim.now());
+        std::ofstream csv;
+        if (openArtifact(csv, metrics_file, artifact_errors)) {
+            sampler->writeCsv(csv);
+            checkArtifactStream(csv, metrics_file, artifact_errors);
+            for (jvm::RunResult &r : results) {
+                r.metrics_file = metrics_file;
+                r.metric_rows = sampler->samples().size();
+            }
+        }
+    }
+    for (jvm::RunResult &r : results)
+        r.artifact_errors = artifact_errors;
+    return results;
 }
 
 std::vector<jvm::RunResult>

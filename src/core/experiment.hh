@@ -30,6 +30,7 @@
 #include "jvm/runtime/vm.hh"
 #include "machine/machine.hh"
 #include "os/scheduler.hh"
+#include "traffic/tenancy.hh"
 
 namespace jscale::core {
 
@@ -108,6 +109,20 @@ struct ExperimentConfig
     std::string error_path = "jscale-errors/{app}-t{threads}.error.txt";
     /** @} */
 
+    /** @name Open-loop traffic (src/traffic) */
+    /** @{ */
+    /**
+     * Arrival-process spec (traffic::ArrivalSpec grammar, e.g.
+     * "poisson:rate=2000:requests=4000"). Non-empty switches every run
+     * to the open loop: workers serve a seeded request stream through
+     * the traffic engine instead of draining a pre-filled task pool,
+     * and RunResult::traffic carries the per-request sojourn /
+     * queueing / service tail statistics. Must parse — validate with
+     * traffic::ArrivalSpec::parse first (the CLI does).
+     */
+    std::string arrivals;
+    /** @} */
+
     /** @name Latency attribution (profile::TaskProfiler) */
     /** @{ */
     /**
@@ -152,6 +167,16 @@ class ExperimentRunner
     const ExperimentConfig &config() const { return config_; }
 
     /**
+     * Swap the campaign's arrival spec between runs (the E21 study
+     * walks one runner over an offered-load ladder, reusing the heap
+     * calibration cache across rungs). Affects future plans only.
+     */
+    void setArrivals(std::string spec)
+    {
+        config_.arrivals = std::move(spec);
+    }
+
+    /**
      * Minimum heap requirement of @p app_name (smallest heap in which
      * the live data fits the old generation), measured by a calibration
      * run and cached.
@@ -168,6 +193,18 @@ class ExperimentRunner
                              const std::string &cache_key,
                              std::uint32_t threads,
                              const VmAttachHook &attach = {});
+
+    /**
+     * Run @p specs as co-hosted tenants of one simulated machine: one
+     * JavaVm per tenant, all contending on one shared scheduler, each
+     * fed by its own arrival stream (the config's `arrivals` field is
+     * ignored here — every tenant carries its own). Cores enabled =
+     * sum of tenant threads, clipped to the machine. Heaps are sized
+     * per tenant app exactly like runApp. Returns one result per
+     * tenant, in spec order, traffic summaries filled.
+     */
+    std::vector<jvm::RunResult>
+    runTenants(const std::vector<traffic::TenantSpec> &specs);
 
     /** Sweep an app over thread counts. */
     std::vector<jvm::RunResult>

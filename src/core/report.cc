@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <sstream>
 
 #include "base/logging.hh"
 #include "base/output.hh"
@@ -867,6 +868,99 @@ writeProfileHistogramCsv(std::ostream &os, const jvm::RunResult &r)
     for (std::size_t i = 0; i < jvm::kWaitBucketCount; ++i) {
         emit(jvm::waitBucketName(static_cast<jvm::WaitBucket>(i)),
              p.bucket_hist[i]);
+    }
+}
+
+void
+printTrafficTable(std::ostream &os,
+                  const std::vector<jvm::RunResult> &runs)
+{
+    os << "open-loop traffic: per-request sojourn = queueing + "
+          "attributed service\n";
+    TextTable t;
+    t.header({"app", "tenant", "threads", "arrivals", "shed", "done",
+              "maxq", "p50", "p99", "p999", "queue p99", "svc p99"});
+    for (const jvm::RunResult &r : runs) {
+        if (!r.traffic.enabled)
+            continue;
+        const jvm::TrafficSummary &s = r.traffic;
+        t.row({r.app_name, std::to_string(s.tenant),
+               std::to_string(r.threads), std::to_string(s.arrivals),
+               std::to_string(s.shed), std::to_string(s.completed),
+               std::to_string(s.max_queue_depth),
+               formatTicks(s.sojourn.quantile(0.50)),
+               formatTicks(s.sojourn.quantile(0.99)),
+               formatTicks(s.sojourn.quantile(0.999)),
+               formatTicks(s.queueing.quantile(0.99)),
+               formatTicks(s.service.quantile(0.99))});
+    }
+    t.print(os);
+
+    os << "\nservice-time decomposition (share of attributed service)\n";
+    TextTable d;
+    d.header({"app", "tenant", "arrival spec", "cpu", "runq", "ttsp",
+              "gc-stw", "lock", "channel", "governor"});
+    const auto share = [](const jvm::TrafficSummary &s,
+                          jvm::WaitBucket b) {
+        const Ticks total = s.serviceBucketTotal();
+        if (total == 0)
+            return std::string("-");
+        const double v =
+            100.0 *
+            static_cast<double>(
+                s.service_bucket_total[static_cast<std::size_t>(b)]) /
+            static_cast<double>(total);
+        std::ostringstream str;
+        str.setf(std::ios::fixed);
+        str.precision(1);
+        str << v << "%";
+        return str.str();
+    };
+    for (const jvm::RunResult &r : runs) {
+        if (!r.traffic.enabled)
+            continue;
+        const jvm::TrafficSummary &s = r.traffic;
+        d.row({r.app_name, std::to_string(s.tenant), s.arrival_spec,
+               share(s, jvm::WaitBucket::Cpu),
+               share(s, jvm::WaitBucket::RunQueue),
+               share(s, jvm::WaitBucket::Ttsp),
+               share(s, jvm::WaitBucket::GcStw),
+               share(s, jvm::WaitBucket::Lock),
+               share(s, jvm::WaitBucket::Channel),
+               share(s, jvm::WaitBucket::Governor)});
+    }
+    d.print(os);
+}
+
+void
+writeTrafficCsv(std::ostream &os,
+                const std::vector<jvm::RunResult> &runs)
+{
+    os << "app,tenant,threads,arrival_spec,arrivals,admitted,shed,"
+          "dispatched,completed,max_queue_depth,sojourn_p50_ns,"
+          "sojourn_p99_ns,sojourn_p999_ns,queueing_p99_ns,"
+          "service_p99_ns";
+    for (std::size_t i = 0; i < jvm::kWaitBucketCount; ++i) {
+        os << ",svc_"
+           << jvm::waitBucketName(static_cast<jvm::WaitBucket>(i))
+           << "_ns";
+    }
+    os << "\n";
+    for (const jvm::RunResult &r : runs) {
+        if (!r.traffic.enabled)
+            continue;
+        const jvm::TrafficSummary &s = r.traffic;
+        os << r.app_name << "," << s.tenant << "," << r.threads << ","
+           << s.arrival_spec << "," << s.arrivals << "," << s.admitted
+           << "," << s.shed << "," << s.dispatched << "," << s.completed
+           << "," << s.max_queue_depth << ","
+           << s.sojourn.quantile(0.50) << "," << s.sojourn.quantile(0.99)
+           << "," << s.sojourn.quantile(0.999) << ","
+           << s.queueing.quantile(0.99) << ","
+           << s.service.quantile(0.99);
+        for (std::size_t i = 0; i < jvm::kWaitBucketCount; ++i)
+            os << "," << s.service_bucket_total[i];
+        os << "\n";
     }
 }
 

@@ -135,6 +135,17 @@ void writeProfileHistogramCsv(std::ostream &os, const jvm::RunResult &r);
  */
 stats::StatSnapshot runStatSnapshot(const jvm::RunResult &r);
 
+/**
+ * Open-loop traffic summary of one or more runs (tenants of one host,
+ * or rungs of a ladder): arrival accounting, sojourn / queueing /
+ * service tails, and the exact wait-state decomposition of service
+ * time. Rows without traffic data (closed-loop runs) are skipped.
+ */
+void printTrafficTable(std::ostream &os,
+                       const std::vector<jvm::RunResult> &runs);
+void writeTrafficCsv(std::ostream &os,
+                     const std::vector<jvm::RunResult> &runs);
+
 /** Free-form one-run summary (quickstart/example output). */
 void printRunSummary(std::ostream &os, const jvm::RunResult &r);
 

@@ -235,6 +235,47 @@ class RuntimeListener
         (void)target; (void)active; (void)parked; (void)tasks_delta;
         (void)now;
     }
+
+    /** @name Open-loop request boundaries (traffic::TrafficEngine)
+     * Requests are externally injected units of work with an arrival
+     * time independent of the system's state (open system). The engine
+     * fires these around the admission queue and the serving mutators;
+     * sojourn decomposes exactly as
+     * (dispatch - arrival) + (completion - dispatch). */
+    /** @{ */
+    /** Request @p request of tenant @p tenant arrived and was admitted
+     *  to the bounded queue. */
+    virtual void
+    onRequestArrival(std::uint32_t tenant, std::uint64_t request, Ticks now)
+    {
+        (void)tenant; (void)request; (void)now;
+    }
+
+    /** An arriving or queued request was shed by the bounded-queue
+     *  policy; it will never be dispatched. */
+    virtual void
+    onRequestShed(std::uint32_t tenant, std::uint64_t request, Ticks now)
+    {
+        (void)tenant; (void)request; (void)now;
+    }
+
+    /** Mutator @p thread picked request @p request up from the queue
+     *  and starts serving it (queueing delay ends). */
+    virtual void
+    onRequestDispatched(std::uint32_t tenant, std::uint64_t request,
+                        MutatorIndex thread, Ticks now)
+    {
+        (void)tenant; (void)request; (void)thread; (void)now;
+    }
+
+    /** Request @p request finished service on @p thread. */
+    virtual void
+    onRequestCompleted(std::uint32_t tenant, std::uint64_t request,
+                       MutatorIndex thread, Ticks now)
+    {
+        (void)tenant; (void)request; (void)thread; (void)now;
+    }
+    /** @} */
 };
 
 /** Fan-out helper: a registration list shared by all runtime components. */

@@ -118,7 +118,7 @@ JavaVm::requestGc(MutatorThread *t, Ticks now)
     gc_requested_at_ = now;
     listeners_.dispatch(
         [&](RuntimeListener &l) { l.onSafepointBegin(gc_seq_, now); });
-    sched_.stopTheWorld([this] { performGcAtSafepoint(); });
+    sched_.stopTheWorld(config_.tenant, [this] { performGcAtSafepoint(); });
 }
 
 void
@@ -260,7 +260,7 @@ JavaVm::finishGc(GcKind kind, const MinorWork &minor, const FullWork &full,
     gc_in_progress_ = false;
     std::vector<MutatorThread *> waiters;
     waiters.swap(gc_waiters_);
-    sched_.resumeWorld();
+    sched_.resumeWorld(config_.tenant);
     for (MutatorThread *t : waiters) {
         t->gcWaitOver();
         sched_.wake(t->osThread());
@@ -327,7 +327,8 @@ JavaVm::requestRemark()
     listeners_.dispatch([&](RuntimeListener &l) {
         l.onSafepointBegin(gc_seq_, gc_requested_at_);
     });
-    sched_.stopTheWorld([this] { performRemarkAtSafepoint(); });
+    sched_.stopTheWorld(config_.tenant,
+                        [this] { performRemarkAtSafepoint(); });
 }
 
 void
@@ -399,7 +400,7 @@ JavaVm::finishRemark(const FullWork &sweep, Ticks safepoint_at)
         return;
     }
     gc_in_progress_ = false;
-    sched_.resumeWorld();
+    sched_.resumeWorld(config_.tenant);
     maybeStartConcurrentCycle();
 }
 
@@ -433,7 +434,20 @@ JavaVm::onMutatorFinished(MutatorThread *t, Ticks now)
         admission_->onMutatorFinished(*t, now);
     if (mutators_finished_ == n_threads_) {
         run_end_time_ = now;
-        sim_.requestStop();
+        // Finalize the heap while the simulation still stands at the
+        // run's end time: remaining (pinned) data dies at VM shutdown,
+        // and in hosted mode a neighbour tenant's clock must not have
+        // advanced past this tenant's finish when the deaths deliver.
+        heap_->killAllRemaining(now);
+        if (admission_ != nullptr)
+            admission_->onRunEnd(now);
+        // A hosted VM reports completion to its host (which stops the
+        // shared simulation once every tenant is done); a standalone VM
+        // stops its own simulation.
+        if (run_completed_cb_)
+            run_completed_cb_(now);
+        else
+            sim_.requestStop();
     }
 }
 
@@ -557,10 +571,19 @@ JavaVm::mutatorActionsExecuted() const
 RunResult
 JavaVm::run(ApplicationModel &app, std::uint32_t n_threads)
 {
+    prepare(app, n_threads);
+    sim_.run(run_start_time_ + max_run_time_);
+    return collectResult();
+}
+
+void
+JavaVm::prepare(ApplicationModel &app, std::uint32_t n_threads)
+{
     jscale_assert(!ran_, "a JavaVm instance runs exactly once");
     jscale_assert(n_threads >= 1, "run requires at least one thread");
     ran_ = true;
     n_threads_ = n_threads;
+    app_name_ = app.appName();
 
     heap_ = std::make_unique<Heap>(config_.heap, n_threads, &listeners_);
     cost_model_ = std::make_unique<GcCostModel>(
@@ -588,8 +611,8 @@ JavaVm::run(ApplicationModel &app, std::uint32_t n_threads)
         auto mt = std::make_unique<MutatorThread>(
             *this, i, std::move(src),
             app.appName() + "-worker-" + std::to_string(i));
-        mt->bindOsThread(
-            sched_.registerThread(mt.get(), os::ThreadKind::Mutator));
+        mt->bindOsThread(sched_.registerThread(
+            mt.get(), os::ThreadKind::Mutator, {}, config_.tenant));
         mutators_.push_back(std::move(mt));
     }
 
@@ -614,7 +637,7 @@ JavaVm::run(ApplicationModel &app, std::uint32_t n_threads)
                 "jit-compiler-" + std::to_string(i));
             ht->bindOsThread(sched_.registerThread(
                 ht.get(), os::ThreadKind::Helper,
-                helper_home(next_helper++)));
+                helper_home(next_helper++), config_.tenant));
             helpers_.push_back(std::move(ht));
         }
         if (h.periodic_daemon) {
@@ -624,14 +647,14 @@ JavaVm::run(ApplicationModel &app, std::uint32_t n_threads)
                 "vm-periodic");
             ht->bindOsThread(sched_.registerThread(
                 ht.get(), os::ThreadKind::Daemon,
-                helper_home(next_helper++)));
+                helper_home(next_helper++), config_.tenant));
             helpers_.push_back(std::move(ht));
         }
     }
 
     if (marker_) {
-        marker_->bindOsThread(
-            sched_.registerThread(marker_.get(), os::ThreadKind::Helper));
+        marker_->bindOsThread(sched_.registerThread(
+            marker_.get(), os::ThreadKind::Helper, {}, config_.tenant));
     }
 
     const Ticks start = sim_.now();
@@ -647,30 +670,34 @@ JavaVm::run(ApplicationModel &app, std::uint32_t n_threads)
         sched_.start(ht->osThread());
     if (marker_)
         sched_.start(marker_->osThread());
+    run_start_time_ = start;
+}
 
-    sim_.run(start + max_run_time_);
+RunResult
+JavaVm::collectResult()
+{
+    jscale_assert(ran_, "collectResult before prepare/run");
     if (mutators_finished_ != n_threads_) {
         // Abort this run only: a sweep harness catches AbortError at
         // the run boundary and isolates it as a per-run error artifact.
         throw AbortError(
-            "application '" + app.appName() + "' did not finish within " +
+            "application '" + app_name_ + "' did not finish within " +
             formatTicks(max_run_time_) +
             " of simulated time (deadlock or undersized heap?): " +
             std::to_string(mutators_finished_) + "/" +
             std::to_string(n_threads_) + " threads finished");
     }
 
-    // Remaining (pinned) data dies at VM shutdown.
-    heap_->killAllRemaining(run_end_time_);
-    if (admission_ != nullptr)
-        admission_->onRunEnd(run_end_time_);
-
+    // Heap finalization (the end-of-run object deaths) happened at the
+    // run's end inside onMutatorFinished, so collecting emits no
+    // listener events at all — hosted tenants are collected after the
+    // shared simulation has moved past their individual finish times.
     RunResult r;
-    r.app_name = app.appName();
-    r.threads = n_threads;
+    r.app_name = app_name_;
+    r.threads = n_threads_;
     r.cores = mach_.enabledCores();
     r.heap_capacity = config_.heap.capacity;
-    r.wall_time = run_end_time_ - start;
+    r.wall_time = run_end_time_ - run_start_time_;
     r.gc_time = gc_stats_.total_pause;
     r.gc = gc_stats_;
     r.heap = heap_->heapStats();
@@ -693,6 +720,10 @@ JavaVm::run(ApplicationModel &app, std::uint32_t n_threads)
     r.sim_events = sim_.eventsProcessed();
 
     for (const auto &ot : sched_.threads()) {
+        // In hosted (multi-tenant) mode the scheduler carries several
+        // VMs' threads; each VM summarizes only its own group.
+        if (ot->group() != config_.tenant)
+            continue;
         ThreadSummary ts;
         ts.name = ot->name();
         ts.kind = ot->kind();
@@ -703,7 +734,9 @@ JavaVm::run(ApplicationModel &app, std::uint32_t n_threads)
         ts.dispatches = ot->dispatches();
         ts.migrations = ot->migrations();
         if (ot->kind() == os::ThreadKind::Mutator) {
-            const auto idx = static_cast<std::size_t>(ot->id());
+            // Mutators are the group's first registrations, so the
+            // group-local id is the mutator index.
+            const auto idx = static_cast<std::size_t>(ot->localId());
             if (idx < mutators_.size()) {
                 const MutatorStats &ms = mutators_[idx]->mutStats();
                 ts.tasks_completed = ms.tasks_completed;

@@ -15,6 +15,7 @@
 #define JSCALE_JVM_RUNTIME_VM_HH
 
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <string>
 #include <vector>
@@ -245,6 +246,57 @@ struct ProfileSummary
     }
 };
 
+/**
+ * Per-request tail-latency summary of one open-loop (traffic) run,
+ * filled by traffic::TrafficEngine; enabled == false for the ordinary
+ * closed-loop workloads. All times are integer Ticks and conservation
+ * holds exactly: sojourn == queueing + service per request, and the
+ * service buckets sum to total service time.
+ */
+struct TrafficSummary
+{
+    bool enabled = false;
+    /** Scheduling group this stream belongs to. */
+    std::uint32_t tenant = 0;
+    /** The arrival spec that generated the stream (report context). */
+    std::string arrival_spec;
+
+    /** Requests offered by the arrival process. */
+    std::uint64_t arrivals = 0;
+    /** Requests admitted to the bounded queue. */
+    std::uint64_t admitted = 0;
+    /** Requests shed by the bounded-queue policy. */
+    std::uint64_t shed = 0;
+    /** Requests picked up by a serving mutator. */
+    std::uint64_t dispatched = 0;
+    /** Requests that finished service. */
+    std::uint64_t completed = 0;
+    /** High-water mark of the admission queue. */
+    std::uint64_t max_queue_depth = 0;
+
+    /** End-to-end sojourn time (arrival -> completion). */
+    stats::LatencyHistogram sojourn;
+    /** Queueing delay (arrival -> dispatch). */
+    stats::LatencyHistogram queueing;
+    /** Service time (dispatch -> completion). */
+    stats::LatencyHistogram service;
+    /**
+     * Service time decomposed into the profiler's wait-state buckets
+     * (cpu, runq, ttsp, gc-stw, lock, ...); sums to service exactly.
+     */
+    Ticks service_bucket_total[kWaitBucketCount] = {};
+
+    /** Total attributed service ticks across the buckets. */
+    Ticks
+    serviceBucketTotal() const
+    {
+        Ticks t = 0;
+        for (std::size_t i = 0; i < kWaitBucketCount; ++i)
+            t += service_bucket_total[i];
+        return t;
+    }
+};
+
 /** Everything measured in one application run. */
 struct RunResult
 {
@@ -273,6 +325,7 @@ struct RunResult
     GovernorSummary governor;
     FaultSummary faults;
     ProfileSummary profile;
+    TrafficSummary traffic;
     std::uint64_t total_tasks = 0;
     std::uint64_t sim_events = 0;
 
@@ -333,6 +386,29 @@ class JavaVm
      * machine's enabled cores. Runs the simulation to completion.
      */
     RunResult run(ApplicationModel &app, std::uint32_t n_threads);
+
+    /** @name Hosted (multi-tenant) execution
+     * A host running several VMs on one simulation prepares each VM
+     * (threads registered and started, nothing simulated yet), drives
+     * one shared sim.run(), then collects each VM's RunResult. A
+     * prepared VM does not stop the simulation when its mutators
+     * finish; it reports through the completion callback instead. */
+    /** @{ */
+    /** Called (with the finish time) when the last mutator finishes. */
+    void setRunCompletedCallback(std::function<void(Ticks)> cb)
+    {
+        run_completed_cb_ = std::move(cb);
+    }
+
+    /** Build the runtime and start @p app's threads; no simulation. */
+    void prepare(ApplicationModel &app, std::uint32_t n_threads);
+
+    /** All mutators finished (valid once prepared). */
+    bool runFinished() const { return mutators_finished_ == n_threads_; }
+
+    /** Assemble the RunResult after the shared simulation completed. */
+    RunResult collectResult();
+    /** @} */
 
     /** @name Component access (valid during and after run) */
     /** @{ */
@@ -499,7 +575,11 @@ class JavaVm
     bool ran_ = false;
     std::uint32_t n_threads_ = 0;
     std::uint32_t mutators_finished_ = 0;
+    Ticks run_start_time_ = 0;
     Ticks run_end_time_ = 0;
+    std::string app_name_;
+    /** Hosted mode: notified instead of stopping the simulation. */
+    std::function<void(Ticks)> run_completed_cb_;
 
     bool gc_in_progress_ = false;
     Ticks gc_requested_at_ = 0;

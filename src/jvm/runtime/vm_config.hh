@@ -122,6 +122,13 @@ struct VmConfig
     /** Spawn helper threads (disable for microbenchmark purity). */
     bool enable_helpers = true;
     /**
+     * Scheduling group (tenant id) for every thread this VM registers.
+     * A VM's safepoints stop only its own group, so several VMs can
+     * share one scheduler and contend for cores without sharing pauses.
+     * Single-VM runs keep the default group 0.
+     */
+    std::uint32_t tenant = 0;
+    /**
      * Simulated-time guard: a run not finished within this budget
      * throws AbortError (runaway/deadlocked workload). The experiment
      * harness isolates the abort as a per-run failure.

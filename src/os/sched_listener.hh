@@ -81,6 +81,28 @@ class SchedulerListener
     {
         (void)now;
     }
+
+    /**
+     * Group-aware stop-the-world probes (multi-tenant hosting): group
+     * @p group's safepoint started parking that group's threads. The
+     * defaults forward to the legacy single-world probes, so observers
+     * written for one VM per scheduler keep working unchanged; tenancy-
+     * aware observers override these and filter on @p group.
+     */
+    virtual void
+    onWorldStopRequested(std::uint32_t group, Ticks now)
+    {
+        (void)group;
+        onWorldStopRequested(now);
+    }
+
+    /** Dispatching resumed for group @p group after its stop-the-world. */
+    virtual void
+    onWorldResumed(std::uint32_t group, Ticks now)
+    {
+        (void)group;
+        onWorldResumed(now);
+    }
 };
 
 /** Fan-out helper mirroring jvm::ListenerChain. */

@@ -74,12 +74,25 @@ Scheduler::Scheduler(sim::Simulation &sim, machine::Machine &mach,
         cores_[i].slice_end = std::make_unique<SliceEndEvent>(
             *this, static_cast<machine::CoreId>(i));
     }
-    stw_parked_event_ = std::make_unique<sim::CallbackEvent>(
-        [this] {
-            if (stw_callback_)
-                stw_callback_();
-        },
-        "stw-parked");
+}
+
+Scheduler::GroupState &
+Scheduler::groupState(std::uint32_t group)
+{
+    if (group >= groups_.size())
+        groups_.resize(group + 1);
+    GroupState &g = groups_[group];
+    if (!g.parked_event) {
+        // One STW per group is in flight at a time, so one reusable
+        // zero-delay event per group flattens the parked callback.
+        g.parked_event = std::make_unique<sim::CallbackEvent>(
+            [this, group] {
+                if (groups_[group].callback)
+                    groups_[group].callback();
+            },
+            "stw-parked");
+    }
+    return g;
 }
 
 Scheduler::~Scheduler()
@@ -94,8 +107,10 @@ Scheduler::~Scheduler()
         if (ev->scheduled())
             sim_.queue().deschedule(ev.get());
     }
-    if (stw_parked_event_->scheduled())
-        sim_.queue().deschedule(stw_parked_event_.get());
+    for (auto &g : groups_) {
+        if (g.parked_event && g.parked_event->scheduled())
+            sim_.queue().deschedule(g.parked_event.get());
+    }
 }
 
 void
@@ -109,7 +124,8 @@ Scheduler::setPolicy(std::unique_ptr<SchedPolicy> policy)
 
 OsThread *
 Scheduler::registerThread(SchedClient *client, ThreadKind kind,
-                          std::optional<machine::CoreId> home)
+                          std::optional<machine::CoreId> home,
+                          std::uint32_t group)
 {
     jscale_assert(client != nullptr, "null scheduler client");
     const auto enabled = mach_.enabledCoreIds();
@@ -127,6 +143,9 @@ Scheduler::registerThread(SchedClient *client, ThreadKind kind,
     auto thread = std::make_unique<OsThread>(
         static_cast<ThreadId>(threads_.size()), client, kind, home_core);
     OsThread *ptr = thread.get();
+    GroupState &g = groupState(group);
+    ptr->group_ = group;
+    ptr->local_id_ = g.registered++;
     threads_.push_back(std::move(thread));
     policy_->onRegister(*ptr);
     return ptr;
@@ -139,7 +158,7 @@ Scheduler::start(OsThread *thread)
                   "start() on non-new thread '", thread->name(), "'");
     setThreadState(thread, ThreadState::Ready, sim_.now());
     enqueueReady(thread, thread->home_core_);
-    if (!world_stopped_)
+    if (!allStopped())
         kickAll();
 }
 
@@ -199,7 +218,7 @@ Scheduler::wake(OsThread *thread)
     // 1:1 placement avoids the cross-core drift that work stealing
     // introduces while threads are parked.
     enqueueReady(thread, thread->home_core_);
-    if (!world_stopped_)
+    if (!allStopped())
         kickAll();
 }
 
@@ -297,6 +316,10 @@ OsThread *
 Scheduler::pickFromQueue(std::deque<OsThread *> &queue, Ticks now)
 {
     for (auto it = queue.begin(); it != queue.end(); ++it) {
+        // A stopped group's threads stay parked in the queue until their
+        // tenant's world resumes; other groups schedule around them.
+        if (stopped_groups_ > 0 && groups_[(*it)->group_].stopped)
+            continue;
         if (policy_->eligible(**it, now) || (*it)->client()->urgent()) {
             OsThread *t = *it;
             queue.erase(it);
@@ -348,7 +371,7 @@ void
 Scheduler::maybeDispatch(machine::CoreId core_id)
 {
     CoreState &cs = cores_[core_id];
-    if (world_stopped_ || cs.running || !mach_.core(core_id).enabled())
+    if (allStopped() || cs.running || !mach_.core(core_id).enabled())
         return;
     const Ticks now = sim_.now();
     OsThread *thread = pickFromQueue(cs.ready, now);
@@ -422,11 +445,14 @@ Scheduler::dispatch(machine::CoreId core_id, OsThread *thread, bool stolen)
         wall = std::max(wall, planned);
     }
     ++running_count_;
+    ++groups_[thread->group_].running;
     sim_.schedule(cs.slice_end.get(), now + overhead + wall);
 
     // A stop-the-world request may have raced in via the policy kick
-    // path; keep the invariant that no dispatch happens while stopped.
-    jscale_assert(!world_stopped_, "dispatch during stop-the-world");
+    // path; keep the invariant that no dispatch happens while the
+    // thread's own group is stopped.
+    jscale_assert(!groups_[thread->group_].stopped,
+                  "dispatch during stop-the-world");
 }
 
 void
@@ -452,6 +478,7 @@ Scheduler::sliceEnd(machine::CoreId core_id)
 
     cs.running = nullptr;
     --running_count_;
+    --groups_[thread->group_].running;
     thread->cpu_time_ += work;
     stats_.busy_ticks += elapsed_total;
     stats_.overhead_ticks += std::min(cs.overhead, elapsed_total);
@@ -500,32 +527,34 @@ Scheduler::sliceEnd(machine::CoreId core_id)
         break;
     }
 
-    if (world_stopped_) {
-        maybeFireStwCallback();
-    } else {
+    if (stopped_groups_ > 0)
+        maybeFireStwCallback(thread->group_);
+    if (!allStopped())
         maybeDispatch(core_id);
-    }
 }
 
 void
-Scheduler::stopTheWorld(std::function<void()> all_parked)
+Scheduler::stopTheWorld(std::uint32_t group,
+                        std::function<void()> all_parked)
 {
-    jscale_assert(!world_stopped_, "nested stop-the-world");
-    world_stopped_ = true;
-    stw_callback_ = std::move(all_parked);
-    stw_cb_pending_ = true;
+    GroupState &g = groupState(group);
+    jscale_assert(!g.stopped, "nested stop-the-world for group ", group);
+    g.stopped = true;
+    g.callback = std::move(all_parked);
+    g.cb_pending = true;
+    ++stopped_groups_;
 
     const Ticks now = sim_.now();
     if (!listeners_.empty()) {
         listeners_.dispatch([&](SchedulerListener &l) {
-            l.onWorldStopRequested(now);
+            l.onWorldStopRequested(group, now);
         });
     }
     for (const auto id : mach_.enabledCoreIds()) {
-        if (cores_[id].running)
+        if (cores_[id].running && cores_[id].running->group_ == group)
             truncateAtPoll(id);
     }
-    maybeFireStwCallback();
+    maybeFireStwCallback(group);
 }
 
 void
@@ -572,7 +601,7 @@ Scheduler::setCoreOnline(machine::CoreId core_id, bool online)
     // sliceEnd re-enqueue then redirects away from the offline core.
     if (cs.running)
         truncateAtPoll(core_id);
-    if (!world_stopped_)
+    if (!allStopped())
         kickAll();
     return true;
 }
@@ -638,28 +667,32 @@ Scheduler::stallThread(OsThread *thread, Ticks until)
 }
 
 void
-Scheduler::maybeFireStwCallback()
+Scheduler::maybeFireStwCallback(std::uint32_t group)
 {
-    if (!stw_cb_pending_ || running_count_ > 0)
+    GroupState &g = groups_[group];
+    if (!g.cb_pending || g.running > 0)
         return;
-    stw_cb_pending_ = false;
-    // Flatten the call stack: fire as a zero-delay event. One STW is in
-    // flight at a time, so the reusable member event is never pending
-    // here (schedule() asserts that invariant).
-    sim_.scheduleIn(stw_parked_event_.get(), 0);
+    g.cb_pending = false;
+    // Flatten the call stack: fire as a zero-delay event. One STW per
+    // group is in flight at a time, so the group's reusable event is
+    // never pending here (schedule() asserts that invariant).
+    sim_.scheduleIn(g.parked_event.get(), 0);
 }
 
 void
-Scheduler::resumeWorld()
+Scheduler::resumeWorld(std::uint32_t group)
 {
-    jscale_assert(world_stopped_, "resumeWorld without stopTheWorld");
-    jscale_assert(running_count_ == 0, "resumeWorld with running threads");
-    world_stopped_ = false;
-    stw_callback_ = nullptr;
+    jscale_assert(group < groups_.size() && groups_[group].stopped,
+                  "resumeWorld without stopTheWorld");
+    GroupState &g = groups_[group];
+    jscale_assert(g.running == 0, "resumeWorld with running threads");
+    g.stopped = false;
+    g.callback = nullptr;
+    --stopped_groups_;
     if (!listeners_.empty()) {
         const Ticks now = sim_.now();
         listeners_.dispatch([&](SchedulerListener &l) {
-            l.onWorldResumed(now);
+            l.onWorldResumed(group, now);
         });
     }
     kickAll();

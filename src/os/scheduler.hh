@@ -87,10 +87,13 @@ class Scheduler
 
     /**
      * Register a thread. Home core defaults to round-robin over the
-     * machine's enabled cores.
+     * machine's enabled cores. @p group assigns the thread to a
+     * scheduling group (tenant): stop-the-world is per-group, and the
+     * thread's localId() is its registration index within the group.
      */
     OsThread *registerThread(SchedClient *client, ThreadKind kind,
-                             std::optional<machine::CoreId> home = {});
+                             std::optional<machine::CoreId> home = {},
+                             std::uint32_t group = 0);
 
     /** Move a New thread to Ready and try to dispatch it. */
     void start(OsThread *thread);
@@ -116,17 +119,42 @@ class Scheduler
     /** @} */
 
     /**
-     * Park every thread (used by the JVM safepoint). Running threads are
-     * truncated at their next poll point; @p all_parked fires (as an
-     * event at the park-completion time) once no thread is running.
+     * Park every thread of @p group (used by the JVM safepoint). The
+     * group's running threads are truncated at their next poll point;
+     * @p all_parked fires (as an event at the park-completion time) once
+     * none of the group's threads is running. Other groups keep
+     * dispatching — a tenant's safepoint stops only that tenant.
      */
-    void stopTheWorld(std::function<void()> all_parked);
+    void stopTheWorld(std::uint32_t group,
+                      std::function<void()> all_parked);
 
-    /** Resume dispatching after stopTheWorld. */
-    void resumeWorld();
+    /** Single-tenant convenience: stop group 0. */
+    void stopTheWorld(std::function<void()> all_parked)
+    {
+        stopTheWorld(0, std::move(all_parked));
+    }
 
-    /** Whether the world is currently stopped (or stopping). */
-    bool worldStopped() const { return world_stopped_; }
+    /** Resume dispatching for @p group after its stopTheWorld. */
+    void resumeWorld(std::uint32_t group);
+
+    /** Single-tenant convenience: resume group 0. */
+    void resumeWorld() { resumeWorld(0); }
+
+    /** Whether every scheduling group is stopped (or stopping) — the
+     *  single-tenant reading of "the world is stopped". */
+    bool worldStopped() const { return allStopped(); }
+
+    /** Whether @p group is currently stopped (or stopping). */
+    bool groupStopped(std::uint32_t group) const
+    {
+        return group < groups_.size() && groups_[group].stopped;
+    }
+
+    /** Threads of @p group currently executing on cores. */
+    std::uint32_t groupRunningCount(std::uint32_t group) const
+    {
+        return group < groups_.size() ? groups_[group].running : 0;
+    }
 
     /** Number of threads currently executing on cores. */
     std::uint32_t runningCount() const { return running_count_; }
@@ -222,6 +250,29 @@ class Scheduler
         std::unique_ptr<SliceEndEvent> slice_end;
     };
 
+    /** Per-scheduling-group (tenant) stop-the-world state. */
+    struct GroupState
+    {
+        bool stopped = false;
+        bool cb_pending = false;
+        std::function<void()> callback;
+        /** Threads of this group currently on cores. */
+        std::uint32_t running = 0;
+        /** Threads registered so far (assigns localId). */
+        std::uint32_t registered = 0;
+        /** Reusable zero-delay event flattening the parked callback. */
+        std::unique_ptr<sim::CallbackEvent> parked_event;
+    };
+
+    /** Group record for @p group, created on first use. */
+    GroupState &groupState(std::uint32_t group);
+
+    /** True when every known group is stopped (no dispatching at all). */
+    bool allStopped() const
+    {
+        return stopped_groups_ > 0 && stopped_groups_ == groups_.size();
+    }
+
     void maybeDispatch(machine::CoreId core_id);
     void dispatch(machine::CoreId core_id, OsThread *thread, bool stolen);
     void sliceEnd(machine::CoreId core_id);
@@ -229,7 +280,7 @@ class Scheduler
     OsThread *stealFor(machine::CoreId thief, Ticks now);
     void enqueueReady(OsThread *thread, machine::CoreId core_id);
     void accountStateExit(OsThread *thread, Ticks now);
-    void maybeFireStwCallback();
+    void maybeFireStwCallback(std::uint32_t group);
     void timedWakeFired(TimedWakeEvent *ev);
     /** Schedule a pooled timed wake for @p thread at @p when. */
     void armTimedWake(OsThread *thread, Ticks when);
@@ -253,9 +304,10 @@ class Scheduler
     std::uint32_t running_count_ = 0;
     std::uint32_t finished_count_ = 0;
 
-    bool world_stopped_ = false;
-    bool stw_cb_pending_ = false;
-    std::function<void()> stw_callback_;
+    /** Per-group stop-the-world records, indexed by group id. */
+    std::vector<GroupState> groups_;
+    /** Number of groups currently stopped (fast all-stopped check). */
+    std::size_t stopped_groups_ = 0;
     std::function<void(OsThread *)> finished_cb_;
     SchedListenerChain listeners_;
 
@@ -267,8 +319,6 @@ class Scheduler
      */
     std::vector<std::unique_ptr<TimedWakeEvent>> wake_events_;
     std::vector<TimedWakeEvent *> wake_free_;
-    /** Reusable zero-delay event flattening the STW-parked callback. */
-    std::unique_ptr<sim::CallbackEvent> stw_parked_event_;
 
     SchedulerStats stats_;
 };

@@ -108,6 +108,15 @@ class OsThread
     machine::CoreId lastCore() const { return last_core_; }
     std::string name() const { return client_->clientName(); }
 
+    /** Scheduling group (tenant). Stop-the-world is per-group: group g's
+     *  safepoint parks only group g's threads. Default group is 0. */
+    std::uint32_t group() const { return group_; }
+
+    /** Index of this thread within its group, in registration order.
+     *  Lets per-VM observers map an OsThread back to their own
+     *  mutator/helper tables when several VMs share one scheduler. */
+    std::uint32_t localId() const { return local_id_; }
+
     /** Total time actually executing on a core. */
     Ticks cpuTime() const { return cpu_time_; }
 
@@ -132,6 +141,8 @@ class OsThread
     ThreadId id_;
     SchedClient *client_;
     ThreadKind kind_;
+    std::uint32_t group_ = 0;
+    std::uint32_t local_id_ = 0;
     machine::CoreId home_core_;
     machine::CoreId last_core_ = 0;
     bool ever_ran_ = false;

@@ -11,6 +11,7 @@ TaskProfiler::attach(jvm::JavaVm &vm)
 {
     jscale_assert(vm_ == nullptr, "profiler already attached");
     vm_ = &vm;
+    group_ = vm.config().tenant;
     vm.listeners().add(this);
     vm.scheduler().listeners().add(this);
 }
@@ -221,9 +222,9 @@ TaskProfiler::onThreadState(const os::OsThread &t, os::ThreadState prev,
                             Ticks now)
 {
     (void)prev;
-    if (t.kind() != os::ThreadKind::Mutator)
+    if (t.kind() != os::ThreadKind::Mutator || t.group() != group_)
         return;
-    MutatorState &m = state(static_cast<jvm::MutatorIndex>(t.id()));
+    MutatorState &m = state(static_cast<jvm::MutatorIndex>(t.localId()));
     if (!m.live || m.finished)
         return;
 
@@ -273,17 +274,39 @@ TaskProfiler::onThreadState(const os::OsThread &t, os::ThreadState prev,
 }
 
 void
-TaskProfiler::onWorldStopRequested(Ticks now)
+TaskProfiler::onWorldStopRequested(std::uint32_t group, Ticks now)
 {
+    if (group != group_)
+        return;
     stw_ = StwPhase::Stopping;
     reclassifyReady(now);
 }
 
 void
-TaskProfiler::onWorldResumed(Ticks now)
+TaskProfiler::onWorldResumed(std::uint32_t group, Ticks now)
 {
+    if (group != group_)
+        return;
     stw_ = StwPhase::Running;
     reclassifyReady(now);
+}
+
+void
+TaskProfiler::onRequestDispatched(std::uint32_t tenant,
+                                  std::uint64_t request,
+                                  jvm::MutatorIndex thread, Ticks now)
+{
+    (void)tenant; (void)request; // probes arrive on our VM's chain only
+    MutatorState &m = state(thread);
+    if (!m.live || m.finished)
+        return;
+    // Close the open segment, drop the accumulated prelude (queueing,
+    // charged by the traffic engine) and restart the window here. The
+    // current classification carries over: the thread is on-CPU fetching
+    // its next action, so the segment from `now` accumulates as Cpu.
+    switchBucket(m, m.bucket, now);
+    m.task_start = now;
+    std::fill(std::begin(m.buckets), std::end(m.buckets), 0);
 }
 
 void

@@ -85,14 +85,28 @@ class TaskProfiler : public jvm::RuntimeListener,
     void onAdmissionParked(jvm::MutatorIndex thread, Ticks now) override;
     void onSafepointReached(std::uint64_t sequence, Ticks ttsp,
                             Ticks now) override;
+    /**
+     * Open-loop request pickup: restart the serving thread's window at
+     * the dispatch stamp, so the window closed by the next TaskDone
+     * covers exactly [dispatch, completion] — per-request service
+     * decomposition for the traffic engine. The discarded prelude
+     * (channel wait since the previous TaskDone) is the request's
+     * *queueing* delay, accounted by the engine, not a lost task.
+     */
+    void onRequestDispatched(std::uint32_t tenant, std::uint64_t request,
+                             jvm::MutatorIndex thread,
+                             Ticks now) override;
     /** @} */
 
-    /** @name SchedulerListener probes (state machine + STW phases) */
+    /** @name SchedulerListener probes (state machine + STW phases)
+     * All filtered to the attached VM's scheduling group: co-hosted
+     * tenants' threads and safepoints are invisible to this profiler.
+     */
     /** @{ */
     void onThreadState(const os::OsThread &t, os::ThreadState prev,
                        Ticks now) override;
-    void onWorldStopRequested(Ticks now) override;
-    void onWorldResumed(Ticks now) override;
+    void onWorldStopRequested(std::uint32_t group, Ticks now) override;
+    void onWorldResumed(std::uint32_t group, Ticks now) override;
     /** @} */
 
   private:
@@ -161,6 +175,8 @@ class TaskProfiler : public jvm::RuntimeListener,
 
     std::function<void(const jvm::SlowTaskRecord &)> sink_;
     jvm::JavaVm *vm_ = nullptr;
+    /** The attached VM's scheduling group (tenant); set by attach(). */
+    std::uint32_t group_ = 0;
 };
 
 } // namespace jscale::profile

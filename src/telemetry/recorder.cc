@@ -288,6 +288,64 @@ TelemetryRecorder::onGovernorDecision(std::uint32_t target,
 }
 
 void
+TelemetryRecorder::trafficCounter(Ticks now)
+{
+    timeline_.counter(
+        kVmPid, "traffic", now,
+        {targ("queued",
+              static_cast<std::uint64_t>(queued_requests_.size())),
+         targ("inflight", requests_inflight_)});
+}
+
+void
+TelemetryRecorder::onRequestArrival(std::uint32_t tenant,
+                                    std::uint64_t request, Ticks now)
+{
+    (void)tenant; // one recorder per VM; probes arrive on its chain only
+    queued_requests_.insert(request);
+    trafficCounter(now);
+}
+
+void
+TelemetryRecorder::onRequestShed(std::uint32_t tenant,
+                                 std::uint64_t request, Ticks now)
+{
+    (void)tenant;
+    ++requests_shed_;
+    timeline_.instant(kVmPid, kSafepointTid, "request-shed", "traffic",
+                      now,
+                      {targ("request", request),
+                       targ("shed_total", requests_shed_)});
+    if (queued_requests_.erase(request) > 0)
+        trafficCounter(now);
+}
+
+void
+TelemetryRecorder::onRequestDispatched(std::uint32_t tenant,
+                                       std::uint64_t request,
+                                       jvm::MutatorIndex thread, Ticks now)
+{
+    (void)tenant;
+    (void)thread;
+    queued_requests_.erase(request);
+    ++requests_inflight_;
+    trafficCounter(now);
+}
+
+void
+TelemetryRecorder::onRequestCompleted(std::uint32_t tenant,
+                                      std::uint64_t request,
+                                      jvm::MutatorIndex thread, Ticks now)
+{
+    (void)tenant;
+    (void)request;
+    (void)thread;
+    if (requests_inflight_ > 0)
+        --requests_inflight_;
+    trafficCounter(now);
+}
+
+void
 TelemetryRecorder::finish(Ticks end)
 {
     if (finished_)

@@ -28,6 +28,7 @@
 
 #include <cstdint>
 #include <map>
+#include <set>
 #include <string>
 
 #include "base/units.hh"
@@ -117,6 +118,16 @@ class TelemetryRecorder : public jvm::RuntimeListener,
     void onGovernorDecision(std::uint32_t target, std::uint32_t active,
                             std::uint32_t parked,
                             std::uint64_t tasks_delta, Ticks now) override;
+    void onRequestArrival(std::uint32_t tenant, std::uint64_t request,
+                          Ticks now) override;
+    void onRequestShed(std::uint32_t tenant, std::uint64_t request,
+                       Ticks now) override;
+    void onRequestDispatched(std::uint32_t tenant, std::uint64_t request,
+                             jvm::MutatorIndex thread,
+                             Ticks now) override;
+    void onRequestCompleted(std::uint32_t tenant, std::uint64_t request,
+                            jvm::MutatorIndex thread,
+                            Ticks now) override;
     /** @} */
 
   private:
@@ -166,6 +177,16 @@ class TelemetryRecorder : public jvm::RuntimeListener,
     /** Monitor a mutator is about to block on (set by contention probe,
      *  consumed by the matching Blocked transition). */
     std::map<jvm::MutatorIndex, jvm::MonitorId> pending_monitor_;
+
+    /** Emit the "traffic" counter point (queued + in-flight) at @p now. */
+    void trafficCounter(Ticks now);
+
+    /** Open-loop traffic model: ids admitted but not yet dispatched
+     *  (drop-newest sheds are rejected pre-admission and never enter),
+     *  plus the number of requests currently being served. */
+    std::set<std::uint64_t> queued_requests_;
+    std::uint64_t requests_inflight_ = 0;
+    std::uint64_t requests_shed_ = 0;
 
     bool in_safepoint_ = false;
     bool mark_open_ = false;

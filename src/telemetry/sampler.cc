@@ -86,6 +86,21 @@ MetricSampler::sample(Ticks now)
                                 targ("parked", s.gov_parked)});
         }
     }
+
+    if (!gauges_.empty()) {
+        std::vector<std::uint64_t> row;
+        row.reserve(gauges_.size());
+        std::vector<TraceArg> args;
+        for (const auto &[name, poll] : gauges_) {
+            const std::uint64_t v = poll();
+            row.push_back(v);
+            if (timeline_ != nullptr)
+                args.push_back(targ(name, v));
+        }
+        gauge_rows_.push_back(std::move(row));
+        if (timeline_ != nullptr)
+            timeline_->counter(kVmPid, "gauges", now, args);
+    }
 }
 
 const char *
@@ -98,12 +113,21 @@ MetricSampler::csvHeader()
 void
 MetricSampler::writeCsv(std::ostream &os) const
 {
-    os << csvHeader() << "\n";
-    for (const MetricSample &s : samples_) {
+    os << csvHeader();
+    for (const auto &[name, poll] : gauges_)
+        os << "," << name;
+    os << "\n";
+    for (std::size_t i = 0; i < samples_.size(); ++i) {
+        const MetricSample &s = samples_[i];
         os << s.at << "," << s.eden_used << "," << s.survivor_used << ","
            << s.old_used << "," << s.live_bytes << "," << s.run_queue
            << "," << s.running << "," << s.lock_blocked << ","
-           << s.gov_target << "," << s.gov_parked << "\n";
+           << s.gov_target << "," << s.gov_parked;
+        if (!gauges_.empty()) {
+            for (const std::uint64_t v : gauge_rows_[i])
+                os << "," << v;
+        }
+        os << "\n";
     }
 }
 

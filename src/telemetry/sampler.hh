@@ -17,8 +17,11 @@
 #define JSCALE_TELEMETRY_SAMPLER_HH
 
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <ostream>
+#include <string>
+#include <utility>
 #include <vector>
 
 #include "base/units.hh"
@@ -83,6 +86,21 @@ class MetricSampler
     /** Mirror samples into @p timeline as counter tracks. */
     void attachTimeline(Timeline *timeline) { timeline_ = timeline; }
 
+    /**
+     * Register an extra polled gauge, appended as a named CSV column
+     * after the fixed schema (and mirrored onto a "gauges" counter
+     * track). Registration is the caller's opt-in: runs that register
+     * nothing — every single-tenant campaign — keep the exact fixed
+     * CSV schema, byte for byte. The multi-tenant host registers one
+     * queue-depth and one in-flight gauge per tenant here. Must be
+     * called before start().
+     */
+    void addGauge(std::string name,
+                  std::function<std::uint64_t()> poll)
+    {
+        gauges_.emplace_back(std::move(name), std::move(poll));
+    }
+
     /** Schedule the first tick at now + interval. */
     void start();
 
@@ -100,7 +118,7 @@ class MetricSampler
     /** Per-column summaries. */
     const MetricSummary &summary() const { return summary_; }
 
-    /** CSV header line for writeCsv output. */
+    /** Fixed-schema CSV header (registered gauge columns append). */
     static const char *csvHeader();
 
     /** Dump the sample table as CSV (header + one row per sample). */
@@ -122,6 +140,11 @@ class MetricSampler
     std::unique_ptr<sim::RecurringEvent> tick_event_;
     std::vector<MetricSample> samples_;
     MetricSummary summary_;
+    /** Registered extra gauges, polled in registration order. */
+    std::vector<std::pair<std::string, std::function<std::uint64_t()>>>
+        gauges_;
+    /** One row of gauge readings per sample (gauges_ order). */
+    std::vector<std::vector<std::uint64_t>> gauge_rows_;
 };
 
 } // namespace jscale::telemetry

@@ -1,0 +1,392 @@
+#include "traffic/request_model.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <optional>
+
+#include "base/logging.hh"
+#include "workload/dacapo.hh"
+#include "workload/interpreter_app.hh"
+#include "workload/pipeline_app.hh"
+#include "workload/serialized_app.hh"
+#include "workload/source.hh"
+#include "workload/task_queue_app.hh"
+
+namespace jscale::traffic {
+
+namespace {
+
+using workload::emitPinnedData;
+using workload::emitTaskBody;
+
+Ticks
+logNormalTicks(Rng &rng, Ticks mean, double sigma)
+{
+    return std::max<Ticks>(
+        1, static_cast<Ticks>(rng.logNormal(
+               std::log(static_cast<double>(mean)), sigma)));
+}
+
+/**
+ * Scalable task-queue family (sunflow, lusearch, xalan). One request is
+ * one task body plus the per-request share of the coordination traffic:
+ * the closed-loop worker pays one queue critical section and
+ * `sync_locks_per_chunk` sync stripes per *chunk*; an open-loop server
+ * pays the queue (dispatch bookkeeping) on every request and one sync
+ * stripe per request — lock traffic stays proportional to the work
+ * rate, which is the property the scalability analysis depends on.
+ */
+class TaskQueueRequestModel : public RequestModel
+{
+  public:
+    explicit TaskQueueRequestModel(workload::TaskQueueParams params)
+        : params_(std::move(params))
+    {}
+
+    std::string name() const override { return params_.name; }
+
+    void
+    setup(jvm::AppContext &ctx) override
+    {
+        queue_lock_ = ctx.createMonitor(params_.name + ".task-queue");
+        sync_stripes_.clear();
+        for (std::uint32_t s = 0;
+             s < std::max<std::uint32_t>(params_.sync_stripes, 1); ++s) {
+            sync_stripes_.push_back(ctx.createMonitor(
+                params_.name + ".phase-sync." + std::to_string(s)));
+        }
+        resources_.clear();
+        for (const auto &spec : params_.resources) {
+            Resource res;
+            res.spec = spec;
+            for (std::uint32_t s = 0; s < spec.stripes; ++s) {
+                res.stripes.push_back(ctx.createMonitor(
+                    params_.name + "." + spec.name + "." +
+                    std::to_string(s)));
+            }
+            if (spec.stripes > 1 && spec.zipf_skew > 0.0)
+                res.zipf.emplace(spec.stripes, spec.zipf_skew);
+            resources_.push_back(std::move(res));
+        }
+    }
+
+    void
+    emitStartup(std::vector<jvm::Action> &out, Rng &rng,
+                std::uint32_t thread_idx) override
+    {
+        out.push_back(jvm::Action::compute(
+            std::max<Ticks>(params_.startup_compute, 1)));
+        if (thread_idx == 0) {
+            emitPinnedData(out, rng, params_.pinned_shared,
+                           params_.pinned_shared_objects, /*site=*/1);
+        }
+        emitPinnedData(out, rng, params_.pinned_per_thread,
+                       params_.pinned_thread_objects, /*site=*/2);
+    }
+
+    void
+    emitRequest(std::vector<jvm::Action> &out, Rng &rng) override
+    {
+        // Dispatch bookkeeping under the shared queue lock.
+        out.push_back(jvm::Action::monitorEnter(queue_lock_));
+        out.push_back(jvm::Action::compute(
+            std::max<Ticks>(params_.queue_cs, 1)));
+        out.push_back(jvm::Action::monitorExit(queue_lock_));
+
+        const Ticks compute = logNormalTicks(
+            rng, params_.task_compute_mean, params_.task_compute_sigma);
+        const std::uint32_t allocs =
+            params_.allocs_per_task == 0
+                ? 0
+                : static_cast<std::uint32_t>(rng.range(
+                      params_.allocs_per_task / 2,
+                      params_.allocs_per_task +
+                          params_.allocs_per_task / 2));
+
+        emitTaskBody(out, rng, params_.alloc, compute / 2, allocs / 2,
+                     /*site=*/3);
+
+        for (auto &res : resources_) {
+            double expected = res.spec.accesses_per_task;
+            std::uint32_t accesses =
+                static_cast<std::uint32_t>(expected);
+            expected -= accesses;
+            if (expected > 0.0 && rng.chance(expected))
+                ++accesses;
+            for (std::uint32_t a = 0; a < accesses; ++a) {
+                const std::size_t stripe =
+                    res.zipf ? res.zipf->sample(rng)
+                             : (res.spec.stripes > 1
+                                    ? rng.below(res.spec.stripes)
+                                    : 0);
+                out.push_back(jvm::Action::monitorEnter(
+                    res.stripes[stripe]));
+                for (std::uint32_t k = 0; k < res.spec.allocs_in_cs;
+                     ++k) {
+                    out.push_back(jvm::Action::allocate(
+                        params_.alloc.drawSize(rng),
+                        params_.alloc.drawTtl(rng), /*site=*/4));
+                }
+                out.push_back(jvm::Action::compute(
+                    std::max<Ticks>(res.spec.cs_compute, 1)));
+                out.push_back(jvm::Action::monitorExit(
+                    res.stripes[stripe]));
+            }
+        }
+
+        emitTaskBody(out, rng, params_.alloc, compute - compute / 2,
+                     allocs - allocs / 2, /*site=*/3);
+
+        // Per-request result merge on one sync stripe.
+        const jvm::MonitorId stripe =
+            sync_stripes_[rng.below(sync_stripes_.size())];
+        out.push_back(jvm::Action::monitorEnter(stripe));
+        out.push_back(jvm::Action::compute(
+            std::max<Ticks>(params_.sync_cs, 1)));
+        out.push_back(jvm::Action::monitorExit(stripe));
+    }
+
+  private:
+    struct Resource
+    {
+        workload::SharedResourceSpec spec;
+        std::vector<jvm::MonitorId> stripes;
+        std::optional<ZipfDistribution> zipf;
+    };
+
+    workload::TaskQueueParams params_;
+    jvm::MonitorId queue_lock_ = 0;
+    std::vector<jvm::MonitorId> sync_stripes_;
+    std::vector<Resource> resources_;
+};
+
+/**
+ * h2: one request is one transaction — parallel parse/plan, striped
+ * row-cache touches, then the commit under the coarse database lock.
+ * Identical action stream to the closed-loop ClientSource's body.
+ */
+class SerializedRequestModel : public RequestModel
+{
+  public:
+    explicit SerializedRequestModel(workload::SerializedParams params)
+        : params_(std::move(params))
+    {}
+
+    std::string name() const override { return params_.name; }
+
+    void
+    setup(jvm::AppContext &ctx) override
+    {
+        db_lock_ = ctx.createMonitor(params_.name + ".db-lock");
+        cache_stripes_.clear();
+        for (std::uint32_t s = 0; s < params_.cache_stripes; ++s) {
+            cache_stripes_.push_back(ctx.createMonitor(
+                params_.name + ".row-cache." + std::to_string(s)));
+        }
+    }
+
+    void
+    emitStartup(std::vector<jvm::Action> &out, Rng &rng,
+                std::uint32_t thread_idx) override
+    {
+        out.push_back(jvm::Action::compute(
+            std::max<Ticks>(params_.startup_compute, 1)));
+        if (thread_idx == 0) {
+            emitPinnedData(out, rng, params_.pinned_shared,
+                           params_.pinned_shared_objects, /*site=*/1);
+        }
+    }
+
+    void
+    emitRequest(std::vector<jvm::Action> &out, Rng &rng) override
+    {
+        const Ticks parse = logNormalTicks(
+            rng, params_.parse_compute_mean, params_.parse_compute_sigma);
+        emitTaskBody(out, rng, params_.alloc, parse,
+                     params_.allocs_parse, /*site=*/3);
+
+        double expected = params_.cache_accesses_per_txn;
+        std::uint32_t accesses = static_cast<std::uint32_t>(expected);
+        expected -= accesses;
+        if (expected > 0.0 && rng.chance(expected))
+            ++accesses;
+        for (std::uint32_t a = 0; a < accesses; ++a) {
+            const std::size_t stripe = rng.below(cache_stripes_.size());
+            out.push_back(jvm::Action::monitorEnter(
+                cache_stripes_[stripe]));
+            out.push_back(jvm::Action::compute(
+                std::max<Ticks>(params_.cache_cs, 1)));
+            out.push_back(jvm::Action::monitorExit(
+                cache_stripes_[stripe]));
+        }
+
+        const Ticks commit = logNormalTicks(
+            rng, params_.commit_compute_mean,
+            params_.commit_compute_sigma);
+        out.push_back(jvm::Action::monitorEnter(db_lock_));
+        emitTaskBody(out, rng, params_.alloc, commit,
+                     params_.allocs_commit, /*site=*/4);
+        out.push_back(jvm::Action::monitorExit(db_lock_));
+    }
+
+  private:
+    workload::SerializedParams params_;
+    jvm::MonitorId db_lock_ = 0;
+    std::vector<jvm::MonitorId> cache_stripes_;
+};
+
+/**
+ * jython: one request is one script unit — ops_per_unit interpreter
+ * ops, each holding the global interpreter lock, with lock-released
+ * gap compute in between. Every serving thread contends for the GIL,
+ * so service time inflates with concurrency exactly like the
+ * closed-loop model's worker pool does.
+ */
+class InterpreterRequestModel : public RequestModel
+{
+  public:
+    explicit InterpreterRequestModel(workload::InterpreterParams params)
+        : params_(std::move(params))
+    {}
+
+    std::string name() const override { return params_.name; }
+
+    void
+    setup(jvm::AppContext &ctx) override
+    {
+        gil_ = ctx.createMonitor(params_.name + ".interp-lock");
+    }
+
+    void
+    emitStartup(std::vector<jvm::Action> &out, Rng &rng,
+                std::uint32_t thread_idx) override
+    {
+        out.push_back(jvm::Action::compute(
+            std::max<Ticks>(params_.startup_compute, 1)));
+        if (thread_idx == 0) {
+            emitPinnedData(out, rng, params_.pinned_shared,
+                           params_.pinned_shared_objects, /*site=*/1);
+        }
+    }
+
+    void
+    emitRequest(std::vector<jvm::Action> &out, Rng &rng) override
+    {
+        for (std::uint32_t op = 0; op < params_.ops_per_unit; ++op) {
+            out.push_back(jvm::Action::monitorEnter(gil_));
+            emitTaskBody(out, rng, params_.alloc,
+                         std::max<Ticks>(params_.interp_slice, 1),
+                         params_.allocs_per_op, /*site=*/3);
+            out.push_back(jvm::Action::monitorExit(gil_));
+            if (params_.gap_compute > 0) {
+                out.push_back(
+                    jvm::Action::compute(params_.gap_compute));
+            }
+        }
+    }
+
+  private:
+    workload::InterpreterParams params_;
+    jvm::MonitorId gil_ = 0;
+};
+
+/**
+ * eclipse: one request is one compilation unit end to end. The serial
+ * parse stage of the closed-loop pipeline becomes a global parser lock
+ * (at most one request parses at a time — the same width-1 bottleneck),
+ * followed by the parallel typecheck/codegen body with its workspace
+ * critical section.
+ */
+class PipelineRequestModel : public RequestModel
+{
+  public:
+    explicit PipelineRequestModel(workload::PipelineParams params)
+        : params_(std::move(params))
+    {}
+
+    std::string name() const override { return params_.name; }
+
+    void
+    setup(jvm::AppContext &ctx) override
+    {
+        parser_lock_ = ctx.createMonitor(params_.name + ".parser");
+        workspace_lock_ = ctx.createMonitor(params_.name + ".workspace");
+    }
+
+    void
+    emitStartup(std::vector<jvm::Action> &out, Rng &rng,
+                std::uint32_t thread_idx) override
+    {
+        out.push_back(jvm::Action::compute(
+            std::max<Ticks>(params_.startup_compute, 1)));
+        if (thread_idx == 0) {
+            emitPinnedData(out, rng, params_.pinned_shared,
+                           params_.pinned_shared_objects, /*site=*/1);
+        }
+    }
+
+    void
+    emitRequest(std::vector<jvm::Action> &out, Rng &rng) override
+    {
+        const Ticks parse = logNormalTicks(
+            rng, params_.producer_compute, params_.producer_sigma);
+        out.push_back(jvm::Action::monitorEnter(parser_lock_));
+        emitTaskBody(out, rng, params_.alloc, parse,
+                     params_.allocs_producer, /*site=*/3);
+        out.push_back(jvm::Action::monitorExit(parser_lock_));
+
+        const Ticks consume = logNormalTicks(
+            rng, params_.consumer_compute, params_.consumer_sigma);
+        emitTaskBody(out, rng, params_.alloc, consume,
+                     params_.allocs_consumer, /*site=*/4);
+
+        out.push_back(jvm::Action::monitorEnter(workspace_lock_));
+        out.push_back(jvm::Action::compute(
+            std::max<Ticks>(params_.workspace_cs, 1)));
+        out.push_back(jvm::Action::monitorExit(workspace_lock_));
+    }
+
+  private:
+    workload::PipelineParams params_;
+    jvm::MonitorId parser_lock_ = 0;
+    jvm::MonitorId workspace_lock_ = 0;
+};
+
+} // namespace
+
+std::unique_ptr<RequestModel>
+makeRequestModel(const std::string &app, std::string &err)
+{
+    bool known = false;
+    for (const std::string &name : workload::dacapoAppNames())
+        known = known || name == app;
+    if (!known) {
+        err = "unknown application '" + app + "'";
+        return nullptr;
+    }
+
+    // Read the calibrated parameters off the closed-loop model, so both
+    // harnesses stay in lock-step on service behaviour.
+    const auto base = workload::makeDacapoApp(app);
+    if (const auto *tq =
+            dynamic_cast<const workload::TaskQueueApp *>(base.get())) {
+        return std::make_unique<TaskQueueRequestModel>(tq->params());
+    }
+    if (const auto *ser =
+            dynamic_cast<const workload::SerializedApp *>(base.get())) {
+        return std::make_unique<SerializedRequestModel>(ser->params());
+    }
+    if (const auto *interp =
+            dynamic_cast<const workload::InterpreterApp *>(base.get())) {
+        return std::make_unique<InterpreterRequestModel>(
+            interp->params());
+    }
+    if (const auto *pipe =
+            dynamic_cast<const workload::PipelineApp *>(base.get())) {
+        return std::make_unique<PipelineRequestModel>(pipe->params());
+    }
+    err = "application '" + app + "' has no request model";
+    return nullptr;
+}
+
+} // namespace jscale::traffic

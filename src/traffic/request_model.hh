@@ -1,0 +1,67 @@
+/**
+ * @file
+ * RequestModel: per-application request bodies for open-loop serving.
+ *
+ * The closed-loop application models drive themselves from shared task
+ * pools; an open-loop run instead serves externally injected requests.
+ * A RequestModel emits the action sequence of *one* request, mirroring
+ * the corresponding closed-loop app's task body — same critical
+ * sections against the same shared monitors, same compute and
+ * allocation distributions — so the scalability character the paper
+ * measures (lock serialization, GIL, allocation pressure) carries over
+ * unchanged to the tail-latency study.
+ *
+ * Models are built from the same calibrated parameter sets as
+ * makeDacapoApp, read straight off the closed-loop app classes, so a
+ * recalibration there propagates here automatically.
+ */
+
+#ifndef JSCALE_TRAFFIC_REQUEST_MODEL_HH
+#define JSCALE_TRAFFIC_REQUEST_MODEL_HH
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "base/random.hh"
+#include "jvm/runtime/app.hh"
+
+namespace jscale::traffic {
+
+/** The service behaviour of one application's requests. */
+class RequestModel
+{
+  public:
+    virtual ~RequestModel() = default;
+
+    /** Stable application name ("h2", "sunflow", ...). */
+    virtual std::string name() const = 0;
+
+    /** Create shared state (monitors) for one run. */
+    virtual void setup(jvm::AppContext &ctx) = 0;
+
+    /**
+     * Emit worker @p thread_idx's one-time startup batch (warmup
+     * compute, pinned application-lifetime data).
+     */
+    virtual void emitStartup(std::vector<jvm::Action> &out, Rng &rng,
+                             std::uint32_t thread_idx) = 0;
+
+    /** Emit the body of one request (no trailing TaskDone). */
+    virtual void emitRequest(std::vector<jvm::Action> &out, Rng &rng) = 0;
+};
+
+/**
+ * Build the request model for @p app (any of the six modeled DaCapo
+ * applications). Per-request service parameters come from the same
+ * calibration as makeDacapoApp; the stream length is the arrival
+ * spec's business, so no work-volume scale applies here. Returns
+ * nullptr and sets @p err for an unknown name.
+ */
+std::unique_ptr<RequestModel>
+makeRequestModel(const std::string &app, std::string &err);
+
+} // namespace jscale::traffic
+
+#endif // JSCALE_TRAFFIC_REQUEST_MODEL_HH

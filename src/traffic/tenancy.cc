@@ -1,0 +1,185 @@
+#include "traffic/tenancy.hh"
+
+#include <algorithm>
+#include <cstdlib>
+#include <sstream>
+
+#include "base/logging.hh"
+#include "sim/simulation.hh"
+#include "workload/dacapo.hh"
+
+namespace jscale::traffic {
+
+namespace {
+
+/** Split @p s on @p sep (no empty-field collapsing). */
+std::vector<std::string>
+split(const std::string &s, char sep)
+{
+    std::vector<std::string> out;
+    std::size_t start = 0;
+    for (std::size_t pos = s.find(sep); pos != std::string::npos;
+         pos = s.find(sep, start)) {
+        out.push_back(s.substr(start, pos - start));
+        start = pos + 1;
+    }
+    out.push_back(s.substr(start));
+    return out;
+}
+
+} // namespace
+
+bool
+TenantSpec::parse(const std::string &text, TenantSpec &out,
+                  std::string &err)
+{
+    out = TenantSpec{};
+    const std::vector<std::string> fields = split(text, ':');
+    out.app = fields[0];
+    if (out.app.empty()) {
+        err = "tenant '" + text + "': missing application name";
+        return false;
+    }
+    bool known = false;
+    for (const std::string &name : workload::dacapoAppNames())
+        known = known || name == out.app;
+    if (!known) {
+        err = "tenant '" + text + "': unknown application '" + out.app +
+              "'";
+        return false;
+    }
+
+    // Pull out threads= and process=; forward everything else to the
+    // arrival-spec parser so both grammars stay in lock-step.
+    std::string process = "poisson";
+    std::vector<std::string> arrival_fields;
+    bool have_threads = false;
+    for (std::size_t i = 1; i < fields.size(); ++i) {
+        const std::string &field = fields[i];
+        const auto eq = field.find('=');
+        const std::string key =
+            eq == std::string::npos ? field : field.substr(0, eq);
+        if (key == "threads") {
+            if (have_threads) {
+                err = "tenant '" + text + "': duplicate key 'threads'";
+                return false;
+            }
+            char *end = nullptr;
+            const std::string value = field.substr(eq + 1);
+            const long n =
+                value.empty() ? 0 : std::strtol(value.c_str(), &end, 10);
+            if (value.empty() || end != value.c_str() + value.size() ||
+                n < 1) {
+                err = "tenant '" + text +
+                      "': threads needs a count >= 1, got '" + value +
+                      "'";
+                return false;
+            }
+            out.threads = static_cast<std::uint32_t>(n);
+            have_threads = true;
+        } else if (key == "process") {
+            process = field.substr(eq + 1);
+        } else {
+            arrival_fields.push_back(field);
+        }
+    }
+    if (!have_threads) {
+        err = "tenant '" + text + "': missing required key 'threads'";
+        return false;
+    }
+
+    std::string arrival_spec = process;
+    for (const std::string &f : arrival_fields)
+        arrival_spec += ":" + f;
+    if (!ArrivalSpec::parse(arrival_spec, out.arrival, err)) {
+        err = "tenant '" + text + "': " + err;
+        return false;
+    }
+    return true;
+}
+
+bool
+TenantSpec::parseList(const std::string &text,
+                      std::vector<TenantSpec> &out, std::string &err)
+{
+    out.clear();
+    if (text.empty()) {
+        err = "tenants: empty spec";
+        return false;
+    }
+    for (const std::string &entry : split(text, ';')) {
+        TenantSpec spec;
+        if (!parse(entry, spec, err))
+            return false;
+        out.push_back(std::move(spec));
+    }
+    return true;
+}
+
+std::string
+TenantSpec::describe() const
+{
+    std::ostringstream os;
+    os << app << ":threads=" << threads << ":" << arrival.describe();
+    return os.str();
+}
+
+TenantHost::TenantHost(sim::Simulation &sim, machine::Machine &mach,
+                       os::Scheduler &sched)
+    : sim_(sim), mach_(mach), sched_(sched)
+{}
+
+TenantHost::~TenantHost() = default;
+
+bool
+TenantHost::addTenant(const TenantSpec &spec, jvm::VmConfig config,
+                      std::string &err)
+{
+    jscale_assert(!ran_, "host already ran");
+    auto tenant = std::make_unique<Tenant>();
+    tenant->spec = spec;
+    tenant->model = makeRequestModel(spec.app, err);
+    if (tenant->model == nullptr)
+        return false;
+    config.tenant = static_cast<std::uint32_t>(tenants_.size());
+    tenant->vm = std::make_unique<jvm::JavaVm>(sim_, mach_, sched_,
+                                               config);
+    tenant->engine =
+        std::make_unique<TrafficEngine>(*tenant->vm, spec.arrival);
+    tenant->app = std::make_unique<OpenLoopApp>(*tenant->model,
+                                                *tenant->engine);
+    tenants_.push_back(std::move(tenant));
+    return true;
+}
+
+std::vector<jvm::RunResult>
+TenantHost::run()
+{
+    jscale_assert(!ran_, "host already ran");
+    jscale_assert(!tenants_.empty(), "host has no tenants");
+    ran_ = true;
+
+    finished_ = 0;
+    Ticks budget = 0;
+    for (auto &t : tenants_) {
+        t->vm->setRunCompletedCallback([this](Ticks) {
+            if (++finished_ == tenants_.size())
+                sim_.requestStop();
+        });
+        budget = std::max(budget, t->vm->config().max_run_time);
+    }
+    const Ticks start = sim_.now();
+    for (auto &t : tenants_)
+        t->vm->prepare(*t->app, t->spec.threads);
+    sim_.run(start + budget);
+
+    std::vector<jvm::RunResult> results;
+    for (auto &t : tenants_) {
+        jvm::RunResult r = t->vm->collectResult();
+        r.traffic = t->engine->summary();
+        results.push_back(std::move(r));
+    }
+    return results;
+}
+
+} // namespace jscale::traffic

@@ -12,6 +12,7 @@
  *   usl      fit the USL model to an existing sweep CSV
  *   faults   parse and print a fault-injection schedule
  *   resilience  E18: throughput vs. fault intensity, gov vs. ungov
+ *   traffic  E21: open-system tail latency vs. offered load
  *
  * Common flags: --app <name> --threads <list> --scale <f> --seed <n>
  *               --heap-factor <f> --compartments --biased [--groups g]
@@ -41,7 +42,10 @@
 #include "core/plots.hh"
 #include "core/report.hh"
 #include "core/resilience.hh"
+#include "core/traffic_study.hh"
 #include "fault/fault.hh"
+#include "traffic/arrival.hh"
+#include "traffic/tenancy.hh"
 #include "jvm/gc/gclog.hh"
 #include "lockprof/lockprof.hh"
 #include "trace/trace.hh"
@@ -106,6 +110,15 @@ struct CliOptions
     std::uint64_t shrink_budget = 64;
     check::Sabotage sabotage = check::Sabotage::None;
     std::string replay_path;
+    /** Open-loop arrival spec (validated at parse time). */
+    std::string arrivals;
+    /** Multi-tenant host spec (validated at parse time). */
+    std::string tenants_spec;
+    std::vector<traffic::TenantSpec> tenants;
+    /** Offered-load ladder of the traffic study. */
+    std::vector<double> loads = {0.25, 0.5, 1.0, 2.0};
+    /** Requests per open-loop rung of the traffic study. */
+    std::uint64_t requests = 2000;
 };
 
 [[noreturn]] void
@@ -137,6 +150,9 @@ usage(int code)
         "            to a minimal replayable reproducer (--out)\n"
         "  golden    record: snapshot a sweep into a golden file;\n"
         "            verify: re-run and fail on any field-level drift\n"
+        "  traffic   E21: open-system tail latency — p99 sojourn vs.\n"
+        "            offered load vs. threads, knee detection, and the\n"
+        "            governed/biased remedies re-scored on the tail\n"
         "\n"
         "flags:\n"
         "  --app <name>        application (default xalan); see 'apps'\n"
@@ -202,7 +218,21 @@ usage(int code)
         "                      golden store)\n"
         "  --in <path>         trace input file (analyze command)\n"
         "  --plots <dir>       write gnuplot figures (study command)\n"
-        "  --csv               emit CSV after the tables\n";
+        "  --csv               emit CSV after the tables\n"
+        "  --arrivals <spec>   open-loop arrival stream (run/sweep):\n"
+        "                      poisson:rate=<r>[:requests=<n>]\n"
+        "                      [:queue=<cap>][:shed=drop|oldest],\n"
+        "                      burst:rate=<r>:factor=<f>[:on_ms=..]\n"
+        "                      [:off_ms=..], or diurnal:rate=<r>:\n"
+        "                      peak=<f>[:period_ms=..]\n"
+        "  --tenants <list>    co-located JVMs on one machine (run):\n"
+        "                      ';'-separated \"<app>:threads=<n>:\n"
+        "                      rate=<r>[...]\" tenant specs\n"
+        "  --loads <list>      traffic-study offered-load ladder as\n"
+        "                      fractions of capacity (default\n"
+        "                      0.25,0.5,1,2)\n"
+        "  --requests <n>      requests per open-loop rung of the\n"
+        "                      traffic study (default 2000)\n";
     std::exit(code);
 }
 
@@ -428,6 +458,54 @@ parse(int argc, char **argv)
                              "or double-release)\n";
                 std::exit(2);
             }
+        } else if (arg == "--arrivals") {
+            o.arrivals = value();
+            traffic::ArrivalSpec spec;
+            std::string err;
+            if (!traffic::ArrivalSpec::parse(o.arrivals, spec, err)) {
+                std::cerr << "bad --arrivals spec: " << err << "\n";
+                std::exit(2);
+            }
+        } else if (arg == "--tenants") {
+            o.tenants_spec = value();
+            std::string err;
+            if (!traffic::TenantSpec::parseList(o.tenants_spec,
+                                                o.tenants, err)) {
+                std::cerr << "bad --tenants spec: " << err << "\n";
+                std::exit(2);
+            }
+        } else if (arg == "--loads") {
+            o.loads.clear();
+            std::stringstream ss(value());
+            std::string item;
+            while (std::getline(ss, item, ',')) {
+                char *end = nullptr;
+                const double v = std::strtod(item.c_str(), &end);
+                if (item.empty() || end != item.c_str() + item.size() ||
+                    v <= 0.0) {
+                    std::cerr << "bad load factor '" << item
+                              << "' (expect positive fractions of "
+                                 "capacity)\n";
+                    std::exit(2);
+                }
+                o.loads.push_back(v);
+            }
+            if (o.loads.empty()) {
+                std::cerr << "empty --loads list\n";
+                std::exit(2);
+            }
+        } else if (arg == "--requests") {
+            const std::string v = value();
+            if (v.empty() ||
+                v.find_first_not_of("0123456789") != std::string::npos) {
+                std::cerr << "bad --requests value '" << v << "'\n";
+                std::exit(2);
+            }
+            o.requests = std::stoull(v);
+            if (o.requests == 0) {
+                std::cerr << "--requests must be positive\n";
+                std::exit(2);
+            }
         } else if (arg == "--replay") {
             o.replay_path = value();
         } else if (arg == "--out") {
@@ -496,7 +574,42 @@ experimentConfig(const CliOptions &o)
     cfg.oracles = o.oracles;
     cfg.profile = o.profile;
     cfg.profile_topk = o.profile_topk;
+    cfg.arrivals = o.arrivals;
     return cfg;
+}
+
+/** Multi-tenant run: N JVMs co-located on one simulated machine. */
+int
+runTenantHost(const CliOptions &o)
+{
+    for (const auto &spec : o.tenants)
+        requireValidApp(spec.app);
+    core::ExperimentRunner runner(experimentConfig(o));
+    const auto results = runner.runTenants(o.tenants);
+    TextTable t;
+    t.header({"tenant", "app", "threads", "status", "wall", "tasks"});
+    for (std::size_t i = 0; i < results.size(); ++i) {
+        const jvm::RunResult &r = results[i];
+        t.row({std::to_string(i), r.app_name,
+               std::to_string(r.threads),
+               r.failed() ? "failed" : "ok", formatTicks(r.wall_time),
+               std::to_string(r.total_tasks)});
+    }
+    t.print(std::cout);
+    std::cout << "\n";
+    core::printTrafficTable(std::cout, results);
+    if (o.csv) {
+        std::cout << "\n";
+        core::writeTrafficCsv(std::cout, results);
+    }
+    for (const jvm::RunResult &r : results) {
+        if (r.failed()) {
+            std::cerr << "tenant " << r.app_name
+                      << " failed: " << r.run_error << "\n";
+            return 1;
+        }
+    }
+    return 0;
 }
 
 int
@@ -549,6 +662,8 @@ gcLogHook(const CliOptions &o,
 int
 cmdRun(const CliOptions &o)
 {
+    if (!o.tenants.empty())
+        return runTenantHost(o);
     requireValidApp(o.app);
     core::ExperimentRunner runner(experimentConfig(o));
     std::unique_ptr<std::ofstream> log_stream;
@@ -556,6 +671,14 @@ cmdRun(const CliOptions &o)
     const jvm::RunResult r = runner.runApp(
         o.app, o.threads.front(), gcLogHook(o, log_stream, writer));
     core::printRunSummary(std::cout, r);
+    if (r.traffic.enabled) {
+        std::cout << "\n";
+        core::printTrafficTable(std::cout, {r});
+        if (o.csv) {
+            std::cout << "\n";
+            core::writeTrafficCsv(std::cout, {r});
+        }
+    }
     if (o.per_thread) {
         std::cout << "\n";
         core::printThreadTable(std::cout, r);
@@ -639,6 +762,14 @@ cmdSweep(const CliOptions &o)
     core::SweepSet sweeps;
     sweeps[o.app] = runner.sweep(o.app, o.threads);
     core::printScalabilityTable(std::cout, sweeps);
+    if (!o.arrivals.empty()) {
+        std::cout << "\n";
+        core::printTrafficTable(std::cout, sweeps[o.app]);
+        if (o.csv) {
+            std::cout << "\n";
+            core::writeTrafficCsv(std::cout, sweeps[o.app]);
+        }
+    }
     for (const auto &r : sweeps[o.app]) {
         if (!r.timeline_file.empty()) {
             std::cout << "timeline (" << r.threads << " threads): "
@@ -1029,6 +1160,34 @@ cmdFuzz(const CliOptions &o)
 }
 
 int
+cmdTraffic(const CliOptions &o)
+{
+    core::TrafficStudyConfig cfg;
+    // Default: three representative apps over {8, 16} threads;
+    // --app / --threads narrow or widen explicitly.
+    if (o.app_set) {
+        requireValidApp(o.app);
+        cfg.apps = {o.app};
+    }
+    if (o.threads_set)
+        cfg.threads = o.threads;
+    cfg.load_factors = o.loads;
+    std::sort(cfg.load_factors.begin(), cfg.load_factors.end());
+    cfg.requests = o.requests;
+    cfg.base = experimentConfig(o);
+    // The study drives the arrival spec itself, rung by rung.
+    cfg.base.arrivals.clear();
+
+    const core::TrafficStudy study = core::runTrafficStudy(cfg);
+    core::printTrafficStudyTable(std::cout, study);
+    if (o.csv) {
+        std::cout << "\n";
+        core::writeTrafficStudyCsv(std::cout, study);
+    }
+    return 0;
+}
+
+int
 cmdGolden(const CliOptions &o)
 {
     const std::string path =
@@ -1182,6 +1341,8 @@ main(int argc, char **argv)
             return cmdFuzz(o);
         if (o.command == "golden")
             return cmdGolden(o);
+        if (o.command == "traffic")
+            return cmdTraffic(o);
     } catch (const AbortError &e) {
         // A single-run command hit the watchdog or the sim-time guard.
         // Batch commands isolate these per run and never get here.
