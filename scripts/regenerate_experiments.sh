@@ -1,7 +1,7 @@
 #!/bin/sh
 # Regenerate every experiment artifact (the data behind EXPERIMENTS.md)
 # into ./experiment-output. Usage: scripts/regenerate_experiments.sh
-# [-j N] [build-dir] [scale]
+# [-j N] [-S N] [build-dir] [scale]
 #
 # Benches fan out as real shell-level children: pass -j N (or set
 # JOBS=N) to pick how many benches run concurrently, JOBS=1 for fully
@@ -10,6 +10,12 @@
 # oversubscribed and results are identical for any -j value —
 # parallelism only changes wall-clock time.
 #
+# Pass -S N (or set SUPERVISE=N) to run every bench under
+# `jscale supervise --retries N`: a bench killed by a signal (OOM
+# killer, stray SIGKILL) is retried with backoff instead of costing
+# the whole regeneration, while a deterministic bench failure still
+# fails immediately. See docs/operations.md.
+#
 # Each bench's stdout goes to $OUT/<name>.txt and its stderr to
 # $OUT/<name>.log. Every child is reaped with its own `wait <pid>` so
 # each bench's exit status is observed individually — a bench that
@@ -17,10 +23,14 @@
 # silently swallowed by a bare `wait`, and the script exits 1 if any
 # bench failed.
 JOBS=${JOBS:-0}
-if [ "$1" = "-j" ]; then
-    JOBS=$2
-    shift 2
-fi
+SUPERVISE=${SUPERVISE:-}
+while :; do
+    case $1 in
+        -j) JOBS=$2; shift 2 ;;
+        -S) SUPERVISE=$2; shift 2 ;;
+        *) break ;;
+    esac
+done
 BUILD=${1:-build}
 SCALE=${2:-1.0}
 OUT=experiment-output
@@ -32,6 +42,16 @@ case $JOBS in
         exit 2
         ;;
 esac
+case $SUPERVISE in
+    *[!0-9]*)
+        echo "error: -S expects a number, got '$SUPERVISE'" >&2
+        exit 2
+        ;;
+esac
+if [ -n "$SUPERVISE" ] && [ ! -x "$BUILD/tools/jscale" ]; then
+    echo "error: -S needs '$BUILD/tools/jscale' (build first?)" >&2
+    exit 1
+fi
 if [ "$JOBS" -eq 0 ]; then
     JOBS=$(nproc 2> /dev/null || echo 1)
 fi
@@ -51,11 +71,18 @@ names=
 launch() {
     bench=$1
     name=$(basename "$bench")
+    # Under -S, the supervisor re-execs the bench on transient deaths;
+    # its own narration joins the bench's stderr in $OUT/<name>.log.
+    if [ -n "$SUPERVISE" ]; then
+        set -- "$BUILD/tools/jscale" supervise --retries "$SUPERVISE" --
+    else
+        set --
+    fi
     if [ "$name" = "bench_micro_kernel" ]; then
-        "$bench" --benchmark_min_time=0.1 \
+        "$@" "$bench" --benchmark_min_time=0.1 \
             > "$OUT/$name.txt" 2> "$OUT/$name.log" &
     else
-        "$bench" --scale "$SCALE" --csv --jobs 1 \
+        "$@" "$bench" --scale "$SCALE" --csv --jobs 1 \
             > "$OUT/$name.txt" 2> "$OUT/$name.log" &
     fi
     pids="$pids $!"

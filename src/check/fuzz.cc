@@ -1,10 +1,15 @@
 #include "check/fuzz.hh"
 
+#include <cstdlib>
+#include <filesystem>
 #include <fstream>
 #include <optional>
 #include <ostream>
 #include <sstream>
 
+#include "base/atomic_file.hh"
+#include "base/chaos.hh"
+#include "base/logging.hh"
 #include "base/random.hh"
 #include "check/random_app.hh"
 #include "control/governor.hh"
@@ -324,15 +329,175 @@ shrinkCase(const FuzzCase &c, std::uint32_t budget,
     return best;
 }
 
+namespace {
+
+/** One-line escape for cache records: newlines and backslashes only
+ *  (values sit last on their line, so spaces need no quoting). */
+std::string
+escapeLine(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size());
+    for (const char c : s) {
+        if (c == '\\')
+            out += "\\\\";
+        else if (c == '\n')
+            out += "\\n";
+        else
+            out += c;
+    }
+    return out;
+}
+
+std::string
+unescapeLine(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size());
+    for (std::size_t i = 0; i < s.size(); ++i) {
+        if (s[i] == '\\' && i + 1 < s.size()) {
+            ++i;
+            out += s[i] == 'n' ? '\n' : s[i];
+        } else {
+            out += s[i];
+        }
+    }
+    return out;
+}
+
+std::string
+outcomePath(const std::string &dir, std::uint64_t seed)
+{
+    return dir + "/fuzz-" + std::to_string(seed) + ".out";
+}
+
+/** Persist one finished case durably (atomic publish, then the chaos
+ *  crash point fires — fuzz workers die at record boundaries too). */
+void
+storeOutcome(const FuzzCampaignIo &io, std::uint64_t seed,
+             const FuzzOutcome &o)
+{
+    AtomicFileWriter writer(outcomePath(io.cache_dir, seed));
+    if (!writer.ok()) {
+        warn("cannot open fuzz outcome record for seed ", seed);
+        return;
+    }
+    std::ostream &os = writer.stream();
+    os << "jscale-fuzz-out v1\n";
+    os << "fp " << escapeLine(io.fingerprint) << '\n';
+    os << "case " << o.fuzz_case.describe() << '\n';
+    os << "run_failed " << (o.run_failed ? 1 : 0) << '\n';
+    os << "run_error " << escapeLine(o.run_error) << '\n';
+    os << "checks " << o.checks << '\n';
+    os << "sim_time " << o.sim_time << '\n';
+    for (const InvariantViolation &v : o.violations) {
+        os << "v " << v.at << ' ' << escapeLine(v.oracle) << ' '
+           << escapeLine(v.message) << '\n';
+    }
+    os << "end\n";
+    std::string err;
+    if (!writer.commit(err)) {
+        warn("fuzz outcome store failed: ", err);
+        return;
+    }
+    chaosCrashPoint();
+}
+
+/** Load one cached case. Any malformation — torn record, foreign
+ *  fingerprint — is a miss (with a warning); the seed just re-runs. */
+bool
+loadOutcome(const FuzzCampaignIo &io, std::uint64_t seed, FuzzOutcome &out)
+{
+    const std::string path = outcomePath(io.cache_dir, seed);
+    std::ifstream in(path);
+    if (!in)
+        return false;
+
+    const auto miss = [&path](const char *why) {
+        warn("ignoring fuzz outcome '", path, "': ", why);
+        return false;
+    };
+    std::string line;
+    if (!std::getline(in, line) || line != "jscale-fuzz-out v1")
+        return miss("bad header");
+    if (!std::getline(in, line) || line.rfind("fp ", 0) != 0 ||
+        unescapeLine(line.substr(3)) != io.fingerprint)
+        return miss("campaign fingerprint mismatch");
+
+    FuzzOutcome o;
+    std::string err;
+    if (!std::getline(in, line) || line.rfind("case ", 0) != 0 ||
+        !FuzzCase::parse(line.substr(5), o.fuzz_case, err))
+        return miss("bad case line");
+    if (!std::getline(in, line) || line.rfind("run_failed ", 0) != 0)
+        return miss("bad run_failed line");
+    o.run_failed = line.substr(11) == "1";
+    if (!std::getline(in, line) || line.rfind("run_error ", 0) != 0)
+        return miss("bad run_error line");
+    o.run_error = unescapeLine(line.substr(10));
+    if (!std::getline(in, line) || line.rfind("checks ", 0) != 0)
+        return miss("bad checks line");
+    o.checks = std::strtoull(line.c_str() + 7, nullptr, 10);
+    if (!std::getline(in, line) || line.rfind("sim_time ", 0) != 0)
+        return miss("bad sim_time line");
+    o.sim_time = std::strtoull(line.c_str() + 9, nullptr, 10);
+
+    bool ended = false;
+    while (std::getline(in, line)) {
+        if (line == "end") {
+            ended = true;
+            break;
+        }
+        if (line.rfind("v ", 0) != 0)
+            return miss("bad violation line");
+        std::istringstream vs(line.substr(2));
+        InvariantViolation v;
+        std::string oracle;
+        if (!(vs >> v.at >> oracle))
+            return miss("bad violation line");
+        v.oracle = unescapeLine(oracle);
+        std::string msg;
+        std::getline(vs, msg);
+        if (!msg.empty() && msg.front() == ' ')
+            msg.erase(0, 1);
+        v.message = unescapeLine(msg);
+        o.violations.push_back(std::move(v));
+    }
+    if (!ended)
+        return miss("missing 'end' trailer (torn write?)");
+    out = std::move(o);
+    return true;
+}
+
+} // namespace
+
 FuzzReport
 runFuzzCampaign(const std::vector<std::uint64_t> &seeds, Sabotage sabotage,
-                std::uint32_t shrink_budget, std::ostream *out)
+                std::uint32_t shrink_budget, std::ostream *out,
+                const FuzzCampaignIo &io)
 {
+    const bool cached = !io.cache_dir.empty();
+    if (cached) {
+        std::error_code ec;
+        std::filesystem::create_directories(io.cache_dir, ec);
+    }
+    const std::uint32_t of = std::max<std::uint32_t>(1, io.shard_count);
+
     FuzzReport report;
     for (const std::uint64_t seed : seeds) {
-        FuzzCase c = caseForSeed(seed);
-        c.sabotage = sabotage;
-        FuzzOutcome o = runFuzzCase(c);
+        FuzzOutcome o;
+        bool have = cached && loadOutcome(io, seed, o);
+        if (!have) {
+            if (of > 1 &&
+                shardOfKey("fuzz|" + std::to_string(seed), of) !=
+                    io.shard_index)
+                continue; // another shard's seed
+            FuzzCase c = caseForSeed(seed);
+            c.sabotage = sabotage;
+            o = runFuzzCase(c);
+            if (cached)
+                storeOutcome(io, seed, o);
+        }
         ++report.cases_run;
         report.total_checks += o.checks;
         if (!o.clean()) {

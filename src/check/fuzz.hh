@@ -128,12 +128,34 @@ struct FuzzReport
 };
 
 /**
+ * Sharded / resumable campaign IO. With a cache_dir, every finished
+ * case is persisted as an atomic "jscale-fuzz-out v1" record bound to
+ * @p fingerprint, and a later process — a retried worker or the merge
+ * step — salvages cached outcomes instead of re-running them. With
+ * shard_count > 1 only the seeds hashing to shard_index execute here
+ * (position-independent, base/chaos.hh shardOfKey); the rest are
+ * skipped. A merge runs with shard_count == 1 and the shared cache:
+ * every seed is salvaged, or re-run locally when its shard died for
+ * good — either way the report covers the full campaign.
+ */
+struct FuzzCampaignIo
+{
+    std::string cache_dir; ///< empty = no persistence
+    std::string fingerprint;
+    std::uint32_t shard_index = 0;
+    std::uint32_t shard_count = 1;
+};
+
+/**
  * Run one case per seed, shrink the first failure, and (when @p out is
- * non-null) narrate progress.
+ * non-null) narrate progress. Shrinking always re-runs locally — cases
+ * are deterministic, so a merge shrinks a salvaged failure to the same
+ * reproducer the failing worker would have found.
  */
 FuzzReport runFuzzCampaign(const std::vector<std::uint64_t> &seeds,
                            Sabotage sabotage, std::uint32_t shrink_budget,
-                           std::ostream *out);
+                           std::ostream *out,
+                           const FuzzCampaignIo &io = {});
 
 /**
  * Write a replay artifact: the "jscale-fuzz-repro v1" header, the

@@ -1,6 +1,10 @@
 #include "core/checkpoint.hh"
 
+#include <unistd.h>
+
 #include <filesystem>
+#include <fstream>
+#include <sstream>
 #include <utility>
 
 #include "base/logging.hh"
@@ -8,7 +12,22 @@
 namespace jscale::core {
 
 namespace {
+
 constexpr const char *kMagic = "jscale-checkpoint|";
+
+/** A ledger entry is one printable-ASCII line; anything else is
+ *  corruption (partial write, disk scribble) to skip, not trust. */
+bool
+printableLine(const std::string &line)
+{
+    for (const char c : line) {
+        const auto u = static_cast<unsigned char>(c);
+        if (u < 0x20 || u > 0x7e)
+            return false;
+    }
+    return true;
+}
+
 } // namespace
 
 CheckpointStore::CheckpointStore(std::string path, std::string fingerprint)
@@ -17,26 +36,62 @@ CheckpointStore::CheckpointStore(std::string path, std::string fingerprint)
     jscale_assert(!path_.empty(), "checkpoint path must not be empty");
 }
 
+CheckpointStore::~CheckpointStore()
+{
+    if (out_)
+        std::fclose(out_);
+}
+
 std::size_t
 CheckpointStore::load()
 {
     std::lock_guard<std::mutex> lock(mutex_);
     done_.clear();
     file_valid_ = false;
-    std::ifstream in(path_);
+    std::ifstream in(path_, std::ios::binary);
     if (!in)
         return 0;
-    std::string line;
-    if (!std::getline(in, line) || line != kMagic + fingerprint_) {
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    const std::string data = buf.str();
+    if (data.empty())
+        return 0;
+
+    const std::size_t header_end = data.find('\n');
+    if (header_end == std::string::npos ||
+        data.substr(0, header_end) != kMagic + fingerprint_) {
         inform("checkpoint '", path_,
                "' belongs to a different configuration; starting fresh");
         return 0;
     }
-    while (std::getline(in, line)) {
-        if (!line.empty())
-            done_.insert(line);
+
+    bool dirty = false;
+    std::size_t start = header_end + 1;
+    while (start < data.size()) {
+        const std::size_t end = data.find('\n', start);
+        if (end == std::string::npos) {
+            // Torn trailing entry: the writer died mid-append. Skip it
+            // — that run re-executes — and rewrite the ledger clean.
+            warn("checkpoint '", path_, "': dropping torn trailing ",
+                 "entry; the affected run will re-execute");
+            dirty = true;
+            break;
+        }
+        const std::string line = data.substr(start, end - start);
+        start = end + 1;
+        if (line.empty())
+            continue;
+        if (!printableLine(line)) {
+            warn("checkpoint '", path_, "': skipping corrupt entry; ",
+                 "the affected run will re-execute");
+            dirty = true;
+            continue;
+        }
+        done_.insert(line);
     }
-    file_valid_ = true;
+    // A dirty ledger keeps its salvaged keys in memory but is rewritten
+    // from them on the next record().
+    file_valid_ = !dirty;
     return done_.size();
 }
 
@@ -50,7 +105,7 @@ CheckpointStore::completed(const std::string &key) const
 void
 CheckpointStore::ensureOpen()
 {
-    if (out_.is_open())
+    if (out_)
         return;
     const std::filesystem::path parent =
         std::filesystem::path(path_).parent_path();
@@ -59,16 +114,21 @@ CheckpointStore::ensureOpen()
         std::filesystem::create_directories(parent, ec);
     }
     if (file_valid_) {
-        out_.open(path_, std::ios::out | std::ios::app);
+        out_ = std::fopen(path_.c_str(), "ae");
     } else {
-        // Fresh or mismatched ledger: rewrite with our header, then
-        // replay the keys already known in memory (normally none).
-        out_.open(path_, std::ios::out | std::ios::trunc);
+        // Fresh, mismatched or corrupt ledger: rewrite with our header,
+        // then replay the keys already known in memory.
+        out_ = std::fopen(path_.c_str(), "we");
         if (out_) {
-            out_ << kMagic << fingerprint_ << '\n';
-            for (const auto &key : done_)
-                out_ << key << '\n';
-            out_.flush();
+            std::fputs(kMagic, out_);
+            std::fputs(fingerprint_.c_str(), out_);
+            std::fputc('\n', out_);
+            for (const auto &key : done_) {
+                std::fputs(key.c_str(), out_);
+                std::fputc('\n', out_);
+            }
+            std::fflush(out_);
+            ::fsync(::fileno(out_));
             file_valid_ = true;
         }
     }
@@ -81,12 +141,19 @@ void
 CheckpointStore::record(const std::string &key)
 {
     std::lock_guard<std::mutex> lock(mutex_);
-    if (!done_.insert(key).second)
+    if (done_.count(key) > 0)
         return;
+    // Open (and, after corruption, rewrite from done_) before inserting
+    // the new key, so the append below is its only occurrence.
     ensureOpen();
+    done_.insert(key);
     if (out_) {
-        out_ << key << '\n';
-        out_.flush();
+        std::fputs(key.c_str(), out_);
+        std::fputc('\n', out_);
+        std::fflush(out_);
+        // Durable before the caller reports the run complete: a crash
+        // later never forgets a recorded key.
+        ::fsync(::fileno(out_));
     }
 }
 

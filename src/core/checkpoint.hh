@@ -4,10 +4,13 @@
  *
  * A checkpoint file is a line-oriented ledger: a header binding it to
  * one campaign configuration (the fingerprint), then one line per
- * completed run key. Runs are recorded with an append + flush as they
- * finish, so a killed study loses at most the in-flight runs; a
- * subsequent `--resume` invocation loads the ledger and skips every
- * recorded key. A fingerprint mismatch (different seed, faults,
+ * completed run key. Runs are recorded with an append + flush + fsync
+ * as they finish, so a killed study — power loss included — loses at
+ * most the in-flight runs; a subsequent `--resume` invocation loads
+ * the ledger and skips every recorded key. A torn trailing line (the
+ * writer died mid-append) or a garbage line is skipped with a warning
+ * — that run simply re-executes — and the ledger is rewritten clean on
+ * the next record(). A fingerprint mismatch (different seed, faults,
  * governor, ...) discards the stale ledger and starts fresh — resuming
  * across configurations would silently mix incompatible results.
  *
@@ -20,7 +23,7 @@
 #ifndef JSCALE_CORE_CHECKPOINT_HH
 #define JSCALE_CORE_CHECKPOINT_HH
 
-#include <fstream>
+#include <cstdio>
 #include <mutex>
 #include <set>
 #include <string>
@@ -36,6 +39,7 @@ class CheckpointStore
      * @param fingerprint campaign-configuration identity string
      */
     CheckpointStore(std::string path, std::string fingerprint);
+    ~CheckpointStore();
 
     CheckpointStore(const CheckpointStore &) = delete;
     CheckpointStore &operator=(const CheckpointStore &) = delete;
@@ -50,7 +54,10 @@ class CheckpointStore
     /** Whether @p key was recorded as completed. */
     bool completed(const std::string &key) const;
 
-    /** Append @p key to the ledger (flushed immediately; thread-safe). */
+    /**
+     * Append @p key to the ledger (flushed and fsynced immediately;
+     * thread-safe).
+     */
     void record(const std::string &key);
 
     std::size_t size() const { return done_.size(); }
@@ -64,9 +71,11 @@ class CheckpointStore
     std::string path_;
     std::string fingerprint_;
     std::set<std::string> done_;
-    /** True when the on-disk file matches the fingerprint. */
+    /** True when the on-disk file matches the fingerprint and is clean
+     *  (no torn or corrupt lines); false forces a rewrite on record. */
     bool file_valid_ = false;
-    std::ofstream out_;
+    /** C stream so appends can be fsynced through the descriptor. */
+    std::FILE *out_ = nullptr;
     mutable std::mutex mutex_;
 };
 

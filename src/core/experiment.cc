@@ -7,12 +7,14 @@
 #include <optional>
 #include <sstream>
 
+#include "base/atomic_file.hh"
 #include "base/error.hh"
 #include "base/logging.hh"
 #include "base/thread_pool.hh"
 #include "check/oracle.hh"
 #include "core/checkpoint.hh"
 #include "core/parallel.hh"
+#include "core/shard.hh"
 #include "fault/injector.hh"
 #include "fault/watchdog.hh"
 #include "os/policy.hh"
@@ -47,35 +49,40 @@ substitutePlaceholders(std::string path, const std::string &app,
 }
 
 /**
- * Open @p path for writing, creating parent directories as needed.
- * Failure is per-artifact, not fatal: the message lands in @p errors
- * and the run (and the rest of the sweep) continues without it.
+ * Open an atomic writer for @p path. Failure is per-artifact, not
+ * fatal: the message lands in @p errors and the run (and the rest of
+ * the sweep) continues without it.
  */
 bool
-openArtifact(std::ofstream &os, const std::string &path,
-             std::vector<std::string> &errors)
+openArtifact(std::optional<AtomicFileWriter> &writer,
+             const std::string &path, std::vector<std::string> &errors)
 {
-    const std::filesystem::path parent =
-        std::filesystem::path(path).parent_path();
-    if (!parent.empty()) {
-        std::error_code ec;
-        std::filesystem::create_directories(parent, ec);
-    }
-    os.open(path, std::ios::out | std::ios::trunc);
-    if (!os) {
+    writer.emplace(path);
+    if (!writer->ok()) {
+        writer.reset();
         errors.push_back("cannot open artifact '" + path + "'");
         return false;
     }
     return true;
 }
 
-/** Record a mid-write stream failure for @p path, if any. */
-void
-checkArtifactStream(const std::ofstream &os, const std::string &path,
-                    std::vector<std::string> &errors)
+/**
+ * Publish a finished artifact (flush + fsync + rename). A mid-write
+ * stream failure or a failed rename lands in @p errors; a killed
+ * process never leaves a torn file under the final name.
+ */
+bool
+commitArtifact(std::optional<AtomicFileWriter> &writer,
+               std::vector<std::string> &errors)
 {
-    if (os.is_open() && os.fail())
-        errors.push_back("write failure on artifact '" + path + "'");
+    std::string err;
+    if (writer->commit(err)) {
+        writer.reset();
+        return true;
+    }
+    errors.push_back("artifact '" + writer->path() + "': " + err);
+    writer.reset();
+    return false;
 }
 
 } // namespace
@@ -306,13 +313,14 @@ ExperimentRunner::executePlan(RunPlan &plan,
     // cannot be opened (or fails mid-write) is reported per-run and the
     // run continues without it.
     std::vector<std::string> artifact_errors;
-    std::ofstream timeline_os;
+    std::optional<AtomicFileWriter> timeline_writer;
     std::optional<telemetry::Timeline> timeline;
     std::optional<telemetry::TelemetryRecorder> recorder;
     std::optional<telemetry::MetricSampler> sampler;
     if (!plan.timeline_file.empty() &&
-        openArtifact(timeline_os, plan.timeline_file, artifact_errors)) {
-        timeline.emplace(timeline_os);
+        openArtifact(timeline_writer, plan.timeline_file,
+                     artifact_errors)) {
+        timeline.emplace(timeline_writer->stream());
         recorder.emplace(*timeline);
         recorder->attach(vm);
         if (injector) {
@@ -365,16 +373,15 @@ ExperimentRunner::executePlan(RunPlan &plan,
         if (profiler)
             telemetry::emitProfileTracks(*timeline, r.profile, sim.now());
         timeline->finish();
-        checkArtifactStream(timeline_os, plan.timeline_file,
-                            artifact_errors);
+        commitArtifact(timeline_writer, artifact_errors);
         r.timeline_file = plan.timeline_file;
         r.timeline_events = timeline->events();
     }
     if (sampler) {
-        std::ofstream csv;
+        std::optional<AtomicFileWriter> csv;
         if (openArtifact(csv, plan.metrics_file, artifact_errors)) {
-            sampler->writeCsv(csv);
-            checkArtifactStream(csv, plan.metrics_file, artifact_errors);
+            sampler->writeCsv(csv->stream());
+            commitArtifact(csv, artifact_errors);
             r.metrics_file = plan.metrics_file;
             r.metric_rows = sampler->samples().size();
         }
@@ -404,20 +411,75 @@ ExperimentRunner::executePlans(std::vector<RunPlan> plans)
                    known, " completed run(s)");
     }
 
+    // Shard slice and shared result cache. Every process plans the
+    // whole campaign (identical artifact claiming everywhere); the
+    // slice filter and cache decide per point what actually runs here.
+    const ShardSpec shard{config_.shard_index, config_.shard_count};
+    std::optional<RunCache> cache;
+    if (!config_.run_cache_dir.empty()) {
+        std::error_code ec;
+        std::filesystem::create_directories(config_.run_cache_dir, ec);
+        cache.emplace(config_.run_cache_dir, campaignFingerprint());
+    }
+    CampaignPointStats &points = campaignPointStats();
+
     std::vector<std::function<jvm::RunResult()>> tasks;
     tasks.reserve(plans.size());
     for (std::size_t i = 0; i < plans.size(); ++i) {
         const bool skip = config_.resume && store &&
                           store->completed(plans[i].checkpoint_key);
-        tasks.push_back([this, &plans, i, skip]() -> jvm::RunResult {
-            if (skip) {
-                jvm::RunResult marker;
-                marker.app_name = plans[i].app->appName();
-                marker.threads = plans[i].threads;
-                marker.skipped = true;
-                return marker;
+        tasks.push_back([this, &plans, i, skip, &shard, &cache, &store,
+                         &points]() -> jvm::RunResult {
+            RunPlan &plan = plans[i];
+            // Salvage first: a point persisted by any earlier worker —
+            // deterministic failures included — renders from the cache
+            // instead of re-simulating.
+            if (cache) {
+                jvm::RunResult cached;
+                if (cache->load(plan.checkpoint_key, cached)) {
+                    ++points.salvaged;
+                    return cached;
+                }
             }
-            return executePlan(plans[i], {});
+            const auto marker = [&plan]() {
+                jvm::RunResult m;
+                m.app_name = plan.app->appName();
+                m.threads = plan.threads;
+                return m;
+            };
+            if (!shard.owns(plan.checkpoint_key)) {
+                ++points.skipped;
+                jvm::RunResult m = marker();
+                m.skipped = true;
+                return m;
+            }
+            if (skip) {
+                ++points.skipped;
+                jvm::RunResult m = marker();
+                m.skipped = true;
+                return m;
+            }
+            if (config_.merge_strict) {
+                // Assembling a partial campaign: a gap is an honest
+                // failure row, never a silent multi-minute re-run.
+                ++points.missing;
+                jvm::RunResult m = marker();
+                m.run_error =
+                    "missing from shard result cache (incomplete "
+                    "campaign)";
+                return m;
+            }
+            jvm::RunResult r = executePlan(plan, {});
+            ++points.executed;
+            // Persist before moving on: a worker killed after this
+            // point still contributes it to a later retry or merge.
+            // The chaos crash point fires inside store(), right after
+            // the record is durable.
+            if (cache)
+                cache->store(plan.checkpoint_key, r);
+            if (store)
+                store->record(plan.checkpoint_key);
+            return r;
         });
     }
 
@@ -433,26 +495,32 @@ ExperimentRunner::executePlans(std::vector<RunPlan> plans)
     for (std::size_t i = 0; i < outcomes.size(); ++i) {
         RunOutcome &o = outcomes[i];
         if (o.ok) {
-            if (store && !o.result.skipped)
-                store->record(plans[i].checkpoint_key);
             results.push_back(std::move(o.result));
             continue;
         }
+        ++points.failed;
         inform("run ", plans[i].checkpoint_key, " failed: ", o.error);
         if (!plans[i].error_file.empty()) {
             std::vector<std::string> open_errors;
-            std::ofstream err_os;
+            std::optional<AtomicFileWriter> err_os;
             if (openArtifact(err_os, plans[i].error_file, open_errors)) {
-                err_os << "run: " << plans[i].checkpoint_key << '\n'
-                       << "error: " << o.error << '\n';
-            } else {
-                inform(open_errors.front());
+                err_os->stream()
+                    << "run: " << plans[i].checkpoint_key << '\n'
+                    << "error: " << o.error << '\n';
+                commitArtifact(err_os, open_errors);
             }
+            for (const std::string &e : open_errors)
+                inform(e);
         }
         jvm::RunResult marker;
         marker.app_name = plans[i].app->appName();
         marker.threads = plans[i].threads;
         marker.run_error = o.error;
+        // Failed runs are cached too: a retry does not repeat a
+        // deterministic abort, and the merge renders the failure row
+        // exactly as a single-process run would.
+        if (cache && shard.owns(plans[i].checkpoint_key))
+            cache->store(plans[i].checkpoint_key, marker);
         results.push_back(std::move(marker));
     }
     return results;
@@ -615,10 +683,10 @@ ExperimentRunner::runTenants(const std::vector<traffic::TenantSpec> &specs)
     }
     if (sampler) {
         sampler->finish(sim.now());
-        std::ofstream csv;
+        std::optional<AtomicFileWriter> csv;
         if (openArtifact(csv, metrics_file, artifact_errors)) {
-            sampler->writeCsv(csv);
-            checkArtifactStream(csv, metrics_file, artifact_errors);
+            sampler->writeCsv(csv->stream());
+            commitArtifact(csv, artifact_errors);
             for (jvm::RunResult &r : results) {
                 r.metrics_file = metrics_file;
                 r.metric_rows = sampler->samples().size();

@@ -107,6 +107,30 @@ struct ExperimentConfig
      * disables error artifacts.
      */
     std::string error_path = "jscale-errors/{app}-t{threads}.error.txt";
+    /**
+     * Sharded campaigns: with shard_count > 1 this process still plans
+     * every run (so artifact claiming and de-collision are identical in
+     * every worker) but executes only the slice hashing to shard_index;
+     * out-of-slice runs return skipped markers. Assignment is
+     * position-independent (base/chaos.hh shardOfKey on the checkpoint
+     * key), so all workers and the merge step agree on ownership.
+     */
+    std::uint32_t shard_index = 0;
+    std::uint32_t shard_count = 1;
+    /**
+     * Shared per-point result cache directory (empty = disabled). Every
+     * completed run — deterministic failures included — is persisted as
+     * an atomic record; any later process re-running the same campaign
+     * salvages cache hits instead of re-simulating, which is both the
+     * crash-retry path and the byte-identical merge mechanism.
+     */
+    std::string run_cache_dir;
+    /**
+     * Merge mode: a cache miss becomes an honest "missing" failure
+     * marker instead of re-executing, so assembling a partial campaign
+     * never silently fills gaps with fresh (possibly long) runs.
+     */
+    bool merge_strict = false;
     /** @} */
 
     /** @name Open-loop traffic (src/traffic) */

@@ -35,6 +35,20 @@ SampleStats::stddev() const
     return std::sqrt(variance());
 }
 
+SampleStats
+SampleStats::restore(std::uint64_t count, double sum, double mean,
+                     double m2, double min, double max)
+{
+    SampleStats s;
+    s.count_ = count;
+    s.sum_ = sum;
+    s.mean_ = mean;
+    s.m2_ = m2;
+    s.min_ = min;
+    s.max_ = max;
+    return s;
+}
+
 void
 SampleStats::reset()
 {
@@ -199,6 +213,23 @@ LatencyHistogram::merge(const LatencyHistogram &other)
     sum_ += other.sum_;
     min_ = std::min(min_, other.min_);
     max_ = std::max(max_, other.max_);
+}
+
+void
+LatencyHistogram::restoreBucket(std::size_t i, std::uint64_t weight)
+{
+    jscale_assert(i < kBuckets, "histogram bucket ", i, " out of range");
+    total_ += weight - buckets_[i];
+    buckets_[i] = weight;
+}
+
+void
+LatencyHistogram::restoreAggregates(std::uint64_t sum, std::uint64_t min,
+                                    std::uint64_t max)
+{
+    sum_ = sum;
+    min_ = min;
+    max_ = max;
 }
 
 void

@@ -73,6 +73,23 @@ class SampleStats
     /** Maximum sample (-inf when empty). */
     double max() const { return max_; }
 
+    /** Welford running mean — internal state, for exact serialization
+     *  only (mean() derives from sum; this is the recurrence value m2_
+     *  updates depend on). */
+    double welfordMean() const { return mean_; }
+
+    /** Welford M2 accumulator (codec round-trip accessor). */
+    double m2() const { return m2_; }
+
+    /**
+     * Rebuild a summary from its exact serialized state (the five
+     * accessors above plus count). Enables byte-identical re-rendering
+     * of a run restored from a shard's result cache.
+     */
+    static SampleStats restore(std::uint64_t count, double sum,
+                               double mean, double m2, double min,
+                               double max);
+
     /** Clear all state. */
     void reset();
 
@@ -197,6 +214,18 @@ class LatencyHistogram
      * merge order yields a byte-identical histogram.
      */
     void merge(const LatencyHistogram &other);
+
+    /** @name Codec restore (exact round-trip from a result cache)
+     * Bucketing discards the exact values, so a deserializer cannot
+     * rebuild the histogram through add(); these set the serialized
+     * state directly. */
+    /** @{ */
+    /** Set bucket @p i's weight, adjusting the running total. */
+    void restoreBucket(std::size_t i, std::uint64_t weight);
+    /** Set the exact sum/min/max aggregates (call once, count > 0). */
+    void restoreAggregates(std::uint64_t sum, std::uint64_t min,
+                           std::uint64_t max);
+    /** @} */
 
     /** Clear all state. */
     void reset();

@@ -8,6 +8,7 @@
 #include <gtest/gtest.h>
 
 #include <filesystem>
+#include <fstream>
 #include <string>
 #include <vector>
 
@@ -66,6 +67,78 @@ TEST_F(CheckpointTest, MissingFileLoadsEmpty)
     core::CheckpointStore store(path_, "fp-1");
     EXPECT_EQ(store.load(), 0u);
     EXPECT_EQ(store.size(), 0u);
+}
+
+TEST_F(CheckpointTest, TornTrailingEntryIsDroppedNotFatal)
+{
+    {
+        core::CheckpointStore store(path_, "fp-1");
+        store.load();
+        store.record("xalan|t4|s1");
+        store.record("xalan|t8|s1");
+    }
+    // Simulate a writer SIGKILLed mid-append: a final entry with no
+    // terminating newline.
+    {
+        std::ofstream out(path_, std::ios::app | std::ios::binary);
+        out << "xalan|t16|s1"; // no '\n'
+    }
+    core::CheckpointStore reloaded(path_, "fp-1");
+    EXPECT_EQ(reloaded.load(), 2u);
+    EXPECT_TRUE(reloaded.completed("xalan|t4|s1"));
+    EXPECT_TRUE(reloaded.completed("xalan|t8|s1"));
+    // The torn key re-executes rather than being trusted.
+    EXPECT_FALSE(reloaded.completed("xalan|t16|s1"));
+}
+
+TEST_F(CheckpointTest, GarbageLinesAreSkippedNotFatal)
+{
+    {
+        core::CheckpointStore store(path_, "fp-1");
+        store.load();
+        store.record("h2|t2|s1");
+    }
+    {
+        std::ofstream out(path_, std::ios::app | std::ios::binary);
+        out << "\x01\x02\xffscribble\n"; // disk corruption
+        out << "h2|t8|s1\n";             // valid entry after the junk
+    }
+    core::CheckpointStore reloaded(path_, "fp-1");
+    EXPECT_EQ(reloaded.load(), 2u);
+    EXPECT_TRUE(reloaded.completed("h2|t2|s1"));
+    EXPECT_TRUE(reloaded.completed("h2|t8|s1"));
+}
+
+TEST_F(CheckpointTest, RecordingAfterCorruptionRewritesCleanLedger)
+{
+    {
+        core::CheckpointStore store(path_, "fp-1");
+        store.load();
+        store.record("h2|t2|s1");
+    }
+    {
+        std::ofstream out(path_, std::ios::app | std::ios::binary);
+        out << "\x01garbage\n";
+        out << "h2|t4|s1"; // torn tail, too
+    }
+    {
+        core::CheckpointStore store(path_, "fp-1");
+        EXPECT_EQ(store.load(), 1u);
+        store.record("h2|t8|s1"); // triggers the clean rewrite
+    }
+    // The rewritten ledger parses with no warnings: every surviving key
+    // present, the garbage and the torn tail gone for good.
+    std::ifstream in(path_, std::ios::binary);
+    std::string line;
+    std::vector<std::string> lines;
+    while (std::getline(in, line))
+        lines.push_back(line);
+    ASSERT_EQ(lines.size(), 3u); // header + 2 keys
+    core::CheckpointStore reread(path_, "fp-1");
+    EXPECT_EQ(reread.load(), 2u);
+    EXPECT_TRUE(reread.completed("h2|t2|s1"));
+    EXPECT_TRUE(reread.completed("h2|t8|s1"));
+    EXPECT_FALSE(reread.completed("h2|t4|s1"));
 }
 
 core::ExperimentConfig

@@ -31,6 +31,7 @@
 #include <string>
 #include <vector>
 
+#include "base/atomic_file.hh"
 #include "base/error.hh"
 #include "base/output.hh"
 #include "check/fuzz.hh"
@@ -42,6 +43,8 @@
 #include "core/plots.hh"
 #include "core/report.hh"
 #include "core/resilience.hh"
+#include "core/shard.hh"
+#include "core/supervisor.hh"
 #include "core/traffic_study.hh"
 #include "fault/fault.hh"
 #include "traffic/arrival.hh"
@@ -119,6 +122,15 @@ struct CliOptions
     std::vector<double> loads = {0.25, 0.5, 1.0, 2.0};
     /** Requests per open-loop rung of the traffic study. */
     std::uint64_t requests = 2000;
+    /** @name Sharded campaigns (set by the shard/merge wrappers) */
+    /** @{ */
+    std::uint32_t shard_index = 0;
+    std::uint32_t shard_count = 1;
+    /** Shared per-point result cache directory (empty = disabled). */
+    std::string cache_dir;
+    /** Merge mode: cache misses become honest failure rows. */
+    bool merge_strict = false;
+    /** @} */
 };
 
 [[noreturn]] void
@@ -153,6 +165,21 @@ usage(int code)
         "  traffic   E21: open-system tail latency — p99 sojourn vs.\n"
         "            offered load vs. threads, knee detection, and the\n"
         "            governed/biased remedies re-scored on the tail\n"
+        "  shard     run one deterministic slice of a campaign: plans\n"
+        "            every point, executes only those hashing to\n"
+        "            --index, persists each finished point durably in\n"
+        "            --cache-dir (nested: sweep, study, lifespan,\n"
+        "            golden, resilience, fuzz)\n"
+        "  merge     reassemble a sharded campaign from --cache-dir;\n"
+        "            the output is byte-identical to a single-process\n"
+        "            run, and missing points become honest failure\n"
+        "            rows (exit 3) unless --fill re-runs them locally\n"
+        "  campaign  fork --shards workers, supervise them with a\n"
+        "            wall-clock watchdog and crash/timeout retries\n"
+        "            (exponential backoff, bounded budget), then merge\n"
+        "  supervise run one command (after --) under the same retry\n"
+        "            policy; crashes and timeouts retry, deterministic\n"
+        "            failures do not\n"
         "\n"
         "flags:\n"
         "  --app <name>        application (default xalan); see 'apps'\n"
@@ -232,7 +259,34 @@ usage(int code)
         "                      fractions of capacity (default\n"
         "                      0.25,0.5,1,2)\n"
         "  --requests <n>      requests per open-loop rung of the\n"
-        "                      traffic study (default 2000)\n";
+        "                      traffic study (default 2000)\n"
+        "  --index <i> --of <N>  shard identity (shard command)\n"
+        "  --shards <n>        campaign worker count (default 2)\n"
+        "  --cache-dir <dir>   shared per-point result cache (default\n"
+        "                      jscale-cache; campaign default\n"
+        "                      jscale-campaign/cache)\n"
+        "  --fill              merge: re-run missing points locally\n"
+        "                      instead of marking them failed\n"
+        "  --retries <n>       extra attempts per worker after a crash\n"
+        "                      or timeout (default 2; deterministic\n"
+        "                      nonzero exits are never retried)\n"
+        "  --backoff-ms <n>    base of the exponential retry backoff\n"
+        "                      (default 250)\n"
+        "  --timeout-s <n>     wall-clock limit per worker attempt\n"
+        "                      (0 = none)\n"
+        "  --log-dir <dir>     per-attempt worker logs (campaign\n"
+        "                      default jscale-campaign/logs)\n"
+        "  --chaos             SIGKILL one worker mid-campaign after a\n"
+        "                      few durable records (supervisor\n"
+        "                      self-test: retry salvages and resumes)\n"
+        "  --chaos-seed <n>    picks the chaos victim shard (default "
+        "1)\n"
+        "  --chaos-kill-after <n>  durable records committed before\n"
+        "                      the kill (default 2)\n"
+        "\n"
+        "exit codes: 0 success; 1 runtime/domain failure; 2 usage\n"
+        "error; 3 partial campaign (missing points after the retry\n"
+        "budget). See docs/operations.md.\n";
     std::exit(code);
 }
 
@@ -575,6 +629,10 @@ experimentConfig(const CliOptions &o)
     cfg.profile = o.profile;
     cfg.profile_topk = o.profile_topk;
     cfg.arrivals = o.arrivals;
+    cfg.shard_index = o.shard_index;
+    cfg.shard_count = o.shard_count;
+    cfg.run_cache_dir = o.cache_dir;
+    cfg.merge_strict = o.merge_strict;
     return cfg;
 }
 
@@ -1131,9 +1189,19 @@ cmdFuzz(const CliOptions &o)
     // with the same flags cover the same cases.
     for (std::uint64_t i = 0; i < o.fuzz_seeds; ++i)
         seeds.push_back(o.seed + i);
+    check::FuzzCampaignIo io;
+    io.shard_index = o.shard_index;
+    io.shard_count = o.shard_count;
+    if (!o.cache_dir.empty()) {
+        io.cache_dir = o.cache_dir;
+        std::ostringstream fp;
+        fp << "fuzz seeds=" << o.fuzz_seeds << " base=" << o.seed
+           << " sabotage=" << check::sabotageName(o.sabotage);
+        io.fingerprint = fp.str();
+    }
     const check::FuzzReport report = check::runFuzzCampaign(
         seeds, o.sabotage, static_cast<std::uint32_t>(o.shrink_budget),
-        &std::cerr);
+        &std::cerr, io);
     std::cout << report.cases_run << " case(s), " << report.total_checks
               << " invariant checks, " << report.failures.size()
               << " failure(s)\n";
@@ -1147,14 +1215,20 @@ cmdFuzz(const CliOptions &o)
               << " re-runs): " << report.shrunk.describe() << "\n";
     const std::string path =
         o.out_path.empty() ? "jscale-fuzz.repro" : o.out_path;
-    std::ofstream repro(path);
-    if (!repro) {
+    AtomicFileWriter repro(path);
+    std::string werr;
+    if (!repro.ok()) {
         std::cerr << "cannot open '" << path << "'\n";
     } else {
-        check::writeReproducer(repro, report);
-        std::cout << "reproducer -> " << path
-                  << " (replay with: jscale fuzz --replay " << path
-                  << ")\n";
+        check::writeReproducer(repro.stream(), report);
+        if (!repro.commit(werr)) {
+            std::cerr << "cannot write '" << path << "': " << werr
+                      << "\n";
+        } else {
+            std::cout << "reproducer -> " << path
+                      << " (replay with: jscale fuzz --replay " << path
+                      << ")\n";
+        }
     }
     return 1;
 }
@@ -1306,12 +1380,9 @@ cmdGolden(const CliOptions &o)
     return 2;
 }
 
-} // namespace
-
 int
-main(int argc, char **argv)
+guardedDispatch(const CliOptions &o)
 {
-    const CliOptions o = parse(argc, argv);
     try {
         if (o.command == "apps")
             return cmdApps();
@@ -1351,4 +1422,351 @@ main(int argc, char **argv)
     }
     std::cerr << "unknown command '" << o.command << "'\n";
     usage(2);
+}
+
+/** Parse a token list (no program name) through the normal parser. */
+CliOptions
+parseArgs(const std::vector<std::string> &args)
+{
+    std::vector<std::string> storage;
+    storage.reserve(args.size() + 1);
+    storage.push_back("jscale");
+    storage.insert(storage.end(), args.begin(), args.end());
+    std::vector<char *> argv;
+    argv.reserve(storage.size());
+    for (std::string &s : storage)
+        argv.push_back(s.data());
+    return parse(static_cast<int>(argv.size()), argv.data());
+}
+
+/** Strictly-numeric flag value; exit(2) on anything else. */
+std::uint64_t
+parseDigits(const std::string &v, const std::string &what)
+{
+    if (v.empty() ||
+        v.find_first_not_of("0123456789") != std::string::npos) {
+        std::cerr << "bad " << what << " value '" << v << "'\n";
+        std::exit(2);
+    }
+    return std::stoull(v);
+}
+
+/**
+ * Exit 2 unless @p cmd can run sharded. Shardable commands route every
+ * run through the planned sweep executor (where the slice filter and
+ * result cache live); run/locks/trace/traffic execute plans directly
+ * and would silently ignore the shard arithmetic.
+ */
+void
+requireShardable(const std::string &cmd)
+{
+    for (const char *ok :
+         {"sweep", "study", "lifespan", "golden", "resilience", "fuzz"}) {
+        if (cmd == ok)
+            return;
+    }
+    std::cerr << "'" << cmd
+              << "' cannot run sharded (supported: sweep, study, "
+                 "lifespan, golden, resilience, fuzz)\n";
+    std::exit(2);
+}
+
+/** Per-point accounting line: every planned point lands in exactly one
+ *  bucket, so a campaign can never lose work silently. */
+void
+printPointSummary(const char *what)
+{
+    const core::CampaignPointStats &p = core::campaignPointStats();
+    std::cerr << what << ": " << p.executed.load() << " executed, "
+              << p.salvaged.load() << " salvaged, " << p.skipped.load()
+              << " skipped, " << p.failed.load() << " failed, "
+              << p.missing.load() << " missing\n";
+}
+
+/** jscale shard --index i --of N [--cache-dir d] <command> [flags] */
+int
+cmdShard(int argc, char **argv)
+{
+    std::uint32_t index = 0;
+    std::uint32_t of = 0;
+    bool of_set = false;
+    std::string cache_dir = "jscale-cache";
+    int i = 2;
+    for (; i < argc; ++i) {
+        const std::string arg = argv[i];
+        auto value = [&]() -> const char * {
+            if (i + 1 >= argc) {
+                std::cerr << "missing value for " << arg << "\n";
+                std::exit(2);
+            }
+            return argv[++i];
+        };
+        if (arg == "--index") {
+            index = static_cast<std::uint32_t>(
+                parseDigits(value(), "--index"));
+        } else if (arg == "--of") {
+            of = static_cast<std::uint32_t>(parseDigits(value(), "--of"));
+            of_set = true;
+        } else if (arg == "--cache-dir") {
+            cache_dir = value();
+        } else {
+            if (arg == "--")
+                ++i; // optional separator before the nested command
+            break; // nested command starts here
+        }
+    }
+    if (!of_set || of == 0) {
+        std::cerr << "shard requires --of <N> with N >= 1\n";
+        std::exit(2);
+    }
+    if (index >= of) {
+        std::cerr << "shard --index " << index << " out of range for --of "
+                  << of << "\n";
+        std::exit(2);
+    }
+    if (i >= argc) {
+        std::cerr << "shard requires a nested command\n";
+        std::exit(2);
+    }
+    requireShardable(argv[i]);
+    CliOptions o =
+        parseArgs(std::vector<std::string>(argv + i, argv + argc));
+    o.shard_index = index;
+    o.shard_count = of;
+    o.cache_dir = cache_dir;
+    core::resetCampaignPointStats();
+    const int rc = guardedDispatch(o);
+    printPointSummary(
+        ("shard " + std::to_string(index) + "/" + std::to_string(of))
+            .c_str());
+    return rc;
+}
+
+/** jscale merge [--cache-dir d] [--fill] <command> [flags] */
+int
+cmdMerge(int argc, char **argv)
+{
+    std::string cache_dir = "jscale-cache";
+    bool fill = false;
+    int i = 2;
+    for (; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg == "--cache-dir") {
+            if (i + 1 >= argc) {
+                std::cerr << "missing value for --cache-dir\n";
+                std::exit(2);
+            }
+            cache_dir = argv[++i];
+        } else if (arg == "--fill") {
+            fill = true;
+        } else {
+            if (arg == "--")
+                ++i; // optional separator before the nested command
+            break;
+        }
+    }
+    if (i >= argc) {
+        std::cerr << "merge requires a nested command\n";
+        std::exit(2);
+    }
+    requireShardable(argv[i]);
+    CliOptions o =
+        parseArgs(std::vector<std::string>(argv + i, argv + argc));
+    o.cache_dir = cache_dir;
+    o.merge_strict = !fill;
+    core::resetCampaignPointStats();
+    const int rc = guardedDispatch(o);
+    printPointSummary("merge");
+    const std::uint64_t missing = core::campaignPointStats().missing;
+    if (rc == 0 && missing > 0) {
+        std::cerr << "merge: " << missing
+                  << " point(s) missing from the cache — partial "
+                     "campaign (re-run the failed shards, or pass "
+                     "--fill to run them here)\n";
+        return 3;
+    }
+    return rc;
+}
+
+/**
+ * jscale campaign --shards N [supervisor flags] <command> [flags]
+ *
+ * Forks N shard workers of this binary, supervises them (watchdog,
+ * classify, retry with backoff), then merges in-process. The final
+ * exit code comes from the merged data, not the worker exits: a shard
+ * that crashed but whose points were salvaged is a success; points
+ * still missing after the retry budget make the campaign partial (3).
+ */
+int
+cmdCampaign(int argc, char **argv)
+{
+    std::uint32_t shards = 2;
+    std::string cache_dir = "jscale-campaign/cache";
+    std::string log_dir = "jscale-campaign/logs";
+    core::SupervisorConfig scfg;
+    bool chaos = false;
+    std::uint64_t chaos_seed = 1;
+    std::uint64_t chaos_kill_after = 2;
+    int i = 2;
+    for (; i < argc; ++i) {
+        const std::string arg = argv[i];
+        auto value = [&]() -> const char * {
+            if (i + 1 >= argc) {
+                std::cerr << "missing value for " << arg << "\n";
+                std::exit(2);
+            }
+            return argv[++i];
+        };
+        if (arg == "--shards") {
+            shards =
+                static_cast<std::uint32_t>(parseDigits(value(), arg));
+        } else if (arg == "--cache-dir") {
+            cache_dir = value();
+        } else if (arg == "--log-dir") {
+            log_dir = value();
+        } else if (arg == "--retries") {
+            scfg.retries =
+                static_cast<unsigned>(parseDigits(value(), arg));
+        } else if (arg == "--backoff-ms") {
+            scfg.backoff_ms = parseDigits(value(), arg);
+        } else if (arg == "--timeout-s") {
+            scfg.timeout_s = parseDigits(value(), arg);
+        } else if (arg == "--chaos") {
+            chaos = true;
+        } else if (arg == "--chaos-seed") {
+            chaos_seed = parseDigits(value(), arg);
+        } else if (arg == "--chaos-kill-after") {
+            chaos_kill_after = parseDigits(value(), arg);
+            if (chaos_kill_after == 0) {
+                std::cerr << "--chaos-kill-after must be positive\n";
+                std::exit(2);
+            }
+        } else {
+            if (arg == "--")
+                ++i; // optional separator before the nested command
+            break;
+        }
+    }
+    if (shards == 0) {
+        std::cerr << "campaign requires --shards >= 1\n";
+        std::exit(2);
+    }
+    if (i >= argc) {
+        std::cerr << "campaign requires a nested command\n";
+        std::exit(2);
+    }
+    requireShardable(argv[i]);
+    const std::vector<std::string> nested(argv + i, argv + argc);
+
+    scfg.log_dir = log_dir;
+    if (chaos) {
+        scfg.chaos_kill_after = chaos_kill_after;
+        scfg.chaos_victim =
+            static_cast<std::uint32_t>(chaos_seed % shards);
+        std::cerr << "chaos: shard " << scfg.chaos_victim
+                  << " dies after " << chaos_kill_after
+                  << " durable record(s) on its first attempt\n";
+    }
+    const auto argvFor = [&](std::uint32_t s) {
+        std::vector<std::string> a = {
+            "/proc/self/exe", "shard",       "--index",
+            std::to_string(s), "--of",       std::to_string(shards),
+            "--cache-dir",     cache_dir};
+        a.insert(a.end(), nested.begin(), nested.end());
+        return a;
+    };
+    const core::SupervisorReport report =
+        core::superviseWorkers(shards, scfg, argvFor, std::cerr);
+    report.print(std::cerr);
+
+    // Merge in-process: with every point a cache hit, this renders the
+    // exact bytes a single-process run would produce.
+    CliOptions o = parseArgs(nested);
+    o.cache_dir = cache_dir;
+    o.merge_strict = true;
+    core::resetCampaignPointStats();
+    const int rc = guardedDispatch(o);
+    printPointSummary("campaign merge");
+    if (rc != 0)
+        return rc;
+    const std::uint64_t missing = core::campaignPointStats().missing;
+    if (missing > 0) {
+        std::cerr << "campaign: " << missing
+                  << " point(s) still missing after "
+                  << report.totalAttempts()
+                  << " attempt(s) — partial result set\n";
+        return 3;
+    }
+    return 0;
+}
+
+/** jscale supervise [retry flags] -- <command> [args] */
+int
+cmdSupervise(int argc, char **argv)
+{
+    core::SupervisorConfig scfg;
+    int i = 2;
+    for (; i < argc; ++i) {
+        const std::string arg = argv[i];
+        auto value = [&]() -> const char * {
+            if (i + 1 >= argc) {
+                std::cerr << "missing value for " << arg << "\n";
+                std::exit(2);
+            }
+            return argv[++i];
+        };
+        if (arg == "--retries") {
+            scfg.retries =
+                static_cast<unsigned>(parseDigits(value(), arg));
+        } else if (arg == "--backoff-ms") {
+            scfg.backoff_ms = parseDigits(value(), arg);
+        } else if (arg == "--timeout-s") {
+            scfg.timeout_s = parseDigits(value(), arg);
+        } else if (arg == "--log-dir") {
+            scfg.log_dir = value();
+        } else if (arg == "--") {
+            ++i;
+            break;
+        } else {
+            std::cerr << "unknown supervise flag '" << arg
+                      << "' (command goes after --)\n";
+            std::exit(2);
+        }
+    }
+    if (i >= argc) {
+        std::cerr << "supervise requires a command after --\n";
+        std::exit(2);
+    }
+    const std::vector<std::string> child(argv + i, argv + argc);
+    const auto argvFor = [&](std::uint32_t) { return child; };
+    const core::SupervisorReport report =
+        core::superviseWorkers(1, scfg, argvFor, std::cerr);
+    report.print(std::cerr);
+    const core::WorkerOutcome &w = report.workers.front();
+    if (w.succeeded)
+        return 0;
+    const core::WorkerAttempt *last = w.last();
+    if (last != nullptr &&
+        last->failure == core::FailureClass::Deterministic)
+        return last->exit_code; // pass the command's own verdict through
+    return 3; // crash/timeout persisted through the retry budget
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    if (argc >= 2) {
+        const std::string cmd = argv[1];
+        if (cmd == "shard")
+            return cmdShard(argc, argv);
+        if (cmd == "merge")
+            return cmdMerge(argc, argv);
+        if (cmd == "campaign")
+            return cmdCampaign(argc, argv);
+        if (cmd == "supervise")
+            return cmdSupervise(argc, argv);
+    }
+    return guardedDispatch(parse(argc, argv));
 }
