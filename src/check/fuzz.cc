@@ -3,6 +3,7 @@
 #include <cstdlib>
 #include <filesystem>
 #include <fstream>
+#include <map>
 #include <optional>
 #include <ostream>
 #include <sstream>
@@ -30,6 +31,7 @@ sabotageName(Sabotage s)
       case Sabotage::DupAlloc: return "dup-alloc";
       case Sabotage::PhantomDeath: return "phantom-death";
       case Sabotage::DoubleRelease: return "double-release";
+      case Sabotage::IllegalHandoff: return "illegal-handoff";
     }
     return "?";
 }
@@ -39,7 +41,7 @@ parseSabotage(const std::string &name, Sabotage &out)
 {
     for (const Sabotage s :
          {Sabotage::None, Sabotage::DupAlloc, Sabotage::PhantomDeath,
-          Sabotage::DoubleRelease}) {
+          Sabotage::DoubleRelease, Sabotage::IllegalHandoff}) {
         if (name == sabotageName(s)) {
             out = s;
             return true;
@@ -57,6 +59,7 @@ FuzzCase::describe() const
        << " monitors=" << monitors << " heap=" << heap << " tlab=" << tlab
        << " intensity=" << fault_intensity
        << " governed=" << (governed ? 1 : 0)
+       << " policy=" << jvm::lockPolicyName(policy)
        << " sabotage=" << sabotageName(sabotage);
     return os.str();
 }
@@ -94,6 +97,12 @@ FuzzCase::parse(const std::string &line, FuzzCase &out, std::string &err)
                 c.fault_intensity = std::stod(val);
             } else if (key == "governed") {
                 c.governed = val != "0";
+            } else if (key == "policy") {
+                // Absent on pre-policy case lines; defaults to fifo.
+                if (!jvm::parseLockPolicy(val, c.policy)) {
+                    err = "unknown lock policy '" + val + "'";
+                    return false;
+                }
             } else if (key == "sabotage") {
                 if (!parseSabotage(val, c.sabotage)) {
                     err = "unknown sabotage '" + val + "'";
@@ -136,6 +145,10 @@ caseForSeed(std::uint64_t seed)
     c.fault_intensity = rng.chance(0.4) ? (rng.chance(0.5) ? 0.3 : 0.6)
                                         : 0.0;
     c.governed = rng.chance(0.25);
+    // Drawn last so the policy dimension extends the case space
+    // without perturbing the geometry older seeds derive.
+    c.policy = jvm::kAllLockPolicies[rng.below(
+        sizeof(jvm::kAllLockPolicies) / sizeof(jvm::kAllLockPolicies[0]))];
     return c;
 }
 
@@ -168,12 +181,53 @@ class Saboteur : public jvm::RuntimeListener
     }
 
     void
+    onMonitorContended(jvm::MutatorIndex thread, jvm::MonitorId monitor,
+                       Ticks now) override
+    {
+        (void)thread;
+        (void)now;
+        if (kind_ == Sabotage::IllegalHandoff)
+            ++queued_[monitor];
+    }
+
+    void
+    onMonitorAcquire(jvm::MutatorIndex thread, jvm::MonitorId monitor,
+                     bool contended, Ticks now) override
+    {
+        (void)thread;
+        (void)now;
+        if (kind_ == Sabotage::IllegalHandoff && contended &&
+            queued_[monitor] > 0)
+            --queued_[monitor];
+    }
+
+    void
+    onMonitorWaiterCancelled(jvm::MutatorIndex thread,
+                             jvm::MonitorId monitor, Ticks now) override
+    {
+        (void)thread;
+        (void)now;
+        if (kind_ == Sabotage::IllegalHandoff && queued_[monitor] > 0)
+            --queued_[monitor];
+    }
+
+    void
     onMonitorRelease(jvm::MutatorIndex thread, jvm::MonitorId monitor,
                      Ticks now) override
     {
-        if (!fired_ && kind_ == Sabotage::DoubleRelease) {
+        if (fired_)
+            return;
+        if (kind_ == Sabotage::DoubleRelease) {
             fired_ = true;
             suite_.onMonitorRelease(thread, monitor, now);
+        } else if (kind_ == Sabotage::IllegalHandoff &&
+                   queued_[monitor] > 0) {
+            // The releasing thread never sat in the acquire queue, so
+            // a contended grant to it is illegal under every admission
+            // policy — fifo, barging window, or culling active set.
+            fired_ = true;
+            suite_.onMonitorAcquire(thread, monitor, /*contended=*/true,
+                                    now);
         }
     }
 
@@ -181,6 +235,8 @@ class Saboteur : public jvm::RuntimeListener
     OracleSuite &suite_;
     Sabotage kind_;
     bool fired_ = false;
+    /** Per-monitor queued-waiter mirror (IllegalHandoff trigger). */
+    std::map<jvm::MonitorId, std::uint32_t> queued_;
 };
 
 } // namespace
@@ -210,6 +266,11 @@ runFuzzCase(const FuzzCase &c)
     cfg.heap.capacity = c.heap;
     cfg.heap.tlab_size = c.tlab;
     cfg.enable_helpers = false;
+    cfg.locks.policy = c.policy;
+    // Nonzero handoff costs so the coherence-penalty accounting runs
+    // under oracle scrutiny too.
+    cfg.locks.handoff_base = 250;
+    cfg.locks.coherence_cost = 500;
 
     jvm::JavaVm vm(sim, mach, sched, cfg);
 
@@ -304,6 +365,11 @@ shrinkCase(const FuzzCase &c, std::uint32_t budget,
                 return false;
             m.tlab = 0;
             return true;
+          case 6:
+            if (m.policy == jvm::LockPolicy::Fifo)
+                return false;
+            m.policy = jvm::LockPolicy::Fifo; // simplest admission order
+            return true;
           default:
             return false;
         }
@@ -312,7 +378,7 @@ shrinkCase(const FuzzCase &c, std::uint32_t budget,
     bool progressed = true;
     while (progressed && used < budget) {
         progressed = false;
-        for (int rule = 0; rule <= 5 && used < budget; ++rule) {
+        for (int rule = 0; rule <= 6 && used < budget; ++rule) {
             FuzzCase candidate = best;
             if (!mutate(candidate, rule))
                 continue;

@@ -12,9 +12,9 @@
  * budget, and writes the minimal case as a replayable artifact.
  *
  * A sabotage mode perturbs the event stream the oracles observe
- * (duplicate allocs, phantom deaths, double releases) to prove the
- * oracles actually catch seeded bugs end-to-end; it is the fuzz
- * harness's own test fixture.
+ * (duplicate allocs, phantom deaths, double releases, illegal monitor
+ * handoffs) to prove the oracles actually catch seeded bugs
+ * end-to-end; it is the fuzz harness's own test fixture.
  */
 
 #ifndef JSCALE_CHECK_FUZZ_HH
@@ -27,6 +27,7 @@
 
 #include "base/units.hh"
 #include "check/oracle.hh"
+#include "jvm/locks/policy.hh"
 
 namespace jscale::check {
 
@@ -45,6 +46,10 @@ enum class Sabotage : std::uint8_t
     PhantomDeath,
     /** Re-deliver the first monitor release (release by non-holder). */
     DoubleRelease,
+    /** Fabricate a contended grant to the releasing thread at the
+     *  first release with a queued waiter — a grantee that never
+     *  queued, illegal under every admission policy. */
+    IllegalHandoff,
 };
 
 /** Short stable name ("none", "dup-alloc", ...). */
@@ -66,6 +71,9 @@ struct FuzzCase
     double fault_intensity = 0.0;
     /** Run under a hill-climbing concurrency governor. */
     bool governed = false;
+    /** Monitor admission policy the case runs under (with nonzero
+     *  handoff/coherence costs so the penalty paths are exercised). */
+    jvm::LockPolicy policy = jvm::LockPolicy::Fifo;
     Sabotage sabotage = Sabotage::None;
 
     /** One-line key=value form, parseable by parse(). */
@@ -104,9 +112,10 @@ FuzzOutcome runFuzzCase(const FuzzCase &c);
 /**
  * Greedily shrink a failing case: repeatedly try halving tasks,
  * halving threads, dropping the fault schedule, disabling the
- * governor, reducing monitors and disabling TLABs, restarting from
- * the first rule after every successful reduction. Each candidate
- * costs one run; at most @p budget runs are spent.
+ * governor, reducing monitors, disabling TLABs and resetting the
+ * admission policy to fifo, restarting from the first rule after
+ * every successful reduction. Each candidate costs one run; at most
+ * @p budget runs are spent.
  *
  * @return the smallest still-failing case found (possibly @p c itself).
  */

@@ -34,6 +34,7 @@ OracleSuite::attach(jvm::JavaVm &vm)
     vm_ = &vm;
     sched_ = &vm.scheduler();
     group_ = vm.config().tenant;
+    locks_ = vm.config().locks;
 
     // Self-configure gates the run's configuration makes unsound:
     // TLAB reservation reclaims more than the dead-object bytes, and
@@ -331,7 +332,7 @@ OracleSuite::onObjectDeath(const jvm::ObjectRecord &obj, Bytes lifespan,
 }
 
 // ---------------------------------------------------------------------
-// Monitor mutual exclusion + FIFO handoff
+// Monitor mutual exclusion + per-policy legal handoff
 // ---------------------------------------------------------------------
 
 void
@@ -352,13 +353,37 @@ OracleSuite::onMonitorAcquire(jvm::MutatorIndex thread,
         report("monitor-exclusion", os.str(), now);
     }
     if (contended) {
-        if (m.queue.empty()) {
-            std::ostringstream os;
-            os << "contended grant of monitor " << monitor
-               << " to thread " << thread
-               << " with an empty acquire queue";
-            report("monitor-fifo", os.str(), now);
-        } else if (m.queue.front() != thread) {
+        ++m.grants;
+        checkContendedGrant(m, thread, monitor, now);
+        checkRotationBounds(m, monitor, now);
+    } else if (!m.queue.empty() || !m.passive.empty()) {
+        std::ostringstream os;
+        os << "thread " << thread << " barged monitor " << monitor
+           << " past " << (m.queue.size() + m.passive.size())
+           << " queued waiter(s) via an uncontended grant";
+        report("monitor-fifo", os.str(), now);
+    }
+    m.holder = thread;
+}
+
+void
+OracleSuite::checkContendedGrant(MonitorModel &m,
+                                 jvm::MutatorIndex thread,
+                                 jvm::MonitorId monitor, Ticks now)
+{
+    // Under every policy a contended grant must come from the active
+    // queue; the policies differ only in WHICH active waiter is legal.
+    if (m.queue.empty()) {
+        std::ostringstream os;
+        os << "contended grant of monitor " << monitor << " to thread "
+           << thread << " with an empty acquire queue ("
+           << jvm::lockPolicyName(locks_.policy) << " policy)";
+        report("monitor-fifo", os.str(), now);
+        return;
+    }
+    switch (locks_.policy) {
+    case jvm::LockPolicy::Fifo:
+        if (m.queue.front() != thread) {
             std::ostringstream os;
             os << "monitor " << monitor << " handed to thread " << thread
                << " ahead of queued thread " << m.queue.front()
@@ -367,14 +392,141 @@ OracleSuite::onMonitorAcquire(jvm::MutatorIndex thread,
         } else {
             m.queue.pop_front();
         }
-    } else if (!m.queue.empty()) {
-        std::ostringstream os;
-        os << "thread " << thread << " barged monitor " << monitor
-           << " past " << m.queue.size() << " queued waiter(s) (head: "
-           << "thread " << m.queue.front() << ")";
-        report("monitor-fifo", os.str(), now);
+        return;
+    case jvm::LockPolicy::Barging: {
+        // A barging grant is legal anywhere within the first
+        // min(window, depth) queue slots, and the policy must grant the
+        // head at least once per `window` consecutive handoffs.
+        const std::size_t window = std::max<std::uint32_t>(
+            1, locks_.barge_window);
+        const std::size_t reach = std::min(window, m.queue.size());
+        std::size_t pos = reach;
+        for (std::size_t i = 0; i < reach; ++i) {
+            if (m.queue[i] == thread) {
+                pos = i;
+                break;
+            }
+        }
+        if (pos == reach) {
+            std::ostringstream os;
+            os << "monitor " << monitor << " handed to thread " << thread
+               << " outside the barging window (first " << reach
+               << " of " << m.queue.size() << " waiters)";
+            report("monitor-fifo", os.str(), now);
+            return;
+        }
+        if (pos == 0) {
+            m.head_miss_streak = 0;
+        } else if (++m.head_miss_streak >= window) {
+            std::ostringstream os;
+            os << "monitor " << monitor << " bypassed its queue head "
+               << m.head_miss_streak << " consecutive handoffs — "
+               << "barging window " << window << " starvation bound "
+               << "violated";
+            report("monitor-fifo", os.str(), now);
+        }
+        m.queue.erase(m.queue.begin() +
+                      static_cast<std::ptrdiff_t>(pos));
+        return;
     }
-    m.holder = thread;
+    case jvm::LockPolicy::Malthusian:
+    case jvm::LockPolicy::Lcr:
+        // Culling policies grant strictly from the head of the active
+        // set; passivated waiters may only re-enter via an announced
+        // reactivation (handled in onMonitorWaiterReactivated).
+        if (m.queue.front() != thread) {
+            std::ostringstream os;
+            os << "monitor " << monitor << " handed to thread " << thread
+               << " ahead of active-set head " << m.queue.front()
+               << " — " << jvm::lockPolicyName(locks_.policy)
+               << " handoff violated";
+            report("monitor-fifo", os.str(), now);
+        } else {
+            m.queue.pop_front();
+        }
+        return;
+    }
+}
+
+void
+OracleSuite::checkRotationBounds(MonitorModel &m, jvm::MonitorId monitor,
+                                 Ticks now)
+{
+    for (const PassiveEntry &e : m.passive) {
+        if (e.bound > 0 && m.grants - e.passivated_at > e.bound) {
+            std::ostringstream os;
+            os << "passivated thread " << e.thread << " on monitor "
+               << monitor << " has waited "
+               << (m.grants - e.passivated_at)
+               << " handoffs without reactivation (rotation bound "
+               << e.bound << ") — starvation bound violated";
+            report("monitor-fifo", os.str(), now);
+            return;
+        }
+    }
+}
+
+void
+OracleSuite::onMonitorWaiterPassivated(jvm::MutatorIndex thread,
+                                       jvm::MonitorId monitor, Ticks now)
+{
+    observeTime(now);
+    if (!config_.monitors)
+        return;
+    MonitorModel &m = monitorModel(monitor);
+    ++checks_;
+    if (locks_.policy != jvm::LockPolicy::Malthusian &&
+        locks_.policy != jvm::LockPolicy::Lcr) {
+        std::ostringstream os;
+        os << "thread " << thread << " passivated on monitor " << monitor
+           << " under non-culling policy "
+           << jvm::lockPolicyName(locks_.policy);
+        report("monitor-fifo", os.str(), now);
+        return;
+    }
+    // The culling policies always demote from the TAIL of the active
+    // set (most recently enqueued first).
+    if (m.queue.empty() || m.queue.back() != thread) {
+        std::ostringstream os;
+        os << "thread " << thread << " passivated on monitor " << monitor
+           << " but is not the active-set tail";
+        report("monitor-fifo", os.str(), now);
+        return;
+    }
+    m.queue.pop_back();
+    // A rotation every R handoffs reactivates the passive head, so a
+    // waiter entering at 1-based position p is reactivated within
+    // p * R grants of the rotation clock; (p + 1) * R from now is a
+    // safe upper bound regardless of clock phase.
+    const std::uint64_t bound =
+        locks_.rotation_period > 0
+            ? (static_cast<std::uint64_t>(m.passive.size()) + 2) *
+                  locks_.rotation_period
+            : 0;
+    m.passive.push_back(PassiveEntry{thread, m.grants, bound});
+}
+
+void
+OracleSuite::onMonitorWaiterReactivated(jvm::MutatorIndex thread,
+                                        jvm::MonitorId monitor,
+                                        Ticks now)
+{
+    observeTime(now);
+    if (!config_.monitors)
+        return;
+    MonitorModel &m = monitorModel(monitor);
+    ++checks_;
+    if (m.passive.empty() || m.passive.front().thread != thread) {
+        std::ostringstream os;
+        os << "thread " << thread << " reactivated on monitor "
+           << monitor << " but is not the passive-list head";
+        report("monitor-fifo", os.str(), now);
+        return;
+    }
+    m.passive.pop_front();
+    // Reactivation promotes to the FRONT of the active set; the
+    // triggering handoff grants this waiter immediately.
+    m.queue.push_front(thread);
 }
 
 void
@@ -419,6 +571,12 @@ OracleSuite::onMonitorWaiterCancelled(jvm::MutatorIndex thread,
     for (auto it = m.queue.begin(); it != m.queue.end(); ++it) {
         if (*it == thread) {
             m.queue.erase(it);
+            return;
+        }
+    }
+    for (auto it = m.passive.begin(); it != m.passive.end(); ++it) {
+        if (it->thread == thread) {
+            m.passive.erase(it);
             return;
         }
     }

@@ -12,10 +12,16 @@
  *      once, the suite's independent live-byte ledger reconciles with
  *      the heap's gauge after every alloc/death, and stop-the-world
  *      reclaim never exceeds the bytes that actually died;
- *   2. monitor mutual exclusion + FIFO handoff — at most one holder
- *      per monitor, contended grants only to the queue head (in
- *      onMonitorContended order, minus kill-path cancellations), no
- *      barging past a non-empty queue, releases only by the holder;
+ *   2. monitor mutual exclusion + legal handoff — at most one holder
+ *      per monitor, releases only by the holder, no uncontended
+ *      acquisition past queued waiters, and contended grants legal
+ *      under the run's admission policy (jvm::LockPolicy): FIFO grants
+ *      the queue head only; barging grants within the barging window
+ *      with the head bypassed at most window-1 consecutive times;
+ *      Malthusian/LCR grant only the active-set head, passivations
+ *      take the active tail, reactivations take the oldest passivated
+ *      waiter, and no passivated waiter starves past its rotation
+ *      bound;
  *   3. scheduler work conservation — legal thread-state transitions,
  *      no double-booked cores, no dispatch while the world is stopped,
  *      and starvation-freedom: no runnable thread waits longer than a
@@ -54,6 +60,7 @@
 
 #include "base/error.hh"
 #include "base/units.hh"
+#include "jvm/locks/policy.hh"
 #include "jvm/runtime/listener.hh"
 #include "os/sched_listener.hh"
 #include "profile/profiler.hh"
@@ -206,6 +213,12 @@ class OracleSuite final : public jvm::RuntimeListener,
     void onMonitorWaiterCancelled(jvm::MutatorIndex thread,
                                   jvm::MonitorId monitor,
                                   Ticks now) override;
+    void onMonitorWaiterPassivated(jvm::MutatorIndex thread,
+                                   jvm::MonitorId monitor,
+                                   Ticks now) override;
+    void onMonitorWaiterReactivated(jvm::MutatorIndex thread,
+                                    jvm::MonitorId monitor,
+                                    Ticks now) override;
     void onSafepointBegin(std::uint64_t sequence, Ticks now) override;
     void onSafepointReached(std::uint64_t sequence, Ticks ttsp,
                             Ticks now) override;
@@ -254,12 +267,31 @@ class OracleSuite final : public jvm::RuntimeListener,
     /** Check one thread's ready wait against the bound. */
     void checkReadyWait(std::size_t idx, Ticks now, bool at_dispatch);
 
+    /** One passivated waiter and its starvation bound. */
+    struct PassiveEntry
+    {
+        jvm::MutatorIndex thread = 0;
+        /** MonitorModel::grants at the moment of passivation. */
+        std::uint64_t passivated_at = 0;
+        /** Max contended grants before it must be reactivated (0 = no
+         *  bound — rotation disabled). */
+        std::uint64_t bound = 0;
+    };
+
     struct MonitorModel
     {
         /** Holder mutator index; -1 = free. */
         std::int64_t holder = -1;
-        /** FIFO acquire queue (onMonitorContended order). */
+        /** Active acquire queue (onMonitorContended order, minus
+         *  passivated waiters). */
         std::deque<jvm::MutatorIndex> queue;
+        /** Cold passivated waiters, oldest first (culling policies). */
+        std::deque<PassiveEntry> passive;
+        /** Contended grants observed on this monitor. */
+        std::uint64_t grants = 0;
+        /** Consecutive contended grants that bypassed the queue head
+         *  (barging-window starvation bound). */
+        std::uint32_t head_miss_streak = 0;
     };
 
     struct ThreadModel
@@ -306,6 +338,15 @@ class OracleSuite final : public jvm::RuntimeListener,
     };
 
     MonitorModel &monitorModel(jvm::MonitorId id);
+
+    /** Per-policy legality of one contended grant (removes the grantee
+     *  from the model queue when legal). */
+    void checkContendedGrant(MonitorModel &m, jvm::MutatorIndex thread,
+                             jvm::MonitorId monitor, Ticks now);
+
+    /** No passivated waiter may starve past its rotation bound. */
+    void checkRotationBounds(MonitorModel &m, jvm::MonitorId monitor,
+                             Ticks now);
     ThreadModel &threadModel(std::size_t id);
     CoreModel &coreModel(std::size_t id);
     ServingModel &servingModel(jvm::MutatorIndex thread);
@@ -321,6 +362,9 @@ class OracleSuite final : public jvm::RuntimeListener,
     }
 
     OracleConfig config_;
+    /** Admission policy of the attached VM (attach() reads it); the
+     *  handoff model validates against this discipline. */
+    jvm::LockPolicyConfig locks_;
     jvm::JavaVm *vm_ = nullptr;
     const os::Scheduler *sched_ = nullptr;
     bool attached_ = false;

@@ -209,6 +209,7 @@ ExperimentRunner::campaignFingerprint() const
        << " profile=" << (config_.profile ? 1 : 0)
        << " compart=" << (config_.vm.heap.compartmentalized ? 1 : 0)
        << " biased=" << (config_.biased_scheduling ? 1 : 0)
+       << " locks=" << jvm::describeLockPolicyConfig(config_.vm.locks)
        << " arrivals="
        << (config_.arrivals.empty() ? "-" : config_.arrivals);
     return os.str();

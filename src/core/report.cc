@@ -673,6 +673,22 @@ runStatSnapshot(const jvm::RunResult &r)
     s.add("locks.inflations", r.locks.inflations);
     s.add("locks.waits", r.locks.waits);
     s.add("locks.notifies", r.locks.notifies);
+    s.add("locks.handoffs", r.locks.handoffs);
+    s.add("locks.barged_grants", r.locks.barged_grants);
+    s.add("locks.waiters_passivated", r.locks.waiters_passivated);
+    s.add("locks.waiters_reactivated", r.locks.waiters_reactivated);
+    s.add("locks.coherence_penalty",
+          static_cast<double>(r.locks.coherence_penalty), "ticks");
+    s.add("locks.circulation_avg",
+          r.locks.handoffs
+              ? static_cast<double>(r.locks.circulation_sum) /
+                    static_cast<double>(r.locks.handoffs)
+              : 0.0);
+    s.add("locks.block_p50",
+          static_cast<double>(r.locks.block_hist.quantile(0.5)), "ticks");
+    s.add("locks.block_p99",
+          static_cast<double>(r.locks.block_hist.quantile(0.99)),
+          "ticks");
 
     s.add("sched.dispatches", r.sched.dispatches);
     s.add("sched.context_switches", r.sched.context_switches);

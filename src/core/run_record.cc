@@ -396,6 +396,13 @@ writeRunRecord(std::ostream &os, const std::string &key,
     w.u("locks.inflations", locks.inflations);
     w.u("locks.waits", locks.waits);
     w.u("locks.notifies", locks.notifies);
+    w.u("locks.handoffs", locks.handoffs);
+    w.u("locks.barged_grants", locks.barged_grants);
+    w.u("locks.waiters_passivated", locks.waiters_passivated);
+    w.u("locks.waiters_reactivated", locks.waiters_reactivated);
+    w.u("locks.coherence_penalty", locks.coherence_penalty);
+    w.u("locks.circulation_sum", locks.circulation_sum);
+    w.latHist("locks.block_hist", locks.block_hist);
 
     w.u("threads.count", r.thread_summaries.size());
     for (const jvm::ThreadSummary &t : r.thread_summaries) {
@@ -589,6 +596,13 @@ readRunRecord(std::istream &is, const std::string &expect_key,
     locks.inflations = in.u("locks.inflations");
     locks.waits = in.u("locks.waits");
     locks.notifies = in.u("locks.notifies");
+    locks.handoffs = in.u("locks.handoffs");
+    locks.barged_grants = in.u("locks.barged_grants");
+    locks.waiters_passivated = in.u("locks.waiters_passivated");
+    locks.waiters_reactivated = in.u("locks.waiters_reactivated");
+    locks.coherence_penalty = in.u("locks.coherence_penalty");
+    locks.circulation_sum = in.u("locks.circulation_sum");
+    in.latHist("locks.block_hist", locks.block_hist);
 
     const std::uint64_t n_threads = in.u("threads.count");
     for (std::uint64_t i = 0; in.ok() && i < n_threads; ++i) {

@@ -20,10 +20,61 @@ lockStateName(LockState s)
 }
 
 Monitor::Monitor(MonitorId id, std::string name, os::Scheduler &sched,
-                 const ListenerChain *listeners, MonitorTable *table)
+                 const ListenerChain *listeners, MonitorTable *table,
+                 const LockPolicyConfig &policy_cfg)
     : id_(id), name_(std::move(name)), sched_(sched),
-      listeners_(listeners), table_(table)
+      listeners_(listeners), table_(table), cfg_(policy_cfg),
+      policy_(makeAdmissionPolicy(cfg_, this))
 {
+}
+
+void
+Monitor::waiterPassivated(MonitorWaiter *w, Ticks now)
+{
+    ++stats_.waiters_passivated;
+    if (listeners_) {
+        listeners_->dispatch([&](RuntimeListener &l) {
+            l.onMonitorWaiterPassivated(w->mutatorIndex(), id_, now);
+        });
+    }
+}
+
+void
+Monitor::waiterReactivated(MonitorWaiter *w, Ticks now)
+{
+    ++stats_.waiters_reactivated;
+    if (listeners_) {
+        listeners_->dispatch([&](RuntimeListener &l) {
+            l.onMonitorWaiterReactivated(w->mutatorIndex(), id_, now);
+        });
+    }
+}
+
+Ticks
+Monitor::handoffPenalty(const MonitorWaiter *waiter)
+{
+    const MutatorIndex grantee = waiter->mutatorIndex();
+    // Distinct *other* recent owners before this grant joins the window.
+    const std::size_t distinct_others =
+        owner_counts_.size() - owner_counts_.count(grantee);
+    const Ticks penalty =
+        cfg_.handoff_base +
+        cfg_.coherence_cost * static_cast<Ticks>(distinct_others);
+    // Slide the circulation window forward over this grant.
+    if (cfg_.circulation_window > 0) {
+        recent_owners_.push_back(grantee);
+        ++owner_counts_[grantee];
+        if (recent_owners_.size() > cfg_.circulation_window) {
+            const MutatorIndex old = recent_owners_.front();
+            recent_owners_.pop_front();
+            const auto it = owner_counts_.find(old);
+            if (--it->second == 0)
+                owner_counts_.erase(it);
+        }
+    }
+    stats_.circulation_sum += owner_counts_.size();
+    stats_.coherence_penalty += penalty;
+    return penalty;
 }
 
 void
@@ -37,6 +88,23 @@ Monitor::grant(MonitorWaiter *waiter, Ticks now, bool contended)
             l.onMonitorAcquire(waiter->mutatorIndex(), id_, contended, now);
         });
     }
+}
+
+void
+Monitor::enqueueContended(MonitorWaiter *waiter, Ticks now)
+{
+    ++stats_.contentions;
+    policy_->enqueue(waiter, now);
+    stats_.max_queue_depth =
+        std::max(stats_.max_queue_depth,
+                 static_cast<std::uint32_t>(policy_->depth()));
+    if (listeners_) {
+        listeners_->dispatch([&](RuntimeListener &l) {
+            l.onMonitorContended(waiter->mutatorIndex(), id_, now);
+        });
+    }
+    if (table_)
+        table_->onBlocked(waiter, id_);
 }
 
 bool
@@ -75,46 +143,46 @@ Monitor::acquire(MonitorWaiter *waiter, Ticks now)
         return true;
     }
     // Contended slow path: the lock inflates to a fat monitor (where it
-    // stays), then the waiter queues FIFO.
+    // stays), then the waiter queues with the admission policy.
     if (state_ != LockState::Fat) {
         state_ = LockState::Fat;
         bias_holder_ = nullptr;
         ++stats_.inflations;
     }
-    ++stats_.contentions;
-    queue_.push_back(Waiting{waiter, now});
-    stats_.max_queue_depth = std::max(
-        stats_.max_queue_depth, static_cast<std::uint32_t>(queue_.size()));
-    if (listeners_) {
-        listeners_->dispatch([&](RuntimeListener &l) {
-            l.onMonitorContended(waiter->mutatorIndex(), id_, now);
-        });
-    }
-    if (table_)
-        table_->onBlocked(waiter, id_);
+    enqueueContended(waiter, now);
     return false;
 }
 
 void
 Monitor::releaseInternal(MonitorWaiter *waiter, Ticks now)
 {
-    stats_.total_hold_time += now - acquired_at_;
+    const Ticks hold = now - acquired_at_;
+    stats_.total_hold_time += hold;
     owner_ = nullptr;
+    policy_->noteRelease(waiter, now, hold);
     if (listeners_) {
         listeners_->dispatch([&](RuntimeListener &l) {
             l.onMonitorRelease(waiter->mutatorIndex(), id_, now);
         });
     }
-    if (queue_.empty())
+    if (policy_->empty())
         return;
-    // Direct handoff to the queue head.
-    const Waiting next = queue_.front();
-    queue_.pop_front();
+    // Direct handoff to the policy's chosen waiter. Any passivation /
+    // reactivation the policy performs fires through the Events
+    // adapter (and the listener chain) before the grant itself.
+    const AdmissionPolicy::Grant next = policy_->selectNext(now);
     stats_.total_block_time += now - next.since;
+    stats_.block_hist.add(now - next.since);
     ++stats_.fat_acquisitions; // handoff happens on the inflated path
+    ++stats_.handoffs;
+    if (next.bypassed_head)
+        ++stats_.barged_grants;
+    const Ticks penalty = handoffPenalty(next.waiter);
     if (table_)
         table_->onGranted(next.waiter);
     grant(next.waiter, now, true);
+    if (penalty > 0)
+        next.waiter->chargeHandoffPenalty(penalty);
     next.waiter->monitorGranted(id_);
     sched_.wake(next.waiter->osThread());
 }
@@ -160,18 +228,7 @@ Monitor::notify(MonitorWaiter *waiter, std::uint32_t count, Ticks now)
         --count;
         // The notified thread re-contends for the monitor: it joins the
         // acquire queue and is granted at a future release.
-        ++stats_.contentions;
-        queue_.push_back(Waiting{w, now});
-        stats_.max_queue_depth =
-            std::max(stats_.max_queue_depth,
-                     static_cast<std::uint32_t>(queue_.size()));
-        if (listeners_) {
-            listeners_->dispatch([&](RuntimeListener &l) {
-                l.onMonitorContended(w->mutatorIndex(), id_, now);
-            });
-        }
-        if (table_)
-            table_->onBlocked(w, id_);
+        enqueueContended(w, now);
     }
 }
 
@@ -179,18 +236,13 @@ bool
 Monitor::cancelWaiter(MonitorWaiter *waiter, Ticks now)
 {
     bool removed = false;
-    for (auto it = queue_.begin(); it != queue_.end();) {
-        if (it->waiter == waiter) {
-            it = queue_.erase(it);
-            removed = true;
-            if (listeners_) {
-                listeners_->dispatch([&](RuntimeListener &l) {
-                    l.onMonitorWaiterCancelled(waiter->mutatorIndex(),
-                                               id_, now);
-                });
-            }
-        } else {
-            ++it;
+    if (policy_->cancel(waiter)) {
+        removed = true;
+        if (listeners_) {
+            listeners_->dispatch([&](RuntimeListener &l) {
+                l.onMonitorWaiterCancelled(waiter->mutatorIndex(),
+                                           id_, now);
+            });
         }
     }
     for (auto it = waitset_.begin(); it != waitset_.end();) {
@@ -273,8 +325,8 @@ MonitorId
 MonitorTable::createMonitor(const std::string &name)
 {
     const auto id = static_cast<MonitorId>(monitors_.size());
-    monitors_.push_back(
-        std::make_unique<Monitor>(id, name, sched_, listeners_, this));
+    monitors_.push_back(std::make_unique<Monitor>(
+        id, name, sched_, listeners_, this, policy_cfg_));
     return id;
 }
 
@@ -403,6 +455,13 @@ MonitorTable::aggregateStats() const
         agg.inflations += s.inflations;
         agg.waits += s.waits;
         agg.notifies += s.notifies;
+        agg.handoffs += s.handoffs;
+        agg.barged_grants += s.barged_grants;
+        agg.waiters_passivated += s.waiters_passivated;
+        agg.waiters_reactivated += s.waiters_reactivated;
+        agg.coherence_penalty += s.coherence_penalty;
+        agg.circulation_sum += s.circulation_sum;
+        agg.block_hist.merge(s.block_hist);
     }
     return agg;
 }

@@ -3,11 +3,18 @@
  * Java-style monitors and semaphore channels.
  *
  * A Monitor has an uncontended fast path (acquire when free) and a
- * contended slow path: the acquiring thread blocks in a FIFO queue and
- * ownership is handed off directly at release time. Acquisitions and
- * contention instances are counted exactly as the paper's DTrace probes
- * counted them (Fig. 1a / Fig. 1b), and every transition is published to
- * the RuntimeListener chain for the lock profiler.
+ * contended slow path: the acquiring thread blocks in a wait queue and
+ * ownership is handed off directly at release time, with the *choice*
+ * of next owner delegated to a pluggable AdmissionPolicy (strict FIFO
+ * by default; see locks/policy.hh). Acquisitions and contention
+ * instances are counted exactly as the paper's DTrace probes counted
+ * them (Fig. 1a / Fig. 1b), and every transition is published to the
+ * RuntimeListener chain for the lock profiler.
+ *
+ * Contended handoffs optionally charge the grantee a deterministic
+ * coherence-footprint penalty that grows with the number of distinct
+ * recent lock holders — the cache-line bouncing that makes wide
+ * circulation collapse on manycores.
  *
  * A WaitChannel is a counting semaphore used by workload models for
  * producer/consumer stage coupling (bounded pipelines, work handoff).
@@ -24,6 +31,7 @@
 #include <vector>
 
 #include "base/units.hh"
+#include "jvm/locks/policy.hh"
 #include "jvm/runtime/listener.hh"
 #include "stats/stats.hh"
 
@@ -55,6 +63,13 @@ class MonitorWaiter
 
     /** Application-level thread index (for stats/listeners). */
     virtual MutatorIndex mutatorIndex() const = 0;
+
+    /**
+     * A contended handoff charged this thread @p penalty ticks of
+     * coherence-footprint cost; the thread pays it as extra CPU time
+     * inside the new hold window. Default ignores it (test doubles).
+     */
+    virtual void chargeHandoffPenalty(Ticks penalty) { (void)penalty; }
 };
 
 /**
@@ -88,16 +103,35 @@ struct MonitorStats
     std::uint64_t waits = 0;
     /** Object.notify()/notifyAll() calls. */
     std::uint64_t notifies = 0;
+    /** @name Admission-policy behaviour */
+    /** @{ */
+    /** Contended handoffs (direct grants at release). */
+    std::uint64_t handoffs = 0;
+    /** Handoffs that bypassed an older queued waiter (unfair grants). */
+    std::uint64_t barged_grants = 0;
+    /** Waiters moved to the cold passive list (culling policies). */
+    std::uint64_t waiters_passivated = 0;
+    /** Waiters rotated back from the passive list. */
+    std::uint64_t waiters_reactivated = 0;
+    /** Total coherence-footprint penalty charged at handoffs. */
+    Ticks coherence_penalty = 0;
+    /** Sum over handoffs of the distinct recent-owner count — divide
+     *  by handoffs for the average circulation width. */
+    std::uint64_t circulation_sum = 0;
+    /** @} */
+    /** Per-grant block times (contended waits), for p99 tails. */
+    stats::LatencyHistogram block_hist;
 };
 
 class MonitorTable;
 
 /** A single monitor. Created through the MonitorTable. */
-class Monitor
+class Monitor : private AdmissionPolicy::Events
 {
   public:
     Monitor(MonitorId id, std::string name, os::Scheduler &sched,
-            const ListenerChain *listeners, MonitorTable *table);
+            const ListenerChain *listeners, MonitorTable *table,
+            const LockPolicyConfig &policy_cfg);
 
     MonitorId id() const { return id_; }
     const std::string &name() const { return name_; }
@@ -145,11 +179,17 @@ class Monitor
     /** Current HotSpot-style lock state. */
     LockState state() const { return state_; }
 
-    /** Number of queued waiters. */
-    std::size_t queueDepth() const { return queue_.size(); }
+    /** Queued waiters (active + passive lists together). */
+    std::size_t queueDepth() const { return policy_->depth(); }
+
+    /** Waiters on the cold passive list (culling policies only). */
+    std::size_t passiveDepth() const { return policy_->passiveDepth(); }
 
     /** Number of threads parked in the waitset. */
     std::size_t waitsetDepth() const { return waitset_.size(); }
+
+    /** The admission policy steering contended handoffs. */
+    LockPolicy policy() const { return policy_->kind(); }
 
     const MonitorStats &monStats() const { return stats_; }
 
@@ -159,25 +199,45 @@ class Monitor
     /** Release protocol shared by release() and waitOn(). */
     void releaseInternal(MonitorWaiter *waiter, Ticks now);
 
+    /** Queue @p waiter on the contended slow path (acquire/notify). */
+    void enqueueContended(MonitorWaiter *waiter, Ticks now);
+
+    /**
+     * Coherence-footprint cost of handing the lock to @p waiter:
+     * handoff_base + coherence_cost * distinct *other* threads among
+     * the last circulation_window contended grantees. Also records the
+     * grantee into the circulation window and accumulates the
+     * circulation stats.
+     */
+    Ticks handoffPenalty(const MonitorWaiter *waiter);
+
+    /** @name AdmissionPolicy::Events */
+    /** @{ */
+    void waiterPassivated(MonitorWaiter *w, Ticks now) override;
+    void waiterReactivated(MonitorWaiter *w, Ticks now) override;
+    /** @} */
+
     MonitorId id_;
     std::string name_;
     os::Scheduler &sched_;
     const ListenerChain *listeners_;
     MonitorTable *table_;
+    const LockPolicyConfig cfg_;
 
     MonitorWaiter *owner_ = nullptr;
     Ticks acquired_at_ = 0;
     LockState state_ = LockState::Neutral;
     /** Thread the lock is biased toward (Biased state only). */
     const MonitorWaiter *bias_holder_ = nullptr;
-    struct Waiting
-    {
-        MonitorWaiter *waiter;
-        Ticks since;
-    };
-    std::deque<Waiting> queue_;
+    /** Contended-waiter queue discipline (owns the waiting set). */
+    std::unique_ptr<AdmissionPolicy> policy_;
     /** Threads parked by waitOn(), FIFO. */
     std::deque<MonitorWaiter *> waitset_;
+    /** @name Circulation window (ring of recent contended grantees) */
+    /** @{ */
+    std::deque<MutatorIndex> recent_owners_;
+    std::map<MutatorIndex, std::uint32_t> owner_counts_;
+    /** @} */
     MonitorStats stats_;
 };
 
@@ -226,8 +286,9 @@ class WaitChannel
 class MonitorTable
 {
   public:
-    MonitorTable(os::Scheduler &sched, const ListenerChain *listeners)
-        : sched_(sched), listeners_(listeners)
+    MonitorTable(os::Scheduler &sched, const ListenerChain *listeners,
+                 const LockPolicyConfig &policy_cfg = {})
+        : sched_(sched), listeners_(listeners), policy_cfg_(policy_cfg)
     {}
 
     /** Create a monitor; ids are dense and start at 0. */
@@ -288,6 +349,8 @@ class MonitorTable
   private:
     os::Scheduler &sched_;
     const ListenerChain *listeners_;
+    /** Admission policy applied to every monitor created here. */
+    const LockPolicyConfig policy_cfg_;
     std::vector<std::unique_ptr<Monitor>> monitors_;
     std::vector<std::unique_ptr<WaitChannel>> channels_;
     /** Wait-for edges: blocked thread -> monitor id. */

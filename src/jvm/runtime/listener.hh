@@ -93,6 +93,31 @@ class RuntimeListener
     }
 
     /**
+     * The admission policy moved a queued (contended) waiter from the
+     * active circulation set to the cold passive list (Malthusian/LCR
+     * culling). The waiter stays blocked; it re-enters circulation at
+     * a future rotation. Handoff oracles track the active/passive
+     * split from these events alone.
+     */
+    virtual void
+    onMonitorWaiterPassivated(MutatorIndex thread, MonitorId monitor,
+                              Ticks now)
+    {
+        (void)thread; (void)monitor; (void)now;
+    }
+
+    /**
+     * A passivated waiter was rotated back to the front of the active
+     * set (it is granted by the handoff that triggered the rotation).
+     */
+    virtual void
+    onMonitorWaiterReactivated(MutatorIndex thread, MonitorId monitor,
+                               Ticks now)
+    {
+        (void)thread; (void)monitor; (void)now;
+    }
+
+    /**
      * The VM requested a global safepoint (stop-the-world); the
      * scheduler starts truncating running threads at their polls.
      */

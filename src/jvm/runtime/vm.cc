@@ -49,7 +49,8 @@ JavaVm::JavaVm(sim::Simulation &sim, machine::Machine &mach,
     jscale_assert(config_.max_run_time > 0,
                   "max_run_time must be positive");
     max_run_time_ = config_.max_run_time;
-    monitors_ = std::make_unique<MonitorTable>(sched_, &listeners_);
+    monitors_ = std::make_unique<MonitorTable>(sched_, &listeners_,
+                                               config_.locks);
 }
 
 JavaVm::~JavaVm() = default;
@@ -713,6 +714,13 @@ JavaVm::collectResult()
     r.locks.inflations = agg.inflations;
     r.locks.waits = agg.waits;
     r.locks.notifies = agg.notifies;
+    r.locks.handoffs = agg.handoffs;
+    r.locks.barged_grants = agg.barged_grants;
+    r.locks.waiters_passivated = agg.waiters_passivated;
+    r.locks.waiters_reactivated = agg.waiters_reactivated;
+    r.locks.coherence_penalty = agg.coherence_penalty;
+    r.locks.circulation_sum = agg.circulation_sum;
+    r.locks.block_hist = agg.block_hist;
     r.total_tasks = total_tasks_;
     if (admission_ != nullptr)
         admission_->summarize(r.governor);

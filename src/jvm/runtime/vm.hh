@@ -106,6 +106,24 @@ struct LockTotals
     std::uint64_t inflations = 0;
     std::uint64_t waits = 0;
     std::uint64_t notifies = 0;
+    /** @name Admission-policy behaviour (locks/policy.hh) */
+    /** @{ */
+    /** Contended handoffs (direct grants at release). */
+    std::uint64_t handoffs = 0;
+    /** Handoffs that bypassed an older queued waiter. */
+    std::uint64_t barged_grants = 0;
+    /** Waiters culled to the cold passive list (Malthusian/LCR). */
+    std::uint64_t waiters_passivated = 0;
+    /** Waiters rotated back from the passive list. */
+    std::uint64_t waiters_reactivated = 0;
+    /** Total coherence-footprint penalty charged at handoffs. */
+    Ticks coherence_penalty = 0;
+    /** Sum of distinct-recent-owner counts over handoffs (divide by
+     *  handoffs for the average circulation width). */
+    std::uint64_t circulation_sum = 0;
+    /** @} */
+    /** Per-grant contended block times (p99 handoff tails). */
+    stats::LatencyHistogram block_hist;
 };
 
 /**

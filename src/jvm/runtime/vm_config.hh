@@ -17,6 +17,7 @@
 #include "base/units.hh"
 #include "jvm/gc/adaptive.hh"
 #include "jvm/heap/heap.hh"
+#include "jvm/locks/policy.hh"
 
 namespace jscale::jvm {
 
@@ -116,6 +117,12 @@ struct VmConfig
     /** HotSpot-style ergonomic young-generation resizing. */
     AdaptiveSizeConfig adaptive;
     VmCosts costs;
+    /**
+     * Monitor admission policy and contended-handoff cost model,
+     * applied to every monitor of this VM. Defaults (strict FIFO, zero
+     * handoff costs) reproduce the classic monitor byte for byte.
+     */
+    LockPolicyConfig locks;
     /** GC worker threads; 0 means one per enabled core (HotSpot-style). */
     std::uint32_t gc_threads = 0;
     HelperConfig helpers;

@@ -75,6 +75,11 @@ MutatorThread::fetchAction()
     current_ = source_->next();
     have_action_ = true;
     remaining_cost_ = actionCost(current_);
+    // A contended handoff's coherence penalty lands on the first
+    // action executed as the new owner — inside the hold window, where
+    // the cache-miss cost belongs.
+    remaining_cost_ += pending_penalty_;
+    pending_penalty_ = 0;
 }
 
 void

@@ -63,6 +63,10 @@ class MutatorThread : public os::SchedClient, public MonitorWaiter
     void channelGranted(ChannelId channel) override;
     os::OsThread *osThread() const override { return os_thread_; }
     MutatorIndex mutatorIndex() const override { return index_; }
+    void chargeHandoffPenalty(Ticks penalty) override
+    {
+        pending_penalty_ += penalty;
+    }
     /** @} */
 
     /** Bind the scheduler-side thread record (done once by the VM). */
@@ -130,6 +134,9 @@ class MutatorThread : public os::SchedClient, public MonitorWaiter
     bool have_action_ = false;
     /** Unpaid CPU cost of the current action. */
     Ticks remaining_cost_ = 0;
+    /** Coherence penalty from a contended handoff, paid as extra CPU
+     *  time on the next fetched action (inside the hold window). */
+    Ticks pending_penalty_ = 0;
     /** Blocked waiting for a monitor/channel grant. */
     bool awaiting_grant_ = false;
     /** Blocked waiting for a GC to complete (allocation retry). */

@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "base/logging.hh"
+#include "workload/hotlock_app.hh"
 #include "workload/interpreter_app.hh"
 #include "workload/pipeline_app.hh"
 #include "workload/serialized_app.hh"
@@ -199,6 +200,19 @@ makeEclipse(double scale)
 }
 
 std::unique_ptr<jvm::ApplicationModel>
+makeHotlock(double scale)
+{
+    HotLockParams p;
+    p.name = "hotlock";
+    p.total_ops = scaled(6000, scale);
+    p.local_compute_mean = 8 * units::US;
+    p.cs_compute_mean = 4 * units::US;
+    p.allocs_per_op = 2;
+    p.alloc = tinyHeavyProfile();
+    return std::make_unique<HotLockApp>(p);
+}
+
+std::unique_ptr<jvm::ApplicationModel>
 makeJython(double scale)
 {
     InterpreterParams p;
@@ -248,9 +262,14 @@ makeDacapoApp(const std::string &name, double scale)
         return makeEclipse(scale);
     if (name == "jython")
         return makeJython(scale);
+    // Not a DaCapo benchmark, but routed through the same factory so
+    // the whole harness (runs, sweeps, golden, fuzz) can drive it: the
+    // E19 lock-saturated microbenchmark.
+    if (name == "hotlock")
+        return makeHotlock(scale);
     jscale_fatal("unknown DaCapo app '", name,
                  "' (expected one of sunflow, lusearch, xalan, h2, ",
-                 "eclipse, jython)");
+                 "eclipse, jython, hotlock)");
 }
 
 } // namespace jscale::workload

@@ -39,7 +39,8 @@ bool dacapoExpectedScalable(const std::string &name);
 
 /**
  * Build the model for @p name ("sunflow", "lusearch", "xalan", "h2",
- * "eclipse", "jython"). @p scale multiplies the fixed work volume
+ * "eclipse", "jython", plus the non-DaCapo "hotlock" E19
+ * microbenchmark). @p scale multiplies the fixed work volume
  * (task/unit/transaction counts) without changing the live footprint.
  * Fatal on an unknown name.
  */

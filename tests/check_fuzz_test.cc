@@ -68,13 +68,72 @@ TEST(Fuzz, SabotageNamesRoundTrip)
 {
     for (const auto s :
          {check::Sabotage::None, check::Sabotage::DupAlloc,
-          check::Sabotage::PhantomDeath, check::Sabotage::DoubleRelease}) {
+          check::Sabotage::PhantomDeath, check::Sabotage::DoubleRelease,
+          check::Sabotage::IllegalHandoff}) {
         check::Sabotage parsed;
         ASSERT_TRUE(check::parseSabotage(check::sabotageName(s), parsed));
         EXPECT_EQ(parsed, s);
     }
     check::Sabotage parsed;
     EXPECT_FALSE(check::parseSabotage("subtle", parsed));
+}
+
+TEST(Fuzz, PolicyDimensionIsDrawnParsedAndDefaulted)
+{
+    // The seed space exercises every admission policy...
+    bool seen[4] = {false, false, false, false};
+    for (std::uint64_t seed = 1; seed <= 200; ++seed)
+        seen[static_cast<std::size_t>(check::caseForSeed(seed).policy)] =
+            true;
+    for (const jvm::LockPolicy p : jvm::kAllLockPolicies)
+        EXPECT_TRUE(seen[static_cast<std::size_t>(p)])
+            << jvm::lockPolicyName(p);
+
+    // ...a pre-policy case line still parses (defaults to fifo)...
+    FuzzCase legacy;
+    std::string err;
+    ASSERT_TRUE(FuzzCase::parse(
+        "seed=7 threads=2 tasks=30 monitors=1 heap=4194304", legacy, err))
+        << err;
+    EXPECT_EQ(legacy.policy, jvm::LockPolicy::Fifo);
+
+    // ...and junk policies are rejected.
+    FuzzCase out;
+    EXPECT_FALSE(FuzzCase::parse("seed=1 policy=anarchic", out, err));
+    EXPECT_FALSE(err.empty());
+}
+
+TEST(Fuzz, IllegalHandoffIsCaughtUnderEveryPolicyAndShrinksToFifo)
+{
+    // The saboteur fabricates a contended grant to the releasing
+    // thread — a grantee that never queued — which every admission
+    // policy's oracle model must reject.
+    for (const jvm::LockPolicy p : jvm::kAllLockPolicies) {
+        FuzzCase c = check::caseForSeed(42);
+        c.threads = 6;
+        c.monitors = 1; // one hot monitor guarantees contention
+        c.policy = p;
+        c.sabotage = check::Sabotage::IllegalHandoff;
+        const check::FuzzOutcome out = check::runFuzzCase(c);
+        ASSERT_FALSE(out.clean()) << jvm::lockPolicyName(p);
+        ASSERT_FALSE(out.violations.empty()) << jvm::lockPolicyName(p);
+        EXPECT_EQ(out.violations[0].oracle, "monitor-fifo")
+            << out.violations[0].format();
+    }
+
+    // The shrinker walks the policy dimension back to fifo while the
+    // bug keeps firing.
+    FuzzCase c = check::caseForSeed(42);
+    c.threads = 6;
+    c.monitors = 1;
+    c.policy = jvm::LockPolicy::Lcr;
+    c.sabotage = check::Sabotage::IllegalHandoff;
+    ASSERT_FALSE(check::runFuzzCase(c).clean());
+    std::uint32_t used = 0;
+    const FuzzCase shrunk = check::shrinkCase(c, /*budget=*/48, &used);
+    EXPECT_FALSE(check::runFuzzCase(shrunk).clean());
+    EXPECT_EQ(shrunk.policy, jvm::LockPolicy::Fifo);
+    EXPECT_LE(used, 48u);
 }
 
 TEST(Fuzz, CleanCampaignReportsNoFailures)

@@ -156,4 +156,24 @@ TEST(Oracle, UnsabotagedCaseIsCleanAcrossConfigurationSpace)
     }
 }
 
+TEST(Oracle, EveryAdmissionPolicyRunsOracleClean)
+{
+    // Barging reorders grants within its window, the culling policies
+    // passivate and rotate waiters — the per-policy handoff models
+    // must follow along without false alarms, including on a single
+    // heavily contended monitor.
+    for (const jvm::LockPolicy p : jvm::kAllLockPolicies) {
+        for (const std::uint64_t seed : {5ULL, 42ULL, 91ULL}) {
+            check::FuzzCase c = check::caseForSeed(seed);
+            c.threads = 6;
+            c.monitors = 1;
+            c.policy = p;
+            const check::FuzzOutcome out = check::runFuzzCase(c);
+            EXPECT_TRUE(out.clean())
+                << jvm::lockPolicyName(p) << " seed " << seed << ": "
+                << out.diagnosis();
+        }
+    }
+}
+
 } // namespace

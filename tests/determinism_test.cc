@@ -13,6 +13,7 @@
 
 #include "core/experiment.hh"
 #include "core/report.hh"
+#include "jvm/locks/policy.hh"
 #include "lockprof/lockprof.hh"
 #include "trace/trace.hh"
 
@@ -259,6 +260,39 @@ TEST(ParallelEquivalence, GovernedCsvReportBytesIdentical)
               report(control::GovernorMode::HillClimb, 8));
     EXPECT_EQ(report(control::GovernorMode::UslGuided, 1),
               report(control::GovernorMode::UslGuided, 8));
+}
+
+TEST(ParallelEquivalence, EveryAdmissionPolicyMatchesSequential)
+{
+    // The policy machinery (barging cursor, culling rotation, LCR
+    // capacity measurement, coherence penalties) lives entirely inside
+    // the simulated VM, so a lock-saturated sweep must stay
+    // byte-identical at any --jobs under every admission policy.
+    const std::vector<std::uint32_t> threads = {2, 4, 8};
+    for (const jvm::LockPolicy policy : jvm::kAllLockPolicies) {
+        auto sweep = [&](std::uint32_t jobs) {
+            auto cfg = cfgWith(35);
+            cfg.jobs = jobs;
+            cfg.vm.locks.policy = policy;
+            cfg.vm.locks.handoff_base = 250;
+            cfg.vm.locks.coherence_cost = 500;
+            core::ExperimentRunner runner(cfg);
+            return runner.sweep("hotlock", threads);
+        };
+        const auto seq = sweep(1);
+        const auto par = sweep(8);
+        ASSERT_EQ(seq.size(), par.size());
+        for (std::size_t i = 0; i < seq.size(); ++i) {
+            EXPECT_EQ(seq[i].locks.handoffs, par[i].locks.handoffs);
+            EXPECT_EQ(seq[i].locks.barged_grants,
+                      par[i].locks.barged_grants);
+            EXPECT_EQ(seq[i].locks.waiters_passivated,
+                      par[i].locks.waiters_passivated);
+            expectRunsEqual(seq[i], par[i],
+                            std::string(jvm::lockPolicyName(policy)) +
+                                " t" + std::to_string(seq[i].threads));
+        }
+    }
 }
 
 TEST(ParallelEquivalence, JobsZeroUsesAllCoresAndStillMatches)

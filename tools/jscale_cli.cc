@@ -13,6 +13,7 @@
  *   faults   parse and print a fault-injection schedule
  *   resilience  E18: throughput vs. fault intensity, gov vs. ungov
  *   traffic  E21: open-system tail latency vs. offered load
+ *   collapse E19: scalability collapse by monitor admission policy
  *
  * Common flags: --app <name> --threads <list> --scale <f> --seed <n>
  *               --heap-factor <f> --compartments --biased [--groups g]
@@ -46,10 +47,12 @@
 #include "core/shard.hh"
 #include "core/supervisor.hh"
 #include "core/traffic_study.hh"
+#include "core/collapse.hh"
 #include "fault/fault.hh"
 #include "traffic/arrival.hh"
 #include "traffic/tenancy.hh"
 #include "jvm/gc/gclog.hh"
+#include "jvm/locks/policy.hh"
 #include "lockprof/lockprof.hh"
 #include "trace/trace.hh"
 #include "workload/dacapo.hh"
@@ -118,6 +121,11 @@ struct CliOptions
     /** Multi-tenant host spec (validated at parse time). */
     std::string tenants_spec;
     std::vector<traffic::TenantSpec> tenants;
+    /** Monitor admission policy + knobs (run/sweep/study/collapse). */
+    jvm::LockPolicyConfig locks;
+    /** True when --lock-policy was passed (collapse sweeps every
+     *  policy unless narrowed explicitly). */
+    bool lock_policy_set = false;
     /** Offered-load ladder of the traffic study. */
     std::vector<double> loads = {0.25, 0.5, 1.0, 2.0};
     /** Requests per open-loop rung of the traffic study. */
@@ -165,6 +173,10 @@ usage(int code)
         "  traffic   E21: open-system tail latency — p99 sojourn vs.\n"
         "            offered load vs. threads, knee detection, and the\n"
         "            governed/biased remedies re-scored on the tail\n"
+        "  collapse  E19: scalability collapse on a lock-saturated\n"
+        "            workload — throughput vs. threads per admission\n"
+        "            policy (fifo, barging, malthusian, lcr), with\n"
+        "            circulation width and handoff-tail columns\n"
         "  shard     run one deterministic slice of a campaign: plans\n"
         "            every point, executes only those hashing to\n"
         "            --index, persists each finished point durably in\n"
@@ -238,8 +250,27 @@ usage(int code)
         "  --shrink-budget <n> max re-runs spent shrinking a fuzz\n"
         "                      failure (default 64, range 1..10000)\n"
         "  --sabotage <kind>   seed a bug into the fuzz event stream:\n"
-        "                      none, dup-alloc, phantom-death or\n"
-        "                      double-release (oracle self-test)\n"
+        "                      none, dup-alloc, phantom-death,\n"
+        "                      double-release or illegal-handoff\n"
+        "                      (oracle self-test)\n"
+        "  --lock-policy <p>   monitor admission policy: fifo (strict\n"
+        "                      queue order, default), barging (bounded\n"
+        "                      unfair window), malthusian (cull excess\n"
+        "                      waiters to a passive list) or lcr\n"
+        "                      (concurrency restriction at measured\n"
+        "                      capacity); collapse sweeps all four\n"
+        "                      unless narrowed\n"
+        "  --barge-window <n>  barging grant window (default 4)\n"
+        "  --active-target <n> malthusian active-set bound (default 2)\n"
+        "  --rotation-period <n>  passive-list rotation period in\n"
+        "                      handoffs, 0 = never (default 32)\n"
+        "  --lcr-max <n>       LCR active-set clamp maximum (default 8)\n"
+        "  --handoff-base <t>  fixed ticks charged per contended\n"
+        "                      handoff (default 0; collapse default "
+        "250)\n"
+        "  --coherence-cost <t>  ticks per distinct recent lock owner\n"
+        "                      charged at handoff (default 0; collapse\n"
+        "                      default 500)\n"
         "  --replay <path>     re-run a fuzz reproducer file\n"
         "  --out <path>        output file (trace, fuzz reproducer,\n"
         "                      golden store)\n"
@@ -508,10 +539,51 @@ parse(int argc, char **argv)
             const std::string v = value();
             if (!check::parseSabotage(v, o.sabotage)) {
                 std::cerr << "bad --sabotage kind '" << v
-                          << "' (expect none, dup-alloc, phantom-death "
-                             "or double-release)\n";
+                          << "' (expect none, dup-alloc, phantom-death, "
+                             "double-release or illegal-handoff)\n";
                 std::exit(2);
             }
+        } else if (arg == "--lock-policy") {
+            const std::string v = value();
+            if (!jvm::parseLockPolicy(v, o.locks.policy)) {
+                std::cerr << "bad --lock-policy '" << v
+                          << "' (expect fifo, barging, malthusian or "
+                             "lcr)\n";
+                std::exit(2);
+            }
+            o.lock_policy_set = true;
+        } else if (arg == "--barge-window" || arg == "--active-target" ||
+                   arg == "--rotation-period" || arg == "--lcr-max" ||
+                   arg == "--handoff-base" || arg == "--coherence-cost" ||
+                   arg == "--circulation-window") {
+            // Strict digits: "5x" or "" must not alias to a number.
+            const std::string v = value();
+            if (v.empty() ||
+                v.find_first_not_of("0123456789") != std::string::npos) {
+                std::cerr << "bad " << arg << " value '" << v << "'\n";
+                std::exit(2);
+            }
+            const std::uint64_t n = std::stoull(v);
+            if (n == 0 && arg != "--rotation-period" &&
+                arg != "--handoff-base" && arg != "--coherence-cost") {
+                std::cerr << arg << " must be positive\n";
+                std::exit(2);
+            }
+            if (arg == "--barge-window")
+                o.locks.barge_window = static_cast<std::uint32_t>(n);
+            else if (arg == "--active-target")
+                o.locks.active_target = static_cast<std::uint32_t>(n);
+            else if (arg == "--rotation-period")
+                o.locks.rotation_period = static_cast<std::uint32_t>(n);
+            else if (arg == "--lcr-max")
+                o.locks.lcr_max_active = static_cast<std::uint32_t>(n);
+            else if (arg == "--handoff-base")
+                o.locks.handoff_base = n;
+            else if (arg == "--coherence-cost")
+                o.locks.coherence_cost = n;
+            else
+                o.locks.circulation_window =
+                    static_cast<std::uint32_t>(n);
         } else if (arg == "--arrivals") {
             o.arrivals = value();
             traffic::ArrivalSpec spec;
@@ -589,13 +661,19 @@ parse(int argc, char **argv)
 void
 requireValidApp(const std::string &app)
 {
+    // "hotlock" is the synthetic lock-saturation workload behind the
+    // E19 collapse study; it stays out of dacapoAppNames() so the
+    // paper-suite commands don't sweep it, but any single-app command
+    // may ask for it by name.
+    if (app == "hotlock")
+        return;
     const auto names = workload::dacapoAppNames();
     if (std::find(names.begin(), names.end(), app) != names.end())
         return;
     std::cerr << "unknown app '" << app << "'; modeled apps:";
     for (const auto &name : names)
         std::cerr << " " << name;
-    std::cerr << "\n";
+    std::cerr << " hotlock\n";
     std::exit(2);
 }
 
@@ -625,6 +703,7 @@ experimentConfig(const CliOptions &o)
     cfg.watchdog_config.interval = o.watchdog_interval_ms * units::MS;
     cfg.checkpoint_path = o.checkpoint_path;
     cfg.resume = o.resume;
+    cfg.vm.locks = o.locks;
     cfg.oracles = o.oracles;
     cfg.profile = o.profile;
     cfg.profile_topk = o.profile_topk;
@@ -757,6 +836,16 @@ cmdRun(const CliOptions &o)
                   << " thin, " << r.locks.fat_acquisitions << " fat ("
                   << r.locks.bias_revocations << " revocations, "
                   << r.locks.inflations << " inflations)\n";
+    }
+    if (r.locks.handoffs > 0) {
+        std::cout << "admission ["
+                  << jvm::describeLockPolicyConfig(o.locks) << "]: "
+                  << r.locks.handoffs << " handoffs, "
+                  << r.locks.barged_grants << " barged, "
+                  << r.locks.waiters_passivated << " passivated, "
+                  << r.locks.waiters_reactivated << " reactivated, "
+                  << formatTicks(r.locks.coherence_penalty)
+                  << " coherence penalty\n";
     }
     if (r.gc.local_count > 0) {
         std::cout << "local GCs: " << r.gc.local_count << " ("
@@ -1262,6 +1351,35 @@ cmdTraffic(const CliOptions &o)
 }
 
 int
+cmdCollapse(const CliOptions &o)
+{
+    core::CollapseConfig cfg;
+    // Default: the E19 lock-saturated microbenchmark over the paper
+    // thread ladder, all four policies; --app / --threads /
+    // --lock-policy narrow explicitly.
+    if (o.app_set) {
+        requireValidApp(o.app);
+        cfg.app = o.app;
+    }
+    if (o.threads_set)
+        cfg.threads = o.threads;
+    if (o.lock_policy_set)
+        cfg.policies = {o.locks.policy};
+    // --governor adds an E17-governed arm per policy.
+    cfg.governed_arms = o.governor != control::GovernorMode::Off;
+    cfg.base = experimentConfig(o);
+    cfg.base.governor.mode = control::GovernorMode::Off;
+
+    const core::CollapseStudy study = core::runCollapseStudy(cfg);
+    core::printCollapseTable(std::cout, study);
+    if (o.csv) {
+        std::cout << "\n";
+        core::writeCollapseCsv(std::cout, study);
+    }
+    return 0;
+}
+
+int
 cmdGolden(const CliOptions &o)
 {
     const std::string path =
@@ -1284,6 +1402,27 @@ cmdGolden(const CliOptions &o)
         }
         file.config.emplace_back("fingerprint",
                                  runner.campaignFingerprint());
+        if (o.shard_count > 1) {
+            // A shard worker executes (and caches) only its slice; the
+            // other points come back as skipped markers. Writing a
+            // snapshot from that would publish a scratch partial file
+            // the merge step then has to race against — so shard
+            // workers only populate the cache and the merge's rewrite
+            // (shard_count == 1, every point salvaged) is the one
+            // authoritative snapshot.
+            for (const jvm::RunResult &r :
+                 runner.sweep(o.app, o.threads)) {
+                if (r.failed()) {
+                    std::cerr << "cannot record: run at " << r.threads
+                              << " threads failed: " << r.run_error
+                              << "\n";
+                    return 1;
+                }
+            }
+            std::cout << "shard slice cached; snapshot deferred to "
+                         "merge\n";
+            return 0;
+        }
         for (const jvm::RunResult &r : runner.sweep(o.app, o.threads)) {
             if (r.failed()) {
                 std::cerr << "cannot record: run at " << r.threads
@@ -1414,6 +1553,8 @@ guardedDispatch(const CliOptions &o)
             return cmdGolden(o);
         if (o.command == "traffic")
             return cmdTraffic(o);
+        if (o.command == "collapse")
+            return cmdCollapse(o);
     } catch (const AbortError &e) {
         // A single-run command hit the watchdog or the sim-time guard.
         // Batch commands isolate these per run and never get here.
@@ -1460,14 +1601,14 @@ parseDigits(const std::string &v, const std::string &what)
 void
 requireShardable(const std::string &cmd)
 {
-    for (const char *ok :
-         {"sweep", "study", "lifespan", "golden", "resilience", "fuzz"}) {
+    for (const char *ok : {"sweep", "study", "lifespan", "golden",
+                           "resilience", "fuzz", "collapse"}) {
         if (cmd == ok)
             return;
     }
     std::cerr << "'" << cmd
               << "' cannot run sharded (supported: sweep, study, "
-                 "lifespan, golden, resilience, fuzz)\n";
+                 "lifespan, golden, resilience, fuzz, collapse)\n";
     std::exit(2);
 }
 
